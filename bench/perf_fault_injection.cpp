@@ -1,0 +1,52 @@
+// Fault-injection and logic-simulation throughput: strikes per second on
+// the five characterized components, and simulator lane throughput.
+#include <benchmark/benchmark.h>
+
+#include "circuits/adders.hpp"
+#include "circuits/multipliers.hpp"
+#include "netlist/sim.hpp"
+#include "ser/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rchls;
+
+void BM_Inject(benchmark::State& state, netlist::Netlist (*gen)(int)) {
+  netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
+  ser::InjectionConfig cfg;
+  cfg.trials = 64 * 32;
+  for (auto _ : state) {
+    auto r = ser::inject_campaign(nl, cfg);
+    benchmark::DoNotOptimize(r.susceptibility);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+BENCHMARK_CAPTURE(BM_Inject, ripple_adder, &circuits::ripple_carry_adder)
+    ->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Inject, kogge_stone_adder,
+                  &circuits::kogge_stone_adder)
+    ->Arg(16)->Arg(32);
+BENCHMARK_CAPTURE(BM_Inject, carry_save_mult,
+                  &circuits::carry_save_multiplier)
+    ->Arg(8)->Arg(16);
+BENCHMARK_CAPTURE(BM_Inject, leapfrog_mult, &circuits::leapfrog_multiplier)
+    ->Arg(8)->Arg(16);
+
+void BM_Simulate64Lanes(benchmark::State& state) {
+  netlist::Netlist nl =
+      circuits::leapfrog_multiplier(static_cast<int>(state.range(0)));
+  netlist::Simulator sim(nl);
+  Rng rng(3);
+  std::vector<std::uint64_t> inputs(nl.input_bits().size());
+  for (auto& w : inputs) w = rng.next_u64();
+  for (auto _ : state) {
+    auto words = sim.run(inputs);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Simulate64Lanes)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

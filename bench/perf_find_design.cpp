@@ -1,0 +1,99 @@
+// End-to-end synthesis-engine timings on the paper benchmarks, plus the
+// scheduler ablation inside find_design (density vs force-directed) and
+// the scaling of the full flow with DFG size.
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/generate.hpp"
+#include "dfg/timing.hpp"
+#include "hls/baseline.hpp"
+#include "hls/combined.hpp"
+#include "hls/find_design.hpp"
+
+namespace {
+
+using namespace rchls;
+
+struct Bounds {
+  int ld;
+  double ad;
+};
+
+Bounds mid_bounds(const dfg::Graph& g, const library::ResourceLibrary& lib) {
+  std::vector<library::VersionId> fastest(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    fastest[id] = lib.fastest(library::class_of(g.node(id).op));
+  }
+  int lmin =
+      dfg::asap_latency(g, hls::delays_for(g, lib, fastest));
+  return {lmin + 3, 20.0};
+}
+
+void BM_FindDesign(benchmark::State& state, const std::string& name) {
+  auto g = benchmarks::by_name(name);
+  auto lib = library::paper_library();
+  Bounds b = mid_bounds(g, lib);
+  for (auto _ : state) {
+    auto d = hls::find_design(g, lib, b.ld, b.ad);
+    benchmark::DoNotOptimize(d.reliability);
+  }
+}
+BENCHMARK_CAPTURE(BM_FindDesign, fir16, std::string("fir16"));
+BENCHMARK_CAPTURE(BM_FindDesign, ewf, std::string("ewf"));
+BENCHMARK_CAPTURE(BM_FindDesign, diffeq, std::string("diffeq"));
+BENCHMARK_CAPTURE(BM_FindDesign, ar_lattice, std::string("ar_lattice"));
+
+void BM_FindDesignFds(benchmark::State& state) {
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+  Bounds b = mid_bounds(g, lib);
+  hls::FindDesignOptions opts;
+  opts.scheduler = hls::SchedulerKind::kForceDirected;
+  for (auto _ : state) {
+    auto d = hls::find_design(g, lib, b.ld, b.ad, opts);
+    benchmark::DoNotOptimize(d.reliability);
+  }
+}
+BENCHMARK(BM_FindDesignFds);
+
+void BM_Baseline(benchmark::State& state) {
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+  Bounds b = mid_bounds(g, lib);
+  for (auto _ : state) {
+    auto d = hls::nmr_baseline(g, lib, b.ld, b.ad);
+    benchmark::DoNotOptimize(d.reliability);
+  }
+}
+BENCHMARK(BM_Baseline);
+
+void BM_Combined(benchmark::State& state) {
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+  Bounds b = mid_bounds(g, lib);
+  for (auto _ : state) {
+    auto d = hls::combined_design(g, lib, b.ld, b.ad);
+    benchmark::DoNotOptimize(d.reliability);
+  }
+}
+BENCHMARK(BM_Combined);
+
+void BM_FindDesignScaling(benchmark::State& state) {
+  dfg::GeneratorConfig cfg;
+  cfg.num_nodes = static_cast<std::size_t>(state.range(0));
+  cfg.mul_fraction = 0.3;
+  cfg.seed = 7;
+  auto g = dfg::generate_random(cfg);
+  auto lib = library::paper_library();
+  Bounds b = mid_bounds(g, lib);
+  b.ad = 1.5 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto d = hls::find_design(g, lib, b.ld, b.ad);
+    benchmark::DoNotOptimize(d.reliability);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindDesignScaling)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Complexity();
+
+}  // namespace

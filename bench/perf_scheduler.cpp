@@ -1,0 +1,76 @@
+// Scheduler throughput and ablation: the paper's density scheduler vs the
+// classic force-directed scheduler vs resource-constrained list
+// scheduling, over increasing DFG sizes.
+#include <benchmark/benchmark.h>
+
+#include "dfg/generate.hpp"
+#include "dfg/timing.hpp"
+#include "sched/density.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list.hpp"
+
+namespace {
+
+using namespace rchls;
+
+struct Instance {
+  dfg::Graph graph;
+  std::vector<int> delays;
+  std::vector<int> groups;
+  int latency;
+};
+
+Instance make_instance(std::size_t nodes) {
+  dfg::GeneratorConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.mul_fraction = 0.3;
+  cfg.layer_width = 4.0;
+  cfg.seed = nodes;  // deterministic per size
+  Instance inst{dfg::generate_random(cfg), {}, {}, 0};
+  inst.delays.resize(nodes);
+  inst.groups.resize(nodes);
+  for (dfg::NodeId id = 0; id < nodes; ++id) {
+    bool mul = inst.graph.node(id).op == dfg::OpType::kMul;
+    inst.delays[id] = mul ? 2 : 1;
+    inst.groups[id] = mul ? 1 : 0;
+  }
+  inst.latency = dfg::asap_latency(inst.graph, inst.delays) + 4;
+  return inst;
+}
+
+void BM_DensitySchedule(benchmark::State& state) {
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto s = sched::density_schedule(inst.graph, inst.delays, inst.latency,
+                                     inst.groups);
+    benchmark::DoNotOptimize(s.latency);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DensitySchedule)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_ForceDirectedSchedule(benchmark::State& state) {
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto s = sched::force_directed_schedule(inst.graph, inst.delays,
+                                            inst.latency, inst.groups);
+    benchmark::DoNotOptimize(s.latency);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForceDirectedSchedule)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_ListSchedule(benchmark::State& state) {
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  std::vector<int> instances{3, 2};
+  for (auto _ : state) {
+    auto s = sched::list_schedule(inst.graph, inst.delays, inst.groups,
+                                  instances);
+    benchmark::DoNotOptimize(s.latency);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListSchedule)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Complexity();
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Shared definitions for the reproduction harnesses: the paper's published
+// numbers, the bound mapping between the paper's accounting and ours, and
+// the benchmark grids behind Table 2 / Figure 9.
+//
+// Bound mapping (derived in EXPERIMENTS.md): the paper counts latency in
+// occupied control steps and its unit accounting needs two fewer area
+// units than our completion-semantics flow on FIR/DiffEq; reproducing the
+// paper's (Ld, Ad) point therefore uses (Ld, Ad + 2) here. The EW filter
+// grids are anchored at our EWF instance's own minimum latency (the
+// paper's 25-op EW instance is unpublished; ours has 34 ops).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "hls/explore.hpp"
+#include "library/resource.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::repro {
+
+/// One row of a paper Table 2 panel.
+struct PaperRow {
+  int ld = 0;      ///< paper's latency bound
+  double ad = 0;   ///< paper's area bound
+  double ref3 = 0; ///< paper column 3: Orailoglu-Karri [3]
+  double ours = 0; ///< paper column 4: reliability-centric
+  double comb = 0; ///< paper column 6: combined
+};
+
+struct Panel {
+  std::string benchmark;       ///< registry name
+  std::string title;           ///< paper panel title
+  int ld_offset = 0;           ///< our Ld = paper Ld + ld_offset
+  double ad_offset = 0.0;      ///< our Ad = paper Ad + ad_offset
+  std::vector<PaperRow> rows;
+};
+
+/// Table 2(a): FIR filter.
+inline Panel fir_panel() {
+  Panel p;
+  p.benchmark = "fir16";
+  p.title = "Table 2(a) FIR filter";
+  p.ld_offset = 1;   // start-step -> completion semantics
+  p.ad_offset = 2.0; // unit-accounting offset
+  p.rows = {
+      {10, 9, 0.48467, 0.59998, 0.59998},
+      {10, 11, 0.61856, 0.69516, 0.76572},
+      {10, 13, 0.76572, 0.69516, 0.77187},
+      {11, 9, 0.48467, 0.78943, 0.79497},
+      {11, 11, 0.61856, 0.89798, 0.98411},
+      {11, 13, 0.76572, 0.89798, 0.99102},
+      {12, 9, 0.61856, 0.81387, 0.81959},
+      {12, 11, 0.76572, 0.90890, 0.98411},
+      {12, 13, 0.78943, 0.90890, 0.99301},
+  };
+  return p;
+}
+
+/// Table 2(b): elliptic wave filter. The paper's EW instance has ~25 ops
+/// (its reliability values decode to 25 factors); ours is the standard
+/// 34-op graph with the same minimum type-2 latency of 13, so bounds map
+/// directly and only absolute reliabilities sit lower (9 extra factors).
+inline Panel ewf_panel() {
+  Panel p;
+  p.benchmark = "ewf";
+  p.title = "Table 2(b) EW filter";
+  p.ld_offset = 0;
+  p.ad_offset = 2.0;
+  p.rows = {
+      {13, 7, 0.45509, 0.70260, 0.81225},
+      {13, 9, 0.67645, 0.78463, 0.97530},
+      {13, 11, 0.89005, 0.78463, 0.98805},
+      {14, 7, 0.45509, 0.71114, 0.83739},
+      {14, 9, 0.69739, 0.79417, 0.97530},
+      {14, 11, 0.94641, 0.79417, 0.98805},
+      {15, 5, 0.45509, 0.69739, 0.69739},
+      {15, 7, 0.71899, 0.80383, 0.81225},
+      {15, 9, 0.97530, 0.80383, 0.97530},
+  };
+  return p;
+}
+
+/// Table 2(c): differential equation solver.
+inline Panel diffeq_panel() {
+  Panel p;
+  p.benchmark = "diffeq";
+  p.title = "Table 2(c) DiffEq";
+  p.ld_offset = 0;
+  p.ad_offset = 2.0;
+  p.rows = {
+      {5, 11, 0.70723, 0.77497, 0.77497},
+      {5, 13, 0.82370, 0.80403, 0.82370},
+      {5, 15, 0.82783, 0.80645, 0.84920},
+      {6, 11, 0.70723, 0.82370, 0.82700},
+      {6, 13, 0.82370, 0.82370, 0.82783},
+      {6, 15, 0.82783, 0.90260, 0.90712},
+      {7, 7, 0.70723, 0.90260, 0.90260},
+      {7, 9, 0.82370, 0.93054, 0.93054},
+      {7, 11, 0.82783, 0.95935, 0.95935},
+  };
+  return p;
+}
+
+inline std::vector<Panel> all_panels() {
+  return {fir_panel(), ewf_panel(), diffeq_panel()};
+}
+
+/// The paper's [3] baseline: fixed type-2 versions plus greedy duplication
+/// (decoded from the published reliability values; see EXPERIMENTS.md).
+/// "Ours" and "combined" run with the polish pass enabled, which
+/// compensates for scheduler differences against the authors' tool.
+inline hls::GridOptions paper_grid_options(
+    const library::ResourceLibrary& lib) {
+  hls::GridOptions opts;
+  opts.baseline.fixed_versions = {
+      {lib.find("adder_2"), lib.find("mult_2")}};
+  opts.find_design.enable_polish = true;
+  opts.find_design.explore_tighter_latency = 2;
+  opts.combined.find_design.enable_polish = true;
+  opts.combined.find_design.explore_tighter_latency = 2;
+  return opts;
+}
+
+inline std::string fmt(const std::optional<double>& v) {
+  return v ? format_fixed(*v, 5) : "no sol.";
+}
+
+inline std::string fmt(double v) { return format_fixed(v, 5); }
+
+/// Runs one panel and returns the computed rows aligned with panel.rows.
+inline std::vector<hls::ComparisonRow> run_panel(
+    const Panel& panel, const library::ResourceLibrary& lib) {
+  auto g = benchmarks::by_name(panel.benchmark);
+  auto opts = paper_grid_options(lib);
+  std::vector<hls::ComparisonRow> rows;
+  for (const PaperRow& r : panel.rows) {
+    auto grid = hls::comparison_grid(g, lib, {r.ld + panel.ld_offset},
+                                     {r.ad + panel.ad_offset}, opts);
+    rows.push_back(grid.front());
+  }
+  return rows;
+}
+
+}  // namespace rchls::repro

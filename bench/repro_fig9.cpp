@@ -1,0 +1,46 @@
+// Reproduces paper Figure 9: average reliability of [3], the reliability-
+// centric approach, and the combined approach over the Table 2 grids, per
+// benchmark.
+#include <array>
+#include <iostream>
+
+#include "repro_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rchls;
+  auto lib = library::paper_library();
+
+  // Paper Fig. 9 bar values are the per-panel averages of Table 2.
+  auto paper_avg = [](const repro::Panel& p) {
+    double ref = 0.0;
+    double ours = 0.0;
+    double comb = 0.0;
+    for (const auto& r : p.rows) {
+      ref += r.ref3;
+      ours += r.ours;
+      comb += r.comb;
+    }
+    std::size_t n = p.rows.size();
+    return std::array<double, 3>{ref / n, ours / n, comb / n};
+  };
+
+  std::cout << "==============================================\n"
+            << "Figure 9: average reliability per benchmark\n"
+            << "==============================================\n";
+  Table t({"Benchmark", "Ref[3] paper", "Ref[3] ours", "Ours paper",
+           "Ours ours", "Comb paper", "Comb ours"});
+  for (const repro::Panel& panel : repro::all_panels()) {
+    auto rows = repro::run_panel(panel, lib);
+    auto avg = hls::grid_averages(rows);
+    auto paper = paper_avg(panel);
+    t.add_row({panel.benchmark, repro::fmt(paper[0]),
+               repro::fmt(avg.baseline), repro::fmt(paper[1]),
+               repro::fmt(avg.ours), repro::fmt(paper[2]),
+               repro::fmt(avg.combined)});
+  }
+  std::cout << t.render()
+            << "\nExpected shape (paper Section 7): ours > [3] on average "
+               "for every\nbenchmark, and combined >= ours everywhere.\n";
+  return 0;
+}

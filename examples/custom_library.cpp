@@ -1,0 +1,96 @@
+// End-to-end custom characterization: generate the arithmetic circuits at
+// a chosen bit width, characterize them with Monte-Carlo fault injection
+// (the executable substitute for the paper's MAX/HSPICE flow), build a
+// ResourceLibrary from the measurements, and synthesize a benchmark with
+// it -- the full Section 4 -> Section 6 pipeline on YOUR technology
+// numbers instead of Table 1.
+//
+//   $ ./custom_library [width] [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "hls/find_design.hpp"
+#include "hls/report.hpp"
+#include "ser/characterize.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rchls;
+  int width = argc > 1 ? std::atoi(argv[1]) : 12;
+  long trials = argc > 2 ? std::atol(argv[2]) : 64 * 256;
+  if (width < 2 || width > 32 || trials < 64) {
+    std::cerr << "usage: custom_library [width in 2..32] [trials >= 64]\n";
+    return 1;
+  }
+
+  // 1. Characterize the five components at this width.
+  ser::CharacterizeConfig cfg;
+  cfg.width = width;
+  cfg.injection.trials = static_cast<std::size_t>(trials);
+  auto comps = ser::characterize_components(cfg);
+
+  Table t({"component", "gates", "area", "delay", "reliability"});
+  for (const auto& c : comps) {
+    t.add_row({c.name, std::to_string(c.gate_count),
+               format_fixed(c.area_units, 2), std::to_string(c.delay_cycles),
+               format_fixed(c.reliability, 5)});
+  }
+  std::cout << "characterized at width " << width << ":\n" << t.render();
+
+  // 2. Turn the measurements into a resource library.
+  library::ResourceLibrary lib;
+  for (const auto& c : comps) {
+    library::ResourceVersion v;
+    v.name = c.name;
+    v.cls = c.cls == ser::ComponentClass::kAdder
+                ? library::ResourceClass::kAdder
+                : library::ResourceClass::kMultiplier;
+    v.area = c.area_units;
+    v.delay = c.delay_cycles;
+    v.reliability = c.reliability;
+    lib.add(v);
+  }
+
+  // 3. Synthesize DiffEq against the measured library. Bounds are chosen
+  //    relative to the characterized delays.
+  auto g = benchmarks::diffeq();
+  std::vector<library::VersionId> fastest(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    fastest[id] = lib.fastest(library::class_of(g.node(id).op));
+  }
+  int lmin = 0;
+  {
+    auto delays = hls::delays_for(g, lib, fastest);
+    lmin = dfg::asap_latency(g, delays);
+  }
+
+  // The measured areas live on their own scale (normalized to this
+  // width's ripple-carry adder), so start the area budget at "two of the
+  // cheapest unit per class" and grow until feasible.
+  auto cheapest_area = [&](library::ResourceClass cls) {
+    double best = 1e9;
+    for (auto v : lib.versions_of(cls)) {
+      best = std::min(best, lib.version(v).area);
+    }
+    return best;
+  };
+  double ad = 2.0 * (cheapest_area(library::ResourceClass::kAdder) +
+                     cheapest_area(library::ResourceClass::kMultiplier));
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      hls::Design d = hls::find_design(g, lib, lmin + 3, ad);
+      std::cout << "\nDiffEq synthesized under (Ld=" << lmin + 3
+                << ", Ad=" << format_fixed(ad, 1) << "):\n"
+                << hls::design_summary(d, g, lib);
+      return 0;
+    } catch (const NoSolutionError&) {
+      ad *= 1.5;  // loosen and retry
+    }
+  }
+  std::cerr << "no feasible design found; try more area or latency\n";
+  return 1;
+}

@@ -1,0 +1,61 @@
+// Design-space exploration on the paper's flagship benchmark: the
+// 16-point symmetric FIR filter. Compares, across a grid of latency/area
+// bounds, the three synthesis engines:
+//   * the Orailoglu-Karri NMR baseline [3],
+//   * the reliability-centric approach (the paper's contribution),
+//   * the combined approach (versions + redundancy).
+//
+//   $ ./fir_design_space [max_slack]
+#include <cstdlib>
+#include <iostream>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "hls/explore.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rchls;
+  int max_slack = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (max_slack < 0 || max_slack > 32) {
+    std::cerr << "usage: fir_design_space [max_slack in 0..32]\n";
+    return 1;
+  }
+
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+
+  // Anchor the grid at the benchmark's own minimum latency.
+  std::vector<int> unit(g.node_count(), 1);
+  int lmin = dfg::asap_latency(g, unit);
+
+  std::vector<int> lds;
+  for (int s = 2; s <= 2 + max_slack; s += 2) lds.push_back(lmin + s);
+  std::vector<double> ads{8, 11, 14, 20};
+
+  hls::GridOptions opts;
+  opts.find_design.enable_polish = true;
+  opts.combined.find_design.enable_polish = true;
+
+  auto rows = hls::comparison_grid(g, lib, lds, ads, opts);
+  Table t({"Ld", "Ad", "NMR baseline [3]", "reliability-centric",
+           "combined", "centric vs [3]"});
+  for (const auto& r : rows) {
+    t.add_row({std::to_string(r.latency_bound), format_fixed(r.area_bound, 0),
+               r.baseline ? format_fixed(*r.baseline, 5) : "no sol.",
+               r.ours ? format_fixed(*r.ours, 5) : "no sol.",
+               r.combined ? format_fixed(*r.combined, 5) : "no sol.",
+               r.improvement_ours
+                   ? format_fixed(*r.improvement_ours, 2) + "%"
+                   : "-"});
+  }
+  std::cout << "FIR16 design space (minimum latency " << lmin << "):\n"
+            << t.render();
+
+  auto avg = hls::grid_averages(rows);
+  std::cout << "\naverages: baseline " << format_fixed(avg.baseline, 5)
+            << ", centric " << format_fixed(avg.ours, 5) << ", combined "
+            << format_fixed(avg.combined, 5) << "\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Closing the loop: validate the analytic reliability model against
+// gate-level fault injection on the ELABORATED designs.
+//
+// Two FIR data paths are synthesized -- the uniform type-2 design and the
+// reliability-centric design of paper Fig. 7 -- then both are expanded to
+// flat gate-level netlists (src/rtl) and bombarded with single-event
+// transients. The design the model calls more reliable should also show
+// the lower gate-level susceptibility-per-strike... weighted by its strike
+// cross-section (gate count), which is exactly how the Section 4 chain
+// composes component SERs.
+//
+//   $ ./rtl_validation [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "benchmarks/suite.hpp"
+#include "hls/baseline.hpp"
+#include "hls/find_design.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/elaborate.hpp"
+#include "ser/fault_injection.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rchls;
+  long trials = argc > 1 ? std::atol(argv[1]) : 64 * 2048;
+  if (trials < 64) {
+    std::cerr << "usage: rtl_validation [trials >= 64]\n";
+    return 1;
+  }
+
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+
+  hls::Design uniform = hls::minimal_allocation_design(
+      g, lib, lib.find("adder_2"), lib.find("mult_2"), 11);
+  hls::Design centric = hls::find_design(g, lib, 11, 11.0);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = static_cast<std::size_t>(trials);
+
+  Table t({"design", "model R", "gates", "logical sens.",
+           "rel. strike rate"});
+  double ref_rate = 0.0;
+  for (const auto& [name, d] :
+       {std::pair<const char*, const hls::Design*>{"uniform type-2",
+                                                   &uniform},
+        {"reliability-centric", &centric}}) {
+    rtl::Elaboration e = rtl::elaborate(g, lib, d->version_of, 8);
+    auto r = ser::inject_campaign(e.netlist, cfg);
+    // Strike rate ∝ sensitive area (gates) x propagation probability.
+    double rate = static_cast<double>(e.netlist.gate_count()) *
+                  r.logical_sensitivity;
+    if (ref_rate == 0.0) ref_rate = rate;
+    t.add_row({name, format_fixed(d->reliability, 5),
+               std::to_string(e.netlist.gate_count()),
+               format_fixed(r.logical_sensitivity, 4),
+               format_fixed(rate / ref_rate, 3)});
+  }
+  std::cout << t.render()
+            << "\nInterpretation: the centric design replaces fast prefix "
+               "logic with\nsmaller ripple/carry-save structures (higher "
+               "Qcritical in Table 1);\nthe elaborated netlist view adds "
+               "the structural part of the story:\nfewer, more maskable "
+               "gates -> lower relative strike rate.\n\n";
+
+  // Also print the micro-architecture of the centric design.
+  rtl::DatapathModel m = rtl::build_datapath(centric, g, lib);
+  std::cout << rtl::to_string(m, g);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The paper's future-work objectives (Section 8) in action: read a DFG
+// from a file (or use the built-in DiffEq), then
+//   * minimize area under reliability + latency constraints, and
+//   * minimize latency under reliability + area constraints,
+// printing the frontier the two searches trace out.
+//
+//   $ ./tradeoff_explorer [dfg-file]
+//
+// DFG file format (see src/dfg/io.hpp):
+//   dfg  mydesign
+//   node t1 add
+//   node t2 mul
+//   edge t1 t2
+#include <fstream>
+#include <iostream>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/io.hpp"
+#include "hls/objectives.hpp"
+#include "hls/report.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rchls;
+
+  dfg::Graph g("unset");
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open '" << argv[1] << "'\n";
+      return 1;
+    }
+    try {
+      g = dfg::parse(in);
+    } catch (const Error& e) {
+      std::cerr << "parse error: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    g = benchmarks::diffeq();
+  }
+  auto lib = library::paper_library();
+  std::cout << "graph '" << g.name() << "': " << g.node_count()
+            << " operations, " << g.edge_count() << " dependences\n\n";
+
+  // Frontier 1: cheapest design achieving each reliability target at a
+  // fixed latency bound.
+  const int ld = 10;
+  Table t1({"target R", "achieved R", "area", "latency"});
+  for (double target : {0.70, 0.80, 0.90, 0.95}) {
+    try {
+      hls::Design d = hls::minimize_area(g, lib, ld, target);
+      t1.add_row({format_fixed(target, 2), format_fixed(d.reliability, 5),
+                  format_fixed(d.area, 1), std::to_string(d.latency)});
+    } catch (const NoSolutionError&) {
+      t1.add_row({format_fixed(target, 2), "unreachable", "-", "-"});
+    }
+  }
+  std::cout << "minimize AREA s.t. R >= target, L <= " << ld << ":\n"
+            << t1.render() << "\n";
+
+  // Frontier 2: fastest design achieving each reliability target at a
+  // fixed area bound.
+  const double ad = 12.0;
+  Table t2({"target R", "achieved R", "latency", "area"});
+  for (double target : {0.70, 0.80, 0.90, 0.95}) {
+    try {
+      hls::Design d = hls::minimize_latency(g, lib, ad, target);
+      t2.add_row({format_fixed(target, 2), format_fixed(d.reliability, 5),
+                  std::to_string(d.latency), format_fixed(d.area, 1)});
+    } catch (const NoSolutionError&) {
+      t2.add_row({format_fixed(target, 2), "unreachable", "-", "-"});
+    }
+  }
+  std::cout << "minimize LATENCY s.t. R >= target, A <= " << ad << ":\n"
+            << t2.render();
+  return 0;
+}

@@ -1,0 +1,286 @@
+#include "benchmarks/suite.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::benchmarks {
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph fig4_example() {
+  Graph g("fig4_example");
+  NodeId a = g.add_node("A", OpType::kAdd);
+  NodeId b = g.add_node("B", OpType::kAdd);
+  NodeId c = g.add_node("C", OpType::kAdd);
+  NodeId d = g.add_node("D", OpType::kAdd);
+  NodeId e = g.add_node("E", OpType::kAdd);
+  NodeId f = g.add_node("F", OpType::kAdd);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.add_edge(c, d);
+  g.add_edge(c, e);
+  g.add_edge(d, f);
+  g.add_edge(e, f);
+  g.validate();
+  return g;
+}
+
+Graph fir16() {
+  Graph g("fir16");
+  // Symmetric 16-tap FIR: y = sum_k c_k * (x_k + x_{15-k}).
+  std::vector<NodeId> pre;
+  std::vector<NodeId> mul;
+  for (int k = 1; k <= 8; ++k) {
+    pre.push_back(g.add_node("+" + std::to_string(k), OpType::kAdd));
+    mul.push_back(g.add_node("*" + std::to_string(k), OpType::kMul));
+    g.add_edge(pre.back(), mul.back());
+  }
+  // Accumulation chain +a..+g, as drawn in paper Fig. 7.
+  const char* chain_names[] = {"+a", "+b", "+c", "+d", "+e", "+f", "+g"};
+  NodeId acc = g.add_node(chain_names[0], OpType::kAdd);
+  g.add_edge(mul[0], acc);
+  g.add_edge(mul[1], acc);
+  for (int k = 1; k < 7; ++k) {
+    NodeId next = g.add_node(chain_names[k], OpType::kAdd);
+    g.add_edge(acc, next);
+    g.add_edge(mul[static_cast<std::size_t>(k + 1)], next);
+    acc = next;
+  }
+  g.validate();
+  return g;
+}
+
+Graph ewf() {
+  Graph g("ewf");
+  // Wave-digital-filter-style ladder reconstruction: an input tree
+  // (i1, i2 -> i3), an 11-adder backbone, and four adaptor sections. Each
+  // section taps the backbone at b_k (k = 1, 3, 5, 7), multiplies by two
+  // coefficients, combines with a section input, and merges back at
+  // b_{k+4} -- the same length as the four backbone steps it spans, so
+  // sections add parallelism without deepening the graph.
+  // 26 adds + 8 muls = 34 ops; unit-delay critical path 13.
+  NodeId i1 = g.add_node("i1", OpType::kAdd);
+  NodeId i2 = g.add_node("i2", OpType::kAdd);
+  NodeId i3 = g.add_node("i3", OpType::kAdd);
+  g.add_edge(i1, i3);
+  g.add_edge(i2, i3);
+
+  std::vector<NodeId> b;
+  for (int k = 1; k <= 11; ++k) {
+    b.push_back(g.add_node("b" + std::to_string(k), OpType::kAdd));
+    if (k == 1) {
+      g.add_edge(i3, b.back());
+    } else {
+      g.add_edge(b[static_cast<std::size_t>(k - 2)], b.back());
+    }
+  }
+
+  for (int t = 1; t <= 4; ++t) {
+    int k = 2 * t - 1;  // tap positions 1, 3, 5, 7
+    NodeId tap = b[static_cast<std::size_t>(k - 1)];
+    NodeId m1 = g.add_node("m" + std::to_string(2 * t - 1), OpType::kMul);
+    NodeId m2 = g.add_node("m" + std::to_string(2 * t), OpType::kMul);
+    NodeId p = g.add_node("p" + std::to_string(t), OpType::kAdd);
+    NodeId sa = g.add_node("sa" + std::to_string(t), OpType::kAdd);
+    NodeId sb = g.add_node("sb" + std::to_string(t), OpType::kAdd);
+    g.add_edge(tap, m1);
+    g.add_edge(tap, m2);
+    g.add_edge(m1, sa);
+    g.add_edge(p, sa);
+    g.add_edge(sa, sb);
+    g.add_edge(m2, sb);
+    g.add_edge(sb, b[static_cast<std::size_t>(k + 3)]);  // merge at b_{k+4}
+  }
+  g.validate();
+  return g;
+}
+
+Graph diffeq() {
+  Graph g("diffeq");
+  // HAL: solve y'' + 3xy' + 3y = 0 by forward Euler.
+  //   x1 = x + dx; u1 = u - 3*x*u*dx - 3*y*dx; y1 = y + u*dx; c = x1 < a.
+  NodeId m1 = g.add_node("*1", OpType::kMul);  // 3 * x
+  NodeId m2 = g.add_node("*2", OpType::kMul);  // u * dx
+  NodeId m3 = g.add_node("*3", OpType::kMul);  // (3x) * (u dx)
+  NodeId m4 = g.add_node("*4", OpType::kMul);  // 3 * y
+  NodeId m5 = g.add_node("*5", OpType::kMul);  // dx * (3y)
+  NodeId m6 = g.add_node("*6", OpType::kMul);  // u * dx (for y1)
+  NodeId s1 = g.add_node("-1", OpType::kSub);  // u - m3
+  NodeId s2 = g.add_node("-2", OpType::kSub);  // s1 - m5 = u1
+  NodeId a1 = g.add_node("+1", OpType::kAdd);  // x + dx = x1
+  NodeId a2 = g.add_node("+2", OpType::kAdd);  // y + m6 = y1
+  NodeId c1 = g.add_node("<1", OpType::kLt);   // x1 < a
+  g.add_edge(m1, m3);
+  g.add_edge(m2, m3);
+  g.add_edge(m3, s1);
+  g.add_edge(s1, s2);
+  g.add_edge(m4, m5);
+  g.add_edge(m5, s2);
+  g.add_edge(m6, a2);
+  g.add_edge(a1, c1);
+  g.validate();
+  return g;
+}
+
+Graph ar_lattice() {
+  Graph g("ar_lattice");
+  // Two multiply stages with merging adder trees: 16 mul + 12 add.
+  std::vector<NodeId> m;
+  for (int k = 1; k <= 8; ++k) {
+    m.push_back(g.add_node("m" + std::to_string(k), OpType::kMul));
+  }
+  std::vector<NodeId> a;
+  for (int k = 1; k <= 4; ++k) {
+    NodeId add = g.add_node("a" + std::to_string(k), OpType::kAdd);
+    g.add_edge(m[static_cast<std::size_t>(2 * k - 2)], add);
+    g.add_edge(m[static_cast<std::size_t>(2 * k - 1)], add);
+    a.push_back(add);
+  }
+  std::vector<NodeId> m2;
+  for (int k = 9; k <= 16; ++k) {
+    NodeId mul = g.add_node("m" + std::to_string(k), OpType::kMul);
+    g.add_edge(a[static_cast<std::size_t>((k - 9) / 2)], mul);
+    m2.push_back(mul);
+  }
+  NodeId a5 = g.add_node("a5", OpType::kAdd);
+  g.add_edge(m2[0], a5);
+  g.add_edge(m2[2], a5);
+  NodeId a6 = g.add_node("a6", OpType::kAdd);
+  g.add_edge(m2[1], a6);
+  g.add_edge(m2[3], a6);
+  NodeId a7 = g.add_node("a7", OpType::kAdd);
+  g.add_edge(m2[4], a7);
+  g.add_edge(m2[6], a7);
+  NodeId a8 = g.add_node("a8", OpType::kAdd);
+  g.add_edge(m2[5], a8);
+  g.add_edge(m2[7], a8);
+  NodeId a9 = g.add_node("a9", OpType::kAdd);
+  g.add_edge(a5, a9);
+  g.add_edge(a6, a9);
+  NodeId a10 = g.add_node("a10", OpType::kAdd);
+  g.add_edge(a7, a10);
+  g.add_edge(a8, a10);
+  NodeId a11 = g.add_node("a11", OpType::kAdd);
+  g.add_edge(a9, a11);
+  g.add_edge(a10, a11);
+  NodeId a12 = g.add_node("a12", OpType::kAdd);
+  g.add_edge(a9, a12);
+  g.add_edge(a10, a12);
+  g.validate();
+  return g;
+}
+
+Graph fdct() {
+  Graph g("fdct");
+  // 8-point DCT butterfly network (Chen-style): three add/sub butterfly
+  // stages on the even half, coefficient multiplies on the rotation
+  // branches, and output recombination adds. 26 add/sub + 16 mul = 42 ops.
+  std::vector<NodeId> s1;
+  std::vector<NodeId> d1;
+  for (int k = 0; k < 4; ++k) {
+    // Stage 1 pairs (x_k, x_{7-k}): sums and differences from primary
+    // inputs (implicit operands).
+    s1.push_back(g.add_node("s1_" + std::to_string(k), OpType::kAdd));
+    d1.push_back(g.add_node("d1_" + std::to_string(k), OpType::kSub));
+  }
+  // Stage 2 on the sum half.
+  NodeId s2_0 = g.add_node("s2_0", OpType::kAdd);
+  NodeId s2_1 = g.add_node("s2_1", OpType::kAdd);
+  NodeId d2_0 = g.add_node("d2_0", OpType::kSub);
+  NodeId d2_1 = g.add_node("d2_1", OpType::kSub);
+  g.add_edge(s1[0], s2_0);
+  g.add_edge(s1[3], s2_0);
+  g.add_edge(s1[1], s2_1);
+  g.add_edge(s1[2], s2_1);
+  g.add_edge(s1[0], d2_0);
+  g.add_edge(s1[3], d2_0);
+  g.add_edge(s1[1], d2_1);
+  g.add_edge(s1[2], d2_1);
+  // Stage 3.
+  NodeId s3 = g.add_node("s3", OpType::kAdd);
+  NodeId d3 = g.add_node("d3", OpType::kSub);
+  g.add_edge(s2_0, s3);
+  g.add_edge(s2_1, s3);
+  g.add_edge(s2_0, d3);
+  g.add_edge(s2_1, d3);
+
+  // Rotation multiplies: two coefficient products per branch.
+  auto rotate = [&g](NodeId src, const std::string& tag,
+                     std::vector<NodeId>& prods) {
+    NodeId a = g.add_node("m" + tag + "a", OpType::kMul);
+    NodeId b = g.add_node("m" + tag + "b", OpType::kMul);
+    g.add_edge(src, a);
+    g.add_edge(src, b);
+    prods.push_back(a);
+    prods.push_back(b);
+  };
+  std::vector<NodeId> prods;
+  for (int k = 0; k < 4; ++k) {
+    rotate(d1[static_cast<std::size_t>(k)], "d1_" + std::to_string(k),
+           prods);
+  }
+  rotate(d2_0, "d2_0", prods);
+  rotate(d2_1, "d2_1", prods);
+  rotate(s3, "s3", prods);
+  rotate(d3, "d3", prods);
+
+  // Output recombination: pair up neighbouring products.
+  std::vector<NodeId> combo;
+  for (int k = 0; k < 8; ++k) {
+    NodeId c = g.add_node("o" + std::to_string(k), OpType::kAdd);
+    g.add_edge(prods[static_cast<std::size_t>(2 * k)], c);
+    g.add_edge(prods[static_cast<std::size_t>(2 * k + 1)], c);
+    combo.push_back(c);
+  }
+  // Final cross-adds on the odd outputs.
+  for (int k = 0; k < 4; ++k) {
+    NodeId f = g.add_node("f" + std::to_string(k), OpType::kAdd);
+    g.add_edge(combo[static_cast<std::size_t>(2 * k)], f);
+    g.add_edge(combo[static_cast<std::size_t>(2 * k + 1)], f);
+  }
+  g.validate();
+  return g;
+}
+
+Graph iir_biquad() {
+  Graph g("iir_biquad");
+  // Direct-form-I biquad: y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2.
+  NodeId m0 = g.add_node("*b0", OpType::kMul);
+  NodeId m1 = g.add_node("*b1", OpType::kMul);
+  NodeId m2 = g.add_node("*b2", OpType::kMul);
+  NodeId m3 = g.add_node("*a1", OpType::kMul);
+  NodeId m4 = g.add_node("*a2", OpType::kMul);
+  NodeId a1 = g.add_node("+1", OpType::kAdd);
+  NodeId a2 = g.add_node("+2", OpType::kAdd);
+  NodeId s1 = g.add_node("-1", OpType::kSub);
+  NodeId s2 = g.add_node("-2", OpType::kSub);
+  g.add_edge(m0, a1);
+  g.add_edge(m1, a1);
+  g.add_edge(a1, a2);
+  g.add_edge(m2, a2);
+  g.add_edge(a2, s1);
+  g.add_edge(m3, s1);
+  g.add_edge(s1, s2);
+  g.add_edge(m4, s2);
+  g.validate();
+  return g;
+}
+
+std::vector<std::string> all_names() {
+  return {"fig4_example", "fir16", "ewf",  "diffeq",
+          "ar_lattice",   "fdct",  "iir_biquad"};
+}
+
+Graph by_name(const std::string& name) {
+  if (name == "fig4_example") return fig4_example();
+  if (name == "fir16") return fir16();
+  if (name == "ewf") return ewf();
+  if (name == "diffeq") return diffeq();
+  if (name == "ar_lattice") return ar_lattice();
+  if (name == "fdct") return fdct();
+  if (name == "iir_biquad") return iir_biquad();
+  throw Error("benchmarks::by_name: unknown benchmark '" + name + "'");
+}
+
+}  // namespace rchls::benchmarks

@@ -1,0 +1,46 @@
+// The HLS benchmark suite used in the paper's evaluation (Section 7):
+//
+//  * fig4_example -- the six-adder data-flow graph of paper Fig. 4(a).
+//  * fir16        -- 16-point symmetric FIR filter [3]: 8 pre-adders,
+//                    8 coefficient multiplies, 7-adder accumulation chain
+//                    (23 operations; reliability values in the paper's
+//                    Figs. 7/8 and Table 2(a) are exact products over
+//                    these 23 operations).
+//  * ewf          -- fifth-order elliptic wave filter, 34 operations
+//                    (26 add, 8 mul). The paper's exact EW instance is
+//                    unpublished (its numbers imply a 25-op variant); this
+//                    is a documented ladder reconstruction preserving the
+//                    standard benchmark's aggregate character. See
+//                    DESIGN.md "Substitutions".
+//  * diffeq       -- the HAL differential-equation solver (HLSynth92):
+//                    11 operations (6 mul, 2 sub, 2 add, 1 compare).
+//  * ar_lattice   -- AR lattice filter (28 operations; 16 mul, 12 add),
+//                    a standard extra benchmark for wider coverage.
+//  * fdct         -- 8-point fast DCT butterfly (42 operations; 26
+//                    add/sub, 16 mul), the largest graph in the suite.
+//  * iir_biquad   -- direct-form-I biquad section (9 operations; 5 mul,
+//                    4 add/sub), the smallest realistic filter kernel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::benchmarks {
+
+dfg::Graph fig4_example();
+dfg::Graph fir16();
+dfg::Graph ewf();
+dfg::Graph diffeq();
+dfg::Graph ar_lattice();
+dfg::Graph fdct();
+dfg::Graph iir_biquad();
+
+/// Names accepted by by_name(), in canonical order.
+std::vector<std::string> all_names();
+
+/// Lookup by the names above; throws Error for unknown names.
+dfg::Graph by_name(const std::string& name);
+
+}  // namespace rchls::benchmarks

@@ -1,0 +1,79 @@
+#include "bind/binding.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::bind {
+
+double total_area(const Binding& b, const library::ResourceLibrary& lib) {
+  double area = 0.0;
+  for (const Instance& inst : b.instances) {
+    area += lib.version(inst.version).area;
+  }
+  return area;
+}
+
+std::vector<int> instance_histogram(const Binding& b,
+                                    const library::ResourceLibrary& lib) {
+  std::vector<int> hist(lib.size(), 0);
+  for (const Instance& inst : b.instances) {
+    hist[inst.version]++;
+  }
+  return hist;
+}
+
+void validate_binding(const dfg::Graph& g,
+                      const library::ResourceLibrary& lib,
+                      std::span<const library::VersionId> version_of,
+                      const sched::Schedule& s, const Binding& b) {
+  const std::size_t n = g.node_count();
+  if (version_of.size() != n || b.instance_of.size() != n) {
+    throw ValidationError("validate_binding: size mismatch");
+  }
+
+  std::vector<std::size_t> seen(n, 0);
+  for (InstanceId i = 0; i < b.instances.size(); ++i) {
+    const Instance& inst = b.instances[i];
+    const auto& v = lib.version(inst.version);
+    for (dfg::NodeId id : inst.ops) {
+      if (id >= n) throw ValidationError("validate_binding: bad node id");
+      seen[id]++;
+      if (b.instance_of[id] != i) {
+        throw ValidationError("validate_binding: instance_of inconsistent");
+      }
+      if (version_of[id] != inst.version) {
+        throw ValidationError("validate_binding: node version differs from "
+                              "instance version");
+      }
+      if (library::class_of(g.node(id).op) != v.cls) {
+        throw ValidationError("validate_binding: node class does not match "
+                              "instance class");
+      }
+    }
+    // No overlapping intervals on one unit.
+    std::vector<dfg::NodeId> ops = inst.ops;
+    std::sort(ops.begin(), ops.end(),
+              [&s](dfg::NodeId a, dfg::NodeId c) {
+                return s.start[a] < s.start[c];
+              });
+    for (std::size_t k = 1; k < ops.size(); ++k) {
+      int prev_end = s.start[ops[k - 1]] + v.delay;
+      if (s.start[ops[k]] < prev_end) {
+        throw ValidationError("validate_binding: operations '" +
+                              g.node(ops[k - 1]).name + "' and '" +
+                              g.node(ops[k]).name +
+                              "' overlap on one instance");
+      }
+    }
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    if (seen[id] != 1) {
+      throw ValidationError("validate_binding: node '" + g.node(
+          static_cast<dfg::NodeId>(id)).name + "' bound " +
+          std::to_string(seen[id]) + " times");
+    }
+  }
+}
+
+}  // namespace rchls::bind

@@ -1,0 +1,46 @@
+// Resource binding: the assignment of scheduled operations to functional-
+// unit instances ("resource sharing" in the paper). Two operations may
+// share an instance iff they use the same library version and their
+// execution intervals do not overlap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "library/resource.hpp"
+#include "sched/schedule.hpp"
+
+namespace rchls::bind {
+
+using InstanceId = std::uint32_t;
+
+/// One physical functional unit in the data path.
+struct Instance {
+  library::VersionId version = 0;
+  std::vector<dfg::NodeId> ops;  ///< operations bound to this unit
+};
+
+struct Binding {
+  std::vector<Instance> instances;
+  /// instance_of[node] indexes into `instances`.
+  std::vector<InstanceId> instance_of;
+};
+
+/// Sum of instance areas -- the paper's Find_Total_Area.
+double total_area(const Binding& b, const library::ResourceLibrary& lib);
+
+/// Number of instances using each version (indexed by VersionId).
+std::vector<int> instance_histogram(const Binding& b,
+                                    const library::ResourceLibrary& lib);
+
+/// Throws ValidationError unless: every node is bound exactly once, each
+/// node's version matches its instance's version, instance versions can
+/// execute the node's operation class, and no two operations on one
+/// instance overlap in time.
+void validate_binding(const dfg::Graph& g,
+                      const library::ResourceLibrary& lib,
+                      std::span<const library::VersionId> version_of,
+                      const sched::Schedule& s, const Binding& b);
+
+}  // namespace rchls::bind

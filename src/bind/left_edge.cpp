@@ -1,0 +1,70 @@
+#include "bind/left_edge.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rchls::bind {
+
+Binding left_edge_bind(const dfg::Graph& g,
+                       const library::ResourceLibrary& lib,
+                       std::span<const library::VersionId> version_of,
+                       const sched::Schedule& s) {
+  const std::size_t n = g.node_count();
+  if (version_of.size() != n || s.start.size() != n) {
+    throw Error("left_edge_bind: size mismatch");
+  }
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    if (library::class_of(g.node(id).op) !=
+        lib.version(version_of[id]).cls) {
+      throw Error("left_edge_bind: node '" + g.node(id).name +
+                  "' assigned a version of the wrong class");
+    }
+  }
+
+  Binding b;
+  b.instance_of.assign(n, 0);
+
+  // Group nodes by version, keeping deterministic order.
+  std::map<library::VersionId, std::vector<dfg::NodeId>> groups;
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    groups[version_of[id]].push_back(id);
+  }
+
+  for (auto& [version, ops] : groups) {
+    int delay = lib.version(version).delay;
+    std::sort(ops.begin(), ops.end(), [&s](dfg::NodeId a, dfg::NodeId c) {
+      if (s.start[a] != s.start[c]) return s.start[a] < s.start[c];
+      return a < c;
+    });
+
+    // free_at[i]: first step at which instance i is idle again.
+    std::vector<int> free_at;
+    std::vector<InstanceId> instance_ids;
+    for (dfg::NodeId id : ops) {
+      // Reuse the instance that has been idle longest (smallest free_at);
+      // classic left-edge packing.
+      std::size_t chosen = free_at.size();
+      for (std::size_t i = 0; i < free_at.size(); ++i) {
+        if (free_at[i] <= s.start[id] &&
+            (chosen == free_at.size() || free_at[i] < free_at[chosen])) {
+          chosen = i;
+        }
+      }
+      if (chosen == free_at.size()) {
+        free_at.push_back(0);
+        instance_ids.push_back(static_cast<InstanceId>(b.instances.size()));
+        b.instances.push_back(Instance{version, {}});
+      }
+      free_at[chosen] = s.start[id] + delay;
+      b.instances[instance_ids[chosen]].ops.push_back(id);
+      b.instance_of[id] = instance_ids[chosen];
+    }
+  }
+
+  validate_binding(g, lib, version_of, s, b);
+  return b;
+}
+
+}  // namespace rchls::bind

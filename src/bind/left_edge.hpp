@@ -1,0 +1,20 @@
+// Left-edge resource binding: for each library version, sort its scheduled
+// operations by start time and greedily pack them onto instances, opening a
+// new instance only when every existing one is still busy. For interval
+// graphs this uses the minimum number of instances per version.
+#pragma once
+
+#include <span>
+
+#include "bind/binding.hpp"
+
+namespace rchls::bind {
+
+/// Binds every node to an instance of its assigned version. The schedule
+/// must be valid for the delays implied by `version_of`.
+Binding left_edge_bind(const dfg::Graph& g,
+                       const library::ResourceLibrary& lib,
+                       std::span<const library::VersionId> version_of,
+                       const sched::Schedule& s);
+
+}  // namespace rchls::bind

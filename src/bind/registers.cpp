@@ -1,0 +1,64 @@
+#include "bind/registers.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::bind {
+
+std::vector<Lifetime> value_lifetimes(const dfg::Graph& g,
+                                      std::span<const int> delays,
+                                      const sched::Schedule& s) {
+  sched::validate_schedule(g, delays, s);
+  std::vector<Lifetime> out;
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    Lifetime lt;
+    lt.producer = id;
+    lt.begin = s.start[id] + delays[id];
+    lt.end = lt.begin + 1;  // sink values latch for one step
+    for (dfg::NodeId succ : g.successors(id)) {
+      lt.end = std::max(lt.end, s.start[succ] + 1);
+    }
+    out.push_back(lt);
+  }
+  return out;
+}
+
+std::vector<int> register_assignment(const dfg::Graph& g,
+                                     std::span<const int> delays,
+                                     const sched::Schedule& s) {
+  auto lifetimes = value_lifetimes(g, delays, s);
+  std::sort(lifetimes.begin(), lifetimes.end(),
+            [](const Lifetime& a, const Lifetime& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.producer < b.producer;
+            });
+  std::vector<int> reg(g.node_count(), -1);
+  std::vector<int> free_at;
+  for (const Lifetime& lt : lifetimes) {
+    bool reused = false;
+    for (std::size_t r = 0; r < free_at.size(); ++r) {
+      if (free_at[r] <= lt.begin) {
+        free_at[r] = lt.end;
+        reg[lt.producer] = static_cast<int>(r);
+        reused = true;
+        break;
+      }
+    }
+    if (!reused) {
+      reg[lt.producer] = static_cast<int>(free_at.size());
+      free_at.push_back(lt.end);
+    }
+  }
+  return reg;
+}
+
+int register_count(const dfg::Graph& g, std::span<const int> delays,
+                   const sched::Schedule& s) {
+  auto reg = register_assignment(g, delays, s);
+  int count = 0;
+  for (int r : reg) count = std::max(count, r + 1);
+  return count;
+}
+
+}  // namespace rchls::bind

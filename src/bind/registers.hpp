@@ -1,0 +1,38 @@
+// Register allocation by left-edge over value lifetimes (extension beyond
+// the paper's area model, which counts functional units only).
+//
+// A node's value is live from its completion step until the last start
+// step among its consumers; sink values are held for one step (output
+// latch). Lifetimes are intervals, so left-edge packing yields the minimum
+// register count for the given schedule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace rchls::bind {
+
+struct Lifetime {
+  dfg::NodeId producer = 0;
+  int begin = 0;  ///< first step the value exists (producer completion)
+  int end = 0;    ///< one past the last step the value is needed
+};
+
+/// Lifetimes of all produced values under the schedule.
+std::vector<Lifetime> value_lifetimes(const dfg::Graph& g,
+                                      std::span<const int> delays,
+                                      const sched::Schedule& s);
+
+/// Minimum number of registers needed to hold all values.
+int register_count(const dfg::Graph& g, std::span<const int> delays,
+                   const sched::Schedule& s);
+
+/// Left-edge register assignment: reg[node] is the register holding the
+/// node's value. Uses register_count(...) registers.
+std::vector<int> register_assignment(const dfg::Graph& g,
+                                     std::span<const int> delays,
+                                     const sched::Schedule& s);
+
+}  // namespace rchls::bind

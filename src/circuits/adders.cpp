@@ -1,0 +1,158 @@
+#include "circuits/adders.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rchls::circuits {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+BitPair full_adder(Netlist& nl, GateId a, GateId b, GateId cin) {
+  GateId axb = nl.bxor(a, b);
+  GateId sum = nl.bxor(axb, cin);
+  GateId carry = nl.bor(nl.band(a, b), nl.band(axb, cin));
+  return {sum, carry};
+}
+
+BitPair half_adder(Netlist& nl, GateId a, GateId b) {
+  return {nl.bxor(a, b), nl.band(a, b)};
+}
+
+namespace {
+
+struct Ports {
+  std::vector<GateId> a;
+  std::vector<GateId> b;
+  GateId cin;
+};
+
+Ports make_adder_ports(Netlist& nl, int width) {
+  if (width < 1 || width > 64) {
+    throw Error("adder width must be in [1, 64]");
+  }
+  Ports p;
+  p.a = nl.add_input_bus("a", width).bits;
+  p.b = nl.add_input_bus("b", width).bits;
+  p.cin = nl.add_input_bus("cin", 1).bits[0];
+  return p;
+}
+
+/// A generate/propagate pair spanning a contiguous bit range.
+struct GP {
+  GateId g;
+  GateId p;
+};
+
+/// Prefix combine: `hi` spans the more significant range, `lo` the less
+/// significant adjacent range. G = Gh | (Ph & Gl), P = Ph & Pl.
+GP combine(Netlist& nl, GP hi, GP lo) {
+  return {nl.bor(hi.g, nl.band(hi.p, lo.g)), nl.band(hi.p, lo.p)};
+}
+
+/// Shared tail of both prefix adders: given the inclusive prefix array over
+/// the n+1 carry elements (element 0 is cin), wire sums and outputs.
+/// prefix[i].g is the carry INTO bit i; prefix[n].g is cout.
+void finish_prefix_adder(Netlist& nl, const std::vector<GateId>& p_bits,
+                         const std::vector<GP>& prefix) {
+  int n = static_cast<int>(p_bits.size());
+  std::vector<GateId> sum(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sum[static_cast<std::size_t>(i)] =
+        nl.bxor(p_bits[static_cast<std::size_t>(i)],
+                prefix[static_cast<std::size_t>(i)].g);
+  }
+  nl.add_output_bus("sum", sum);
+  nl.add_output_bus("cout", {prefix[static_cast<std::size_t>(n)].g});
+}
+
+/// Builds the n+1 leaf carry elements for a prefix adder. Element 0 carries
+/// cin (propagate 0); element i+1 is (g_i, p_i) of bit i. Also returns the
+/// raw propagate bits needed for the sum XORs.
+void make_leaves(Netlist& nl, const Ports& ports, std::vector<GP>& leaves,
+                 std::vector<GateId>& p_bits) {
+  int n = static_cast<int>(ports.a.size());
+  GateId zero = nl.add_const(false);
+  leaves.push_back({ports.cin, zero});
+  for (int i = 0; i < n; ++i) {
+    std::size_t ui = static_cast<std::size_t>(i);
+    GateId g = nl.band(ports.a[ui], ports.b[ui]);
+    GateId p = nl.bxor(ports.a[ui], ports.b[ui]);
+    leaves.push_back({g, p});
+    p_bits.push_back(p);
+  }
+}
+
+}  // namespace
+
+Netlist ripple_carry_adder(int width) {
+  Netlist nl("ripple_carry_adder_" + std::to_string(width));
+  Ports ports = make_adder_ports(nl, width);
+
+  std::vector<GateId> sum;
+  GateId carry = ports.cin;
+  for (int i = 0; i < width; ++i) {
+    std::size_t ui = static_cast<std::size_t>(i);
+    BitPair fa = full_adder(nl, ports.a[ui], ports.b[ui], carry);
+    sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  nl.add_output_bus("sum", sum);
+  nl.add_output_bus("cout", {carry});
+  return nl;
+}
+
+Netlist kogge_stone_adder(int width) {
+  Netlist nl("kogge_stone_adder_" + std::to_string(width));
+  Ports ports = make_adder_ports(nl, width);
+
+  std::vector<GP> span;
+  std::vector<GateId> p_bits;
+  make_leaves(nl, ports, span, p_bits);
+  std::size_t m = span.size();
+
+  // Kogge-Stone: every element combines with the element `d` positions
+  // lower at each doubling level, producing the full inclusive prefix in
+  // ceil(log2(m)) levels.
+  for (std::size_t d = 1; d < m; d *= 2) {
+    std::vector<GP> next = span;
+    for (std::size_t i = d; i < m; ++i) {
+      next[i] = combine(nl, span[i], span[i - d]);
+    }
+    span = std::move(next);
+  }
+  finish_prefix_adder(nl, p_bits, span);
+  return nl;
+}
+
+Netlist brent_kung_adder(int width) {
+  Netlist nl("brent_kung_adder_" + std::to_string(width));
+  Ports ports = make_adder_ports(nl, width);
+
+  std::vector<GP> span;
+  std::vector<GateId> p_bits;
+  make_leaves(nl, ports, span, p_bits);
+  std::size_t m = span.size();
+
+  // Up-sweep: build a binary tree of spans ending at indices 2d-1, 4d-1, ...
+  for (std::size_t d = 1; 2 * d <= m; d *= 2) {
+    for (std::size_t i = 2 * d - 1; i < m; i += 2 * d) {
+      span[i] = combine(nl, span[i], span[i - d]);
+    }
+  }
+  // Down-sweep: fill in the remaining inclusive prefixes, starting at the
+  // largest power of two <= m (which can exceed the last up-sweep level
+  // when m is not a power of two).
+  std::size_t dstart = 1;
+  while (dstart * 2 <= m) dstart *= 2;
+  for (std::size_t d = dstart; d >= 2; d /= 2) {
+    for (std::size_t i = d + d / 2 - 1; i < m; i += d) {
+      span[i] = combine(nl, span[i], span[i - d / 2]);
+    }
+  }
+  finish_prefix_adder(nl, p_bits, span);
+  return nl;
+}
+
+}  // namespace rchls::circuits

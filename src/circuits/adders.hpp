@@ -1,0 +1,35 @@
+// Generators for the adder architectures characterized in Section 4 of the
+// paper: ripple-carry (Table 1 "Adder 1"), Brent-Kung ("Adder 2"), and
+// Kogge-Stone ("Adder 3").
+//
+// All generators produce a Netlist with input buses "a" (n bits), "b"
+// (n bits), "cin" (1 bit) and output buses "sum" (n bits), "cout" (1 bit).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::circuits {
+
+/// Linear carry chain: smallest area, longest delay (Table 1 Adder 1).
+netlist::Netlist ripple_carry_adder(int width);
+
+/// Brent-Kung parallel-prefix adder: minimal prefix-cell count among
+/// log-depth adders (Table 1 Adder 2).
+netlist::Netlist brent_kung_adder(int width);
+
+/// Kogge-Stone parallel-prefix adder: minimum logic depth, maximal wiring
+/// and cell count (Table 1 Adder 3).
+netlist::Netlist kogge_stone_adder(int width);
+
+/// Full adder on three existing bits; returns {sum, carry}.
+struct BitPair {
+  netlist::GateId sum;
+  netlist::GateId carry;
+};
+BitPair full_adder(netlist::Netlist& nl, netlist::GateId a, netlist::GateId b,
+                   netlist::GateId cin);
+/// Half adder on two existing bits; returns {sum, carry}.
+BitPair half_adder(netlist::Netlist& nl, netlist::GateId a,
+                   netlist::GateId b);
+
+}  // namespace rchls::circuits

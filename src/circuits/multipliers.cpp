@@ -1,0 +1,174 @@
+#include "circuits/multipliers.hpp"
+
+#include <vector>
+
+#include "circuits/adders.hpp"
+#include "util/error.hpp"
+
+namespace rchls::circuits {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+/// columns[c] holds the bits of weight 2^c awaiting summation.
+using Columns = std::vector<std::vector<GateId>>;
+
+Columns partial_products(Netlist& nl, int width) {
+  auto a = nl.add_input_bus("a", width).bits;
+  auto b = nl.add_input_bus("b", width).bits;
+  Columns cols(static_cast<std::size_t>(2 * width));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      cols[static_cast<std::size_t>(i + j)].push_back(
+          nl.band(a[static_cast<std::size_t>(j)],
+                  b[static_cast<std::size_t>(i)]));
+    }
+  }
+  return cols;
+}
+
+/// One 3:2 / 2:2 compression pass over all columns. In Wallace style every
+/// group of three bits in a column is compressed in parallel per level.
+Columns compress_once(Netlist& nl, const Columns& cols) {
+  Columns next(cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto& bits = cols[c];
+    std::size_t i = 0;
+    while (bits.size() - i >= 3) {
+      BitPair fa = full_adder(nl, bits[i], bits[i + 1], bits[i + 2]);
+      next[c].push_back(fa.sum);
+      if (c + 1 < next.size()) next[c + 1].push_back(fa.carry);
+      i += 3;
+    }
+    if (bits.size() - i == 2) {
+      BitPair ha = half_adder(nl, bits[i], bits[i + 1]);
+      next[c].push_back(ha.sum);
+      if (c + 1 < next.size()) next[c + 1].push_back(ha.carry);
+      i += 2;
+    }
+    if (bits.size() - i == 1) next[c].push_back(bits[i]);
+  }
+  return next;
+}
+
+bool needs_compression(const Columns& cols) {
+  for (const auto& c : cols) {
+    if (c.size() > 2) return true;
+  }
+  return false;
+}
+
+/// Ripple-carry vector merge over two remaining rows.
+std::vector<GateId> ripple_merge(Netlist& nl, const Columns& cols) {
+  std::vector<GateId> out;
+  GateId carry = nl.add_const(false);
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto& bits = cols[c];
+    if (bits.empty()) {
+      out.push_back(carry);
+      carry = nl.add_const(false);
+    } else if (bits.size() == 1) {
+      BitPair ha = half_adder(nl, bits[0], carry);
+      out.push_back(ha.sum);
+      carry = ha.carry;
+    } else {
+      BitPair fa = full_adder(nl, bits[0], bits[1], carry);
+      out.push_back(fa.sum);
+      carry = fa.carry;
+    }
+  }
+  return out;
+}
+
+/// Kogge-Stone carry-propagate merge over two remaining rows.
+std::vector<GateId> kogge_stone_merge(Netlist& nl, const Columns& cols) {
+  std::size_t n = cols.size();
+  GateId zero = nl.add_const(false);
+  std::vector<GateId> x(n, zero);
+  std::vector<GateId> y(n, zero);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!cols[c].empty()) x[c] = cols[c][0];
+    if (cols[c].size() >= 2) y[c] = cols[c][1];
+  }
+
+  struct GPPair {
+    GateId g;
+    GateId p;
+  };
+  std::vector<GPPair> span;
+  std::vector<GateId> p_bits;
+  span.push_back({zero, zero});  // carry-in element: no carry into bit 0
+  for (std::size_t i = 0; i < n; ++i) {
+    GateId p = nl.bxor(x[i], y[i]);
+    span.push_back({nl.band(x[i], y[i]), p});
+    p_bits.push_back(p);
+  }
+  std::size_t m = span.size();
+  for (std::size_t d = 1; d < m; d *= 2) {
+    std::vector<GPPair> next = span;
+    for (std::size_t i = d; i < m; ++i) {
+      next[i] = {nl.bor(span[i].g, nl.band(span[i].p, span[i - d].g)),
+                 nl.band(span[i].p, span[i - d].p)};
+    }
+    span = std::move(next);
+  }
+  std::vector<GateId> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = nl.bxor(p_bits[i], span[i].g);
+  return out;
+}
+
+void check_width(int width) {
+  if (width < 1 || width > 32) {
+    throw Error("multiplier width must be in [1, 32]");
+  }
+}
+
+}  // namespace
+
+Netlist carry_save_multiplier(int width) {
+  check_width(width);
+  Netlist nl("carry_save_multiplier_" + std::to_string(width));
+  Columns cols = partial_products(nl, width);
+
+  // Array-style: compress one partial-product row into the running
+  // sum/carry pair per step, giving the linear depth of a carry-save array.
+  // compress_once reduces each column by at most floor(size/3) + ... per
+  // call; applying it until <= 2 rows remain with the *sequential* variant
+  // below preserves the linear structure: we fold exactly one excess bit
+  // per column per pass.
+  while (needs_compression(cols)) {
+    Columns next(cols.size());
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto& bits = cols[c];
+      if (bits.size() > 2) {
+        // Fold the first three bits, keep the rest for later passes.
+        BitPair fa = full_adder(nl, bits[0], bits[1], bits[2]);
+        next[c].push_back(fa.sum);
+        if (c + 1 < next.size()) next[c + 1].push_back(fa.carry);
+        for (std::size_t i = 3; i < bits.size(); ++i) {
+          next[c].push_back(bits[i]);
+        }
+      } else {
+        // Append (never assign): the previous column may already have
+        // deposited a carry into next[c].
+        next[c].insert(next[c].end(), bits.begin(), bits.end());
+      }
+    }
+    cols = std::move(next);
+  }
+  nl.add_output_bus("prod", ripple_merge(nl, cols));
+  return nl;
+}
+
+Netlist leapfrog_multiplier(int width) {
+  check_width(width);
+  Netlist nl("leapfrog_multiplier_" + std::to_string(width));
+  Columns cols = partial_products(nl, width);
+  while (needs_compression(cols)) cols = compress_once(nl, cols);
+  nl.add_output_bus("prod", kogge_stone_merge(nl, cols));
+  return nl;
+}
+
+}  // namespace rchls::circuits

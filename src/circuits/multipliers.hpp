@@ -1,0 +1,26 @@
+// Generators for the multiplier architectures of Section 4: the carry-save
+// array multiplier (Table 1 "Multiplier 1") and the "leapfrog" multiplier
+// (Table 1 "Multiplier 2").
+//
+// The paper gives no netlist for its leapfrog multiplier (no open reference
+// exists); per DESIGN.md we substitute a Wallace-tree reduction with a
+// Kogge-Stone final adder, which plays the same library role: the fast,
+// large, less reliable multiplier version.
+//
+// Both generators produce input buses "a", "b" (n bits each) and an output
+// bus "prod" (2n bits).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::circuits {
+
+/// Linear array of carry-save adder rows with a ripple vector-merge adder:
+/// small and slow (Table 1 Multiplier 1).
+netlist::Netlist carry_save_multiplier(int width);
+
+/// Wallace-tree partial-product reduction with a Kogge-Stone final adder:
+/// fast and large (Table 1 Multiplier 2, "leapfrog").
+netlist::Netlist leapfrog_multiplier(int width);
+
+}  // namespace rchls::circuits

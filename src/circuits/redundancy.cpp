@@ -1,0 +1,121 @@
+#include "circuits/redundancy.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rchls::circuits {
+
+using netlist::Bus;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+/// Majority (>= ceil(n/2 + 0.5) of n, i.e. k-of-n with k = (n+1)/2) as a
+/// two-level OR-of-ANDs over all k-subsets. n is small (3/5/7), so the
+/// explicit expansion stays cheap and, unlike an adder-tree count, keeps
+/// the voter's logic depth minimal.
+GateId majority(Netlist& nl, const std::vector<GateId>& bits) {
+  std::size_t n = bits.size();
+  std::size_t k = n / 2 + 1;
+  GateId result = 0;
+  bool have_result = false;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != k) continue;
+    GateId term = 0;
+    bool have_term = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask & (1u << i))) continue;
+      term = have_term ? nl.band(term, bits[i]) : bits[i];
+      have_term = true;
+    }
+    result = have_result ? nl.bor(result, term) : term;
+    have_result = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+Netlist majority_voter(int width) {
+  if (width < 1 || width > 64) throw Error("voter width must be in [1, 64]");
+  Netlist nl("majority_voter_" + std::to_string(width));
+  auto in0 = nl.add_input_bus("in0", width).bits;
+  auto in1 = nl.add_input_bus("in1", width).bits;
+  auto in2 = nl.add_input_bus("in2", width).bits;
+  std::vector<GateId> out;
+  for (int i = 0; i < width; ++i) {
+    std::size_t u = static_cast<std::size_t>(i);
+    out.push_back(nl.maj3(in0[u], in1[u], in2[u]));
+  }
+  nl.add_output_bus("out", out);
+  return nl;
+}
+
+Netlist replicate_with_voting(const Netlist& src, int copies) {
+  if (copies < 3 || copies % 2 == 0 || copies > 7) {
+    throw Error("replicate_with_voting: copies must be odd, in [3, 7]");
+  }
+  src.validate();
+
+  Netlist nl(src.name() + "_nmr" + std::to_string(copies));
+
+  // Shared primary inputs, reproduced bus by bus.
+  std::vector<GateId> shared_inputs;
+  for (const Bus& bus : src.input_buses()) {
+    Bus copy = nl.add_input_bus(bus.name, static_cast<int>(bus.bits.size()));
+    shared_inputs.insert(shared_inputs.end(), copy.bits.begin(),
+                         copy.bits.end());
+  }
+
+  // Map src input gate id -> shared input gate id.
+  std::vector<GateId> input_map(src.gate_count(), 0);
+  const auto& src_inputs = src.input_bits();
+  for (std::size_t i = 0; i < src_inputs.size(); ++i) {
+    input_map[src_inputs[i]] = shared_inputs[i];
+  }
+
+  // Per replica: clone every non-input gate; inputs resolve to the shared
+  // set. gate-id order is a topological order so a single pass suffices.
+  std::vector<std::vector<GateId>> replica_map(
+      static_cast<std::size_t>(copies),
+      std::vector<GateId>(src.gate_count(), 0));
+  for (int r = 0; r < copies; ++r) {
+    auto& map = replica_map[static_cast<std::size_t>(r)];
+    for (GateId id = 0; id < src.gate_count(); ++id) {
+      const Gate& g = src.gate(id);
+      switch (netlist::fanin_count(g.kind)) {
+        case 0:
+          map[id] = g.kind == GateKind::kInput
+                        ? input_map[id]
+                        : nl.add_const(g.kind == GateKind::kConst1);
+          break;
+        case 1:
+          map[id] = nl.add_unary(g.kind, map[g.fanin0]);
+          break;
+        default:
+          map[id] = nl.add_binary(g.kind, map[g.fanin0], map[g.fanin1]);
+          break;
+      }
+    }
+  }
+
+  // Vote each output bit across replicas.
+  for (const Bus& bus : src.output_buses()) {
+    std::vector<GateId> voted;
+    for (GateId bit : bus.bits) {
+      std::vector<GateId> candidates;
+      for (int r = 0; r < copies; ++r) {
+        candidates.push_back(replica_map[static_cast<std::size_t>(r)][bit]);
+      }
+      voted.push_back(majority(nl, candidates));
+    }
+    nl.add_output_bus(bus.name, voted);
+  }
+  return nl;
+}
+
+}  // namespace rchls::circuits

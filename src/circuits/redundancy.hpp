@@ -1,0 +1,21 @@
+// Structural redundancy transforms: majority voters and N-modular
+// replication of whole netlists. These realize, at the gate level, the NMR
+// structures of paper Section 5 (Fig. 4(b)) that the Orailoglu-Karri
+// baseline [3] relies on.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::circuits {
+
+/// A standalone bitwise majority voter: input buses "in0", "in1", "in2"
+/// (width bits each), output bus "out".
+netlist::Netlist majority_voter(int width);
+
+/// Replicates the logic of `nl` `copies` times (sharing the primary
+/// inputs), and votes each output bit across replicas. `copies` must be odd
+/// and >= 3. Output buses keep their names.
+netlist::Netlist replicate_with_voting(const netlist::Netlist& nl,
+                                       int copies = 3);
+
+}  // namespace rchls::circuits

@@ -1,0 +1,61 @@
+#include "dfg/generate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rchls::dfg {
+
+Graph generate_random(const GeneratorConfig& config) {
+  if (config.num_nodes == 0) throw Error("generate_random: need >= 1 node");
+  if (config.layer_width < 1.0) {
+    throw Error("generate_random: layer_width must be >= 1");
+  }
+  if (config.mul_fraction < 0.0 || config.mul_fraction > 1.0) {
+    throw Error("generate_random: mul_fraction must lie in [0, 1]");
+  }
+
+  Rng rng(config.seed);
+  Graph g("random_" + std::to_string(config.num_nodes));
+
+  // Assign nodes to layers of roughly layer_width each.
+  std::vector<std::vector<NodeId>> layers;
+  std::vector<NodeId> current;
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    OpType op = rng.next_bool(config.mul_fraction)
+                    ? OpType::kMul
+                    : (rng.next_bool(0.25) ? OpType::kSub : OpType::kAdd);
+    NodeId id = g.add_node("n" + std::to_string(i), op);
+    current.push_back(id);
+    // Close the layer probabilistically so widths average layer_width.
+    if (rng.next_bool(1.0 / config.layer_width) ||
+        i + 1 == config.num_nodes) {
+      layers.push_back(current);
+      current.clear();
+    }
+  }
+
+  // Wire each node in layer L>0 to one or two nodes from earlier layers,
+  // 75% of picks from layer L-1 to keep dependence chains realistic.
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    for (NodeId id : layers[l]) {
+      int fanin = rng.next_bool(0.7) ? 2 : 1;
+      for (int k = 0; k < fanin; ++k) {
+        std::size_t src_layer =
+            rng.next_bool(0.75) ? l - 1 : rng.next_below(l);
+        const auto& pool = layers[src_layer];
+        NodeId src = pool[rng.next_below(pool.size())];
+        // Duplicate edges are possible with two picks; skip quietly.
+        const auto& succs = g.successors(src);
+        if (std::find(succs.begin(), succs.end(), id) == succs.end()) {
+          g.add_edge(src, id);
+        }
+      }
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace rchls::dfg

@@ -1,0 +1,26 @@
+// Random layered-DAG generation for property tests and scalability
+// benchmarks: produces graphs with the fan-in/fan-out character of HLS
+// data-flow graphs (binary operations, mostly short dependence edges).
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::dfg {
+
+struct GeneratorConfig {
+  std::size_t num_nodes = 32;
+  /// Approximate fraction of multiply nodes (the rest are adds/subs).
+  double mul_fraction = 0.3;
+  /// Average number of nodes per topological layer; controls parallelism.
+  double layer_width = 4.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a connected-ish random DAG: every non-first-layer node gets
+/// one or two predecessors drawn from earlier layers (biased to the
+/// immediately preceding layer).
+Graph generate_random(const GeneratorConfig& config);
+
+}  // namespace rchls::dfg

@@ -1,0 +1,85 @@
+// Data-flow graph (DFG) intermediate representation.
+//
+// A DFG Gs(V, E) is the behavioral input to the synthesis problem (paper
+// Section 6): nodes are operations, edges are data dependences. Following
+// the paper, operand values / primary inputs are implicit -- only
+// operations are modeled, and the graph must be a DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rchls::dfg {
+
+using NodeId = std::uint32_t;
+
+/// Operation kinds appearing in the HLS benchmarks. Comparisons and
+/// subtractions execute on adder-class resources; multiplications on
+/// multiplier-class resources (see library/resource.hpp).
+enum class OpType : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kLt,  ///< less-than comparison (DiffEq's loop test)
+};
+
+const char* to_string(OpType op);
+
+/// Parses "add" / "sub" / "mul" / "lt"; throws ParseError otherwise.
+OpType op_from_string(const std::string& s);
+
+struct Node {
+  std::string name;
+  OpType op = OpType::kAdd;
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name = "dfg");
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an operation; names must be unique and non-empty.
+  NodeId add_node(const std::string& name, OpType op);
+
+  /// Adds the dependence `from -> to`. Duplicate edges are rejected.
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+  const Node& node(NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  const std::vector<NodeId>& predecessors(NodeId id) const;
+  const std::vector<NodeId>& successors(NodeId id) const;
+
+  /// Nodes with no predecessors / successors.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  /// Node id by name; throws Error if absent.
+  NodeId find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// Number of nodes of the given operation type.
+  std::size_t count_ops(OpType op) const;
+
+  /// Kahn topological order; throws ValidationError if the graph has a
+  /// cycle.
+  std::vector<NodeId> topological_order() const;
+
+  /// Full structural check: DAG-ness plus internal adjacency consistency.
+  void validate() const;
+
+ private:
+  void check_id(NodeId id, const char* who) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace rchls::dfg

@@ -1,0 +1,93 @@
+#include "dfg/io.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::dfg {
+
+Graph parse(std::istream& in) {
+  Graph g;
+  bool named = false;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&lineno](const std::string& msg) {
+    throw ParseError("line " + std::to_string(lineno) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    const std::string& directive = tokens[0];
+    if (directive == "dfg") {
+      if (tokens.size() != 2) fail("expected: dfg <name>");
+      if (named) fail("duplicate dfg directive");
+      g = Graph(tokens[1]);
+      named = true;
+    } else if (directive == "node") {
+      if (tokens.size() != 3) fail("expected: node <name> <op>");
+      try {
+        g.add_node(tokens[1], op_from_string(tokens[2]));
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else if (directive == "edge") {
+      if (tokens.size() != 3) fail("expected: edge <from> <to>");
+      try {
+        g.add_edge(g.find(tokens[1]), g.find(tokens[2]));
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  g.validate();
+  return g;
+}
+
+Graph parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  os << "dfg " << g.name() << "\n";
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    const Node& n = g.node(id);
+    os << "node " << n.name << " " << to_string(n.op) << "\n";
+  }
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId s : g.successors(id)) {
+      os << "edge " << g.node(id).name << " " << g.node(s).name << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    const Node& n = g.node(id);
+    const char* shape = n.op == OpType::kMul ? "box" : "ellipse";
+    os << "  n" << id << " [label=\"" << n.name << "\\n" << to_string(n.op)
+       << "\", shape=" << shape << "];\n";
+  }
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    for (NodeId s : g.successors(id)) {
+      os << "  n" << id << " -> n" << s << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rchls::dfg

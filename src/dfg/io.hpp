@@ -1,0 +1,30 @@
+// Text serialization for DFGs.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   dfg  <name>
+//   node <name> <op>        # op in {add, sub, mul, lt}
+//   edge <from> <to>        # by node name; nodes must be declared first
+//
+// This is the interchange format for user-supplied designs (see
+// examples/custom_graph.dfg-style usage in the README).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::dfg {
+
+/// Parses the text format; throws ParseError with a line number on errors.
+Graph parse(std::istream& in);
+Graph parse_string(const std::string& text);
+
+/// Writes the text format (round-trips through parse()).
+std::string to_text(const Graph& g);
+
+/// Graphviz rendering for documentation and debugging.
+std::string to_dot(const Graph& g);
+
+}  // namespace rchls::dfg

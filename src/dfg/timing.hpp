@@ -1,0 +1,45 @@
+// ASAP / ALAP analysis, mobility, and critical paths over a DFG with
+// per-node integer delays (clock cycles). These are the timing primitives
+// the paper's Find_Design algorithm calls in its lines 4, 11 and 18.
+//
+// Conventions: a node with start time s and delay d occupies control steps
+// s, s+1, ..., s+d-1 (0-based); a successor may start at s+d. The
+// "latency" of a schedule is max(s + d) over all nodes, i.e. the number of
+// control steps used.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::dfg {
+
+/// Per-node delays in cycles; delays[id] must be >= 1.
+using Delays = std::vector<int>;
+
+/// Earliest start times. Throws Error on bad delay vectors.
+std::vector<int> asap(const Graph& g, std::span<const int> delays);
+
+/// Latency of the ASAP schedule = the minimum feasible latency.
+int asap_latency(const Graph& g, std::span<const int> delays);
+
+/// Latest start times for the given target latency. Throws
+/// NoSolutionError if latency < asap_latency.
+std::vector<int> alap(const Graph& g, std::span<const int> delays,
+                      int latency);
+
+/// alap - asap slack per node for the given latency.
+std::vector<int> mobility(const Graph& g, std::span<const int> delays,
+                          int latency);
+
+/// One maximum-weight (sum of delays) source-to-sink path, in topological
+/// order. Deterministic: ties break toward smaller node ids.
+std::vector<NodeId> critical_path(const Graph& g, std::span<const int> delays);
+
+/// All nodes with zero mobility at the ASAP latency (i.e. nodes on some
+/// critical path).
+std::vector<NodeId> critical_nodes(const Graph& g,
+                                   std::span<const int> delays);
+
+}  // namespace rchls::dfg

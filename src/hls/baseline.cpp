@@ -1,0 +1,120 @@
+#include "hls/baseline.hpp"
+
+#include <algorithm>
+
+#include "bind/left_edge.hpp"
+#include "dfg/timing.hpp"
+#include "sched/list.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+
+namespace {
+
+constexpr double kAreaEps = 1e-9;
+
+}  // namespace
+
+Design minimal_allocation_design(const dfg::Graph& g,
+                                 const library::ResourceLibrary& lib,
+                                 library::VersionId adder_version,
+                                 library::VersionId mult_version,
+                                 int latency_bound) {
+  const std::size_t n = g.node_count();
+  if (n == 0) throw Error("minimal_allocation_design: empty graph");
+
+  std::vector<library::VersionId> version_of(n);
+  auto groups = class_groups(g);
+  std::size_t adds = 0;
+  std::size_t muls = 0;
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    if (groups[id] == 0) {
+      version_of[id] = adder_version;
+      ++adds;
+    } else {
+      version_of[id] = mult_version;
+      ++muls;
+    }
+  }
+  auto delays = delays_for(g, lib, version_of);
+  if (dfg::asap_latency(g, delays) > latency_bound) {
+    throw NoSolutionError(
+        "minimal_allocation_design: version pair cannot meet latency bound");
+  }
+
+  double adder_area = lib.version(adder_version).area;
+  double mult_area = lib.version(mult_version).area;
+
+  // Search instance-count space; list scheduling decides feasibility.
+  std::optional<sched::Schedule> best_schedule;
+  double best_area = 0.0;
+  int na_max = std::max<std::size_t>(adds, 1);
+  int nm_max = std::max<std::size_t>(muls, 1);
+  for (int na = 1; na <= na_max; ++na) {
+    for (int nm = 1; nm <= nm_max; ++nm) {
+      double area = (adds > 0 ? adder_area * na : 0.0) +
+                    (muls > 0 ? mult_area * nm : 0.0);
+      if (best_schedule && area >= best_area - kAreaEps) continue;
+      std::vector<int> instances{na, nm};
+      auto s = sched::list_schedule(g, delays, groups, instances);
+      if (s.latency > latency_bound) continue;
+      best_schedule = std::move(s);
+      best_area = area;
+    }
+  }
+  if (!best_schedule) {
+    throw NoSolutionError(
+        "minimal_allocation_design: no allocation meets the latency bound");
+  }
+
+  Design d;
+  d.version_of = std::move(version_of);
+  d.schedule = std::move(*best_schedule);
+  d.binding = bind::left_edge_bind(g, lib, d.version_of, d.schedule);
+  d.copies.assign(d.binding.instances.size(), 1);
+  evaluate(d, g, lib);
+  return d;
+}
+
+Design nmr_baseline(const dfg::Graph& g, const library::ResourceLibrary& lib,
+                    int latency_bound, double area_bound,
+                    const BaselineOptions& options) {
+  if (latency_bound < 1) throw Error("nmr_baseline: latency bound >= 1");
+  if (!(area_bound > 0.0)) throw Error("nmr_baseline: area bound > 0");
+
+  std::vector<std::pair<library::VersionId, library::VersionId>> combos;
+  if (options.fixed_versions) {
+    combos.push_back(*options.fixed_versions);
+  } else {
+    for (library::VersionId av :
+         lib.versions_of(library::ResourceClass::kAdder)) {
+      for (library::VersionId mv :
+           lib.versions_of(library::ResourceClass::kMultiplier)) {
+        combos.emplace_back(av, mv);
+      }
+    }
+  }
+
+  std::optional<Design> best;
+  for (auto [av, mv] : combos) {
+    Design d;
+    try {
+      d = minimal_allocation_design(g, lib, av, mv, latency_bound);
+    } catch (const NoSolutionError&) {
+      continue;
+    }
+    if (d.area > area_bound + kAreaEps) continue;
+    apply_redundancy(d, g, lib, area_bound, options.redundancy);
+    if (!best || d.reliability > best->reliability ||
+        (d.reliability == best->reliability && d.area < best->area)) {
+      best = std::move(d);
+    }
+  }
+  if (!best) {
+    throw NoSolutionError("nmr_baseline: no version combo meets the bounds");
+  }
+  validate_design(*best, g, lib);
+  return *best;
+}
+
+}  // namespace rchls::hls

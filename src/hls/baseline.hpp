@@ -1,0 +1,52 @@
+// Reimplementation of the redundancy-based prior work the paper compares
+// against (Orailoglu & Karri [3]): one fixed library version per operation
+// type, reliability improved exclusively through N-modular redundancy.
+//
+// [3] is a design-space methodology rather than a single algorithm; we
+// implement its "maximize reliability under cost and performance
+// constraints" strategy:
+//   1. pick one version per resource class,
+//   2. find the minimum-area allocation meeting the latency bound (list
+//      scheduling over instance-count candidates),
+//   3. greedily replicate instances (duplex, then TMR, ...) while the area
+//      bound permits,
+// and -- unless `fixed_versions` is set -- repeat over every version combo,
+// returning the most reliable result.
+#pragma once
+
+#include <optional>
+
+#include "dfg/graph.hpp"
+#include "hls/design.hpp"
+#include "hls/redundancy.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::hls {
+
+struct BaselineOptions {
+  /// When set, restrict to exactly this (adder, multiplier) version pair
+  /// instead of searching all combos (the paper's first experiment uses
+  /// the fastest versions only).
+  std::optional<std::pair<library::VersionId, library::VersionId>>
+      fixed_versions;
+  RedundancyOptions redundancy;
+};
+
+/// Returns the best baseline design; throws NoSolutionError when no
+/// version combo meets both bounds.
+Design nmr_baseline(const dfg::Graph& g, const library::ResourceLibrary& lib,
+                    int latency_bound, double area_bound,
+                    const BaselineOptions& options = {});
+
+/// Helper shared with tests: smallest-area (instances per class) list-
+/// scheduling allocation meeting the latency bound for uniform versions;
+/// returns the assembled redundancy-free design. Throws NoSolutionError if
+/// even one unit of each class cannot meet the bound... or rather, if no
+/// allocation does.
+Design minimal_allocation_design(const dfg::Graph& g,
+                                 const library::ResourceLibrary& lib,
+                                 library::VersionId adder_version,
+                                 library::VersionId mult_version,
+                                 int latency_bound);
+
+}  // namespace rchls::hls

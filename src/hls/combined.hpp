@@ -1,0 +1,38 @@
+// The paper's combined approach (Section 7, Table 2 column 6): run the
+// reliability-centric find_design first, then spend any remaining area on
+// modular redundancy, duplicating instances with the same versions the
+// reliability-centric pass selected.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "hls/find_design.hpp"
+#include "hls/redundancy.hpp"
+
+namespace rchls::hls {
+
+struct CombinedOptions {
+  FindDesignOptions find_design;
+  RedundancyOptions redundancy;
+  /// Granularity of the budget split search (see below). Non-positive
+  /// disables the search (single pass at the full area bound).
+  double budget_step = 1.0;
+  /// Maximum number of reduced budgets to try.
+  int max_budget_splits = 16;
+};
+
+/// find_design + apply_redundancy under the same bounds.
+///
+/// The area budget is split between version quality (the find_design pass)
+/// and replication (the redundancy pass): the find_design pass is run at
+/// several reduced area budgets Ad, Ad - step, Ad - 2*step, ...; each
+/// result is then topped up with redundancy against the full bound, and
+/// the most reliable final design wins. A single greedy pass at the full
+/// bound (the literal reading of the paper) tends to spend the whole
+/// budget on versions and leave nothing for duplication.
+/// Throws NoSolutionError when find_design fails at every budget.
+Design combined_design(const dfg::Graph& g,
+                       const library::ResourceLibrary& lib,
+                       int latency_bound, double area_bound,
+                       const CombinedOptions& options = {});
+
+}  // namespace rchls::hls

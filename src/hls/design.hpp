@@ -1,0 +1,64 @@
+// The result type of every synthesis engine: a fully bound data path with
+// per-operation version assignment, schedule, binding, optional modular
+// redundancy, and its evaluated latency / area / reliability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bind/binding.hpp"
+#include "library/resource.hpp"
+#include "sched/schedule.hpp"
+
+namespace rchls::hls {
+
+/// Which latency-constrained scheduler the engines use.
+enum class SchedulerKind {
+  kDensity,        ///< the paper's partition-density scheduler
+  kForceDirected,  ///< classic FDS (ablation alternative)
+};
+
+struct Design {
+  /// Version executing each operation, indexed by NodeId.
+  std::vector<library::VersionId> version_of;
+  sched::Schedule schedule;
+  bind::Binding binding;
+  /// Modular-redundancy copies per binding instance (all 1 when the design
+  /// uses no redundancy). copies[i] is 1, 2 (duplex+rollback) or odd >= 3
+  /// (majority NMR).
+  std::vector<int> copies;
+
+  int latency = 0;        ///< schedule latency in cycles
+  double area = 0.0;      ///< sum over instances of version area * copies
+  double reliability = 0; ///< product over operations (Section 5 model)
+};
+
+/// Per-node delay vector induced by a version assignment.
+std::vector<int> delays_for(const dfg::Graph& g,
+                            const library::ResourceLibrary& lib,
+                            std::span<const library::VersionId> version_of);
+
+/// Resource-class group key per node (0 = adder, 1 = multiplier), the
+/// grouping the schedulers' distribution graphs partition over.
+std::vector<int> class_groups(const dfg::Graph& g);
+
+/// Schedules (at target latency) and binds the given version assignment,
+/// producing a redundancy-free Design with all metrics evaluated.
+/// Throws NoSolutionError if `latency` is infeasible for the assignment.
+Design assemble(const dfg::Graph& g, const library::ResourceLibrary& lib,
+                std::vector<library::VersionId> version_of, int latency,
+                SchedulerKind scheduler = SchedulerKind::kDensity);
+
+/// Recomputes latency, area and reliability from the design's fields
+/// (call after changing `copies`).
+void evaluate(Design& d, const dfg::Graph& g,
+              const library::ResourceLibrary& lib);
+
+/// Full structural verification of a design against a graph/library:
+/// schedule validity, binding validity, copies sanity, and metric
+/// consistency. Throws ValidationError on any violation. Used by tests and
+/// assertions inside the engines.
+void validate_design(const Design& d, const dfg::Graph& g,
+                     const library::ResourceLibrary& lib);
+
+}  // namespace rchls::hls

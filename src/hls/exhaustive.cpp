@@ -1,0 +1,79 @@
+#include "hls/exhaustive.hpp"
+
+#include <optional>
+
+#include "dfg/timing.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+
+namespace {
+constexpr double kAreaEps = 1e-9;
+}
+
+Design exhaustive_find_design(const dfg::Graph& g,
+                              const library::ResourceLibrary& lib,
+                              int latency_bound, double area_bound,
+                              const ExhaustiveOptions& options) {
+  const std::size_t n = g.node_count();
+  if (n == 0) throw Error("exhaustive_find_design: empty graph");
+
+  // Per-node candidate version lists.
+  std::vector<std::vector<library::VersionId>> choices(n);
+  std::uint64_t space = 1;
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    choices[id] = lib.versions_of(library::class_of(g.node(id).op));
+    space *= choices[id].size();
+    if (space > options.max_assignments) {
+      throw Error("exhaustive_find_design: assignment space too large");
+    }
+  }
+
+  std::vector<std::size_t> index(n, 0);
+  std::vector<library::VersionId> versions(n);
+  std::optional<Design> best;
+
+  for (std::uint64_t step = 0; step < space; ++step) {
+    for (dfg::NodeId id = 0; id < n; ++id) versions[id] = choices[id][index[id]];
+
+    // Cheap pruning before scheduling: reliability upper bound and ASAP.
+    double r_bound = 1.0;
+    for (dfg::NodeId id = 0; id < n; ++id) {
+      r_bound *= lib.version(versions[id]).reliability;
+    }
+    bool worth_trying = !best || r_bound > best->reliability;
+    if (worth_trying) {
+      auto delays = delays_for(g, lib, versions);
+      if (dfg::asap_latency(g, delays) <= latency_bound) {
+        // Evaluate at every feasible target latency; larger latency can
+        // shrink area via sharing.
+        for (int latency = dfg::asap_latency(g, delays);
+             latency <= latency_bound; ++latency) {
+          Design d = assemble(g, lib, versions, latency, options.scheduler);
+          if (d.area > area_bound + kAreaEps) continue;
+          bool better =
+              !best || d.reliability > best->reliability ||
+              (d.reliability == best->reliability &&
+               (d.area < best->area - kAreaEps ||
+                (d.area < best->area + kAreaEps && d.latency < best->latency)));
+          if (better) best = std::move(d);
+          break;  // first feasible latency is enough for this assignment
+        }
+      }
+    }
+
+    // Advance the mixed-radix counter.
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (++index[pos] < choices[pos].size()) break;
+      index[pos] = 0;
+    }
+  }
+
+  if (!best) {
+    throw NoSolutionError("exhaustive_find_design: no assignment meets the "
+                          "bounds");
+  }
+  return *best;
+}
+
+}  // namespace rchls::hls

@@ -1,0 +1,28 @@
+// Exhaustive version-assignment search for small DFGs. Serves as the
+// test oracle for find_design: enumerates every per-node version
+// assignment, evaluates each with the same scheduler/binder, and returns
+// the most reliable feasible design. Exponential in node count -- guarded
+// by a state-space cap.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "hls/design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::hls {
+
+struct ExhaustiveOptions {
+  SchedulerKind scheduler = SchedulerKind::kDensity;
+  /// Abort (throw Error) if the assignment space exceeds this.
+  std::uint64_t max_assignments = 2'000'000;
+};
+
+/// Most reliable redundancy-free design over all version assignments
+/// meeting both bounds; throws NoSolutionError if none does. Ties prefer
+/// smaller area, then smaller latency.
+Design exhaustive_find_design(const dfg::Graph& g,
+                              const library::ResourceLibrary& lib,
+                              int latency_bound, double area_bound,
+                              const ExhaustiveOptions& options = {});
+
+}  // namespace rchls::hls

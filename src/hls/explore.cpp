@@ -1,0 +1,155 @@
+#include "hls/explore.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::hls {
+
+namespace {
+
+SweepPoint run_point(const dfg::Graph& g, const library::ResourceLibrary& lib,
+                     int latency_bound, double area_bound,
+                     const FindDesignOptions& options) {
+  SweepPoint p;
+  p.latency_bound = latency_bound;
+  p.area_bound = area_bound;
+  try {
+    Design d = find_design(g, lib, latency_bound, area_bound, options);
+    p.reliability = d.reliability;
+    p.area = d.area;
+    p.latency = d.latency;
+  } catch (const NoSolutionError&) {
+    // leave optionals empty
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> latency_sweep(const dfg::Graph& g,
+                                      const library::ResourceLibrary& lib,
+                                      const std::vector<int>& latency_bounds,
+                                      double area_bound,
+                                      const FindDesignOptions& options) {
+  std::vector<SweepPoint> out;
+  for (int ld : latency_bounds) {
+    out.push_back(run_point(g, lib, ld, area_bound, options));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> area_sweep(const dfg::Graph& g,
+                                   const library::ResourceLibrary& lib,
+                                   int latency_bound,
+                                   const std::vector<double>& area_bounds,
+                                   const FindDesignOptions& options) {
+  std::vector<SweepPoint> out;
+  for (double ad : area_bounds) {
+    out.push_back(run_point(g, lib, latency_bound, ad, options));
+  }
+  return out;
+}
+
+std::vector<ComparisonRow> comparison_grid(
+    const dfg::Graph& g, const library::ResourceLibrary& lib,
+    const std::vector<int>& latency_bounds,
+    const std::vector<double>& area_bounds, const GridOptions& options) {
+  std::vector<ComparisonRow> rows;
+  for (int ld : latency_bounds) {
+    for (double ad : area_bounds) {
+      ComparisonRow row;
+      row.latency_bound = ld;
+      row.area_bound = ad;
+      try {
+        row.baseline = nmr_baseline(g, lib, ld, ad, options.baseline)
+                           .reliability;
+      } catch (const NoSolutionError&) {
+      }
+      try {
+        row.ours = find_design(g, lib, ld, ad, options.find_design)
+                       .reliability;
+      } catch (const NoSolutionError&) {
+      }
+      try {
+        row.combined = combined_design(g, lib, ld, ad, options.combined)
+                           .reliability;
+      } catch (const NoSolutionError&) {
+      }
+      if (row.baseline && row.ours) {
+        row.improvement_ours = 100.0 * (*row.ours / *row.baseline - 1.0);
+      }
+      if (row.baseline && row.combined) {
+        row.improvement_combined =
+            100.0 * (*row.combined / *row.baseline - 1.0);
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::string to_csv(const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  os << "latency_bound,area_bound,reliability,area,latency\n";
+  for (const auto& p : points) {
+    os << p.latency_bound << "," << format_fixed(p.area_bound, 2) << ",";
+    if (p.reliability) os << format_fixed(*p.reliability, 6);
+    os << ",";
+    if (p.area) os << format_fixed(*p.area, 2);
+    os << ",";
+    if (p.latency) os << *p.latency;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string to_csv(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  os << "latency_bound,area_bound,baseline,ours,combined,"
+        "improvement_ours_pct,improvement_combined_pct\n";
+  for (const auto& r : rows) {
+    os << r.latency_bound << "," << format_fixed(r.area_bound, 2) << ",";
+    if (r.baseline) os << format_fixed(*r.baseline, 6);
+    os << ",";
+    if (r.ours) os << format_fixed(*r.ours, 6);
+    os << ",";
+    if (r.combined) os << format_fixed(*r.combined, 6);
+    os << ",";
+    if (r.improvement_ours) os << format_fixed(*r.improvement_ours, 2);
+    os << ",";
+    if (r.improvement_combined) {
+      os << format_fixed(*r.improvement_combined, 2);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+GridAverages grid_averages(const std::vector<ComparisonRow>& rows) {
+  GridAverages avg;
+  int nb = 0;
+  int no = 0;
+  int nc = 0;
+  for (const auto& row : rows) {
+    if (row.baseline) {
+      avg.baseline += *row.baseline;
+      ++nb;
+    }
+    if (row.ours) {
+      avg.ours += *row.ours;
+      ++no;
+    }
+    if (row.combined) {
+      avg.combined += *row.combined;
+      ++nc;
+    }
+  }
+  if (nb > 0) avg.baseline /= nb;
+  if (no > 0) avg.ours /= no;
+  if (nc > 0) avg.combined /= nc;
+  return avg;
+}
+
+}  // namespace rchls::hls

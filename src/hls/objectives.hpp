@@ -1,0 +1,39 @@
+// Alternate optimization objectives -- the paper's stated future work
+// (Section 8): "optimizing area under reliability and performance
+// constraints, or optimizing performance under reliability and area
+// constraints." Both reduce to monotone searches over the corresponding
+// bound driving find_design.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "hls/find_design.hpp"
+
+namespace rchls::hls {
+
+struct ObjectiveOptions {
+  FindDesignOptions find_design;
+  /// Area search granularity (the paper's library is integral; finer
+  /// libraries can lower this).
+  double area_step = 1.0;
+  /// Upper limits for the searches (guards against unsatisfiable
+  /// reliability targets).
+  double max_area = 1024.0;
+  int max_latency = 4096;
+};
+
+/// Smallest-area design with reliability >= min_reliability and latency
+/// <= latency_bound. Throws NoSolutionError if none exists within
+/// max_area.
+Design minimize_area(const dfg::Graph& g, const library::ResourceLibrary& lib,
+                     int latency_bound, double min_reliability,
+                     const ObjectiveOptions& options = {});
+
+/// Smallest-latency design with reliability >= min_reliability and area
+/// <= area_bound. Throws NoSolutionError if none exists within
+/// max_latency.
+Design minimize_latency(const dfg::Graph& g,
+                        const library::ResourceLibrary& lib,
+                        double area_bound, double min_reliability,
+                        const ObjectiveOptions& options = {});
+
+}  // namespace rchls::hls

@@ -1,0 +1,74 @@
+#include "hls/redundancy.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "reliability/algebra.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+
+namespace {
+
+constexpr double kAreaEps = 1e-9;
+
+int next_copy_count(int current, const RedundancyOptions& options) {
+  if (current == 1) return options.allow_duplex ? 2 : 3;
+  if (current == 2) return 3;
+  return current + 2;  // stay odd
+}
+
+}  // namespace
+
+int apply_redundancy(Design& d, const dfg::Graph& g,
+                     const library::ResourceLibrary& lib, double area_bound,
+                     const RedundancyOptions& options) {
+  if (options.max_copies < 1) {
+    throw Error("apply_redundancy: max_copies must be >= 1");
+  }
+  if (d.copies.size() != d.binding.instances.size()) {
+    throw Error("apply_redundancy: malformed design");
+  }
+
+  // ops_of_instance reliability contribution before/after replication.
+  auto instance_gain = [&](std::size_t i, int new_copies) {
+    double log_gain = 0.0;
+    const auto& inst = d.binding.instances[i];
+    double r = lib.version(inst.version).reliability;
+    double before = reliability::modular_redundancy(r, d.copies[i]);
+    double after = reliability::modular_redundancy(r, new_copies);
+    log_gain += static_cast<double>(inst.ops.size()) *
+                (std::log(after) - std::log(before));
+    return log_gain;
+  };
+
+  int added = 0;
+  for (;;) {
+    std::optional<std::size_t> best;
+    int best_new_copies = 0;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < d.binding.instances.size(); ++i) {
+      int new_copies = next_copy_count(d.copies[i], options);
+      if (new_copies > options.max_copies) continue;
+      if (d.binding.instances[i].ops.empty()) continue;
+      double extra_area =
+          lib.version(d.binding.instances[i].version).area *
+          static_cast<double>(new_copies - d.copies[i]);
+      if (d.area + extra_area > area_bound + kAreaEps) continue;
+      double score = instance_gain(i, new_copies) / extra_area;
+      if (score <= 0.0) continue;
+      if (!best || score > best_score) {
+        best = i;
+        best_new_copies = new_copies;
+        best_score = score;
+      }
+    }
+    if (!best) break;
+    added += best_new_copies - d.copies[*best];
+    d.copies[*best] = best_new_copies;
+    evaluate(d, g, lib);
+  }
+  return added;
+}
+
+}  // namespace rchls::hls

@@ -1,0 +1,33 @@
+// Greedy modular-redundancy insertion (the mechanism of the Orailoglu-
+// Karri baseline [3], also reused by the paper's combined approach):
+// repeatedly replicate the functional-unit instance with the best
+// reliability-gain-per-area until the area bound is reached.
+//
+// Replicating an instance upgrades every operation bound to it:
+// 1 -> 2 copies gives duplex-with-recovery (1 - (1-R)^2); 2 -> 3 gives TMR
+// majority; further odd counts continue the NMR ladder. As in [3], voter /
+// checker area is not charged.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "hls/design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::hls {
+
+struct RedundancyOptions {
+  /// Highest copy count per instance (odd counts above 3 continue NMR).
+  int max_copies = 3;
+  /// Permit the even intermediate step (duplication with rollback
+  /// recovery). When false, instances jump 1 -> 3 directly.
+  bool allow_duplex = true;
+};
+
+/// Adds copies greedily while total area stays within `area_bound`.
+/// Mutates `d` (copies / area / reliability) and returns the number of
+/// copies added. The design's schedule and binding are unchanged.
+int apply_redundancy(Design& d, const dfg::Graph& g,
+                     const library::ResourceLibrary& lib, double area_bound,
+                     const RedundancyOptions& options = {});
+
+}  // namespace rchls::hls

@@ -1,0 +1,71 @@
+#include "hls/report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rchls::hls {
+
+std::string schedule_table(const Design& d, const dfg::Graph& g,
+                           const library::ResourceLibrary& lib) {
+  std::vector<std::string> header{"step"};
+  for (std::size_t i = 0; i < d.binding.instances.size(); ++i) {
+    const auto& v = lib.version(d.binding.instances[i].version);
+    std::string label = v.name + "#" + std::to_string(i);
+    if (d.copies[i] > 1) label += " x" + std::to_string(d.copies[i]);
+    header.push_back(label);
+  }
+  Table table(header);
+
+  // cell[step][instance]
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(d.latency),
+      std::vector<std::string>(d.binding.instances.size()));
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    auto inst = d.binding.instance_of[id];
+    int delay = lib.version(d.version_of[id]).delay;
+    for (int c = d.schedule.start[id]; c < d.schedule.start[id] + delay;
+         ++c) {
+      cells[static_cast<std::size_t>(c)][inst] = g.node(id).name;
+    }
+  }
+  for (int step = 0; step < d.latency; ++step) {
+    std::vector<std::string> row{std::to_string(step)};
+    for (auto& cell : cells[static_cast<std::size_t>(step)]) {
+      row.push_back(cell.empty() ? "-" : cell);
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string design_summary(const Design& d, const dfg::Graph& g,
+                           const library::ResourceLibrary& lib) {
+  std::ostringstream os;
+  os << "latency = " << d.latency << " cycles, area = "
+     << format_fixed(d.area, 1) << " units, reliability = "
+     << format_fixed(d.reliability, 5) << "\n";
+
+  os << "instances:";
+  for (std::size_t i = 0; i < d.binding.instances.size(); ++i) {
+    const auto& inst = d.binding.instances[i];
+    os << " " << lib.version(inst.version).name << "(x" << d.copies[i]
+       << ", " << inst.ops.size() << " ops)";
+  }
+  os << "\n";
+
+  std::map<std::string, int> histogram;
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    histogram[lib.version(d.version_of[id]).name]++;
+  }
+  os << "operations per version:";
+  for (const auto& [name, count] : histogram) {
+    os << " " << name << "=" << count;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rchls::hls

@@ -1,0 +1,24 @@
+// Human-readable rendering of designs: a schedule table shaped like the
+// paper's Figures 5 and 7 (steps x functional units) plus a metrics
+// summary. Used by the reproduction benches and the examples.
+#pragma once
+
+#include <string>
+
+#include "dfg/graph.hpp"
+#include "hls/design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::hls {
+
+/// Step-by-step table: one column per functional-unit instance, one row
+/// per control step; cells carry the operation occupying that unit.
+std::string schedule_table(const Design& d, const dfg::Graph& g,
+                           const library::ResourceLibrary& lib);
+
+/// Multi-line summary: latency/area/reliability, instance inventory with
+/// copy counts, and version histogram over operations.
+std::string design_summary(const Design& d, const dfg::Graph& g,
+                           const library::ResourceLibrary& lib);
+
+}  // namespace rchls::hls

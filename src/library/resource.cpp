@@ -1,0 +1,183 @@
+#include "library/resource.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::library {
+
+const char* to_string(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::kAdder: return "adder";
+    case ResourceClass::kMultiplier: return "multiplier";
+  }
+  return "?";
+}
+
+ResourceClass class_of(dfg::OpType op) {
+  switch (op) {
+    case dfg::OpType::kMul:
+      return ResourceClass::kMultiplier;
+    case dfg::OpType::kAdd:
+    case dfg::OpType::kSub:
+    case dfg::OpType::kLt:
+      return ResourceClass::kAdder;
+  }
+  throw Error("class_of: unknown op type");
+}
+
+VersionId ResourceLibrary::add(ResourceVersion v) {
+  if (v.name.empty()) throw Error("ResourceLibrary::add: empty name");
+  if (!(v.area > 0.0)) throw Error("ResourceLibrary::add: area must be > 0");
+  if (v.delay < 1) throw Error("ResourceLibrary::add: delay must be >= 1");
+  if (!(v.reliability > 0.0) || !(v.reliability <= 1.0)) {
+    throw Error("ResourceLibrary::add: reliability must lie in (0, 1]");
+  }
+  for (const auto& existing : versions_) {
+    if (existing.name == v.name) {
+      throw Error("ResourceLibrary::add: duplicate name '" + v.name + "'");
+    }
+  }
+  versions_.push_back(std::move(v));
+  return static_cast<VersionId>(versions_.size() - 1);
+}
+
+const ResourceVersion& ResourceLibrary::version(VersionId id) const {
+  if (id >= versions_.size()) throw Error("version: id out of range");
+  return versions_[id];
+}
+
+std::vector<VersionId> ResourceLibrary::versions_of(ResourceClass cls) const {
+  std::vector<VersionId> out;
+  for (VersionId id = 0; id < versions_.size(); ++id) {
+    if (versions_[id].cls == cls) out.push_back(id);
+  }
+  if (out.empty()) {
+    throw Error(std::string("versions_of: library has no ") +
+                to_string(cls) + " versions");
+  }
+  return out;
+}
+
+bool ResourceLibrary::has_class(ResourceClass cls) const {
+  for (const auto& v : versions_) {
+    if (v.cls == cls) return true;
+  }
+  return false;
+}
+
+VersionId ResourceLibrary::most_reliable(ResourceClass cls) const {
+  auto candidates = versions_of(cls);
+  return *std::min_element(
+      candidates.begin(), candidates.end(), [this](VersionId a, VersionId b) {
+        const auto& va = versions_[a];
+        const auto& vb = versions_[b];
+        if (va.reliability != vb.reliability) {
+          return va.reliability > vb.reliability;
+        }
+        if (va.area != vb.area) return va.area < vb.area;
+        return va.delay < vb.delay;
+      });
+}
+
+VersionId ResourceLibrary::fastest(ResourceClass cls) const {
+  auto candidates = versions_of(cls);
+  return *std::min_element(
+      candidates.begin(), candidates.end(), [this](VersionId a, VersionId b) {
+        const auto& va = versions_[a];
+        const auto& vb = versions_[b];
+        if (va.delay != vb.delay) return va.delay < vb.delay;
+        if (va.reliability != vb.reliability) {
+          return va.reliability > vb.reliability;
+        }
+        return va.area < vb.area;
+      });
+}
+
+namespace {
+
+void sort_by_reliability(std::vector<VersionId>& ids,
+                         const std::vector<ResourceVersion>& versions) {
+  std::sort(ids.begin(), ids.end(), [&versions](VersionId a, VersionId b) {
+    if (versions[a].reliability != versions[b].reliability) {
+      return versions[a].reliability > versions[b].reliability;
+    }
+    if (versions[a].area != versions[b].area) {
+      return versions[a].area < versions[b].area;
+    }
+    return a < b;
+  });
+}
+
+}  // namespace
+
+std::vector<VersionId> ResourceLibrary::faster_versions(
+    VersionId current) const {
+  const auto& cur = version(current);
+  std::vector<VersionId> out;
+  for (VersionId id = 0; id < versions_.size(); ++id) {
+    if (id == current) continue;
+    const auto& v = versions_[id];
+    if (v.cls == cur.cls && v.delay < cur.delay) out.push_back(id);
+  }
+  sort_by_reliability(out, versions_);
+  return out;
+}
+
+std::vector<VersionId> ResourceLibrary::smaller_versions(
+    VersionId current) const {
+  const auto& cur = version(current);
+  std::vector<VersionId> out;
+  for (VersionId id = 0; id < versions_.size(); ++id) {
+    if (id == current) continue;
+    const auto& v = versions_[id];
+    if (v.cls == cur.cls && v.area < cur.area && v.delay <= cur.delay) {
+      out.push_back(id);
+    }
+  }
+  sort_by_reliability(out, versions_);
+  return out;
+}
+
+VersionId ResourceLibrary::find(const std::string& name) const {
+  for (VersionId id = 0; id < versions_.size(); ++id) {
+    if (versions_[id].name == name) return id;
+  }
+  throw Error("ResourceLibrary::find: no version named '" + name + "'");
+}
+
+void ResourceLibrary::validate() const {
+  if (versions_.empty()) throw ValidationError("library is empty");
+}
+
+ResourceLibrary paper_library() {
+  ResourceLibrary lib;
+  lib.add({"adder_1", ResourceClass::kAdder, 1.0, 2, 0.999});
+  lib.add({"adder_2", ResourceClass::kAdder, 2.0, 1, 0.969});
+  lib.add({"adder_3", ResourceClass::kAdder, 4.0, 1, 0.987});
+  lib.add({"mult_1", ResourceClass::kMultiplier, 2.0, 2, 0.999});
+  lib.add({"mult_2", ResourceClass::kMultiplier, 4.0, 1, 0.969});
+  return lib;
+}
+
+std::vector<int> uniform_delays(const dfg::Graph& g,
+                                const ResourceLibrary& lib,
+                                VersionId adder_version,
+                                VersionId mult_version) {
+  if (lib.version(adder_version).cls != ResourceClass::kAdder) {
+    throw Error("uniform_delays: adder_version is not an adder");
+  }
+  if (lib.version(mult_version).cls != ResourceClass::kMultiplier) {
+    throw Error("uniform_delays: mult_version is not a multiplier");
+  }
+  std::vector<int> delays(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    VersionId v = class_of(g.node(id).op) == ResourceClass::kAdder
+                      ? adder_version
+                      : mult_version;
+    delays[id] = lib.version(v).delay;
+  }
+  return delays;
+}
+
+}  // namespace rchls::library

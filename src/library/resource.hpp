@@ -1,0 +1,94 @@
+// The reliability-characterized resource library (paper Section 4,
+// Table 1): several versions per resource class, each with its own area,
+// delay and reliability. The synthesis engines (src/hls) pick versions per
+// operation from this library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::library {
+
+/// Classes of functional units. Following the paper, additive operations
+/// (add/sub/compare) run on adder-class units, multiplications on
+/// multiplier-class units.
+enum class ResourceClass : std::uint8_t { kAdder, kMultiplier };
+
+const char* to_string(ResourceClass cls);
+
+/// The resource class that executes a DFG operation.
+ResourceClass class_of(dfg::OpType op);
+
+/// Index of a version within a ResourceLibrary.
+using VersionId = std::uint32_t;
+
+/// One implementation (version) of a resource class.
+struct ResourceVersion {
+  std::string name;
+  ResourceClass cls = ResourceClass::kAdder;
+  double area = 0.0;      ///< normalized area units (Table 1 column 2)
+  int delay = 1;          ///< clock cycles (Table 1 column 3)
+  double reliability = 0; ///< mission reliability (Table 1 column 4)
+};
+
+class ResourceLibrary {
+ public:
+  /// Adds a version; validates area > 0, delay >= 1, reliability in (0, 1].
+  VersionId add(ResourceVersion v);
+
+  std::size_t size() const { return versions_.size(); }
+  const ResourceVersion& version(VersionId id) const;
+  const std::vector<ResourceVersion>& versions() const { return versions_; }
+
+  /// All versions of a class, in insertion order. Throws Error if the
+  /// class has none (an unsynthesizable library).
+  std::vector<VersionId> versions_of(ResourceClass cls) const;
+  bool has_class(ResourceClass cls) const;
+
+  /// The version the paper's initial solution allocates: maximum
+  /// reliability; ties broken by smaller area, then smaller delay.
+  VersionId most_reliable(ResourceClass cls) const;
+
+  /// Minimum delay; ties broken by higher reliability, then smaller area.
+  VersionId fastest(ResourceClass cls) const;
+
+  /// Versions of the same class strictly faster than `current`
+  /// (t_r > t_r'), sorted by reliability descending (the reliability-
+  /// centric choice), ties by smaller area.
+  std::vector<VersionId> faster_versions(VersionId current) const;
+
+  /// Versions of the same class strictly smaller than `current`
+  /// (a_r > a_r') and not slower (t_r >= t_r'), per Fig. 6 line 26;
+  /// sorted by reliability descending, ties by smaller area.
+  std::vector<VersionId> smaller_versions(VersionId current) const;
+
+  /// Lookup by version name; throws Error if absent.
+  VersionId find(const std::string& name) const;
+
+  /// Checks that every class that appears has at least one version and
+  /// names are unique.
+  void validate() const;
+
+ private:
+  std::vector<ResourceVersion> versions_;
+};
+
+/// The paper's Table 1 library:
+///   adder_1  ripple-carry   area 1, delay 2, R 0.999
+///   adder_2  Brent-Kung     area 2, delay 1, R 0.969
+///   adder_3  Kogge-Stone    area 4, delay 1, R 0.987
+///   mult_1   carry-save     area 2, delay 2, R 0.999
+///   mult_2   leapfrog       area 4, delay 1, R 0.969
+ResourceLibrary paper_library();
+
+/// Per-node delay vector for a graph where every node uses the given
+/// version of its class (used by schedulers and the baseline).
+std::vector<int> uniform_delays(const dfg::Graph& g,
+                                const ResourceLibrary& lib,
+                                VersionId adder_version,
+                                VersionId mult_version);
+
+}  // namespace rchls::library

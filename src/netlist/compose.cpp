@@ -1,0 +1,42 @@
+#include "netlist/compose.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+
+std::vector<GateId> append(Netlist& dst, const Netlist& src,
+                           const std::vector<GateId>& input_drivers) {
+  src.validate();
+  if (input_drivers.size() != src.input_bits().size()) {
+    throw Error("append: need one driver per src input bit (" +
+                std::to_string(src.input_bits().size()) + " expected, " +
+                std::to_string(input_drivers.size()) + " given)");
+  }
+  for (GateId driver : input_drivers) {
+    if (driver >= dst.gate_count()) {
+      throw Error("append: input driver does not exist in destination");
+    }
+  }
+
+  std::vector<GateId> map(src.gate_count(), 0);
+  std::size_t next_input = 0;
+  for (GateId id = 0; id < src.gate_count(); ++id) {
+    const Gate& g = src.gate(id);
+    switch (fanin_count(g.kind)) {
+      case 0:
+        map[id] = g.kind == GateKind::kInput
+                      ? input_drivers[next_input++]
+                      : dst.add_const(g.kind == GateKind::kConst1);
+        break;
+      case 1:
+        map[id] = dst.add_unary(g.kind, map[g.fanin0]);
+        break;
+      default:
+        map[id] = dst.add_binary(g.kind, map[g.fanin0], map[g.fanin1]);
+        break;
+    }
+  }
+  return map;
+}
+
+}  // namespace rchls::netlist

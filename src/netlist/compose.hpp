@@ -1,0 +1,21 @@
+// Netlist composition: inline one netlist into another, mapping its
+// primary inputs onto existing driver gates of the destination. This is
+// how the RTL elaborator (src/rtl) stitches arithmetic-unit netlists into
+// a whole-design data-path netlist.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::netlist {
+
+/// Copies every logic gate of `src` into `dst`. `input_drivers[i]` supplies
+/// the dst gate standing in for src's i-th primary input bit (flat order,
+/// see Netlist::input_bits()). Returns the dst gate id corresponding to
+/// each src gate (index = src GateId). Output buses of src are NOT
+/// declared on dst; use the returned mapping to wire them.
+std::vector<GateId> append(Netlist& dst, const Netlist& src,
+                           const std::vector<GateId>& input_drivers);
+
+}  // namespace rchls::netlist

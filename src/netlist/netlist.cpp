@@ -1,0 +1,155 @@
+#include "netlist/netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0: return "Const0";
+    case GateKind::kConst1: return "Const1";
+    case GateKind::kInput: return "Input";
+    case GateKind::kBuf: return "Buf";
+    case GateKind::kNot: return "Not";
+    case GateKind::kAnd: return "And";
+    case GateKind::kOr: return "Or";
+    case GateKind::kNand: return "Nand";
+    case GateKind::kNor: return "Nor";
+    case GateKind::kXor: return "Xor";
+    case GateKind::kXnor: return "Xnor";
+  }
+  return "?";
+}
+
+int fanin_count(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+GateId Netlist::push(Gate g) {
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Netlist::add_const(bool value) {
+  return push(Gate{value ? GateKind::kConst1 : GateKind::kConst0, 0, 0});
+}
+
+GateId Netlist::add_input_bit() {
+  GateId id = push(Gate{GateKind::kInput, 0, 0});
+  input_bits_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_unary(GateKind kind, GateId a) {
+  if (fanin_count(kind) != 1) throw Error("add_unary: kind is not unary");
+  if (a >= gates_.size()) throw Error("add_unary: fanin does not exist yet");
+  return push(Gate{kind, a, 0});
+}
+
+GateId Netlist::add_binary(GateKind kind, GateId a, GateId b) {
+  if (fanin_count(kind) != 2) throw Error("add_binary: kind is not binary");
+  if (a >= gates_.size() || b >= gates_.size()) {
+    throw Error("add_binary: fanin does not exist yet");
+  }
+  return push(Gate{kind, a, b});
+}
+
+GateId Netlist::maj3(GateId a, GateId b, GateId c) {
+  GateId ab = band(a, b);
+  GateId bc = band(b, c);
+  GateId ca = band(c, a);
+  return bor(bor(ab, bc), ca);
+}
+
+GateId Netlist::mux(GateId sel, GateId a0, GateId a1) {
+  GateId n = bnot(sel);
+  return bor(band(n, a0), band(sel, a1));
+}
+
+Bus Netlist::add_input_bus(const std::string& name, int width) {
+  if (width <= 0) throw Error("add_input_bus: width must be positive");
+  Bus bus{name, {}};
+  bus.bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.bits.push_back(add_input_bit());
+  input_buses_.push_back(bus);
+  return bus;
+}
+
+void Netlist::add_output_bus(const std::string& name,
+                             std::vector<GateId> bits) {
+  for (GateId id : bits) {
+    if (id >= gates_.size()) {
+      throw Error("add_output_bus: bit references missing gate");
+    }
+  }
+  output_buses_.push_back(Bus{name, std::move(bits)});
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  if (id >= gates_.size()) throw Error("gate: id out of range");
+  return gates_[id];
+}
+
+std::vector<GateId> Netlist::output_bits() const {
+  std::vector<GateId> out;
+  for (const Bus& bus : output_buses_) {
+    out.insert(out.end(), bus.bits.begin(), bus.bits.end());
+  }
+  return out;
+}
+
+const Bus& Netlist::input_bus(const std::string& name) const {
+  for (const Bus& bus : input_buses_) {
+    if (bus.name == name) return bus;
+  }
+  throw Error("input_bus: no bus named '" + name + "'");
+}
+
+const Bus& Netlist::output_bus(const std::string& name) const {
+  for (const Bus& bus : output_buses_) {
+    if (bus.name == name) return bus;
+  }
+  throw Error("output_bus: no bus named '" + name + "'");
+}
+
+void Netlist::validate() const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    int n = fanin_count(g.kind);
+    if (n >= 1 && g.fanin0 >= id) {
+      throw ValidationError(name_ + ": gate " + std::to_string(id) +
+                            " fanin0 is not topologically earlier");
+    }
+    if (n == 2 && g.fanin1 >= id) {
+      throw ValidationError(name_ + ": gate " + std::to_string(id) +
+                            " fanin1 is not topologically earlier");
+    }
+  }
+  for (GateId id : input_bits_) {
+    if (id >= gates_.size() || gates_[id].kind != GateKind::kInput) {
+      throw ValidationError(name_ + ": input list references non-input gate");
+    }
+  }
+  for (const Bus& bus : output_buses_) {
+    for (GateId id : bus.bits) {
+      if (id >= gates_.size()) {
+        throw ValidationError(name_ + ": output bus '" + bus.name +
+                              "' references missing gate");
+      }
+    }
+  }
+}
+
+}  // namespace rchls::netlist

@@ -1,0 +1,128 @@
+// Gate-level netlist intermediate representation.
+//
+// This substrate stands in for the paper's MAX/HSPICE component netlists: the
+// arithmetic units of Section 4 (ripple-carry / Brent-Kung / Kogge-Stone
+// adders, carry-save / leapfrog multipliers) are generated as Netlist objects
+// (src/circuits), logic-simulated (sim.hpp), and bombarded with single-event
+// transients (src/ser/fault_injection.hpp) to characterize their soft-error
+// susceptibility.
+//
+// Structural invariant: a gate may only reference gates created before it,
+// so a Netlist is acyclic by construction and gate-id order is a valid
+// topological order. Combinational only -- soft-error characterization of
+// data-path components does not need state elements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rchls::netlist {
+
+/// Index of a gate within its Netlist.
+using GateId = std::uint32_t;
+
+enum class GateKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Human-readable name, e.g. "And".
+const char* to_string(GateKind kind);
+
+/// Number of fanins the kind requires: 0 for constants/inputs, 1 for
+/// Buf/Not, 2 for the binary gates.
+int fanin_count(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  GateId fanin0 = 0;  ///< Valid when fanin_count(kind) >= 1.
+  GateId fanin1 = 0;  ///< Valid when fanin_count(kind) == 2.
+};
+
+/// A named, ordered group of gates forming a word-level port.
+struct Bus {
+  std::string name;
+  std::vector<GateId> bits;  ///< bits[0] is the least significant bit.
+};
+
+/// A combinational gate-level circuit with word-level port bookkeeping.
+class Netlist {
+ public:
+  explicit Netlist(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // -- construction -------------------------------------------------------
+
+  GateId add_const(bool value);
+  /// Adds one primary-input bit (also appended to the flat input order).
+  GateId add_input_bit();
+  GateId add_unary(GateKind kind, GateId a);
+  GateId add_binary(GateKind kind, GateId a, GateId b);
+
+  // Convenience helpers used heavily by the circuit generators.
+  GateId bnot(GateId a) { return add_unary(GateKind::kNot, a); }
+  GateId band(GateId a, GateId b) { return add_binary(GateKind::kAnd, a, b); }
+  GateId bor(GateId a, GateId b) { return add_binary(GateKind::kOr, a, b); }
+  GateId bxor(GateId a, GateId b) { return add_binary(GateKind::kXor, a, b); }
+  GateId bnand(GateId a, GateId b) {
+    return add_binary(GateKind::kNand, a, b);
+  }
+  GateId bnor(GateId a, GateId b) { return add_binary(GateKind::kNor, a, b); }
+  GateId bxnor(GateId a, GateId b) {
+    return add_binary(GateKind::kXnor, a, b);
+  }
+  /// Majority of three: ab + bc + ca. Used by the TMR voter.
+  GateId maj3(GateId a, GateId b, GateId c);
+  /// 2:1 mux built from basic gates: sel ? a1 : a0.
+  GateId mux(GateId sel, GateId a0, GateId a1);
+
+  /// Declares a named input bus of `width` fresh input bits (LSB first).
+  Bus add_input_bus(const std::string& name, int width);
+  /// Declares a named output bus driven by existing gates (LSB first).
+  void add_output_bus(const std::string& name, std::vector<GateId> bits);
+
+  // -- inspection ---------------------------------------------------------
+
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(GateId id) const;
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// All primary-input bits in creation order.
+  const std::vector<GateId>& input_bits() const { return input_bits_; }
+  const std::vector<Bus>& input_buses() const { return input_buses_; }
+  const std::vector<Bus>& output_buses() const { return output_buses_; }
+  /// All output bits, concatenated over output buses in declaration order.
+  std::vector<GateId> output_bits() const;
+
+  /// Bus lookup by name; throws Error if absent.
+  const Bus& input_bus(const std::string& name) const;
+  const Bus& output_bus(const std::string& name) const;
+
+  /// Checks every structural invariant (fanin ordering, port references,
+  /// fanin arities). Throws ValidationError on the first violation.
+  /// Construction already maintains these; validate() exists to guard
+  /// hand-assembled or deserialized netlists.
+  void validate() const;
+
+ private:
+  GateId push(Gate g);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> input_bits_;
+  std::vector<Bus> input_buses_;
+  std::vector<Bus> output_buses_;
+};
+
+}  // namespace rchls::netlist

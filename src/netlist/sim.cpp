@@ -1,0 +1,90 @@
+#include "netlist/sim.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl) { nl_.validate(); }
+
+std::vector<std::uint64_t> Simulator::run(
+    const std::vector<std::uint64_t>& input_words,
+    std::optional<Fault> fault) const {
+  const auto& inputs = nl_.input_bits();
+  if (input_words.size() != inputs.size()) {
+    throw Error("Simulator::run: expected " + std::to_string(inputs.size()) +
+                " input words, got " + std::to_string(input_words.size()));
+  }
+  if (fault && fault->gate >= nl_.gate_count()) {
+    throw Error("Simulator::run: fault gate out of range");
+  }
+
+  std::vector<std::uint64_t> value(nl_.gate_count(), 0);
+  std::size_t next_input = 0;
+  for (GateId id = 0; id < nl_.gate_count(); ++id) {
+    const Gate& g = nl_.gate(id);
+    std::uint64_t v = 0;
+    switch (g.kind) {
+      case GateKind::kConst0: v = 0; break;
+      case GateKind::kConst1: v = ~0ULL; break;
+      case GateKind::kInput: v = input_words[next_input++]; break;
+      case GateKind::kBuf: v = value[g.fanin0]; break;
+      case GateKind::kNot: v = ~value[g.fanin0]; break;
+      case GateKind::kAnd: v = value[g.fanin0] & value[g.fanin1]; break;
+      case GateKind::kOr: v = value[g.fanin0] | value[g.fanin1]; break;
+      case GateKind::kNand: v = ~(value[g.fanin0] & value[g.fanin1]); break;
+      case GateKind::kNor: v = ~(value[g.fanin0] | value[g.fanin1]); break;
+      case GateKind::kXor: v = value[g.fanin0] ^ value[g.fanin1]; break;
+      case GateKind::kXnor: v = ~(value[g.fanin0] ^ value[g.fanin1]); break;
+    }
+    if (fault && fault->gate == id) v ^= fault->lane_mask;
+    value[id] = v;
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> Simulator::output_words(
+    const std::vector<std::uint64_t>& gate_words) const {
+  if (gate_words.size() != nl_.gate_count()) {
+    throw Error("output_words: gate word vector has wrong size");
+  }
+  std::vector<std::uint64_t> out;
+  for (GateId id : nl_.output_bits()) out.push_back(gate_words[id]);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::run_scalar(
+    const std::vector<std::uint64_t>& bus_values) const {
+  const auto& buses = nl_.input_buses();
+  if (bus_values.size() != buses.size()) {
+    throw Error("run_scalar: expected " + std::to_string(buses.size()) +
+                " bus values, got " + std::to_string(bus_values.size()));
+  }
+
+  // Spread the scalar bus values onto the flat input-bit order. Input buses
+  // are the only way inputs are created by the circuit generators, so every
+  // input bit belongs to exactly one bus.
+  std::vector<std::uint64_t> input_words(nl_.input_bits().size(), 0);
+  std::size_t flat = 0;
+  for (std::size_t b = 0; b < buses.size(); ++b) {
+    for (std::size_t i = 0; i < buses[b].bits.size(); ++i) {
+      input_words[flat++] = (bus_values[b] >> i) & 1ULL ? ~0ULL : 0ULL;
+    }
+  }
+  if (flat != input_words.size()) {
+    throw Error("run_scalar: netlist has input bits outside of buses");
+  }
+
+  auto words = run(input_words);
+  std::vector<std::uint64_t> results;
+  for (const Bus& bus : nl_.output_buses()) {
+    if (bus.bits.size() > 64) throw Error("run_scalar: bus wider than 64");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+      v |= (words[bus.bits[i]] & 1ULL) << i;
+    }
+    results.push_back(v);
+  }
+  return results;
+}
+
+}  // namespace rchls::netlist

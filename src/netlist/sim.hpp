@@ -1,0 +1,55 @@
+// Bit-parallel logic simulation with single-event-transient injection.
+//
+// The simulator evaluates 64 input patterns at once (one per bit lane of a
+// 64-bit word), which makes the Monte-Carlo fault-injection campaigns in
+// src/ser fast enough to run inside the test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::netlist {
+
+/// A single-event transient: the output of `gate` is inverted in the lanes
+/// selected by `lane_mask` before its fanout is evaluated. This models a
+/// particle strike flipping the struck node's logical value; whether the
+/// flip reaches a primary output is decided by logical masking along the
+/// downstream paths (electrical and latching-window masking are applied
+/// analytically by the SER model on top of this).
+struct Fault {
+  GateId gate = 0;
+  std::uint64_t lane_mask = ~0ULL;
+};
+
+/// Evaluates a Netlist over 64 parallel input patterns.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// `input_words[i]` holds the 64 lane values of input bit i (the i-th
+  /// entry of Netlist::input_bits()). Returns one word per gate.
+  /// If `fault` is set, the struck gate's word is inverted under the mask.
+  std::vector<std::uint64_t> run(
+      const std::vector<std::uint64_t>& input_words,
+      std::optional<Fault> fault = std::nullopt) const;
+
+  /// Convenience: packs the per-output-bit words for the circuit's outputs
+  /// (concatenated output buses) out of a `run` result.
+  std::vector<std::uint64_t> output_words(
+      const std::vector<std::uint64_t>& gate_words) const;
+
+  /// Evaluates the named buses from unsigned integers in lane 0 only.
+  /// `bus_values[i]` corresponds to Netlist::input_buses()[i]; extra high
+  /// bits beyond the bus width are ignored. Returns one unsigned value per
+  /// output bus. This is the scalar interface used by functional tests.
+  std::vector<std::uint64_t> run_scalar(
+      const std::vector<std::uint64_t>& bus_values) const;
+
+ private:
+  const Netlist& nl_;
+};
+
+}  // namespace rchls::netlist

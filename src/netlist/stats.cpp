@@ -1,0 +1,85 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rchls::netlist {
+
+double gate_delay(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0.0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 0.5;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 1.5;
+    default:
+      return 1.0;
+  }
+}
+
+double gate_area(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0.0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 0.5;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 2.0;
+    default:
+      return 1.0;
+  }
+}
+
+Stats compute_stats(const Netlist& nl) {
+  Stats s;
+  std::vector<double> arrival(nl.gate_count(), 0.0);
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    s.per_kind[static_cast<std::size_t>(g.kind)]++;
+    int fanins = fanin_count(g.kind);
+    if (fanins > 0) s.logic_gates++;
+    s.area += gate_area(g.kind);
+
+    double in_arrival = 0.0;
+    if (fanins >= 1) in_arrival = arrival[g.fanin0];
+    if (fanins == 2) in_arrival = std::max(in_arrival, arrival[g.fanin1]);
+    arrival[id] = in_arrival + gate_delay(g.kind);
+  }
+  for (GateId id : nl.output_bits()) {
+    s.depth = std::max(s.depth, arrival[id]);
+  }
+  return s;
+}
+
+std::string to_dot(const Netlist& nl) {
+  std::ostringstream os;
+  os << "digraph \"" << nl.name() << "\" {\n  rankdir=LR;\n";
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    os << "  g" << id << " [label=\"" << to_string(g.kind) << "\\n#" << id
+       << "\"];\n";
+    int fanins = fanin_count(g.kind);
+    if (fanins >= 1) os << "  g" << g.fanin0 << " -> g" << id << ";\n";
+    if (fanins == 2) os << "  g" << g.fanin1 << " -> g" << id << ";\n";
+  }
+  for (const Bus& bus : nl.output_buses()) {
+    for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+      os << "  out_" << bus.name << "_" << i << " [shape=box];\n";
+      os << "  g" << bus.bits[i] << " -> out_" << bus.name << "_" << i
+         << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rchls::netlist

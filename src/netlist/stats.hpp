@@ -1,0 +1,40 @@
+// Structural metrics of a netlist: gate counts, logic depth, and a
+// normalized area estimate. These feed the library characterizer, which
+// turns each arithmetic circuit into the (area, delay) half of a resource
+// library entry (the reliability half comes from src/ser).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::netlist {
+
+struct Stats {
+  /// Number of logic gates (inputs and constants excluded).
+  std::size_t logic_gates = 0;
+  /// Gate count per kind, indexed by static_cast<size_t>(GateKind).
+  std::array<std::size_t, 11> per_kind{};
+  /// Longest input-to-output path measured in unit gate delays
+  /// (Buf/Not count 0.5, And/Or/Nand/Nor count 1, Xor/Xnor count 1.5 --
+  /// a standard-cell-flavored weighting).
+  double depth = 0.0;
+  /// Area in weighted gate-equivalents (Not/Buf 0.5, simple gates 1,
+  /// Xor/Xnor 2).
+  double area = 0.0;
+};
+
+/// Unit delay contribution of a gate kind along a path.
+double gate_delay(GateKind kind);
+
+/// Gate-equivalent area of a gate kind.
+double gate_area(GateKind kind);
+
+/// Computes all metrics in one topological pass.
+Stats compute_stats(const Netlist& nl);
+
+/// Graphviz dot rendering (for debugging / documentation).
+std::string to_dot(const Netlist& nl);
+
+}  // namespace rchls::netlist

@@ -1,0 +1,85 @@
+#include "reliability/algebra.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rchls::reliability {
+
+namespace {
+
+void check_prob(double r, const char* who) {
+  if (!(r >= 0.0) || !(r <= 1.0)) {
+    throw Error(std::string(who) + ": reliability must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double serial(std::span<const double> rs) {
+  double prod = 1.0;
+  for (double r : rs) {
+    check_prob(r, "serial");
+    prod *= r;
+  }
+  return prod;
+}
+
+double parallel(std::span<const double> rs) {
+  double fail = 1.0;
+  for (double r : rs) {
+    check_prob(r, "parallel");
+    fail *= 1.0 - r;
+  }
+  return 1.0 - fail;
+}
+
+double binomial(int n, int k) {
+  if (n < 0 || k < 0 || k > n) throw Error("binomial: need 0 <= k <= n");
+  if (n > 62) throw Error("binomial: n too large for exact evaluation");
+  double c = 1.0;
+  // Multiplicative form keeps intermediate values integral.
+  for (int i = 1; i <= k; ++i) {
+    c = c * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return std::round(c);
+}
+
+double k_of_n(int n, int k, double r) {
+  check_prob(r, "k_of_n");
+  if (n < 1 || k < 1 || k > n) throw Error("k_of_n: need 1 <= k <= n");
+  double sum = 0.0;
+  for (int i = k; i <= n; ++i) {
+    sum += binomial(n, i) * std::pow(r, i) * std::pow(1.0 - r, n - i);
+  }
+  return sum;
+}
+
+double nmr(int n, double r) {
+  if (n < 1 || n % 2 == 0) throw Error("nmr: N must be odd and >= 1");
+  if (n == 1) {
+    check_prob(r, "nmr");
+    return r;
+  }
+  return k_of_n(n, (n + 1) / 2, r);
+}
+
+double duplex_with_recovery(double r) {
+  check_prob(r, "duplex_with_recovery");
+  return 1.0 - (1.0 - r) * (1.0 - r);
+}
+
+double modular_redundancy(double r, int copies) {
+  if (copies < 1) throw Error("modular_redundancy: copies must be >= 1");
+  if (copies == 1) {
+    check_prob(r, "modular_redundancy");
+    return r;
+  }
+  if (copies == 2) return duplex_with_recovery(r);
+  if (copies % 2 == 0) {
+    throw Error("modular_redundancy: even copy counts > 2 have no majority");
+  }
+  return nmr(copies, r);
+}
+
+}  // namespace rchls::reliability

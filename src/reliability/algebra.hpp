@@ -1,0 +1,44 @@
+// Reliability algebra of paper Section 5: serial/parallel block models,
+// k-of-N majority systems, and the NMR special cases the experiments use.
+//
+// Conventions: a reliability is a probability in [0, 1]. Functions throw
+// rchls::Error on out-of-range inputs rather than clamping silently.
+#pragma once
+
+#include <span>
+
+namespace rchls::reliability {
+
+/// Serial model (Fig. 3(a)): every component must succeed. R = ∏ Ri.
+/// The paper adopts this product for *all* compositions in HLS, including
+/// structurally parallel ones, because a data path only computes correctly
+/// if every operation does (Section 5).
+double serial(std::span<const double> rs);
+
+/// Classic redundant-parallel model (Fig. 3(b)): one success suffices.
+/// R = 1 - ∏ (1 - Ri). Used for replicated modules, not for data-path
+/// composition.
+double parallel(std::span<const double> rs);
+
+/// k-of-n system of identical modules: Σ_{i=k..n} C(n,i) R^i (1-R)^{n-i}.
+double k_of_n(int n, int k, double r);
+
+/// N-modular redundancy with majority voting (paper: N = 2k - 1):
+/// nmr(N, R) = k_of_n(N, (N+1)/2, R). N must be odd and >= 1; N == 1
+/// degenerates to R itself.
+double nmr(int n, double r);
+
+/// Duplication with detection + rollback recovery (paper Section 5): the
+/// pair succeeds unless both copies fail, R = 1 - (1 - R)^2.
+double duplex_with_recovery(double r);
+
+/// Reliability of one operation executed on a module replicated
+/// `copies` times: 1 copy -> R, 2 copies -> duplex_with_recovery, odd
+/// copies >= 3 -> majority NMR. Even copies > 2 are rejected (no majority
+/// exists; the paper's schemes never produce them).
+double modular_redundancy(double r, int copies);
+
+/// Exact binomial coefficient as double (n <= 62 guards overflow).
+double binomial(int n, int k);
+
+}  // namespace rchls::reliability

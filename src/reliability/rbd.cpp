@@ -1,0 +1,117 @@
+#include "reliability/rbd.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rchls::reliability {
+
+Block Block::component(std::string name, double reliability) {
+  if (!(reliability >= 0.0) || !(reliability <= 1.0)) {
+    throw Error("Block::component: reliability must lie in [0, 1]");
+  }
+  Block b;
+  b.kind_ = Kind::kComponent;
+  b.name_ = std::move(name);
+  b.reliability_ = reliability;
+  return b;
+}
+
+Block Block::serial(std::vector<Block> children) {
+  if (children.empty()) throw Error("Block::serial: needs children");
+  Block b;
+  b.kind_ = Kind::kSerial;
+  b.children_ = std::move(children);
+  return b;
+}
+
+Block Block::parallel(std::vector<Block> children) {
+  if (children.empty()) throw Error("Block::parallel: needs children");
+  Block b;
+  b.kind_ = Kind::kParallel;
+  b.children_ = std::move(children);
+  return b;
+}
+
+Block Block::k_of_n(int k, std::vector<Block> children) {
+  if (children.empty()) throw Error("Block::k_of_n: needs children");
+  if (k < 1 || static_cast<std::size_t>(k) > children.size()) {
+    throw Error("Block::k_of_n: need 1 <= k <= n");
+  }
+  Block b;
+  b.kind_ = Kind::kKofN;
+  b.k_ = k;
+  b.children_ = std::move(children);
+  return b;
+}
+
+double Block::reliability() const {
+  switch (kind_) {
+    case Kind::kComponent:
+      return reliability_;
+    case Kind::kSerial: {
+      double r = 1.0;
+      for (const Block& c : children_) r *= c.reliability();
+      return r;
+    }
+    case Kind::kParallel: {
+      double fail = 1.0;
+      for (const Block& c : children_) fail *= 1.0 - c.reliability();
+      return 1.0 - fail;
+    }
+    case Kind::kKofN: {
+      // dp[j]: probability that exactly j of the children processed so
+      // far are working.
+      std::vector<double> dp{1.0};
+      for (const Block& c : children_) {
+        double r = c.reliability();
+        std::vector<double> next(dp.size() + 1, 0.0);
+        for (std::size_t j = 0; j < dp.size(); ++j) {
+          next[j] += dp[j] * (1.0 - r);
+          next[j + 1] += dp[j] * r;
+        }
+        dp = std::move(next);
+      }
+      double sum = 0.0;
+      for (std::size_t j = static_cast<std::size_t>(k_); j < dp.size();
+           ++j) {
+        sum += dp[j];
+      }
+      return sum;
+    }
+  }
+  throw Error("Block::reliability: corrupt block");
+}
+
+std::size_t Block::component_count() const {
+  if (kind_ == Kind::kComponent) return 1;
+  std::size_t n = 0;
+  for (const Block& c : children_) n += c.component_count();
+  return n;
+}
+
+std::string Block::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kComponent:
+      os << name_ << "[" << reliability_ << "]";
+      return os.str();
+    case Kind::kSerial:
+      os << "serial(";
+      break;
+    case Kind::kParallel:
+      os << "parallel(";
+      break;
+    case Kind::kKofN:
+      os << k_ << "of" << children_.size() << "(";
+      break;
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) os << ", ";
+    os << children_[i].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rchls::reliability

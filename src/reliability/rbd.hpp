@@ -1,0 +1,54 @@
+// Reliability block diagrams (RBDs): composable serial / parallel /
+// k-of-n system models (paper Section 5, Figs. 3-4 generalized).
+//
+// The synthesis engines only need the flat product and NMR formulas in
+// algebra.hpp; this tree-structured evaluator serves the analysis side --
+// e.g. modeling a data path whose units are individually replicated, or
+// answering "what if only the multipliers were TMR'd" questions without
+// re-running synthesis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rchls::reliability {
+
+/// An immutable reliability block: either a leaf component or a serial /
+/// parallel / k-of-n composition of sub-blocks.
+class Block {
+ public:
+  /// Leaf with fixed reliability.
+  static Block component(std::string name, double reliability);
+  /// All children must work.
+  static Block serial(std::vector<Block> children);
+  /// At least one child must work.
+  static Block parallel(std::vector<Block> children);
+  /// At least k children must work. Children may have distinct
+  /// reliabilities (evaluated exactly by dynamic programming over the
+  /// children, not the identical-module binomial shortcut).
+  static Block k_of_n(int k, std::vector<Block> children);
+
+  /// System reliability, assuming independent failures.
+  double reliability() const;
+
+  /// Number of leaf components.
+  std::size_t component_count() const;
+
+  /// Single-line structural rendering, e.g.
+  /// "serial(adder[0.999], 2of3(m, m, m))".
+  std::string to_string() const;
+
+ private:
+  enum class Kind { kComponent, kSerial, kParallel, kKofN };
+
+  Block() = default;
+
+  Kind kind_ = Kind::kComponent;
+  std::string name_;
+  double reliability_ = 1.0;
+  int k_ = 1;
+  std::vector<Block> children_;
+};
+
+}  // namespace rchls::reliability

@@ -1,0 +1,92 @@
+#include "rtl/datapath.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bind/registers.hpp"
+#include "util/error.hpp"
+
+namespace rchls::rtl {
+
+namespace {
+
+void add_source(UnitPort& port, int reg) {
+  if (std::find(port.sources.begin(), port.sources.end(), reg) ==
+      port.sources.end()) {
+    port.sources.push_back(reg);
+  }
+}
+
+}  // namespace
+
+DatapathModel build_datapath(const hls::Design& d, const dfg::Graph& g,
+                             const library::ResourceLibrary& lib,
+                             const DatapathOptions& options) {
+  hls::validate_design(d, g, lib);
+
+  DatapathModel m;
+  auto delays = hls::delays_for(g, lib, d.version_of);
+  m.reg_of = bind::register_assignment(g, delays, d.schedule);
+  m.register_count = 0;
+  for (int r : m.reg_of) m.register_count = std::max(m.register_count, r + 1);
+
+  // Units and operand ports. Operand k of an op reads the register of its
+  // k-th predecessor; primary operands read the external bus (-1).
+  for (bind::InstanceId i = 0; i < d.binding.instances.size(); ++i) {
+    DatapathUnit unit;
+    unit.instance = i;
+    unit.version_name = lib.version(d.binding.instances[i].version).name;
+    for (dfg::NodeId op : d.binding.instances[i].ops) {
+      const auto& preds = g.predecessors(op);
+      add_source(unit.port_a, preds.size() > 0 ? m.reg_of[preds[0]] : -1);
+      add_source(unit.port_b, preds.size() > 1 ? m.reg_of[preds[1]] : -1);
+    }
+    m.units.push_back(std::move(unit));
+  }
+
+  // Controller table: ops indexed by start step.
+  m.control.resize(static_cast<std::size_t>(d.latency));
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    MicroOp mop;
+    mop.op = id;
+    mop.unit = d.binding.instance_of[id];
+    mop.dest_register = m.reg_of[id];
+    m.control[static_cast<std::size_t>(d.schedule.start[id])].issue.push_back(
+        mop);
+  }
+
+  // Area accounting.
+  m.unit_area = d.area;
+  m.register_area = options.register_area_unit * m.register_count;
+  int muxes = 0;
+  for (const auto& u : m.units) {
+    muxes += u.port_a.mux_count() + u.port_b.mux_count();
+  }
+  m.mux_area = options.mux_area_unit * muxes;
+  return m;
+}
+
+std::string to_string(const DatapathModel& m, const dfg::Graph& g) {
+  std::ostringstream os;
+  os << "datapath: " << m.units.size() << " units, " << m.register_count
+     << " registers\n";
+  for (const auto& u : m.units) {
+    os << "  unit#" << u.instance << " " << u.version_name << " (mux "
+       << u.port_a.mux_count() << "+" << u.port_b.mux_count() << ")\n";
+  }
+  os << "area: units " << m.unit_area << " + registers " << m.register_area
+     << " + muxes " << m.mux_area << " = " << m.total_area() << "\n";
+  os << "controller:\n";
+  for (std::size_t step = 0; step < m.control.size(); ++step) {
+    os << "  step " << step << ":";
+    if (m.control[step].issue.empty()) os << " (idle)";
+    for (const MicroOp& mop : m.control[step].issue) {
+      os << " " << g.node(mop.op).name << "@unit" << mop.unit << "->r"
+         << mop.dest_register;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rchls::rtl

@@ -1,0 +1,78 @@
+// Structural data-path model of a synthesized Design: functional units
+// (from the binding), a register file (left-edge over value lifetimes),
+// per-unit operand multiplexers, and the cycle-by-cycle controller table.
+//
+// This is the micro-architecture view the paper stops short of but any
+// adopter needs: it makes the resource sharing of a Design explicit and
+// extends the area accounting beyond functional units (registers + muxes),
+// which DESIGN.md lists as an ablation axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "hls/design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::rtl {
+
+struct UnitPort {
+  /// Distinct register sources observed at this operand port.
+  std::vector<int> sources;
+  /// Number of 2:1 multiplexers needed (max(0, sources - 1)).
+  int mux_count() const {
+    return sources.empty() ? 0 : static_cast<int>(sources.size()) - 1;
+  }
+};
+
+struct DatapathUnit {
+  bind::InstanceId instance = 0;
+  std::string version_name;
+  UnitPort port_a;
+  UnitPort port_b;
+};
+
+struct MicroOp {
+  dfg::NodeId op = 0;
+  bind::InstanceId unit = 0;
+  /// Destination register of the result (latched at completion).
+  int dest_register = -1;
+};
+
+struct ControlStep {
+  /// Operations STARTING at this step.
+  std::vector<MicroOp> issue;
+};
+
+struct DatapathModel {
+  std::vector<DatapathUnit> units;
+  int register_count = 0;
+  /// reg_of[node]: register holding the node's value (-1 never happens
+  /// for valid designs).
+  std::vector<int> reg_of;
+  /// One entry per control step.
+  std::vector<ControlStep> control;
+
+  double unit_area = 0.0;      ///< functional units (the paper's metric)
+  double register_area = 0.0;  ///< registers at `register_area_unit` each
+  double mux_area = 0.0;       ///< 2:1 muxes at `mux_area_unit` each
+  double total_area() const { return unit_area + register_area + mux_area; }
+};
+
+struct DatapathOptions {
+  /// Area of one word-wide register / one word-wide 2:1 mux, in the
+  /// library's normalized units (a ripple-carry adder == 1).
+  double register_area_unit = 0.25;
+  double mux_area_unit = 0.125;
+};
+
+/// Builds the structural model from a synthesized design.
+DatapathModel build_datapath(const hls::Design& d, const dfg::Graph& g,
+                             const library::ResourceLibrary& lib,
+                             const DatapathOptions& options = {});
+
+/// Human-readable controller microcode + inventory.
+std::string to_string(const DatapathModel& m, const dfg::Graph& g);
+
+}  // namespace rchls::rtl

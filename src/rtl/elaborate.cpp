@@ -1,0 +1,143 @@
+#include "rtl/elaborate.hpp"
+
+#include "netlist/compose.hpp"
+#include "util/error.hpp"
+
+namespace rchls::rtl {
+
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+/// Word of gate ids, LSB first.
+using Word = std::vector<GateId>;
+
+struct OperandSources {
+  Word a;
+  Word b;
+};
+
+/// Instantiates the version's unit and wires the operation semantics.
+Word instance_op(Netlist& nl, const UnitMap& units,
+                 const library::ResourceVersion& version, dfg::OpType op,
+                 const Word& a, const Word& b, int width) {
+  Netlist unit = units.build(version, width);
+
+  // Flat input order follows the unit's input buses: adders are
+  // (a, b, cin), multipliers (a, b).
+  std::vector<GateId> drivers;
+  if (version.cls == library::ResourceClass::kAdder) {
+    bool subtract = op == dfg::OpType::kSub || op == dfg::OpType::kLt;
+    drivers = a;
+    for (GateId bit : b) {
+      drivers.push_back(subtract ? nl.bnot(bit) : bit);
+    }
+    drivers.push_back(nl.add_const(subtract));  // cin = 1 for a + ~b + 1
+  } else {
+    drivers = a;
+    drivers.insert(drivers.end(), b.begin(), b.end());
+  }
+
+  auto map = netlist::append(nl, unit, drivers);
+
+  if (version.cls == library::ResourceClass::kAdder) {
+    if (op == dfg::OpType::kLt) {
+      // Unsigned a < b  <=>  no carry out of a + ~b + 1.
+      GateId cout = map[unit.output_bus("cout").bits[0]];
+      Word out(static_cast<std::size_t>(width), nl.add_const(false));
+      out[0] = nl.bnot(cout);
+      return out;
+    }
+    Word out;
+    for (GateId bit : unit.output_bus("sum").bits) out.push_back(map[bit]);
+    return out;
+  }
+  // Multiplier: truncate the 2w-bit product to the low word.
+  Word out;
+  const auto& prod = unit.output_bus("prod").bits;
+  for (int i = 0; i < width; ++i) {
+    out.push_back(map[prod[static_cast<std::size_t>(i)]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Elaboration elaborate(const dfg::Graph& g,
+                      const library::ResourceLibrary& lib,
+                      std::span<const library::VersionId> version_of,
+                      int width, const UnitMap& units) {
+  if (version_of.size() != g.node_count()) {
+    throw Error("elaborate: assignment size mismatch");
+  }
+  if (width < 2 || width > 32) {
+    throw Error("elaborate: width must be in [2, 32]");
+  }
+
+  Elaboration e{Netlist(g.name() + "_elaborated"), {}, {}};
+  Netlist& nl = e.netlist;
+
+  std::vector<Word> value(g.node_count());
+  for (dfg::NodeId id : g.topological_order()) {
+    const auto& preds = g.predecessors(id);
+    if (preds.size() > 2) {
+      throw Error("elaborate: operation '" + g.node(id).name +
+                  "' has more than two operands");
+    }
+    OperandSources ops;
+    auto operand = [&](std::size_t k) {
+      if (k < preds.size()) return value[preds[k]];
+      std::string name = g.node(id).name + "_in" + std::to_string(k);
+      e.input_names.push_back(name);
+      return nl.add_input_bus(name, width).bits;
+    };
+    ops.a = operand(0);
+    ops.b = operand(1);
+
+    const auto& version = lib.version(version_of[id]);
+    if (version.cls != library::class_of(g.node(id).op)) {
+      throw Error("elaborate: version class mismatch on '" +
+                  g.node(id).name + "'");
+    }
+    value[id] =
+        instance_op(nl, units, version, g.node(id).op, ops.a, ops.b, width);
+  }
+
+  for (dfg::NodeId id : g.sinks()) {
+    std::string name = g.node(id).name + "_out";
+    nl.add_output_bus(name, value[id]);
+    e.output_names.push_back(name);
+  }
+  nl.validate();
+  return e;
+}
+
+std::vector<std::uint64_t> reference_eval(
+    const dfg::Graph& g, int width,
+    const std::unordered_map<std::string, std::uint64_t>& operands) {
+  std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  std::vector<std::uint64_t> value(g.node_count(), 0);
+  for (dfg::NodeId id : g.topological_order()) {
+    const auto& preds = g.predecessors(id);
+    auto operand = [&](std::size_t k) -> std::uint64_t {
+      if (k < preds.size()) return value[preds[k]];
+      auto it = operands.find(g.node(id).name + "_in" + std::to_string(k));
+      return it == operands.end() ? 0 : (it->second & mask);
+    };
+    std::uint64_t a = operand(0);
+    std::uint64_t b = operand(1);
+    switch (g.node(id).op) {
+      case dfg::OpType::kAdd: value[id] = (a + b) & mask; break;
+      case dfg::OpType::kSub: value[id] = (a - b) & mask; break;
+      case dfg::OpType::kMul: value[id] = (a * b) & mask; break;
+      case dfg::OpType::kLt: value[id] = (a & mask) < (b & mask); break;
+    }
+  }
+  std::vector<std::uint64_t> out;
+  for (dfg::NodeId id : g.sinks()) out.push_back(value[id]);
+  return out;
+}
+
+}  // namespace rchls::rtl

@@ -1,0 +1,55 @@
+// Whole-design elaboration: expand a DFG with a version assignment into a
+// single flat combinational netlist, instancing the assigned arithmetic
+// unit for every operation (the spatial, fully-parallel equivalent of the
+// scheduled data path -- exact for functional validation and for
+// whole-design fault-injection studies).
+//
+// Port convention: every missing operand of an operation (a DFG node has
+// at most two predecessors; absent ones are primary operands) becomes an
+// input bus named "<node>_in0" / "<node>_in1". Every sink operation's
+// result becomes an output bus named "<node>_out".
+//
+// Semantics per operation (width-w two's complement):
+//   add: (a + b) mod 2^w
+//   sub: (a - b) mod 2^w
+//   mul: (a * b) mod 2^w       (low word of the 2w-bit product)
+//   lt : unsigned a < b ? 1 : 0 (w-bit bus, bit 0 carries the flag)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "library/resource.hpp"
+#include "netlist/netlist.hpp"
+#include "rtl/unit_map.hpp"
+
+namespace rchls::rtl {
+
+struct Elaboration {
+  netlist::Netlist netlist;
+  /// Input bus names in creation order, "<node>_in<k>".
+  std::vector<std::string> input_names;
+  /// Output bus names, "<node>_out", one per DFG sink.
+  std::vector<std::string> output_names;
+};
+
+/// Elaborates the design. Throws Error if a node has more than two
+/// predecessors or a version has no registered unit generator.
+Elaboration elaborate(const dfg::Graph& g,
+                      const library::ResourceLibrary& lib,
+                      std::span<const library::VersionId> version_of,
+                      int width, const UnitMap& units = UnitMap::paper_units());
+
+/// Software reference for the same semantics: computes each sink's value
+/// from the named primary-operand values (keys matching
+/// Elaboration::input_names; missing keys default to 0). Returns one value
+/// per output bus, aligned with Elaboration::output_names.
+std::vector<std::uint64_t> reference_eval(
+    const dfg::Graph& g, int width,
+    const std::unordered_map<std::string, std::uint64_t>& operands);
+
+}  // namespace rchls::rtl

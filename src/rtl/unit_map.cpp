@@ -1,0 +1,50 @@
+#include "rtl/unit_map.hpp"
+
+#include "circuits/adders.hpp"
+#include "circuits/multipliers.hpp"
+#include "util/error.hpp"
+
+namespace rchls::rtl {
+
+UnitMap UnitMap::paper_units() {
+  UnitMap m;
+  m.set("adder_1", &circuits::ripple_carry_adder);
+  m.set("ripple_carry_adder", &circuits::ripple_carry_adder);
+  m.set("adder_2", &circuits::brent_kung_adder);
+  m.set("brent_kung_adder", &circuits::brent_kung_adder);
+  m.set("adder_3", &circuits::kogge_stone_adder);
+  m.set("kogge_stone_adder", &circuits::kogge_stone_adder);
+  m.set("mult_1", &circuits::carry_save_multiplier);
+  m.set("carry_save_multiplier", &circuits::carry_save_multiplier);
+  m.set("mult_2", &circuits::leapfrog_multiplier);
+  m.set("leapfrog_multiplier", &circuits::leapfrog_multiplier);
+  return m;
+}
+
+void UnitMap::set(const std::string& version_name, UnitGenerator gen) {
+  for (auto& [name, g] : generators_) {
+    if (name == version_name) {
+      g = std::move(gen);
+      return;
+    }
+  }
+  generators_.emplace_back(version_name, std::move(gen));
+}
+
+bool UnitMap::contains(const std::string& version_name) const {
+  for (const auto& [name, g] : generators_) {
+    if (name == version_name) return true;
+  }
+  return false;
+}
+
+netlist::Netlist UnitMap::build(const library::ResourceVersion& version,
+                                int width) const {
+  for (const auto& [name, gen] : generators_) {
+    if (name == version.name) return gen(width);
+  }
+  throw Error("UnitMap: no netlist generator registered for version '" +
+              version.name + "'; call UnitMap::set() for custom libraries");
+}
+
+}  // namespace rchls::rtl

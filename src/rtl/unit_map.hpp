@@ -1,0 +1,40 @@
+// Mapping from resource-library versions to gate-level unit netlists.
+// The paper's Table 1 names map onto the circuit generators of
+// src/circuits; custom libraries can register their own generators.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "library/resource.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rchls::rtl {
+
+/// Builds an arithmetic unit netlist of the given bit width.
+using UnitGenerator = std::function<netlist::Netlist(int width)>;
+
+/// Resolves generators by version name.
+class UnitMap {
+ public:
+  /// A map pre-populated with the five paper components:
+  /// adder_1/ripple_carry_adder, adder_2/brent_kung_adder,
+  /// adder_3/kogge_stone_adder, mult_1/carry_save_multiplier,
+  /// mult_2/leapfrog_multiplier (both the Table-1 names and the circuit
+  /// names are registered).
+  static UnitMap paper_units();
+
+  /// Registers (or replaces) a generator for a version name.
+  void set(const std::string& version_name, UnitGenerator gen);
+
+  bool contains(const std::string& version_name) const;
+
+  /// Builds the unit for a version; throws Error for unmapped names.
+  netlist::Netlist build(const library::ResourceVersion& version,
+                         int width) const;
+
+ private:
+  std::vector<std::pair<std::string, UnitGenerator>> generators_;
+};
+
+}  // namespace rchls::rtl

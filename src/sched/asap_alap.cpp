@@ -1,0 +1,22 @@
+#include "sched/asap_alap.hpp"
+
+#include "dfg/timing.hpp"
+
+namespace rchls::sched {
+
+Schedule asap_schedule(const dfg::Graph& g, std::span<const int> delays) {
+  Schedule s;
+  s.start = dfg::asap(g, delays);
+  s.latency = computed_latency(g, delays, s.start);
+  return s;
+}
+
+Schedule alap_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       int latency) {
+  Schedule s;
+  s.start = dfg::alap(g, delays, latency);
+  s.latency = computed_latency(g, delays, s.start);
+  return s;
+}
+
+}  // namespace rchls::sched

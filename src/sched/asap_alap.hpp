@@ -1,0 +1,21 @@
+// ASAP and ALAP schedules as Schedule objects (thin wrappers over
+// dfg/timing.hpp, used directly by tests and as building blocks by the
+// heuristic schedulers).
+#pragma once
+
+#include <span>
+
+#include "sched/schedule.hpp"
+
+namespace rchls::sched {
+
+/// Unconstrained earliest-start schedule; its latency is the minimum
+/// feasible latency for these delays.
+Schedule asap_schedule(const dfg::Graph& g, std::span<const int> delays);
+
+/// Latest-start schedule for the target latency. Throws NoSolutionError if
+/// the latency is infeasible.
+Schedule alap_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       int latency);
+
+}  // namespace rchls::sched

@@ -1,0 +1,29 @@
+// The paper's scheduler (Section 6): partition the control steps, compute
+// per-type partition densities from the scheduling probabilities of
+// not-yet-fixed operations, and place each operation into the least dense
+// partition available to it, "distributing the operations evenly among the
+// partitions so that the number of resources used in the final design is
+// minimized".
+//
+// Concretely this is a distribution-graph scheduler (a light force-directed
+// variant): an unfixed operation u with window [est_u, lst_u] contributes
+// probability 1/(lst_u - est_u + 1) to each start step of its window
+// (spread over its delay); fixed operations contribute 1. Operations are
+// fixed in increasing-mobility order at the start step minimizing the
+// summed density of the steps they would occupy.
+#pragma once
+
+#include <span>
+
+#include "sched/schedule.hpp"
+
+namespace rchls::sched {
+
+/// `node_group[id]` is an arbitrary small integer giving the operation
+/// type partition the densities are computed over (the HLS layer passes
+/// the resource class). Throws NoSolutionError if `latency` is below the
+/// ASAP minimum for these delays.
+Schedule density_schedule(const dfg::Graph& g, std::span<const int> delays,
+                          int latency, std::span<const int> node_group);
+
+}  // namespace rchls::sched

@@ -1,0 +1,22 @@
+// Classic force-directed scheduling (Paulin & Knight) under a latency
+// constraint. Not used by the paper's algorithm (which uses the simpler
+// density scheduler in density.hpp), but provided as the natural
+// alternative for ablation: the HLS engine can be configured to use it,
+// and bench/perf_scheduler compares the two.
+#pragma once
+
+#include <span>
+
+#include "sched/schedule.hpp"
+
+namespace rchls::sched {
+
+/// Minimizes expected concurrent resource usage per group under the
+/// latency bound by iteratively fixing the (node, step) pair with the
+/// lowest total force (self force plus direct predecessor/successor
+/// forces). Throws NoSolutionError if `latency` is infeasible.
+Schedule force_directed_schedule(const dfg::Graph& g,
+                                 std::span<const int> delays, int latency,
+                                 std::span<const int> node_group);
+
+}  // namespace rchls::sched

@@ -1,0 +1,111 @@
+#include "sched/list.hpp"
+
+#include <algorithm>
+
+#include "dfg/timing.hpp"
+#include "util/error.hpp"
+
+namespace rchls::sched {
+
+Schedule list_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       std::span<const int> node_group,
+                       std::span<const int> instances) {
+  const std::size_t n = g.node_count();
+  if (node_group.size() != n) {
+    throw Error("list_schedule: node_group size mismatch");
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    if (node_group[id] < 0 ||
+        static_cast<std::size_t>(node_group[id]) >= instances.size()) {
+      throw Error("list_schedule: node_group value out of range");
+    }
+  }
+  for (int k : instances) {
+    if (k < 1) throw Error("list_schedule: instance counts must be >= 1");
+  }
+
+  // Priority = ALAP start at the unconstrained minimum latency (lower =
+  // more urgent).
+  std::vector<int> priority =
+      dfg::alap(g, delays, dfg::asap_latency(g, delays));
+
+  std::vector<int> remaining_preds(n);
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    remaining_preds[id] = static_cast<int>(g.predecessors(id).size());
+  }
+
+  Schedule s;
+  s.start.assign(n, -1);
+
+  // busy_until[instance slot] per group; an op grabs any slot free at t.
+  std::vector<std::vector<int>> busy_until(instances.size());
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    busy_until[k].assign(static_cast<std::size_t>(instances[k]), 0);
+  }
+
+  std::vector<dfg::NodeId> ready;
+  for (dfg::NodeId id = 0; id < n; ++id) {
+    if (remaining_preds[id] == 0) ready.push_back(id);
+  }
+  // earliest data-ready time per node.
+  std::vector<int> data_ready(n, 0);
+
+  std::size_t scheduled = 0;
+  int t = 0;
+  while (scheduled < n) {
+    // Issue ready ops at step t in priority order.
+    std::sort(ready.begin(), ready.end(),
+              [&priority](dfg::NodeId a, dfg::NodeId b) {
+                if (priority[a] != priority[b]) {
+                  return priority[a] < priority[b];
+                }
+                return a < b;
+              });
+    std::vector<dfg::NodeId> still_waiting;
+    for (dfg::NodeId id : ready) {
+      if (data_ready[id] > t) {
+        still_waiting.push_back(id);
+        continue;
+      }
+      auto& slots = busy_until[static_cast<std::size_t>(node_group[id])];
+      auto slot = std::min_element(slots.begin(), slots.end());
+      if (*slot > t) {
+        still_waiting.push_back(id);
+        continue;
+      }
+      *slot = t + delays[id];
+      s.start[id] = t;
+      ++scheduled;
+      for (dfg::NodeId succ : g.successors(id)) {
+        data_ready[succ] = std::max(data_ready[succ], t + delays[id]);
+        if (--remaining_preds[succ] == 0) still_waiting.push_back(succ);
+      }
+    }
+    ready = std::move(still_waiting);
+    ++t;
+  }
+
+  s.latency = computed_latency(g, delays, s.start);
+  validate_schedule(g, delays, s);
+  return s;
+}
+
+std::vector<int> peak_usage(const dfg::Graph& g, std::span<const int> delays,
+                            const Schedule& s,
+                            std::span<const int> node_group,
+                            int group_count) {
+  if (group_count < 1) throw Error("peak_usage: group_count must be >= 1");
+  std::vector<int> peak(static_cast<std::size_t>(group_count), 0);
+  for (int k = 0; k < group_count; ++k) {
+    std::vector<bool> sel(g.node_count(), false);
+    for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+      sel[id] = node_group[id] == k;
+    }
+    auto use = occupancy(g, delays, s, sel);
+    for (int u : use) peak[static_cast<std::size_t>(k)] =
+        std::max(peak[static_cast<std::size_t>(k)], u);
+  }
+  return peak;
+}
+
+}  // namespace rchls::sched

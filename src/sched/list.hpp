@@ -1,0 +1,35 @@
+// Resource-constrained list scheduling.
+//
+// Given a fixed number of functional-unit instances per group, schedules
+// each operation at the earliest step where (a) its predecessors have
+// completed and (b) an instance of its group is free for its whole
+// duration (units are not pipelined). Priority among ready operations is
+// least ALAP slack first -- the classic list-scheduling heuristic.
+//
+// Used by the Orailoglu-Karri baseline to find the minimum instance counts
+// meeting a latency bound, and by tests as an independent check on the
+// density scheduler's resource usage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace rchls::sched {
+
+/// `node_group[id]`: group key (values must index `instances`);
+/// `instances[k]`: number of available units for group k (>= 1).
+/// Always succeeds (latency simply grows as needed).
+Schedule list_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       std::span<const int> node_group,
+                       std::span<const int> instances);
+
+/// The smallest per-step concurrency of each group over an unconstrained
+/// ASAP schedule -- a lower bound helper for allocation searches.
+std::vector<int> peak_usage(const dfg::Graph& g, std::span<const int> delays,
+                            const Schedule& s,
+                            std::span<const int> node_group,
+                            int group_count);
+
+}  // namespace rchls::sched

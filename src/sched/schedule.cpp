@@ -1,0 +1,60 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::sched {
+
+int computed_latency(const dfg::Graph& g, std::span<const int> delays,
+                     std::span<const int> start) {
+  int latency = 0;
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    latency = std::max(latency, start[id] + delays[id]);
+  }
+  return latency;
+}
+
+void validate_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       const Schedule& s) {
+  if (s.start.size() != g.node_count() || delays.size() != g.node_count()) {
+    throw ValidationError("validate_schedule: size mismatch");
+  }
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    if (s.start[id] < 0) {
+      throw ValidationError("validate_schedule: negative start for " +
+                            g.node(id).name);
+    }
+    if (delays[id] < 1) {
+      throw ValidationError("validate_schedule: delay < 1 for " +
+                            g.node(id).name);
+    }
+    for (dfg::NodeId succ : g.successors(id)) {
+      if (s.start[succ] < s.start[id] + delays[id]) {
+        throw ValidationError("validate_schedule: dependence violated: " +
+                              g.node(id).name + " -> " + g.node(succ).name);
+      }
+    }
+  }
+  if (s.latency != computed_latency(g, delays, s.start)) {
+    throw ValidationError("validate_schedule: latency field inconsistent");
+  }
+}
+
+std::vector<int> occupancy(const dfg::Graph& g, std::span<const int> delays,
+                           const Schedule& s,
+                           const std::vector<bool>& selected) {
+  if (selected.size() != g.node_count()) {
+    throw Error("occupancy: selector size mismatch");
+  }
+  std::vector<int> use(static_cast<std::size_t>(s.latency), 0);
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    if (!selected[id]) continue;
+    for (int c = s.start[id]; c < s.start[id] + delays[id]; ++c) {
+      use[static_cast<std::size_t>(c)]++;
+    }
+  }
+  return use;
+}
+
+}  // namespace rchls::sched

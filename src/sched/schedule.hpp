@@ -1,0 +1,38 @@
+// Schedule representation and validation.
+//
+// A schedule assigns each DFG node a start control-step; a node with delay
+// d occupies steps [start, start + d). Schedules returned by every
+// scheduler in this module satisfy validate_schedule().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace rchls::sched {
+
+struct Schedule {
+  /// Start step per node, indexed by NodeId.
+  std::vector<int> start;
+  /// Number of control steps used: max(start + delay).
+  int latency = 0;
+};
+
+/// Throws ValidationError unless starts are >= 0, every dependence
+/// u -> v satisfies start[v] >= start[u] + delay[u], and `latency` equals
+/// the true maximum completion time.
+void validate_schedule(const dfg::Graph& g, std::span<const int> delays,
+                       const Schedule& s);
+
+/// Number of nodes of class-selector `want(node)` active at each step.
+/// Used to derive resource demand profiles.
+std::vector<int> occupancy(const dfg::Graph& g, std::span<const int> delays,
+                           const Schedule& s,
+                           const std::vector<bool>& selected);
+
+/// Computes latency from starts and delays.
+int computed_latency(const dfg::Graph& g, std::span<const int> delays,
+                     std::span<const int> start);
+
+}  // namespace rchls::sched

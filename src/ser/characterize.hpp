@@ -1,0 +1,64 @@
+// Component characterization: turns arithmetic circuits into
+// (area, delay, reliability) triples -- the front half of the paper's flow
+// (Section 4, Table 1).
+//
+// Two paths are provided:
+//
+//  * paper_characterization(): the analytic chain anchored on the paper's
+//    published Qcritical values; reproduces Table 1 exactly (bench
+//    repro_table1).
+//  * characterize_components(): the fully simulated path -- generate the
+//    five netlists, measure area/depth structurally, estimate relative SER
+//    by Monte-Carlo fault injection, and anchor reliabilities on the
+//    ripple-carry adder. This is the substitute for the MAX/HSPICE flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ser/fault_injection.hpp"
+#include "ser/model.hpp"
+
+namespace rchls::ser {
+
+/// Operation class a component implements.
+enum class ComponentClass { kAdder, kMultiplier };
+
+struct ComponentCharacterization {
+  std::string name;
+  ComponentClass cls = ComponentClass::kAdder;
+  /// Area in the paper's normalized units (ripple-carry adder == 1).
+  double area_units = 0.0;
+  /// Latency in clock cycles.
+  int delay_cycles = 0;
+  /// Mission reliability per Figure 2's chain.
+  double reliability = 0.0;
+  /// Critical charge used (paper path) or implied (simulated path), in C.
+  double qcritical = 0.0;
+  /// Raw gate count of the generated netlist (simulated path only).
+  std::size_t gate_count = 0;
+  /// Logical sensitivity from fault injection (simulated path only).
+  double logical_sensitivity = 0.0;
+};
+
+/// The five Table 1 components via the paper's published/derived Qcritical
+/// values and the calibrated SoftErrorModel. Order: adder 1..3,
+/// multiplier 1..2.
+std::vector<ComponentCharacterization> paper_characterization();
+
+struct CharacterizeConfig {
+  /// Bit width of the generated arithmetic units.
+  int width = 16;
+  InjectionConfig injection;
+};
+
+/// Full simulated characterization of the five components at the given
+/// width. Area is normalized so the ripple-carry adder is 1 unit; delay in
+/// cycles is the circuit depth divided by the clock period implied by the
+/// deepest single-cycle component; reliability anchors the ripple-carry
+/// adder at 0.999 and scales the others by their estimated relative SER
+/// (gate count x logical sensitivity).
+std::vector<ComponentCharacterization> characterize_components(
+    const CharacterizeConfig& config);
+
+}  // namespace rchls::ser

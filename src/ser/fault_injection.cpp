@@ -1,0 +1,90 @@
+#include "ser/fault_injection.hpp"
+
+#include <cmath>
+
+#include "netlist/sim.hpp"
+#include "util/error.hpp"
+
+namespace rchls::ser {
+
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+using netlist::Simulator;
+
+std::vector<GateId> logic_gates(const Netlist& nl) {
+  std::vector<GateId> ids;
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    if (netlist::fanin_count(nl.gate(id).kind) > 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Runs `passes` 64-lane evaluations, striking `pick_gate(pass)` in every
+/// lane, and accumulates how many lanes saw an output corruption.
+template <typename PickGate>
+InjectionResult run_campaign(const Netlist& nl, const InjectionConfig& config,
+                             PickGate&& pick_gate) {
+  if (config.trials == 0) throw Error("inject: trials must be positive");
+  if (config.electrical_derating < 0 || config.electrical_derating > 1 ||
+      config.latching_window_derating < 0 ||
+      config.latching_window_derating > 1) {
+    throw Error("inject: derating factors must lie in [0, 1]");
+  }
+
+  Simulator sim(nl);
+  Rng rng(config.seed);
+  std::size_t passes = (config.trials + 63) / 64;
+
+  InjectionResult result;
+  result.trials = passes * 64;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    std::vector<std::uint64_t> inputs(nl.input_bits().size());
+    for (auto& w : inputs) w = rng.next_u64();
+
+    GateId victim = pick_gate(pass, rng);
+    auto golden = sim.output_words(sim.run(inputs));
+    auto faulty =
+        sim.output_words(sim.run(inputs, netlist::Fault{victim, ~0ULL}));
+
+    std::uint64_t corrupted = 0;
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      corrupted |= golden[i] ^ faulty[i];
+    }
+    result.propagated +=
+        static_cast<std::size_t>(__builtin_popcountll(corrupted));
+  }
+
+  double n = static_cast<double>(result.trials);
+  result.logical_sensitivity = static_cast<double>(result.propagated) / n;
+  result.susceptibility = result.logical_sensitivity *
+                          config.electrical_derating *
+                          config.latching_window_derating;
+  double p = result.logical_sensitivity;
+  result.half_width_95 = 1.96 * std::sqrt(std::max(p * (1.0 - p), 0.0) / n);
+  return result;
+}
+
+}  // namespace
+
+InjectionResult inject_campaign(const Netlist& nl,
+                                const InjectionConfig& config) {
+  auto gates = logic_gates(nl);
+  if (gates.empty()) throw Error("inject_campaign: netlist has no logic");
+  return run_campaign(nl, config, [&gates](std::size_t, Rng& rng) {
+    return gates[rng.next_below(gates.size())];
+  });
+}
+
+InjectionResult inject_gate(const Netlist& nl, GateId gate,
+                            const InjectionConfig& config) {
+  if (gate >= nl.gate_count()) throw Error("inject_gate: gate out of range");
+  if (netlist::fanin_count(nl.gate(gate).kind) == 0) {
+    throw Error("inject_gate: target must be a logic gate");
+  }
+  return run_campaign(nl, config,
+                      [gate](std::size_t, Rng&) { return gate; });
+}
+
+}  // namespace rchls::ser

@@ -1,0 +1,82 @@
+#include "ser/model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rchls::ser {
+
+namespace {
+
+void check_reliability(double r, const char* who) {
+  if (!(r > 0.0) || !(r < 1.0)) {
+    throw Error(std::string(who) + ": reliability must lie in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double relative_ser(double qc_ref, double qc, double qs) {
+  if (!(qs > 0.0)) throw Error("relative_ser: qs must be positive");
+  return std::exp((qc_ref - qc) / qs);
+}
+
+double absolute_ser(double nflux, double cs, double qc, double qs, double k) {
+  if (!(qs > 0.0)) throw Error("absolute_ser: qs must be positive");
+  if (nflux < 0.0 || cs < 0.0 || k < 0.0) {
+    throw Error("absolute_ser: flux, cross-section and k must be >= 0");
+  }
+  return k * nflux * cs * std::exp(-qc / qs);
+}
+
+double reliability_from_ser_ratio(double r_ref, double ser_ratio) {
+  check_reliability(r_ref, "reliability_from_ser_ratio");
+  if (!(ser_ratio >= 0.0)) {
+    throw Error("reliability_from_ser_ratio: ratio must be >= 0");
+  }
+  return std::pow(r_ref, ser_ratio);
+}
+
+double failure_exposure(double reliability) {
+  check_reliability(reliability, "failure_exposure");
+  return -std::log(reliability);
+}
+
+double calibrate_qs(double qc1, double r1, double qc2, double r2) {
+  check_reliability(r1, "calibrate_qs");
+  check_reliability(r2, "calibrate_qs");
+  if (qc1 == qc2) throw Error("calibrate_qs: anchor charges must differ");
+  double ratio = std::log(r2) / std::log(r1);  // λ2/λ1
+  if (!(ratio > 0.0) || ratio == 1.0) {
+    throw Error("calibrate_qs: anchor reliabilities must differ");
+  }
+  return (qc1 - qc2) / std::log(ratio);
+}
+
+SoftErrorModel::SoftErrorModel(double qc_ref, double r_ref, double qs)
+    : qc_ref_(qc_ref), r_ref_(r_ref), qs_(qs) {
+  check_reliability(r_ref, "SoftErrorModel");
+  if (!(qs > 0.0)) throw Error("SoftErrorModel: qs must be positive");
+  if (!(qc_ref > 0.0)) throw Error("SoftErrorModel: qc_ref must be positive");
+}
+
+SoftErrorModel SoftErrorModel::paper_calibrated() {
+  double qs = calibrate_qs(PaperCharges::kRippleCarry, kAnchorReliability,
+                           PaperCharges::kBrentKung, 0.969);
+  return SoftErrorModel(PaperCharges::kRippleCarry, kAnchorReliability, qs);
+}
+
+double SoftErrorModel::reliability(double qc) const {
+  if (!(qc > 0.0)) throw Error("reliability: qc must be positive");
+  return reliability_from_ser_ratio(r_ref_, relative_ser(qc_ref_, qc, qs_));
+}
+
+double SoftErrorModel::critical_charge_for(double r) const {
+  check_reliability(r, "critical_charge_for");
+  // r = r_ref ^ exp((qc_ref - qc)/qs)  =>
+  // qc = qc_ref - qs * ln( ln(r) / ln(r_ref) ).
+  double ratio = std::log(r) / std::log(r_ref_);
+  return qc_ref_ - qs_ * std::log(ratio);
+}
+
+}  // namespace rchls::ser

@@ -1,0 +1,193 @@
+// rchls: command-line reliability-centric HLS.
+//
+//   rchls synth   <dfg-file|benchmark> --latency N --area A
+//                 [--engine centric|baseline|combined] [--polish]
+//                 [--scheduler density|fds] [--datapath]
+//   rchls sweep   <dfg-file|benchmark> --latency N --areas A1,A2,...
+//   rchls bench   (list built-in benchmark graphs)
+//
+// Exit codes: 0 success, 1 usage error, 2 no solution within bounds.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/io.hpp"
+#include "hls/baseline.hpp"
+#include "hls/combined.hpp"
+#include "hls/explore.hpp"
+#include "hls/find_design.hpp"
+#include "hls/report.hpp"
+#include "rtl/datapath.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace rchls;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  rchls synth <dfg-file|benchmark> --latency N --area A\n"
+      "              [--engine centric|baseline|combined] [--polish]\n"
+      "              [--scheduler density|fds] [--datapath]\n"
+      "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
+      "  rchls bench\n";
+  return 1;
+}
+
+dfg::Graph load_graph(const std::string& spec) {
+  for (const auto& name : benchmarks::all_names()) {
+    if (name == spec) return benchmarks::by_name(spec);
+  }
+  std::ifstream in(spec);
+  if (!in) throw Error("cannot open '" + spec + "' (and it is not a "
+                       "built-in benchmark name)");
+  return dfg::parse(in);
+}
+
+struct Args {
+  std::string command;
+  std::string graph_spec;
+  std::optional<int> latency;
+  std::optional<double> area;
+  std::vector<double> areas;
+  std::string engine = "centric";
+  std::string scheduler = "density";
+  bool polish = false;
+  bool datapath = false;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  int i = 2;
+  if (a.command != "bench") {
+    if (argc < 3) return std::nullopt;
+    a.graph_spec = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (flag == "--latency") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.latency = std::atoi(v->c_str());
+    } else if (flag == "--area") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.area = std::atof(v->c_str());
+    } else if (flag == "--areas") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      for (const auto& tok : split(*v, ',')) {
+        a.areas.push_back(std::atof(tok.c_str()));
+      }
+    } else if (flag == "--engine") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.engine = *v;
+    } else if (flag == "--scheduler") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.scheduler = *v;
+    } else if (flag == "--polish") {
+      a.polish = true;
+    } else if (flag == "--datapath") {
+      a.datapath = true;
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+int run_synth(const Args& a) {
+  if (!a.latency || !a.area) {
+    std::cerr << "synth needs --latency and --area\n";
+    return 1;
+  }
+  dfg::Graph g = load_graph(a.graph_spec);
+  auto lib = library::paper_library();
+
+  hls::FindDesignOptions fd;
+  fd.enable_polish = a.polish;
+  if (a.scheduler == "fds") {
+    fd.scheduler = hls::SchedulerKind::kForceDirected;
+  } else if (a.scheduler != "density") {
+    std::cerr << "unknown scheduler '" << a.scheduler << "'\n";
+    return 1;
+  }
+
+  hls::Design d;
+  try {
+    if (a.engine == "centric") {
+      d = hls::find_design(g, lib, *a.latency, *a.area, fd);
+    } else if (a.engine == "baseline") {
+      d = hls::nmr_baseline(g, lib, *a.latency, *a.area);
+    } else if (a.engine == "combined") {
+      hls::CombinedOptions co;
+      co.find_design = fd;
+      d = hls::combined_design(g, lib, *a.latency, *a.area, co);
+    } else {
+      std::cerr << "unknown engine '" << a.engine << "'\n";
+      return 1;
+    }
+  } catch (const NoSolutionError& e) {
+    std::cerr << "no solution: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << hls::schedule_table(d, g, lib)
+            << hls::design_summary(d, g, lib);
+  if (a.datapath) {
+    std::cout << "\n" << rtl::to_string(rtl::build_datapath(d, g, lib), g);
+  }
+  return 0;
+}
+
+int run_sweep(const Args& a) {
+  if (!a.latency || a.areas.empty()) {
+    std::cerr << "sweep needs --latency and --areas\n";
+    return 1;
+  }
+  dfg::Graph g = load_graph(a.graph_spec);
+  auto lib = library::paper_library();
+  hls::FindDesignOptions fd;
+  fd.enable_polish = a.polish;
+  auto points = hls::area_sweep(g, lib, *a.latency, a.areas, fd);
+  std::cout << hls::to_csv(points);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "bench") {
+      for (const auto& name : benchmarks::all_names()) {
+        auto g = benchmarks::by_name(name);
+        std::cout << name << ": " << g.node_count() << " ops ("
+                  << g.count_ops(dfg::OpType::kMul) << " mul)\n";
+      }
+      return 0;
+    }
+    if (args->command == "synth") return run_synth(*args);
+    if (args->command == "sweep") return run_sweep(*args);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,39 @@
+// Error type shared across all rchls libraries.
+//
+// Following the C++ Core Guidelines (I.10, E.2) we signal failures to
+// perform a required task with exceptions. Every library in this project
+// throws rchls::Error (or a subclass) so that callers can catch one type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rchls {
+
+/// Base exception for all rchls errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input artifact (netlist, DFG, library, ...) violates a
+/// structural invariant, e.g. a cycle in a DFG or a dangling net.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a text artifact cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by synthesis engines when no design satisfies the given bounds
+/// (the "return no solution" case of the paper's Fig. 6 algorithm).
+class NoSolutionError : public Error {
+ public:
+  explicit NoSolutionError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace rchls

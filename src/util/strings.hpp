@@ -1,0 +1,26 @@
+// Small string helpers used by the text parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rchls {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single character delimiter; tokens are trimmed, empties kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Render a double with `digits` significant decimals, trailing-zero padded
+/// (e.g. format_fixed(0.5, 5) == "0.50000"), matching the paper's tables.
+std::string format_fixed(double v, int digits);
+
+}  // namespace rchls

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw Error("Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw Error("Table: row has " + std::to_string(row.size()) +
+                " cells, expected " + std::to_string(header_.size()));
+  }
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.separator ? rule() : line(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace rchls

@@ -1,0 +1,43 @@
+// ASCII table rendering for the benchmark harnesses and examples.
+//
+// Every reproduction binary (bench/repro_*) prints its results as a table
+// shaped like the corresponding table/figure in the paper; this class keeps
+// that formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rchls {
+
+/// A simple left/right aligned ASCII table.
+///
+///   Table t({"Ld", "Ad", "Ref [3]", "Ours", "% Imprv"});
+///   t.add_row({"10", "9", "0.48467", "0.59998", "23.79"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; the row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rchls

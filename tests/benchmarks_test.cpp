@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "util/error.hpp"
+
+namespace rchls::benchmarks {
+namespace {
+
+TEST(Benchmarks, RegistryIsComplete) {
+  auto names = all_names();
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& name : names) {
+    dfg::Graph g = by_name(name);
+    g.validate();
+    EXPECT_EQ(g.name(), name);
+  }
+  EXPECT_THROW(by_name("nope"), Error);
+}
+
+TEST(Benchmarks, Fig4ExampleShape) {
+  dfg::Graph g = fig4_example();
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  // unit-delay depth: A/B -> C -> D/E -> F.
+  std::vector<int> unit(g.node_count(), 1);
+  EXPECT_EQ(dfg::asap_latency(g, unit), 4);
+}
+
+TEST(Benchmarks, Fir16Shape) {
+  dfg::Graph g = fir16();
+  // 23 ops: 8 pre-adds, 8 muls, 7 accumulation adds (paper Section 7:
+  // 0.969^23 = 0.48467).
+  EXPECT_EQ(g.node_count(), 23u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 8u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd), 15u);
+  // unit-delay critical path: pre-add, mul, then the 7-adder chain.
+  std::vector<int> unit(g.node_count(), 1);
+  EXPECT_EQ(dfg::asap_latency(g, unit), 9);
+  auto cp = dfg::critical_path(g, unit);
+  EXPECT_EQ(cp.size(), 9u);
+  EXPECT_EQ(g.node(cp.back()).name, "+g");
+}
+
+TEST(Benchmarks, EwfShape) {
+  dfg::Graph g = ewf();
+  EXPECT_EQ(g.node_count(), 34u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 8u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd), 26u);
+  std::vector<int> unit(g.node_count(), 1);
+  // Long serial backbone: the hallmark of the elliptic filter (the
+  // published benchmark's unit-delay depth is 14; this reconstruction
+  // has 13).
+  EXPECT_EQ(dfg::asap_latency(g, unit), 13);
+  // With 2-cycle multipliers the sections deepen the graph, as in the
+  // published benchmark (minimum 17 c-steps there).
+  std::vector<int> mul2(g.node_count(), 1);
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    if (g.node(id).op == dfg::OpType::kMul) mul2[id] = 2;
+  }
+  EXPECT_GE(dfg::asap_latency(g, mul2), 14);
+}
+
+TEST(Benchmarks, DiffeqShape) {
+  dfg::Graph g = diffeq();
+  EXPECT_EQ(g.node_count(), 11u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 6u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kSub), 2u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd), 2u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kLt), 1u);
+  std::vector<int> unit(g.node_count(), 1);
+  EXPECT_EQ(dfg::asap_latency(g, unit), 4);  // *1/*2 -> *3 -> -1 -> -2
+}
+
+TEST(Benchmarks, ArLatticeShape) {
+  dfg::Graph g = ar_lattice();
+  EXPECT_EQ(g.node_count(), 28u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 16u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd), 12u);
+  std::vector<int> unit(g.node_count(), 1);
+  EXPECT_EQ(dfg::asap_latency(g, unit), 6);
+}
+
+TEST(Benchmarks, FdctShape) {
+  dfg::Graph g = fdct();
+  EXPECT_EQ(g.node_count(), 42u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 16u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kAdd) + g.count_ops(dfg::OpType::kSub),
+            26u);
+  std::vector<int> unit(g.node_count(), 1);
+  // s3 path: s1 -> s2 -> s3 -> mul -> o -> f.
+  EXPECT_EQ(dfg::asap_latency(g, unit), 6);
+}
+
+TEST(Benchmarks, IirBiquadShape) {
+  dfg::Graph g = iir_biquad();
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.count_ops(dfg::OpType::kMul), 5u);
+  std::vector<int> unit(g.node_count(), 1);
+  EXPECT_EQ(dfg::asap_latency(g, unit), 5);  // mul + 4-deep add chain
+}
+
+TEST(Benchmarks, AllAreDags) {
+  for (const auto& name : all_names()) {
+    dfg::Graph g = by_name(name);
+    EXPECT_EQ(g.topological_order().size(), g.node_count()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rchls::benchmarks

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+#include <algorithm>
+
+
+#include "benchmarks/suite.hpp"
+#include "bind/left_edge.hpp"
+#include "bind/registers.hpp"
+#include "dfg/timing.hpp"
+#include "sched/asap_alap.hpp"
+#include "sched/density.hpp"
+#include "sched/list.hpp"
+#include "util/error.hpp"
+
+namespace rchls::bind {
+namespace {
+
+using library::ResourceLibrary;
+using library::VersionId;
+
+std::vector<VersionId> uniform_versions(const dfg::Graph& g,
+                                        const ResourceLibrary& lib,
+                                        const std::string& adder,
+                                        const std::string& mult) {
+  std::vector<VersionId> v(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    v[id] = library::class_of(g.node(id).op) ==
+                    library::ResourceClass::kAdder
+                ? lib.find(adder)
+                : lib.find(mult);
+  }
+  return v;
+}
+
+std::vector<int> delays_of(const dfg::Graph& g, const ResourceLibrary& lib,
+                           const std::vector<VersionId>& v) {
+  std::vector<int> d(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    d[id] = lib.version(v[id]).delay;
+  }
+  return d;
+}
+
+TEST(LeftEdge, SerialChainSharesOneUnit) {
+  dfg::Graph g("chain");
+  dfg::NodeId prev = g.add_node("n0", dfg::OpType::kAdd);
+  for (int i = 1; i < 5; ++i) {
+    dfg::NodeId next = g.add_node("n" + std::to_string(i), dfg::OpType::kAdd);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  ResourceLibrary lib = library::paper_library();
+  auto versions = uniform_versions(g, lib, "adder_2", "mult_2");
+  auto delays = delays_of(g, lib, versions);
+  auto s = sched::asap_schedule(g, delays);
+  Binding b = left_edge_bind(g, lib, versions, s);
+  EXPECT_EQ(b.instances.size(), 1u);
+  EXPECT_DOUBLE_EQ(total_area(b, lib), 2.0);
+}
+
+TEST(LeftEdge, ParallelOpsNeedSeparateUnits) {
+  dfg::Graph g("par");
+  g.add_node("a", dfg::OpType::kAdd);
+  g.add_node("b", dfg::OpType::kAdd);
+  g.add_node("c", dfg::OpType::kAdd);
+  ResourceLibrary lib = library::paper_library();
+  auto versions = uniform_versions(g, lib, "adder_1", "mult_1");
+  auto delays = delays_of(g, lib, versions);
+  auto s = sched::asap_schedule(g, delays);  // all start at 0
+  Binding b = left_edge_bind(g, lib, versions, s);
+  EXPECT_EQ(b.instances.size(), 3u);
+  EXPECT_DOUBLE_EQ(total_area(b, lib), 3.0);
+}
+
+TEST(LeftEdge, DistinctVersionsNeverShare) {
+  dfg::Graph g("two");
+  dfg::NodeId a = g.add_node("a", dfg::OpType::kAdd);
+  dfg::NodeId b = g.add_node("b", dfg::OpType::kAdd);
+  g.add_edge(a, b);
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> versions{lib.find("adder_1"), lib.find("adder_2")};
+  auto delays = delays_of(g, lib, versions);
+  auto s = sched::asap_schedule(g, delays);
+  Binding bind = left_edge_bind(g, lib, versions, s);
+  EXPECT_EQ(bind.instances.size(), 2u);
+  auto hist = instance_histogram(bind, lib);
+  EXPECT_EQ(hist[lib.find("adder_1")], 1);
+  EXPECT_EQ(hist[lib.find("adder_2")], 1);
+}
+
+TEST(LeftEdge, MatchesPeakUsageOnBenchmarks) {
+  ResourceLibrary lib = library::paper_library();
+  for (const auto& name : benchmarks::all_names()) {
+    auto g = benchmarks::by_name(name);
+    auto versions = uniform_versions(g, lib, "adder_2", "mult_2");
+    auto delays = delays_of(g, lib, versions);
+    int lmin = dfg::asap_latency(g, delays);
+    std::vector<int> groups(g.node_count());
+    for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+      groups[id] = g.node(id).op == dfg::OpType::kMul ? 1 : 0;
+    }
+    auto s = sched::density_schedule(g, delays, lmin + 1, groups);
+    Binding b = left_edge_bind(g, lib, versions, s);
+    auto peak = sched::peak_usage(g, delays, s, groups, 2);
+    // Left-edge is optimal for intervals: instance count equals the peak.
+    auto hist = instance_histogram(b, lib);
+    EXPECT_EQ(hist[lib.find("adder_2")], peak[0]) << name;
+    EXPECT_EQ(hist[lib.find("mult_2")], peak[1]) << name;
+  }
+}
+
+TEST(LeftEdge, RejectsWrongClassAssignment) {
+  dfg::Graph g("t");
+  g.add_node("a", dfg::OpType::kAdd);
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> versions{lib.find("mult_1")};
+  sched::Schedule s;
+  s.start = {0};
+  s.latency = 2;
+  EXPECT_THROW(left_edge_bind(g, lib, versions, s), Error);
+}
+
+TEST(ValidateBinding, CatchesTampering) {
+  dfg::Graph g("t");
+  dfg::NodeId a = g.add_node("a", dfg::OpType::kAdd);
+  dfg::NodeId b = g.add_node("b", dfg::OpType::kAdd);
+  g.add_edge(a, b);
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> versions{lib.find("adder_2"), lib.find("adder_2")};
+  auto delays = delays_of(g, lib, versions);
+  auto s = sched::asap_schedule(g, delays);
+  Binding bind = left_edge_bind(g, lib, versions, s);
+
+  Binding overlap = bind;
+  // Force both ops onto one instance at the same start time.
+  sched::Schedule clash = s;
+  clash.start[b] = s.start[a];
+  clash.latency = 1;
+  if (overlap.instances.size() == 1) {
+    EXPECT_THROW(validate_binding(g, lib, versions, clash, overlap),
+                 ValidationError);
+  }
+
+  Binding missing = bind;
+  missing.instances[0].ops.clear();
+  EXPECT_THROW(validate_binding(g, lib, versions, s, missing),
+               ValidationError);
+}
+
+TEST(Registers, ChainNeedsOneRegister) {
+  dfg::Graph g("chain");
+  dfg::NodeId prev = g.add_node("n0", dfg::OpType::kAdd);
+  for (int i = 1; i < 6; ++i) {
+    dfg::NodeId next = g.add_node("n" + std::to_string(i), dfg::OpType::kAdd);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  std::vector<int> delays(g.node_count(), 1);
+  auto s = sched::asap_schedule(g, delays);
+  EXPECT_EQ(register_count(g, delays, s), 1);
+}
+
+TEST(Registers, ParallelValuesNeedParallelRegisters) {
+  dfg::Graph g("par");
+  std::vector<dfg::NodeId> srcs;
+  for (int i = 0; i < 4; ++i) {
+    srcs.push_back(g.add_node("s" + std::to_string(i), dfg::OpType::kAdd));
+  }
+  dfg::NodeId join1 = g.add_node("j1", dfg::OpType::kAdd);
+  dfg::NodeId join2 = g.add_node("j2", dfg::OpType::kAdd);
+  dfg::NodeId join3 = g.add_node("j3", dfg::OpType::kAdd);
+  g.add_edge(srcs[0], join1);
+  g.add_edge(srcs[1], join1);
+  g.add_edge(srcs[2], join2);
+  g.add_edge(srcs[3], join2);
+  g.add_edge(join1, join3);
+  g.add_edge(join2, join3);
+  std::vector<int> delays(g.node_count(), 1);
+  auto s = sched::asap_schedule(g, delays);
+  // Four source values live simultaneously after step 0.
+  EXPECT_GE(register_count(g, delays, s), 4);
+}
+
+TEST(Registers, AssignmentIsConflictFree) {
+  auto g = benchmarks::fir16();
+  std::vector<int> delays(g.node_count(), 1);
+  auto s = sched::asap_schedule(g, delays);
+  auto reg = register_assignment(g, delays, s);
+  auto lts = value_lifetimes(g, delays, s);
+  // Same register => disjoint lifetimes.
+  for (std::size_t i = 0; i < lts.size(); ++i) {
+    for (std::size_t j = i + 1; j < lts.size(); ++j) {
+      if (reg[lts[i].producer] != reg[lts[j].producer]) continue;
+      bool disjoint =
+          lts[i].end <= lts[j].begin || lts[j].end <= lts[i].begin;
+      EXPECT_TRUE(disjoint)
+          << g.node(lts[i].producer).name << " and "
+          << g.node(lts[j].producer).name << " share a register";
+    }
+  }
+  // Count matches the packing.
+  EXPECT_EQ(register_count(g, delays, s),
+            1 + *std::max_element(reg.begin(), reg.end()));
+}
+
+TEST(Registers, LifetimesSpanToLastConsumer) {
+  dfg::Graph g("t");
+  dfg::NodeId a = g.add_node("a", dfg::OpType::kAdd);
+  dfg::NodeId b = g.add_node("b", dfg::OpType::kAdd);
+  dfg::NodeId c = g.add_node("c", dfg::OpType::kAdd);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  std::vector<int> delays{1, 1, 1};
+  auto s = sched::asap_schedule(g, delays);  // a@0, b@1, c@2
+  auto lts = value_lifetimes(g, delays, s);
+  EXPECT_EQ(lts[a].begin, 1);
+  EXPECT_EQ(lts[a].end, 3);  // consumed by c at step 2
+  EXPECT_EQ(lts[c].end, lts[c].begin + 1);  // sink holds one step
+}
+
+}  // namespace
+}  // namespace rchls::bind

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "circuits/multipliers.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rchls::circuits {
+namespace {
+
+using netlist::Netlist;
+using netlist::Simulator;
+
+using MulGen = Netlist (*)(int);
+
+struct MulCase {
+  const char* name;
+  MulGen gen;
+  int width;
+};
+
+class MultiplierFunctional : public ::testing::TestWithParam<MulCase> {};
+
+TEST_P(MultiplierFunctional, MatchesReferenceArithmetic) {
+  const auto& param = GetParam();
+  Netlist nl = param.gen(param.width);
+  Simulator sim(nl);
+  int w = param.width;
+  std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+
+  auto check = [&](std::uint64_t a, std::uint64_t b) {
+    a &= mask;
+    b &= mask;
+    auto out = sim.run_scalar({a, b});
+    unsigned __int128 full =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    std::uint64_t prod_mask =
+        (2 * w >= 64) ? ~0ULL : ((1ULL << (2 * w)) - 1);
+    EXPECT_EQ(out[0], static_cast<std::uint64_t>(full) & prod_mask)
+        << param.name << " width " << w << " a=" << a << " b=" << b;
+  };
+
+  if (w <= 4) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) check(a, b);
+    }
+  } else {
+    Rng rng(77 + static_cast<std::uint64_t>(w));
+    check(0, 0);
+    check(mask, mask);
+    check(1, mask);
+    for (int i = 0; i < 150; ++i) check(rng.next_u64(), rng.next_u64());
+  }
+}
+
+std::vector<MulCase> mul_cases() {
+  std::vector<MulCase> cases;
+  for (int w : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    cases.push_back({"carry_save", &carry_save_multiplier, w});
+    cases.push_back({"leapfrog", &leapfrog_multiplier, w});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, MultiplierFunctional,
+                         ::testing::ValuesIn(mul_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.name) + "_w" +
+                                  std::to_string(info.param.width);
+                         });
+
+TEST(Multipliers, LeapfrogIsFasterAndBigger) {
+  auto csa = netlist::compute_stats(carry_save_multiplier(16));
+  auto leap = netlist::compute_stats(leapfrog_multiplier(16));
+  // Wallace tree + Kogge-Stone merge is much shallower than the linear
+  // array with ripple merge...
+  EXPECT_LT(leap.depth, 0.6 * csa.depth);
+  // ...at higher gate cost.
+  EXPECT_GT(leap.area, csa.area);
+}
+
+TEST(Multipliers, ProductBusIsTwiceTheWidth) {
+  Netlist nl = carry_save_multiplier(7);
+  EXPECT_EQ(nl.output_bus("prod").bits.size(), 14u);
+}
+
+TEST(Multipliers, RejectsBadWidths) {
+  EXPECT_THROW(carry_save_multiplier(0), Error);
+  EXPECT_THROW(leapfrog_multiplier(33), Error);
+}
+
+}  // namespace
+}  // namespace rchls::circuits

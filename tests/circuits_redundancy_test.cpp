@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "circuits/adders.hpp"
+#include "circuits/redundancy.hpp"
+#include "netlist/sim.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rchls::circuits {
+namespace {
+
+using netlist::Fault;
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::Simulator;
+
+TEST(Voter, MajorityOfThreeBitwise) {
+  Netlist nl = majority_voter(4);
+  Simulator sim(nl);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t a = rng.next_below(16);
+    std::uint64_t b = rng.next_below(16);
+    std::uint64_t c = rng.next_below(16);
+    auto out = sim.run_scalar({a, b, c});
+    std::uint64_t expect = (a & b) | (b & c) | (c & a);
+    EXPECT_EQ(out[0], expect);
+  }
+}
+
+TEST(Voter, RejectsBadWidth) {
+  EXPECT_THROW(majority_voter(0), Error);
+  EXPECT_THROW(majority_voter(65), Error);
+}
+
+TEST(Replicate, PreservesFunction) {
+  Netlist base = ripple_carry_adder(6);
+  Netlist tmr = replicate_with_voting(base, 3);
+  Simulator sim_base(base);
+  Simulator sim_tmr(tmr);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t a = rng.next_below(64);
+    std::uint64_t b = rng.next_below(64);
+    std::uint64_t cin = rng.next_below(2);
+    EXPECT_EQ(sim_base.run_scalar({a, b, cin}),
+              sim_tmr.run_scalar({a, b, cin}));
+  }
+}
+
+TEST(Replicate, MasksAnySingleLogicFault) {
+  // The defining property of TMR: a single upset anywhere inside ONE
+  // replica's logic cone never corrupts a voted output.
+  Netlist base = ripple_carry_adder(4);
+  Netlist tmr = replicate_with_voting(base, 3);
+  Simulator sim(tmr);
+  std::size_t shared_inputs = tmr.input_bits().size();
+  std::size_t replica_gates = base.gate_count() - base.input_bits().size();
+
+  std::vector<std::uint64_t> inputs(shared_inputs);
+  Rng rng(13);
+  for (auto& w : inputs) w = rng.next_u64();
+  auto golden = sim.output_words(sim.run(inputs));
+
+  // Fault every gate of replica 0 (the gates created right after the
+  // shared inputs). Voted outputs must all match golden.
+  for (std::uint32_t offset = 0; offset < replica_gates; ++offset) {
+    std::uint32_t victim = static_cast<std::uint32_t>(shared_inputs) + offset;
+    if (netlist::fanin_count(tmr.gate(victim).kind) == 0) continue;
+    auto faulty = sim.output_words(sim.run(inputs, Fault{victim, ~0ULL}));
+    EXPECT_EQ(golden, faulty) << "fault at gate " << victim << " leaked";
+  }
+}
+
+TEST(Replicate, FiveWayVotingToleratesTwoReplicaFaults) {
+  Netlist base = ripple_carry_adder(2);
+  Netlist nmr = replicate_with_voting(base, 5);
+  Simulator sim(nmr);
+  std::vector<std::uint64_t> inputs(nmr.input_bits().size(), ~0ULL);
+  auto golden = sim.output_words(sim.run(inputs));
+  // Kill one replica completely (fault its last gate); still correct.
+  std::size_t shared = nmr.input_bits().size();
+  std::size_t per_replica = base.gate_count() - base.input_bits().size();
+  auto faulty = sim.output_words(sim.run(
+      inputs, Fault{static_cast<std::uint32_t>(shared + per_replica - 1),
+                    ~0ULL}));
+  EXPECT_EQ(golden, faulty);
+}
+
+TEST(Replicate, RejectsInvalidCopyCounts) {
+  Netlist base = ripple_carry_adder(2);
+  EXPECT_THROW(replicate_with_voting(base, 2), Error);
+  EXPECT_THROW(replicate_with_voting(base, 4), Error);
+  EXPECT_THROW(replicate_with_voting(base, 9), Error);
+}
+
+TEST(Replicate, GateCountRoughlyTriples) {
+  Netlist base = ripple_carry_adder(8);
+  Netlist tmr = replicate_with_voting(base, 3);
+  EXPECT_GE(tmr.gate_count(), 3 * (base.gate_count() -
+                                   base.input_bits().size()));
+}
+
+}  // namespace
+}  // namespace rchls::circuits

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "dfg/generate.hpp"
+#include "util/error.hpp"
+
+namespace rchls::dfg {
+namespace {
+
+TEST(Generate, ProducesRequestedNodeCount) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 57;
+  Graph g = generate_random(cfg);
+  EXPECT_EQ(g.node_count(), 57u);
+  g.validate();
+}
+
+TEST(Generate, DeterministicPerSeed) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.seed = 9;
+  Graph a = generate_random(cfg);
+  Graph b = generate_random(cfg);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    EXPECT_EQ(a.node(id).op, b.node(id).op);
+    EXPECT_EQ(a.successors(id), b.successors(id));
+  }
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  GeneratorConfig a;
+  a.num_nodes = 40;
+  a.seed = 1;
+  GeneratorConfig b = a;
+  b.seed = 2;
+  Graph ga = generate_random(a);
+  Graph gb = generate_random(b);
+  bool differ = ga.edge_count() != gb.edge_count();
+  for (NodeId id = 0; !differ && id < ga.node_count(); ++id) {
+    differ = ga.node(id).op != gb.node(id).op ||
+             ga.successors(id) != gb.successors(id);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generate, MulFractionRoughlyHonored) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.mul_fraction = 0.4;
+  Graph g = generate_random(cfg);
+  double frac =
+      static_cast<double>(g.count_ops(OpType::kMul)) / g.node_count();
+  EXPECT_NEAR(frac, 0.4, 0.05);
+}
+
+TEST(Generate, ZeroMulFractionMeansNoMultiplies) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.mul_fraction = 0.0;
+  Graph g = generate_random(cfg);
+  EXPECT_EQ(g.count_ops(OpType::kMul), 0u);
+}
+
+TEST(Generate, EveryNonSourceHasAPredecessor) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.layer_width = 3.0;
+  Graph g = generate_random(cfg);
+  // All sources must sit in the first layer, i.e. have the lowest ids
+  // (layered construction guarantees later layers get predecessors).
+  auto sources = g.sources();
+  EXPECT_FALSE(sources.empty());
+  EXPECT_LT(sources.size(), g.node_count());
+}
+
+TEST(Generate, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(generate_random(cfg), Error);
+  cfg.num_nodes = 5;
+  cfg.layer_width = 0.5;
+  EXPECT_THROW(generate_random(cfg), Error);
+  cfg.layer_width = 2.0;
+  cfg.mul_fraction = 1.5;
+  EXPECT_THROW(generate_random(cfg), Error);
+}
+
+}  // namespace
+}  // namespace rchls::dfg

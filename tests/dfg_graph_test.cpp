@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfg/graph.hpp"
+#include "util/error.hpp"
+
+namespace rchls::dfg {
+namespace {
+
+TEST(OpType, StringRoundTrip) {
+  for (OpType op : {OpType::kAdd, OpType::kSub, OpType::kMul, OpType::kLt}) {
+    EXPECT_EQ(op_from_string(to_string(op)), op);
+  }
+  EXPECT_THROW(op_from_string("div"), ParseError);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g("t");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kMul);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.predecessors(b).size(), 1u);
+  EXPECT_EQ(g.node(b).op, OpType::kMul);
+  EXPECT_EQ(g.find("a"), a);
+  EXPECT_TRUE(g.contains("b"));
+  EXPECT_FALSE(g.contains("c"));
+}
+
+TEST(Graph, RejectsDuplicatesAndSelfLoops) {
+  Graph g("t");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kAdd);
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), Error);
+  EXPECT_THROW(g.add_edge(a, a), Error);
+  EXPECT_THROW(g.add_node("a", OpType::kMul), Error);
+  EXPECT_THROW(g.add_node("", OpType::kMul), Error);
+}
+
+TEST(Graph, RejectsBadIds) {
+  Graph g("t");
+  g.add_node("a", OpType::kAdd);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+  EXPECT_THROW(g.node(9), Error);
+  EXPECT_THROW(g.find("nope"), Error);
+}
+
+TEST(Graph, SourcesAndSinks) {
+  Graph g("t");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kAdd);
+  NodeId c = g.add_node("c", OpType::kAdd);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.sources(), (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(g.sinks(), (std::vector<NodeId>{c}));
+}
+
+TEST(Graph, CountOps) {
+  Graph g("t");
+  g.add_node("a", OpType::kAdd);
+  g.add_node("b", OpType::kMul);
+  g.add_node("c", OpType::kMul);
+  g.add_node("d", OpType::kLt);
+  EXPECT_EQ(g.count_ops(OpType::kMul), 2u);
+  EXPECT_EQ(g.count_ops(OpType::kAdd), 1u);
+  EXPECT_EQ(g.count_ops(OpType::kSub), 0u);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  Graph g("t");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kAdd);
+  NodeId c = g.add_node("c", OpType::kAdd);
+  NodeId d = g.add_node("d", OpType::kAdd);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(a, d);
+  g.add_edge(d, c);
+  auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&order](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+  EXPECT_LT(pos(d), pos(c));
+}
+
+TEST(Graph, DetectsCycles) {
+  Graph g("t");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kAdd);
+  NodeId c = g.add_node("c", OpType::kAdd);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(g.topological_order(), ValidationError);
+  EXPECT_THROW(g.validate(), ValidationError);
+}
+
+TEST(Graph, EmptyGraphIsValid) {
+  Graph g("empty");
+  g.validate();
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+}  // namespace
+}  // namespace rchls::dfg

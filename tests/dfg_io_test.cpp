@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "dfg/graph.hpp"
+#include "dfg/io.hpp"
+#include "util/error.hpp"
+
+namespace rchls::dfg {
+namespace {
+
+const char* kSample = R"(# a small graph
+dfg sample
+node a add
+node b mul
+node c sub   # trailing comment
+node d lt
+edge a b
+edge b c
+edge a d
+)";
+
+TEST(Io, ParsesDirectives) {
+  Graph g = parse_string(kSample);
+  EXPECT_EQ(g.name(), "sample");
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.node(g.find("b")).op, OpType::kMul);
+  EXPECT_EQ(g.node(g.find("d")).op, OpType::kLt);
+}
+
+TEST(Io, RoundTripsThroughText) {
+  Graph g = parse_string(kSample);
+  Graph g2 = parse_string(to_text(g));
+  EXPECT_EQ(g2.name(), g.name());
+  ASSERT_EQ(g2.node_count(), g.node_count());
+  EXPECT_EQ(g2.edge_count(), g.edge_count());
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_EQ(g2.node(id).name, g.node(id).name);
+    EXPECT_EQ(g2.node(id).op, g.node(id).op);
+    EXPECT_EQ(g2.successors(id), g.successors(id));
+  }
+}
+
+TEST(Io, ReportsLineNumbers) {
+  try {
+    parse_string("dfg x\nnode a add\nedge a missing\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_string("node onlyname\n"), ParseError);
+  EXPECT_THROW(parse_string("frobnicate a b\n"), ParseError);
+  EXPECT_THROW(parse_string("dfg a\ndfg b\n"), ParseError);
+  EXPECT_THROW(parse_string("node a div\n"), ParseError);
+  EXPECT_THROW(parse_string("node a add\nnode a add\n"), ParseError);
+}
+
+TEST(Io, RejectsCyclesAtParseTime) {
+  EXPECT_THROW(
+      parse_string("node a add\nnode b add\nedge a b\nedge b a\n"),
+      ValidationError);
+}
+
+TEST(Io, DotOutputMentionsAllNodes) {
+  Graph g = parse_string(kSample);
+  std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);  // mul node
+}
+
+TEST(Io, EmptyInputYieldsEmptyGraph) {
+  Graph g = parse_string("# nothing\n");
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rchls::dfg

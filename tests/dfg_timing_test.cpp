@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfg/graph.hpp"
+#include "dfg/timing.hpp"
+#include "util/error.hpp"
+
+namespace rchls::dfg {
+namespace {
+
+/// Diamond: a -> {b, c} -> d.
+Graph diamond() {
+  Graph g("diamond");
+  NodeId a = g.add_node("a", OpType::kAdd);
+  NodeId b = g.add_node("b", OpType::kAdd);
+  NodeId c = g.add_node("c", OpType::kMul);
+  NodeId d = g.add_node("d", OpType::kAdd);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(Timing, AsapUnitDelays) {
+  Graph g = diamond();
+  std::vector<int> delays{1, 1, 1, 1};
+  auto start = asap(g, delays);
+  EXPECT_EQ(start, (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_EQ(asap_latency(g, delays), 3);
+}
+
+TEST(Timing, AsapMixedDelays) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  auto start = asap(g, delays);
+  EXPECT_EQ(start, (std::vector<int>{0, 2, 2, 4}));
+  EXPECT_EQ(asap_latency(g, delays), 5);
+}
+
+TEST(Timing, AlapAtMinimumLatencyPinsCriticalPath) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  auto late = alap(g, delays, 5);
+  // a and c and d are critical; b has slack 1.
+  EXPECT_EQ(late, (std::vector<int>{0, 3, 2, 4}));
+}
+
+TEST(Timing, AlapWithSlackShiftsRight) {
+  Graph g = diamond();
+  std::vector<int> delays{1, 1, 1, 1};
+  auto late = alap(g, delays, 5);
+  EXPECT_EQ(late, (std::vector<int>{2, 3, 3, 4}));
+}
+
+TEST(Timing, AlapRejectsInfeasibleLatency) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  EXPECT_THROW(alap(g, delays, 4), NoSolutionError);
+}
+
+TEST(Timing, MobilityZeroOnCriticalPath) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  auto m = mobility(g, delays, 5);
+  EXPECT_EQ(m, (std::vector<int>{0, 1, 0, 0}));
+}
+
+TEST(Timing, CriticalPathPicksHeaviestChain) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  auto path = critical_path(g, delays);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(g.node(path[0]).name, "a");
+  EXPECT_EQ(g.node(path[1]).name, "c");
+  EXPECT_EQ(g.node(path[2]).name, "d");
+}
+
+TEST(Timing, CriticalNodesOmitSlackNodes) {
+  Graph g = diamond();
+  std::vector<int> delays{2, 1, 2, 1};
+  auto crit = critical_nodes(g, delays);
+  std::vector<std::string> names;
+  for (NodeId id : crit) names.push_back(g.node(id).name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "c", "d"}));
+}
+
+TEST(Timing, IndependentNodesAllStartAtZero) {
+  Graph g("par");
+  g.add_node("a", OpType::kAdd);
+  g.add_node("b", OpType::kAdd);
+  std::vector<int> delays{3, 1};
+  auto start = asap(g, delays);
+  EXPECT_EQ(start, (std::vector<int>{0, 0}));
+  EXPECT_EQ(asap_latency(g, delays), 3);
+}
+
+TEST(Timing, RejectsBadDelayVectors) {
+  Graph g = diamond();
+  EXPECT_THROW(asap(g, std::vector<int>{1, 1}), Error);
+  EXPECT_THROW(asap(g, std::vector<int>{1, 1, 0, 1}), Error);
+  EXPECT_THROW(critical_path(g, std::vector<int>{1}), Error);
+}
+
+TEST(Timing, CriticalPathOfEmptyGraph) {
+  Graph g("empty");
+  EXPECT_TRUE(critical_path(g, std::vector<int>{}).empty());
+}
+
+}  // namespace
+}  // namespace rchls::dfg

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "hls/baseline.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+TEST(MinimalAllocation, FirWithFastestVersionsIsUniformProduct) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  Design d = minimal_allocation_design(g, lib, lib.find("adder_2"),
+                                       lib.find("mult_2"), 10);
+  validate_design(d, g, lib);
+  EXPECT_LE(d.latency, 10);
+  EXPECT_NEAR(d.reliability, std::pow(0.969, 23), 1e-12);
+}
+
+TEST(MinimalAllocation, LooserLatencyNeverNeedsMoreArea) {
+  auto g = benchmarks::ewf();
+  ResourceLibrary lib = library::paper_library();
+  std::vector<int> unit(g.node_count(), 1);
+  int lmin = dfg::asap_latency(g, unit);  // all type-2 versions are 1-cycle
+  double prev = 1e9;
+  for (int slack = 0; slack < 6; ++slack) {
+    Design d = minimal_allocation_design(g, lib, lib.find("adder_2"),
+                                         lib.find("mult_2"), lmin + slack);
+    EXPECT_LE(d.area, prev + 1e-9);
+    prev = d.area;
+  }
+}
+
+TEST(MinimalAllocation, ThrowsWhenVersionsTooSlow) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  // all type-1: chain alone needs 18 cycles.
+  EXPECT_THROW(minimal_allocation_design(g, lib, lib.find("adder_1"),
+                                         lib.find("mult_1"), 11),
+               NoSolutionError);
+}
+
+TEST(Baseline, TightAreaMeansNoRedundancy) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  BaselineOptions opts;
+  opts.fixed_versions = {{lib.find("adder_2"), lib.find("mult_2")}};
+  // Find the baseline's own minimal area first, then bound exactly there.
+  Design min_d = minimal_allocation_design(g, lib, lib.find("adder_2"),
+                                           lib.find("mult_2"), 10);
+  Design d = nmr_baseline(g, lib, 10, min_d.area, opts);
+  validate_design(d, g, lib);
+  EXPECT_NEAR(d.reliability, std::pow(0.969, 23), 1e-12);
+  for (int c : d.copies) EXPECT_EQ(c, 1);
+}
+
+TEST(Baseline, SlackAreaBuysRedundancy) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  BaselineOptions opts;
+  opts.fixed_versions = {{lib.find("adder_2"), lib.find("mult_2")}};
+  Design min_d = minimal_allocation_design(g, lib, lib.find("adder_2"),
+                                           lib.find("mult_2"), 10);
+  Design d = nmr_baseline(g, lib, 10, min_d.area + 4.0, opts);
+  validate_design(d, g, lib);
+  EXPECT_GT(d.reliability, std::pow(0.969, 23));
+  int total_copies = 0;
+  for (int c : d.copies) total_copies += c;
+  EXPECT_GT(total_copies, static_cast<int>(d.copies.size()));
+  EXPECT_LE(d.area, min_d.area + 4.0 + 1e-9);
+}
+
+TEST(Baseline, SearchesVersionCombos) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  // Unrestricted baseline must do at least as well as the fastest-only one.
+  BaselineOptions fixed;
+  fixed.fixed_versions = {{lib.find("adder_2"), lib.find("mult_2")}};
+  Design d_fixed = nmr_baseline(g, lib, 12, 8.0, fixed);
+  Design d_free = nmr_baseline(g, lib, 12, 8.0);
+  EXPECT_GE(d_free.reliability, d_fixed.reliability - 1e-12);
+}
+
+TEST(Baseline, DuplexDisabledFallsBackToTmr) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  BaselineOptions opts;
+  opts.redundancy.allow_duplex = false;
+  Design d = nmr_baseline(g, lib, 10, 40.0, opts);
+  for (int c : d.copies) EXPECT_NE(c, 2);
+}
+
+TEST(Baseline, ThrowsWhenNoComboFits) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  EXPECT_THROW(nmr_baseline(g, lib, 9, 3.0, {}), NoSolutionError);
+  EXPECT_THROW(nmr_baseline(g, lib, 4, 100.0, {}), NoSolutionError);
+}
+
+TEST(Baseline, RejectsBadArguments) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  EXPECT_THROW(nmr_baseline(g, lib, 0, 8.0, {}), Error);
+  EXPECT_THROW(nmr_baseline(g, lib, 8, -1.0, {}), Error);
+}
+
+}  // namespace
+}  // namespace rchls::hls

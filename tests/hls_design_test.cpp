@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "hls/design.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+using library::VersionId;
+
+std::vector<VersionId> fastest_versions(const dfg::Graph& g,
+                                        const ResourceLibrary& lib) {
+  std::vector<VersionId> v(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    v[id] = lib.fastest(library::class_of(g.node(id).op));
+  }
+  return v;
+}
+
+TEST(Design, DelaysForMatchesLibrary) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> v(g.node_count(), lib.find("adder_1"));
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    if (g.node(id).op == dfg::OpType::kMul) v[id] = lib.find("mult_2");
+  }
+  auto d = delays_for(g, lib, v);
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_EQ(d[id], g.node(id).op == dfg::OpType::kMul ? 1 : 2);
+  }
+  EXPECT_THROW(delays_for(g, lib, std::vector<VersionId>{0}), Error);
+}
+
+TEST(Design, ClassGroupsSeparateMultipliers) {
+  auto g = benchmarks::diffeq();
+  auto groups = class_groups(g);
+  int muls = 0;
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    if (groups[id] == 1) {
+      ++muls;
+      EXPECT_EQ(g.node(id).op, dfg::OpType::kMul);
+    }
+  }
+  EXPECT_EQ(muls, 6);
+}
+
+TEST(Design, AssembleEvaluatesAllMetrics) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  // All type-2 versions, as in paper Fig. 7(a).
+  std::vector<VersionId> versions(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    versions[id] = g.node(id).op == dfg::OpType::kMul ? lib.find("mult_2")
+                                                      : lib.find("adder_2");
+  }
+  int lmin = dfg::asap_latency(g, delays_for(g, lib, versions));
+
+  Design d = assemble(g, lib, versions, lmin + 1);
+  validate_design(d, g, lib);
+  EXPECT_LE(d.latency, lmin + 1);
+  EXPECT_GT(d.area, 0.0);
+  // All type-2 versions: reliability is exactly 0.969^23 (paper Fig 7a).
+  EXPECT_NEAR(d.reliability, std::pow(0.969, 23), 1e-12);
+  EXPECT_EQ(d.copies.size(), d.binding.instances.size());
+}
+
+TEST(Design, BothSchedulersProduceValidDesigns) {
+  auto g = benchmarks::ar_lattice();
+  ResourceLibrary lib = library::paper_library();
+  auto versions = fastest_versions(g, lib);
+  int lmin = dfg::asap_latency(g, delays_for(g, lib, versions));
+  for (auto kind : {SchedulerKind::kDensity, SchedulerKind::kForceDirected}) {
+    Design d = assemble(g, lib, versions, lmin + 2, kind);
+    validate_design(d, g, lib);
+  }
+}
+
+TEST(Design, EvaluateAppliesRedundancyFactors) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> versions(g.node_count(), lib.find("adder_2"));
+  int lmin = dfg::asap_latency(g, delays_for(g, lib, versions));
+  Design d = assemble(g, lib, versions, lmin);
+  double base = d.reliability;
+
+  // Duplicate the first instance; the ops bound to it gain duplex factors.
+  d.copies[0] = 2;
+  evaluate(d, g, lib);
+  std::size_t ops = d.binding.instances[0].ops.size();
+  double expect = base / std::pow(0.969, ops) *
+                  std::pow(1.0 - 0.031 * 0.031, ops);
+  EXPECT_NEAR(d.reliability, expect, 1e-12);
+  EXPECT_DOUBLE_EQ(d.area,
+                   2.0 * (d.binding.instances.size() - 1) + 2.0 * 2.0);
+}
+
+TEST(Design, ValidateCatchesStaleMetrics) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  std::vector<VersionId> versions(g.node_count(), lib.find("adder_2"));
+  int lmin = dfg::asap_latency(g, delays_for(g, lib, versions));
+  Design d = assemble(g, lib, versions, lmin);
+  validate_design(d, g, lib);
+
+  Design stale = d;
+  stale.reliability += 0.01;
+  EXPECT_THROW(validate_design(stale, g, lib), ValidationError);
+
+  Design bad_copies = d;
+  bad_copies.copies[0] = 4;  // even > 2
+  EXPECT_THROW(validate_design(bad_copies, g, lib), ValidationError);
+}
+
+}  // namespace
+}  // namespace rchls::hls

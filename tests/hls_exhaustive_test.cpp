@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/generate.hpp"
+#include "hls/exhaustive.hpp"
+#include "hls/find_design.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+TEST(Exhaustive, OracleRespectsBounds) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = exhaustive_find_design(g, lib, 6, 4.0);
+  validate_design(d, g, lib);
+  EXPECT_LE(d.latency, 6);
+  EXPECT_LE(d.area, 4.0 + 1e-9);
+}
+
+TEST(Exhaustive, HeuristicNeverBeatsOracle) {
+  ResourceLibrary lib = library::paper_library();
+  struct Case {
+    const char* name;
+    int ld;
+    double ad;
+  };
+  for (const Case& c :
+       {Case{"fig4_example", 5, 4.0}, Case{"fig4_example", 6, 4.0},
+        Case{"fig4_example", 8, 6.0}, Case{"diffeq", 6, 12.0},
+        Case{"diffeq", 8, 8.0}, Case{"diffeq", 10, 6.0}}) {
+    auto g = benchmarks::by_name(c.name);
+    Design oracle = exhaustive_find_design(g, lib, c.ld, c.ad);
+    try {
+      Design heur = find_design(g, lib, c.ld, c.ad);
+      EXPECT_LE(heur.reliability, oracle.reliability + 1e-12)
+          << c.name << " (" << c.ld << ", " << c.ad << ")";
+    } catch (const NoSolutionError&) {
+      // The heuristic may fail where the oracle succeeds; never vice
+      // versa for these cases (oracle succeeded above).
+    }
+  }
+}
+
+TEST(Exhaustive, OracleAgreesWithHeuristicWhenUnconstrained) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  Design oracle = exhaustive_find_design(g, lib, 50, 100.0);
+  Design heur = find_design(g, lib, 50, 100.0);
+  EXPECT_NEAR(oracle.reliability, heur.reliability, 1e-12);
+}
+
+TEST(Exhaustive, ThrowsWhenInfeasible) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  EXPECT_THROW(exhaustive_find_design(g, lib, 3, 100.0), NoSolutionError);
+  EXPECT_THROW(exhaustive_find_design(g, lib, 10, 0.5), NoSolutionError);
+}
+
+TEST(Exhaustive, GuardsAssignmentSpace) {
+  dfg::GeneratorConfig cfg;
+  cfg.num_nodes = 40;
+  auto g = dfg::generate_random(cfg);
+  ResourceLibrary lib = library::paper_library();
+  ExhaustiveOptions opts;
+  opts.max_assignments = 1000;
+  EXPECT_THROW(exhaustive_find_design(g, lib, 50, 100.0, opts), Error);
+}
+
+}  // namespace
+}  // namespace rchls::hls

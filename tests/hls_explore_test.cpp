@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "hls/explore.hpp"
+#include "hls/find_design.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+TEST(Explore, LatencySweepShapesLikeFig8a) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  auto points = latency_sweep(g, lib, {10, 11, 12, 14, 16, 18}, 8.0);
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    ASSERT_TRUE(p.reliability.has_value()) << "Ld=" << p.latency_bound;
+    EXPECT_LE(*p.area, 8.0 + 1e-9);
+    EXPECT_LE(*p.latency, p.latency_bound);
+  }
+  // Paper Fig. 8(a): reliability improves as the latency bound loosens.
+  EXPECT_GT(*points.back().reliability, *points.front().reliability);
+}
+
+TEST(Explore, AreaSweepShapesLikeFig8b) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  auto points = area_sweep(g, lib, 11, {8.0, 10.0, 12.0, 14.0, 16.0});
+  ASSERT_EQ(points.size(), 5u);
+  for (const auto& p : points) {
+    ASSERT_TRUE(p.reliability.has_value()) << "Ad=" << p.area_bound;
+    EXPECT_LE(*p.area, p.area_bound + 1e-9);
+  }
+  EXPECT_GE(*points.back().reliability, *points.front().reliability);
+}
+
+TEST(Explore, InfeasiblePointsAreEmptyNotThrown) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  auto points = latency_sweep(g, lib, {2, 20}, 10.0);
+  EXPECT_FALSE(points[0].reliability.has_value());
+  EXPECT_TRUE(points[1].reliability.has_value());
+}
+
+TEST(Explore, GridComparesThreeEngines) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  auto rows = comparison_grid(g, lib, {6, 7}, {8.0, 12.0});
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    if (row.baseline && row.ours) {
+      ASSERT_TRUE(row.improvement_ours.has_value());
+      EXPECT_NEAR(*row.improvement_ours,
+                  100.0 * (*row.ours / *row.baseline - 1.0), 1e-9);
+    }
+    if (row.ours && row.combined) {
+      EXPECT_GE(*row.combined, *row.ours - 1e-12);
+    }
+  }
+}
+
+TEST(Explore, SweepCsvHasHeaderAndRows) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  auto points = latency_sweep(g, lib, {2, 8}, 12.0);  // first infeasible
+  std::string csv = to_csv(points);
+  EXPECT_NE(csv.find("latency_bound,area_bound,reliability"),
+            std::string::npos);
+  // Unsolved point renders empty reliability cell: "2,12.00,,,".
+  EXPECT_NE(csv.find("2,12.00,,,"), std::string::npos);
+  int lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3);  // header + 2 points
+}
+
+TEST(Explore, GridCsvIncludesImprovements) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  auto rows = comparison_grid(g, lib, {7}, {12.0});
+  std::string csv = to_csv(rows);
+  EXPECT_NE(csv.find("improvement_ours_pct"), std::string::npos);
+  EXPECT_NE(csv.find("7,12.00,0."), std::string::npos);
+}
+
+TEST(Explore, TighterLatencyExplorationNeverHurts) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  for (int ld : {12, 14, 16}) {
+    FindDesignOptions plain;
+    FindDesignOptions explored;
+    explored.explore_tighter_latency = 3;
+    Design a = find_design(g, lib, ld, 10.0, plain);
+    Design b = find_design(g, lib, ld, 10.0, explored);
+    EXPECT_GE(b.reliability, a.reliability - 1e-12) << ld;
+    EXPECT_LE(b.latency, ld);
+    EXPECT_LE(b.area, 10.0 + 1e-9);
+  }
+}
+
+TEST(Explore, GridAveragesSkipUnsolvedPoints) {
+  std::vector<ComparisonRow> rows(2);
+  rows[0].baseline = 0.5;
+  rows[0].ours = 0.6;
+  rows[1].ours = 0.8;  // baseline unsolved here
+  auto avg = grid_averages(rows);
+  EXPECT_DOUBLE_EQ(avg.baseline, 0.5);
+  EXPECT_DOUBLE_EQ(avg.ours, 0.7);
+  EXPECT_DOUBLE_EQ(avg.combined, 0.0);
+}
+
+}  // namespace
+}  // namespace rchls::hls

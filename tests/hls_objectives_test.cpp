@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "hls/find_design.hpp"
+#include "hls/objectives.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+TEST(MinimizeArea, MeetsBothConstraints) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  Design d = minimize_area(g, lib, 10, 0.85);
+  validate_design(d, g, lib);
+  EXPECT_GE(d.reliability, 0.85);
+  EXPECT_LE(d.latency, 10);
+}
+
+TEST(MinimizeArea, HigherTargetCostsMoreArea) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  Design low = minimize_area(g, lib, 10, 0.80);
+  Design high = minimize_area(g, lib, 10, 0.97);
+  EXPECT_LE(low.area, high.area + 1e-9);
+  EXPECT_GE(high.reliability, 0.97);
+}
+
+TEST(MinimizeArea, IsMinimalAtItsGranularity) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  Design d = minimize_area(g, lib, 10, 0.9);
+  // One step tighter must fail the target or the bounds.
+  ObjectiveOptions opts;
+  double tighter = d.area - opts.area_step;
+  if (tighter > 0) {
+    try {
+      Design t = find_design(g, lib, 10, tighter);
+      EXPECT_LT(t.reliability, 0.9);
+    } catch (const NoSolutionError&) {
+      SUCCEED();
+    }
+  }
+}
+
+TEST(MinimizeArea, ThrowsWhenTargetUnreachable) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  ObjectiveOptions opts;
+  opts.max_area = 64.0;
+  // FIR at Ld=10 cannot reach 0.9999 even with redundancy-free best.
+  EXPECT_THROW(minimize_area(g, lib, 10, 0.9999, opts), NoSolutionError);
+}
+
+TEST(MinimizeLatency, MeetsBothConstraints) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  Design d = minimize_latency(g, lib, 12.0, 0.6);
+  validate_design(d, g, lib);
+  EXPECT_GE(d.reliability, 0.6);
+  EXPECT_LE(d.area, 12.0 + 1e-9);
+}
+
+TEST(MinimizeLatency, HigherTargetCostsMoreLatency) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  Design fast = minimize_latency(g, lib, 12.0, 0.5);
+  Design reliable = minimize_latency(g, lib, 12.0, 0.85);
+  EXPECT_LE(fast.latency, reliable.latency);
+}
+
+TEST(MinimizeLatency, ThrowsWhenTargetUnreachable) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  ObjectiveOptions opts;
+  opts.max_latency = 64;
+  // 0.99 exceeds even the all-most-reliable product 0.999^23 = 0.9773,
+  // so no redundancy-free design can reach it at any latency.
+  EXPECT_THROW(minimize_latency(g, lib, 6.0, 0.99, opts), NoSolutionError);
+}
+
+TEST(Objectives, RejectBadTargets) {
+  auto g = benchmarks::diffeq();
+  ResourceLibrary lib = library::paper_library();
+  EXPECT_THROW(minimize_area(g, lib, 10, 0.0), Error);
+  EXPECT_THROW(minimize_area(g, lib, 10, 1.5), Error);
+  EXPECT_THROW(minimize_latency(g, lib, 10.0, -0.1), Error);
+}
+
+}  // namespace
+}  // namespace rchls::hls

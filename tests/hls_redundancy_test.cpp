@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "hls/find_design.hpp"
+#include "hls/redundancy.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+TEST(Redundancy, NoBudgetMeansNoCopies) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 10, 4.0);
+  double area = d.area;
+  int added = apply_redundancy(d, g, lib, area);  // no slack at all
+  EXPECT_EQ(added, 0);
+  EXPECT_DOUBLE_EQ(d.area, area);
+}
+
+TEST(Redundancy, UnlimitedBudgetDuplicatesEverything) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 10, 8.0);
+  double base_r = d.reliability;
+
+  RedundancyOptions opts;
+  opts.max_copies = 3;
+  int added = apply_redundancy(d, g, lib, d.area + 100.0, opts);
+  validate_design(d, g, lib);
+  EXPECT_GT(added, 0);
+  EXPECT_GT(d.reliability, base_r);
+  // Duplex-with-recovery (1-(1-R)^2) strictly beats majority TMR, so the
+  // greedy ladder correctly stops at 2 copies per instance.
+  for (int c : d.copies) EXPECT_EQ(c, 2);
+}
+
+TEST(Redundancy, RespectsAreaBound) {
+  auto g = benchmarks::fir16();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 12, 10.0);
+  double bound = d.area + 3.0;
+  apply_redundancy(d, g, lib, bound);
+  EXPECT_LE(d.area, bound + 1e-9);
+  validate_design(d, g, lib);
+}
+
+TEST(Redundancy, DuplexFactorsMatchAlgebra) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 4, 100.0);
+  // give exactly enough slack to duplicate the single cheapest instance...
+  // instead: unlimited budget with max_copies=2 duplicates everything.
+  double base_r = d.reliability;
+  RedundancyOptions opts;
+  opts.max_copies = 2;
+  apply_redundancy(d, g, lib, 1e9, opts);
+  // Every op's factor moves from R to 1-(1-R)^2.
+  double expect = 1.0;
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    double r = lib.version(d.version_of[id]).reliability;
+    expect *= 1.0 - (1.0 - r) * (1.0 - r);
+  }
+  EXPECT_NEAR(d.reliability, expect, 1e-12);
+  EXPECT_GT(d.reliability, base_r);
+}
+
+TEST(Redundancy, NoDuplexJumpsStraightToTriplication) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 4, 100.0);
+  RedundancyOptions opts;
+  opts.allow_duplex = false;
+  apply_redundancy(d, g, lib, 1e9, opts);
+  for (int c : d.copies) EXPECT_TRUE(c == 1 || c == 3) << c;
+}
+
+TEST(Redundancy, RejectsBadOptions) {
+  auto g = benchmarks::fig4_example();
+  ResourceLibrary lib = library::paper_library();
+  Design d = find_design(g, lib, 10, 8.0);
+  RedundancyOptions opts;
+  opts.max_copies = 0;
+  EXPECT_THROW(apply_redundancy(d, g, lib, 100.0, opts), Error);
+}
+
+}  // namespace
+}  // namespace rchls::hls

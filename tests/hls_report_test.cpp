@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "hls/find_design.hpp"
+#include "hls/report.hpp"
+
+namespace rchls::hls {
+namespace {
+
+TEST(Report, ScheduleTableListsAllOps) {
+  auto g = benchmarks::fig4_example();
+  auto lib = library::paper_library();
+  Design d = find_design(g, lib, 6, 4.0);
+  std::string table = schedule_table(d, g, lib);
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_NE(table.find(g.node(id).name), std::string::npos)
+        << g.node(id).name;
+  }
+  EXPECT_NE(table.find("step"), std::string::npos);
+}
+
+TEST(Report, ScheduleTableHasOneRowPerStep) {
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+  Design d = find_design(g, lib, 12, 10.0);
+  std::string table = schedule_table(d, g, lib);
+  int newlines = 0;
+  for (char c : table) newlines += c == '\n';
+  // latency rows + header + 3 rules.
+  EXPECT_EQ(newlines, d.latency + 4);
+}
+
+TEST(Report, SummaryContainsMetrics) {
+  auto g = benchmarks::diffeq();
+  auto lib = library::paper_library();
+  Design d = find_design(g, lib, 10, 10.0);
+  std::string s = design_summary(d, g, lib);
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("reliability"), std::string::npos);
+  EXPECT_NE(s.find("instances:"), std::string::npos);
+  EXPECT_NE(s.find("operations per version:"), std::string::npos);
+}
+
+TEST(Report, SummaryShowsCopyCounts) {
+  auto g = benchmarks::diffeq();
+  auto lib = library::paper_library();
+  Design d = find_design(g, lib, 10, 10.0);
+  d.copies[0] = 3;
+  evaluate(d, g, lib);
+  std::string s = design_summary(d, g, lib);
+  EXPECT_NE(s.find("(x3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rchls::hls

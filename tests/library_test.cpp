@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "library/resource.hpp"
+#include "util/error.hpp"
+
+namespace rchls::library {
+namespace {
+
+TEST(Library, ClassOfOps) {
+  EXPECT_EQ(class_of(dfg::OpType::kAdd), ResourceClass::kAdder);
+  EXPECT_EQ(class_of(dfg::OpType::kSub), ResourceClass::kAdder);
+  EXPECT_EQ(class_of(dfg::OpType::kLt), ResourceClass::kAdder);
+  EXPECT_EQ(class_of(dfg::OpType::kMul), ResourceClass::kMultiplier);
+}
+
+TEST(Library, PaperLibraryMatchesTable1) {
+  ResourceLibrary lib = paper_library();
+  ASSERT_EQ(lib.size(), 5u);
+
+  const auto& a1 = lib.version(lib.find("adder_1"));
+  EXPECT_EQ(a1.cls, ResourceClass::kAdder);
+  EXPECT_DOUBLE_EQ(a1.area, 1.0);
+  EXPECT_EQ(a1.delay, 2);
+  EXPECT_DOUBLE_EQ(a1.reliability, 0.999);
+
+  const auto& a2 = lib.version(lib.find("adder_2"));
+  EXPECT_DOUBLE_EQ(a2.area, 2.0);
+  EXPECT_EQ(a2.delay, 1);
+  EXPECT_DOUBLE_EQ(a2.reliability, 0.969);
+
+  const auto& a3 = lib.version(lib.find("adder_3"));
+  EXPECT_DOUBLE_EQ(a3.area, 4.0);
+  EXPECT_EQ(a3.delay, 1);
+  EXPECT_DOUBLE_EQ(a3.reliability, 0.987);
+
+  const auto& m1 = lib.version(lib.find("mult_1"));
+  EXPECT_EQ(m1.cls, ResourceClass::kMultiplier);
+  EXPECT_DOUBLE_EQ(m1.area, 2.0);
+  EXPECT_EQ(m1.delay, 2);
+  EXPECT_DOUBLE_EQ(m1.reliability, 0.999);
+
+  const auto& m2 = lib.version(lib.find("mult_2"));
+  EXPECT_DOUBLE_EQ(m2.area, 4.0);
+  EXPECT_EQ(m2.delay, 1);
+  EXPECT_DOUBLE_EQ(m2.reliability, 0.969);
+}
+
+TEST(Library, MostReliableAndFastest) {
+  ResourceLibrary lib = paper_library();
+  EXPECT_EQ(lib.most_reliable(ResourceClass::kAdder), lib.find("adder_1"));
+  EXPECT_EQ(lib.most_reliable(ResourceClass::kMultiplier),
+            lib.find("mult_1"));
+  EXPECT_EQ(lib.fastest(ResourceClass::kAdder), lib.find("adder_3"));
+  EXPECT_EQ(lib.fastest(ResourceClass::kMultiplier), lib.find("mult_2"));
+}
+
+TEST(Library, FasterVersionsSortedByReliability) {
+  ResourceLibrary lib = paper_library();
+  auto faster = lib.faster_versions(lib.find("adder_1"));
+  ASSERT_EQ(faster.size(), 2u);
+  EXPECT_EQ(faster[0], lib.find("adder_3"));  // 0.987 first
+  EXPECT_EQ(faster[1], lib.find("adder_2"));
+  EXPECT_TRUE(lib.faster_versions(lib.find("adder_2")).empty());
+  EXPECT_TRUE(lib.faster_versions(lib.find("mult_2")).empty());
+}
+
+TEST(Library, SmallerVersionsRespectDelayRule) {
+  ResourceLibrary lib = paper_library();
+  // adder_3 (4, 1) -> adder_2 (2, 1) allowed; adder_1 excluded (slower).
+  auto smaller = lib.smaller_versions(lib.find("adder_3"));
+  ASSERT_EQ(smaller.size(), 1u);
+  EXPECT_EQ(smaller[0], lib.find("adder_2"));
+  // adder_2 (2, 1): adder_1 is smaller but slower -> none.
+  EXPECT_TRUE(lib.smaller_versions(lib.find("adder_2")).empty());
+  // mult_2 (4, 1): mult_1 is smaller but slower -> none.
+  EXPECT_TRUE(lib.smaller_versions(lib.find("mult_2")).empty());
+}
+
+TEST(Library, VersionsOfThrowsOnMissingClass) {
+  ResourceLibrary lib;
+  lib.add({"only_adder", ResourceClass::kAdder, 1.0, 1, 0.9});
+  EXPECT_TRUE(lib.has_class(ResourceClass::kAdder));
+  EXPECT_FALSE(lib.has_class(ResourceClass::kMultiplier));
+  EXPECT_THROW(lib.versions_of(ResourceClass::kMultiplier), Error);
+}
+
+TEST(Library, AddValidation) {
+  ResourceLibrary lib;
+  EXPECT_THROW(lib.add({"", ResourceClass::kAdder, 1, 1, 0.9}), Error);
+  EXPECT_THROW(lib.add({"x", ResourceClass::kAdder, 0, 1, 0.9}), Error);
+  EXPECT_THROW(lib.add({"x", ResourceClass::kAdder, 1, 0, 0.9}), Error);
+  EXPECT_THROW(lib.add({"x", ResourceClass::kAdder, 1, 1, 0.0}), Error);
+  EXPECT_THROW(lib.add({"x", ResourceClass::kAdder, 1, 1, 1.1}), Error);
+  lib.add({"x", ResourceClass::kAdder, 1, 1, 0.9});
+  EXPECT_THROW(lib.add({"x", ResourceClass::kAdder, 2, 1, 0.8}), Error);
+  EXPECT_THROW(lib.find("y"), Error);
+  EXPECT_THROW(lib.version(77), Error);
+}
+
+TEST(Library, UniformDelays) {
+  ResourceLibrary lib = paper_library();
+  dfg::Graph g("t");
+  g.add_node("a", dfg::OpType::kAdd);
+  g.add_node("m", dfg::OpType::kMul);
+  g.add_node("s", dfg::OpType::kSub);
+  auto d = uniform_delays(g, lib, lib.find("adder_1"), lib.find("mult_2"));
+  EXPECT_EQ(d, (std::vector<int>{2, 1, 2}));
+  EXPECT_THROW(
+      uniform_delays(g, lib, lib.find("mult_1"), lib.find("mult_2")), Error);
+}
+
+}  // namespace
+}  // namespace rchls::library

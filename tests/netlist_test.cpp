@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/stats.hpp"
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+namespace {
+
+Netlist xor_circuit() {
+  // out = a XOR b built from and/or/not.
+  Netlist nl("xor2");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto b = nl.add_input_bus("b", 1).bits[0];
+  auto na = nl.bnot(a);
+  auto nb = nl.bnot(b);
+  auto t1 = nl.band(a, nb);
+  auto t2 = nl.band(na, b);
+  nl.add_output_bus("out", {nl.bor(t1, t2)});
+  return nl;
+}
+
+TEST(Netlist, GateKindMetadata) {
+  EXPECT_EQ(fanin_count(GateKind::kInput), 0);
+  EXPECT_EQ(fanin_count(GateKind::kNot), 1);
+  EXPECT_EQ(fanin_count(GateKind::kXor), 2);
+  EXPECT_STREQ(to_string(GateKind::kNand), "Nand");
+}
+
+TEST(Netlist, ConstructionTracksPorts) {
+  Netlist nl = xor_circuit();
+  EXPECT_EQ(nl.input_bits().size(), 2u);
+  EXPECT_EQ(nl.input_buses().size(), 2u);
+  EXPECT_EQ(nl.output_buses().size(), 1u);
+  EXPECT_EQ(nl.output_bits().size(), 1u);
+  EXPECT_EQ(nl.input_bus("a").bits.size(), 1u);
+  EXPECT_THROW(nl.input_bus("zz"), Error);
+  EXPECT_THROW(nl.output_bus("zz"), Error);
+  nl.validate();
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+  Netlist nl("bad");
+  auto a = nl.add_input_bit();
+  EXPECT_THROW(nl.add_unary(GateKind::kNot, a + 5), Error);
+  EXPECT_THROW(nl.add_binary(GateKind::kAnd, a, a + 9), Error);
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist nl("bad");
+  auto a = nl.add_input_bit();
+  EXPECT_THROW(nl.add_unary(GateKind::kAnd, a), Error);
+  EXPECT_THROW(nl.add_binary(GateKind::kNot, a, a), Error);
+}
+
+TEST(Netlist, RejectsBadOutputBus) {
+  Netlist nl("bad");
+  nl.add_input_bit();
+  EXPECT_THROW(nl.add_output_bus("o", {42}), Error);
+}
+
+TEST(Netlist, RejectsNonPositiveBusWidth) {
+  Netlist nl("bad");
+  EXPECT_THROW(nl.add_input_bus("a", 0), Error);
+}
+
+TEST(Sim, TruthTableOfXor) {
+  Netlist nl = xor_circuit();
+  Simulator sim(nl);
+  EXPECT_EQ(sim.run_scalar({0, 0})[0], 0u);
+  EXPECT_EQ(sim.run_scalar({0, 1})[0], 1u);
+  EXPECT_EQ(sim.run_scalar({1, 0})[0], 1u);
+  EXPECT_EQ(sim.run_scalar({1, 1})[0], 0u);
+}
+
+TEST(Sim, AllGateKindsEvaluate) {
+  Netlist nl("kinds");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto b = nl.add_input_bus("b", 1).bits[0];
+  nl.add_output_bus("and", {nl.band(a, b)});
+  nl.add_output_bus("or", {nl.bor(a, b)});
+  nl.add_output_bus("nand", {nl.bnand(a, b)});
+  nl.add_output_bus("nor", {nl.bnor(a, b)});
+  nl.add_output_bus("xor", {nl.bxor(a, b)});
+  nl.add_output_bus("xnor", {nl.bxnor(a, b)});
+  nl.add_output_bus("not", {nl.bnot(a)});
+  nl.add_output_bus("buf", {nl.add_unary(GateKind::kBuf, a)});
+  nl.add_output_bus("c0", {nl.add_const(false)});
+  nl.add_output_bus("c1", {nl.add_const(true)});
+  Simulator sim(nl);
+  auto out = sim.run_scalar({1, 0});
+  EXPECT_EQ(out[0], 0u);  // and
+  EXPECT_EQ(out[1], 1u);  // or
+  EXPECT_EQ(out[2], 1u);  // nand
+  EXPECT_EQ(out[3], 0u);  // nor
+  EXPECT_EQ(out[4], 1u);  // xor
+  EXPECT_EQ(out[5], 0u);  // xnor
+  EXPECT_EQ(out[6], 0u);  // not
+  EXPECT_EQ(out[7], 1u);  // buf
+  EXPECT_EQ(out[8], 0u);  // const0
+  EXPECT_EQ(out[9], 1u);  // const1
+}
+
+TEST(Sim, LanesAreIndependent) {
+  Netlist nl = xor_circuit();
+  Simulator sim(nl);
+  // lane 0: a=0,b=0; lane 1: a=1,b=0; lane 2: a=0,b=1; lane 3: a=1,b=1.
+  std::vector<std::uint64_t> inputs{0b1010, 0b1100};
+  auto words = sim.run(inputs);
+  auto out = sim.output_words(words);
+  EXPECT_EQ(out[0] & 0xF, 0b0110u);
+}
+
+TEST(Sim, FaultInjectionFlipsSelectedLanes) {
+  Netlist nl("buf_chain");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto g1 = nl.add_unary(GateKind::kBuf, a);
+  auto g2 = nl.add_unary(GateKind::kBuf, g1);
+  nl.add_output_bus("out", {g2});
+  Simulator sim(nl);
+
+  std::vector<std::uint64_t> inputs{0};
+  auto golden = sim.output_words(sim.run(inputs));
+  auto faulty = sim.output_words(sim.run(inputs, Fault{g1, 0b101}));
+  EXPECT_EQ(golden[0] ^ faulty[0], 0b101u);
+}
+
+TEST(Sim, FaultOnMaskedGateDoesNotPropagate) {
+  Netlist nl("masked");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto zero = nl.add_const(false);
+  auto buf = nl.add_unary(GateKind::kBuf, a);
+  nl.add_output_bus("out", {nl.band(buf, zero)});
+  Simulator sim(nl);
+  std::vector<std::uint64_t> inputs{~0ULL};
+  auto golden = sim.output_words(sim.run(inputs));
+  auto faulty = sim.output_words(sim.run(inputs, Fault{buf, ~0ULL}));
+  EXPECT_EQ(golden[0], faulty[0]);
+}
+
+TEST(Sim, RejectsWrongInputCount) {
+  Netlist nl = xor_circuit();
+  Simulator sim(nl);
+  EXPECT_THROW(sim.run({0}), Error);
+  EXPECT_THROW(sim.run_scalar({0}), Error);
+}
+
+TEST(Stats, CountsAndDepth) {
+  Netlist nl = xor_circuit();
+  Stats s = compute_stats(nl);
+  EXPECT_EQ(s.logic_gates, 5u);  // 2 not, 2 and, 1 or
+  EXPECT_EQ(s.per_kind[static_cast<std::size_t>(GateKind::kNot)], 2u);
+  EXPECT_EQ(s.per_kind[static_cast<std::size_t>(GateKind::kAnd)], 2u);
+  // depth: not (0.5) -> and (1) -> or (1) = 2.5
+  EXPECT_DOUBLE_EQ(s.depth, 2.5);
+  // area: 2 * 0.5 + 2 * 1 + 1 = 4
+  EXPECT_DOUBLE_EQ(s.area, 4.0);
+}
+
+TEST(Stats, DotContainsGates) {
+  Netlist nl = xor_circuit();
+  std::string dot = to_dot(nl);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Or"), std::string::npos);
+  EXPECT_NE(dot.find("out_out_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rchls::netlist

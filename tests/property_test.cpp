@@ -1,0 +1,154 @@
+// Property-based tests over random DFGs: every engine must uphold its
+// structural invariants on arbitrary inputs, not only on the curated
+// benchmarks.
+#include <gtest/gtest.h>
+
+#include "bind/left_edge.hpp"
+#include "dfg/generate.hpp"
+#include "dfg/timing.hpp"
+#include "hls/baseline.hpp"
+#include "hls/combined.hpp"
+#include "hls/find_design.hpp"
+#include "sched/density.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list.hpp"
+#include "util/error.hpp"
+
+namespace rchls::hls {
+namespace {
+
+using library::ResourceLibrary;
+
+dfg::Graph random_graph(std::uint64_t seed, std::size_t nodes = 24) {
+  dfg::GeneratorConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.mul_fraction = 0.35;
+  cfg.layer_width = 3.5;
+  cfg.seed = seed;
+  return dfg::generate_random(cfg);
+}
+
+int fastest_min_latency(const dfg::Graph& g, const ResourceLibrary& lib) {
+  std::vector<library::VersionId> fastest(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    fastest[id] = lib.fastest(library::class_of(g.node(id).op));
+  }
+  return dfg::asap_latency(g, delays_for(g, lib, fastest));
+}
+
+class RandomDfg : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDfg, SchedulersProduceValidSchedules) {
+  auto g = random_graph(GetParam());
+  std::vector<int> delays(g.node_count());
+  std::vector<int> groups(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    bool mul = g.node(id).op == dfg::OpType::kMul;
+    delays[id] = mul ? 2 : 1;
+    groups[id] = mul ? 1 : 0;
+  }
+  int lmin = dfg::asap_latency(g, delays);
+
+  auto dens = sched::density_schedule(g, delays, lmin + 2, groups);
+  sched::validate_schedule(g, delays, dens);
+  EXPECT_LE(dens.latency, lmin + 2);
+
+  auto fds = sched::force_directed_schedule(g, delays, lmin + 2, groups);
+  sched::validate_schedule(g, delays, fds);
+
+  std::vector<int> instances{2, 2};
+  auto list = sched::list_schedule(g, delays, groups, instances);
+  sched::validate_schedule(g, delays, list);
+  auto peak = sched::peak_usage(g, delays, list, groups, 2);
+  EXPECT_LE(peak[0], 2);
+  EXPECT_LE(peak[1], 2);
+}
+
+TEST_P(RandomDfg, FindDesignUpholdsBounds) {
+  auto g = random_graph(GetParam());
+  ResourceLibrary lib = library::paper_library();
+  int lmin = fastest_min_latency(g, lib);
+  for (int slack : {1, 4}) {
+    for (double ad : {10.0, 16.0}) {
+      try {
+        Design d = find_design(g, lib, lmin + slack, ad);
+        validate_design(d, g, lib);
+        EXPECT_LE(d.latency, lmin + slack);
+        EXPECT_LE(d.area, ad + 1e-9);
+      } catch (const NoSolutionError&) {
+        // Acceptable: bounds can be genuinely unsatisfiable.
+      }
+    }
+  }
+}
+
+TEST_P(RandomDfg, CombinedAtLeastAsReliableAsPlain) {
+  auto g = random_graph(GetParam());
+  ResourceLibrary lib = library::paper_library();
+  int lmin = fastest_min_latency(g, lib);
+  try {
+    Design plain = find_design(g, lib, lmin + 3, 18.0);
+    Design comb = combined_design(g, lib, lmin + 3, 18.0);
+    EXPECT_GE(comb.reliability, plain.reliability - 1e-12);
+    EXPECT_LE(comb.area, 18.0 + 1e-9);
+  } catch (const NoSolutionError&) {
+  }
+}
+
+TEST_P(RandomDfg, BaselineUpholdsBounds) {
+  auto g = random_graph(GetParam());
+  ResourceLibrary lib = library::paper_library();
+  int lmin = fastest_min_latency(g, lib);
+  try {
+    Design d = nmr_baseline(g, lib, lmin + 3, 20.0);
+    validate_design(d, g, lib);
+    EXPECT_LE(d.latency, lmin + 3);
+    EXPECT_LE(d.area, 20.0 + 1e-9);
+  } catch (const NoSolutionError&) {
+  }
+}
+
+TEST_P(RandomDfg, BindingInstanceCountsMatchPeaks) {
+  auto g = random_graph(GetParam());
+  ResourceLibrary lib = library::paper_library();
+  std::vector<library::VersionId> versions(g.node_count());
+  std::vector<int> groups(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    bool mul = g.node(id).op == dfg::OpType::kMul;
+    versions[id] = mul ? lib.find("mult_2") : lib.find("adder_2");
+    groups[id] = mul ? 1 : 0;
+  }
+  auto delays = delays_for(g, lib, versions);
+  int lmin = dfg::asap_latency(g, delays);
+  auto s = sched::density_schedule(g, delays, lmin + 1, groups);
+  auto b = bind::left_edge_bind(g, lib, versions, s);
+  auto peak = sched::peak_usage(g, delays, s, groups, 2);
+  auto hist = bind::instance_histogram(b, lib);
+  EXPECT_EQ(hist[lib.find("adder_2")], peak[0]);
+  EXPECT_EQ(hist[lib.find("mult_2")], peak[1]);
+}
+
+TEST_P(RandomDfg, TighterLatencyNeverImprovesReliability) {
+  auto g = random_graph(GetParam(), 18);
+  ResourceLibrary lib = library::paper_library();
+  int lmin = fastest_min_latency(g, lib);
+  double prev = 2.0;
+  // Sweep tighter and tighter latencies: reliability must not increase
+  // beyond noise as the bound tightens (paper Fig. 8(a) shape).
+  for (int ld = lmin + 6; ld >= lmin; ld -= 2) {
+    try {
+      Design d = find_design(g, lib, ld, 14.0);
+      EXPECT_LE(d.reliability, prev + 0.05) << "Ld=" << ld;
+      prev = d.reliability;
+    } catch (const NoSolutionError&) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDfg,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace rchls::hls

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "reliability/algebra.hpp"
+#include "reliability/rbd.hpp"
+#include "util/error.hpp"
+
+namespace rchls::reliability {
+namespace {
+
+TEST(Rbd, ComponentIsLeaf) {
+  Block b = Block::component("adder", 0.99);
+  EXPECT_DOUBLE_EQ(b.reliability(), 0.99);
+  EXPECT_EQ(b.component_count(), 1u);
+  EXPECT_EQ(b.to_string(), "adder[0.99]");
+}
+
+TEST(Rbd, SerialMatchesAlgebra) {
+  Block b = Block::serial({Block::component("a", 0.9),
+                           Block::component("b", 0.8),
+                           Block::component("c", 0.5)});
+  EXPECT_NEAR(b.reliability(), 0.36, 1e-12);
+  EXPECT_EQ(b.component_count(), 3u);
+}
+
+TEST(Rbd, ParallelMatchesAlgebra) {
+  Block b = Block::parallel(
+      {Block::component("a", 0.9), Block::component("b", 0.9)});
+  EXPECT_NEAR(b.reliability(), 0.99, 1e-12);
+}
+
+TEST(Rbd, KofNIdenticalMatchesBinomialFormula) {
+  std::vector<Block> mods;
+  for (int i = 0; i < 5; ++i) mods.push_back(Block::component("m", 0.969));
+  Block b = Block::k_of_n(3, mods);
+  EXPECT_NEAR(b.reliability(), nmr(5, 0.969), 1e-12);
+}
+
+TEST(Rbd, KofNHeterogeneousIsExact) {
+  // 2-of-3 with distinct reliabilities: enumerate by hand.
+  double r1 = 0.9;
+  double r2 = 0.8;
+  double r3 = 0.7;
+  Block b = Block::k_of_n(2, {Block::component("x", r1),
+                              Block::component("y", r2),
+                              Block::component("z", r3)});
+  double expect = r1 * r2 * r3 + r1 * r2 * (1 - r3) + r1 * (1 - r2) * r3 +
+                  (1 - r1) * r2 * r3;
+  EXPECT_NEAR(b.reliability(), expect, 1e-12);
+}
+
+TEST(Rbd, NestedComposition) {
+  // Paper Fig. 4(b): TMR of a module inside a serial chain.
+  Block tmr = Block::k_of_n(2, {Block::component("m", 0.969),
+                                Block::component("m", 0.969),
+                                Block::component("m", 0.969)});
+  Block chain = Block::serial({Block::component("pre", 0.999), tmr,
+                               Block::component("post", 0.999)});
+  EXPECT_NEAR(chain.reliability(), 0.999 * nmr(3, 0.969) * 0.999, 1e-12);
+  EXPECT_EQ(chain.component_count(), 5u);
+  EXPECT_NE(chain.to_string().find("2of3"), std::string::npos);
+}
+
+TEST(Rbd, RejectsBadConstruction) {
+  EXPECT_THROW(Block::component("x", 1.5), Error);
+  EXPECT_THROW(Block::serial({}), Error);
+  EXPECT_THROW(Block::parallel({}), Error);
+  EXPECT_THROW(Block::k_of_n(4, {Block::component("a", 0.5)}), Error);
+  EXPECT_THROW(Block::k_of_n(0, {Block::component("a", 0.5)}), Error);
+}
+
+}  // namespace
+}  // namespace rchls::reliability

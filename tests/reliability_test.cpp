@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "reliability/algebra.hpp"
+#include "util/error.hpp"
+
+namespace rchls::reliability {
+namespace {
+
+TEST(Algebra, SerialIsProduct) {
+  std::array<double, 3> rs{0.9, 0.8, 0.5};
+  EXPECT_DOUBLE_EQ(serial(rs), 0.36);
+  EXPECT_DOUBLE_EQ(serial(std::span<const double>{}), 1.0);
+}
+
+TEST(Algebra, SerialMatchesPaperFig5Examples) {
+  // Fig. 5(a): six adds on type-2 adders.
+  std::array<double, 6> a;
+  a.fill(0.969);
+  EXPECT_NEAR(serial(a), 0.82783, 5e-5);
+  // Fig. 5(b): three ops on type 1, three on type 2.
+  std::array<double, 6> b{0.999, 0.999, 0.999, 0.969, 0.969, 0.969};
+  EXPECT_NEAR(serial(b), 0.90713, 5e-5);
+}
+
+TEST(Algebra, SerialMatchesPaperFig7Examples) {
+  // Fig. 7(a): all 23 FIR ops on type-2 resources.
+  EXPECT_NEAR(std::pow(0.969, 23), 0.48467, 5e-5);
+  // Fig. 7(b): 16 ops on type-1 + 7 adds on type-2.
+  EXPECT_NEAR(std::pow(0.999, 16) * std::pow(0.969, 7), 0.78943, 5e-5);
+}
+
+TEST(Algebra, ParallelIsComplementProduct) {
+  std::array<double, 2> rs{0.9, 0.9};
+  EXPECT_NEAR(parallel(rs), 0.99, 1e-12);
+  EXPECT_DOUBLE_EQ(parallel(std::span<const double>{}), 0.0);
+}
+
+TEST(Algebra, Binomial) {
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 3), 120.0);
+  EXPECT_THROW(binomial(3, 4), Error);
+  EXPECT_THROW(binomial(-1, 0), Error);
+  EXPECT_THROW(binomial(63, 2), Error);
+}
+
+TEST(Algebra, KOfNDegenerateCases) {
+  EXPECT_NEAR(k_of_n(3, 1, 0.5), 1.0 - 0.125, 1e-12);  // any-of-3
+  EXPECT_NEAR(k_of_n(3, 3, 0.5), 0.125, 1e-12);        // all-of-3 = serial
+  EXPECT_THROW(k_of_n(3, 0, 0.5), Error);
+  EXPECT_THROW(k_of_n(0, 1, 0.5), Error);
+}
+
+TEST(Algebra, TmrClosedForm) {
+  for (double r : {0.5, 0.9, 0.969, 0.999}) {
+    double expect = 3 * r * r - 2 * r * r * r;
+    EXPECT_NEAR(nmr(3, r), expect, 1e-12) << r;
+  }
+}
+
+TEST(Algebra, NmrOneIsIdentity) {
+  EXPECT_DOUBLE_EQ(nmr(1, 0.42), 0.42);
+}
+
+TEST(Algebra, NmrRejectsEvenN) {
+  EXPECT_THROW(nmr(2, 0.9), Error);
+  EXPECT_THROW(nmr(0, 0.9), Error);
+}
+
+TEST(Algebra, TmrHelpsOnlyAboveOneHalf) {
+  EXPECT_GT(nmr(3, 0.9), 0.9);
+  EXPECT_LT(nmr(3, 0.4), 0.4);
+  EXPECT_NEAR(nmr(3, 0.5), 0.5, 1e-12);
+}
+
+TEST(Algebra, FiveMrBeatsTmrForReliableModules) {
+  EXPECT_GT(nmr(5, 0.969), nmr(3, 0.969));
+}
+
+TEST(Algebra, DuplexWithRecovery) {
+  EXPECT_NEAR(duplex_with_recovery(0.969), 1.0 - 0.031 * 0.031, 1e-12);
+  EXPECT_DOUBLE_EQ(duplex_with_recovery(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(duplex_with_recovery(0.0), 0.0);
+}
+
+TEST(Algebra, ModularRedundancyLadder) {
+  double r = 0.969;
+  EXPECT_DOUBLE_EQ(modular_redundancy(r, 1), r);
+  EXPECT_DOUBLE_EQ(modular_redundancy(r, 2), duplex_with_recovery(r));
+  EXPECT_DOUBLE_EQ(modular_redundancy(r, 3), nmr(3, r));
+  EXPECT_DOUBLE_EQ(modular_redundancy(r, 5), nmr(5, r));
+  EXPECT_THROW(modular_redundancy(r, 4), Error);
+  EXPECT_THROW(modular_redundancy(r, 0), Error);
+}
+
+TEST(Algebra, DuplexBeatsTmrForSingleUpsets) {
+  // With detection + rollback, both-fail is the only loss case, so duplex
+  // beats majority TMR at equal module reliability.
+  EXPECT_GT(duplex_with_recovery(0.969), nmr(3, 0.969));
+}
+
+TEST(Algebra, RejectsOutOfRangeProbabilities) {
+  std::array<double, 1> bad{1.5};
+  EXPECT_THROW(serial(bad), Error);
+  EXPECT_THROW(parallel(bad), Error);
+  EXPECT_THROW(k_of_n(3, 2, -0.1), Error);
+  EXPECT_THROW(duplex_with_recovery(2.0), Error);
+}
+
+}  // namespace
+}  // namespace rchls::reliability

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchmarks/suite.hpp"
+#include "dfg/timing.hpp"
+#include "sched/asap_alap.hpp"
+#include "sched/density.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list.hpp"
+#include "util/error.hpp"
+
+namespace rchls::sched {
+namespace {
+
+std::vector<int> unit_delays(const dfg::Graph& g) {
+  return std::vector<int>(g.node_count(), 1);
+}
+
+std::vector<int> groups_of(const dfg::Graph& g) {
+  std::vector<int> groups(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    groups[id] = g.node(id).op == dfg::OpType::kMul ? 1 : 0;
+  }
+  return groups;
+}
+
+TEST(AsapAlap, WrappersValidate) {
+  auto g = benchmarks::fir16();
+  auto delays = unit_delays(g);
+  Schedule early = asap_schedule(g, delays);
+  validate_schedule(g, delays, early);
+  EXPECT_EQ(early.latency, 9);  // pre-add + mult + 7-deep chain
+
+  Schedule late = alap_schedule(g, delays, 12);
+  validate_schedule(g, delays, late);
+  EXPECT_EQ(late.latency, 12);
+}
+
+TEST(Occupancy, CountsActiveSteps) {
+  dfg::Graph g("t");
+  g.add_node("a", dfg::OpType::kAdd);
+  g.add_node("b", dfg::OpType::kAdd);
+  std::vector<int> delays{2, 1};
+  Schedule s;
+  s.start = {0, 1};
+  s.latency = 2;
+  auto use = occupancy(g, delays, s, {true, true});
+  EXPECT_EQ(use, (std::vector<int>{1, 2}));
+}
+
+class DensityOnBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DensityOnBenchmarks, ValidAtSeveralLatencies) {
+  auto g = benchmarks::by_name(GetParam());
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int lmin = dfg::asap_latency(g, delays);
+  for (int slack : {0, 1, 3}) {
+    Schedule s = density_schedule(g, delays, lmin + slack, groups);
+    validate_schedule(g, delays, s);
+    EXPECT_LE(s.latency, lmin + slack);
+  }
+}
+
+TEST_P(DensityOnBenchmarks, SlackReducesPeakUsage) {
+  auto g = benchmarks::by_name(GetParam());
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int lmin = dfg::asap_latency(g, delays);
+
+  auto peak_sum = [&](const Schedule& s) {
+    auto peak = peak_usage(g, delays, s, groups, 2);
+    return peak[0] + peak[1];
+  };
+  Schedule tight = density_schedule(g, delays, lmin, groups);
+  Schedule loose = density_schedule(g, delays, lmin + 4, groups);
+  EXPECT_LE(peak_sum(loose), peak_sum(tight));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DensityOnBenchmarks,
+                         ::testing::Values("fig4_example", "fir16", "ewf",
+                                           "diffeq", "ar_lattice"));
+
+TEST(Density, BeatsAsapPeakOnFir) {
+  // The point of the density scheduler: spreading ops across partitions
+  // needs fewer units than raw ASAP.
+  auto g = benchmarks::fir16();
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int lmin = dfg::asap_latency(g, delays);
+
+  Schedule early = asap_schedule(g, delays);
+  Schedule dens = density_schedule(g, delays, lmin + 2, groups);
+  auto peak_asap = peak_usage(g, delays, early, groups, 2);
+  auto peak_dens = peak_usage(g, delays, dens, groups, 2);
+  EXPECT_LT(peak_dens[0] + peak_dens[1], peak_asap[0] + peak_asap[1]);
+}
+
+TEST(Density, ThrowsOnInfeasibleLatency) {
+  auto g = benchmarks::fir16();
+  auto delays = unit_delays(g);
+  EXPECT_THROW(density_schedule(g, delays, 3, groups_of(g)),
+               NoSolutionError);
+}
+
+TEST(Density, RejectsGroupSizeMismatch) {
+  auto g = benchmarks::diffeq();
+  auto delays = unit_delays(g);
+  EXPECT_THROW(density_schedule(g, delays, 10, std::vector<int>{0, 1}),
+               Error);
+}
+
+TEST(List, RespectsResourceLimits) {
+  auto g = benchmarks::fir16();
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  for (int na : {1, 2, 3}) {
+    for (int nm : {1, 2}) {
+      std::vector<int> instances{na, nm};
+      Schedule s = list_schedule(g, delays, groups, instances);
+      validate_schedule(g, delays, s);
+      auto peak = peak_usage(g, delays, s, groups, 2);
+      EXPECT_LE(peak[0], na);
+      EXPECT_LE(peak[1], nm);
+    }
+  }
+}
+
+TEST(List, MoreUnitsNeverHurtLatency) {
+  auto g = benchmarks::ewf();
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int prev = 1 << 30;
+  for (int n : {1, 2, 3, 4}) {
+    std::vector<int> instances{n, n};
+    Schedule s = list_schedule(g, delays, groups, instances);
+    EXPECT_LE(s.latency, prev);
+    prev = s.latency;
+  }
+}
+
+TEST(List, SingleUnitSerializes) {
+  auto g = benchmarks::fig4_example();  // six adds
+  auto delays = unit_delays(g);
+  std::vector<int> groups(g.node_count(), 0);
+  Schedule s = list_schedule(g, delays, groups, std::vector<int>{1});
+  EXPECT_EQ(s.latency, 6);
+}
+
+TEST(List, MultiCycleOpsHoldUnits) {
+  auto g = benchmarks::fig4_example();
+  std::vector<int> delays(g.node_count(), 2);
+  std::vector<int> groups(g.node_count(), 0);
+  Schedule s = list_schedule(g, delays, groups, std::vector<int>{1});
+  EXPECT_EQ(s.latency, 12);
+}
+
+TEST(List, RejectsBadInputs) {
+  auto g = benchmarks::diffeq();
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  EXPECT_THROW(list_schedule(g, delays, groups, std::vector<int>{1}), Error);
+  EXPECT_THROW(list_schedule(g, delays, groups, std::vector<int>{0, 1}),
+               Error);
+}
+
+class FdsOnBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FdsOnBenchmarks, ProducesValidSchedules) {
+  auto g = benchmarks::by_name(GetParam());
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int lmin = dfg::asap_latency(g, delays);
+  Schedule s = force_directed_schedule(g, delays, lmin + 2, groups);
+  validate_schedule(g, delays, s);
+  EXPECT_LE(s.latency, lmin + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FdsOnBenchmarks,
+                         ::testing::Values("fig4_example", "fir16", "diffeq",
+                                           "ar_lattice"));
+
+TEST(Fds, ComparableToDensityOnFir) {
+  auto g = benchmarks::fir16();
+  auto delays = unit_delays(g);
+  auto groups = groups_of(g);
+  int lmin = dfg::asap_latency(g, delays);
+  Schedule fds = force_directed_schedule(g, delays, lmin + 2, groups);
+  Schedule dens = density_schedule(g, delays, lmin + 2, groups);
+  auto pf = peak_usage(g, delays, fds, groups, 2);
+  auto pd = peak_usage(g, delays, dens, groups, 2);
+  // FDS should not be drastically worse than the simple density heuristic.
+  EXPECT_LE(pf[0] + pf[1], pd[0] + pd[1] + 2);
+}
+
+TEST(ValidateSchedule, CatchesViolations) {
+  dfg::Graph g("t");
+  dfg::NodeId a = g.add_node("a", dfg::OpType::kAdd);
+  dfg::NodeId b = g.add_node("b", dfg::OpType::kAdd);
+  g.add_edge(a, b);
+  std::vector<int> delays{2, 1};
+
+  Schedule bad;
+  bad.start = {0, 1};  // b starts before a finishes
+  bad.latency = 2;
+  EXPECT_THROW(validate_schedule(g, delays, bad), ValidationError);
+
+  Schedule negative;
+  negative.start = {-1, 2};
+  negative.latency = 3;
+  EXPECT_THROW(validate_schedule(g, delays, negative), ValidationError);
+
+  Schedule stale;
+  stale.start = {0, 2};
+  stale.latency = 99;
+  EXPECT_THROW(validate_schedule(g, delays, stale), ValidationError);
+}
+
+}  // namespace
+}  // namespace rchls::sched

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ser/characterize.hpp"
+#include "util/error.hpp"
+
+namespace rchls::ser {
+namespace {
+
+TEST(PaperCharacterization, ReproducesTable1) {
+  auto comps = paper_characterization();
+  ASSERT_EQ(comps.size(), 5u);
+
+  EXPECT_EQ(comps[0].name, "ripple_carry_adder");
+  EXPECT_EQ(comps[0].cls, ComponentClass::kAdder);
+  EXPECT_DOUBLE_EQ(comps[0].area_units, 1.0);
+  EXPECT_EQ(comps[0].delay_cycles, 2);
+  EXPECT_DOUBLE_EQ(comps[0].reliability, 0.999);
+
+  EXPECT_EQ(comps[1].name, "brent_kung_adder");
+  EXPECT_DOUBLE_EQ(comps[1].area_units, 2.0);
+  EXPECT_EQ(comps[1].delay_cycles, 1);
+  EXPECT_NEAR(comps[1].reliability, 0.969, 1e-9);
+
+  EXPECT_EQ(comps[2].name, "kogge_stone_adder");
+  EXPECT_DOUBLE_EQ(comps[2].area_units, 4.0);
+  EXPECT_EQ(comps[2].delay_cycles, 1);
+  EXPECT_NEAR(comps[2].reliability, 0.987, 5e-4);
+
+  EXPECT_EQ(comps[3].name, "carry_save_multiplier");
+  EXPECT_EQ(comps[3].cls, ComponentClass::kMultiplier);
+  EXPECT_DOUBLE_EQ(comps[3].area_units, 2.0);
+  EXPECT_EQ(comps[3].delay_cycles, 2);
+  EXPECT_NEAR(comps[3].reliability, 0.999, 1e-9);
+
+  EXPECT_EQ(comps[4].name, "leapfrog_multiplier");
+  EXPECT_DOUBLE_EQ(comps[4].area_units, 4.0);
+  EXPECT_EQ(comps[4].delay_cycles, 1);
+  EXPECT_NEAR(comps[4].reliability, 0.969, 1e-9);
+}
+
+TEST(PaperCharacterization, ChargesAreOrderedLikeReliabilities) {
+  auto comps = paper_characterization();
+  // Higher reliability <=> larger critical charge under one technology.
+  for (const auto& a : comps) {
+    for (const auto& b : comps) {
+      if (a.reliability < b.reliability) {
+        EXPECT_LT(a.qcritical, b.qcritical) << a.name << " vs " << b.name;
+      }
+    }
+  }
+}
+
+TEST(SimulatedCharacterization, ProducesFiveAnchoredComponents) {
+  CharacterizeConfig cfg;
+  cfg.width = 8;
+  cfg.injection.trials = 64 * 64;
+  auto comps = characterize_components(cfg);
+  ASSERT_EQ(comps.size(), 5u);
+
+  // The ripple-carry adder is the anchor: area 1, reliability 0.999.
+  EXPECT_DOUBLE_EQ(comps[0].area_units, 1.0);
+  EXPECT_DOUBLE_EQ(comps[0].reliability, 0.999);
+
+  for (const auto& c : comps) {
+    EXPECT_GT(c.reliability, 0.0) << c.name;
+    EXPECT_LT(c.reliability, 1.0) << c.name;
+    EXPECT_GE(c.delay_cycles, 1) << c.name;
+    EXPECT_GT(c.area_units, 0.0) << c.name;
+    EXPECT_GT(c.gate_count, 0u) << c.name;
+  }
+
+  // Structural orderings the netlists guarantee at any width:
+  // the prefix adders are single-cycle (they bound the clock period) and
+  // the ripple adder is never faster than them.
+  EXPECT_GE(comps[0].delay_cycles, comps[1].delay_cycles);
+  EXPECT_EQ(comps[2].delay_cycles, 1);
+  EXPECT_EQ(comps[4].delay_cycles, 1);
+  // Kogge-Stone is bigger than Brent-Kung; multipliers bigger than adders.
+  EXPECT_GT(comps[2].area_units, comps[1].area_units);
+  EXPECT_GT(comps[3].area_units, comps[0].area_units);
+  // Bigger circuits collect more strikes: multipliers end up less reliable
+  // than the anchor adder.
+  EXPECT_LT(comps[3].reliability, comps[0].reliability);
+  EXPECT_LT(comps[4].reliability, comps[0].reliability);
+}
+
+TEST(SimulatedCharacterization, DeterministicUnderSeed) {
+  CharacterizeConfig cfg;
+  cfg.width = 4;
+  cfg.injection.trials = 64 * 16;
+  auto a = characterize_components(cfg);
+  auto b = characterize_components(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].reliability, b[i].reliability);
+  }
+}
+
+}  // namespace
+}  // namespace rchls::ser

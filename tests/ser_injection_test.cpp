@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "circuits/adders.hpp"
+#include "netlist/netlist.hpp"
+#include "ser/fault_injection.hpp"
+#include "util/error.hpp"
+
+namespace rchls::ser {
+namespace {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+Netlist transparent_chain() {
+  // out = buf(buf(a)): every strike on the chain reaches the output.
+  Netlist nl("chain");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto g1 = nl.add_unary(GateKind::kBuf, a);
+  auto g2 = nl.add_unary(GateKind::kBuf, g1);
+  nl.add_output_bus("out", {g2});
+  return nl;
+}
+
+Netlist fully_masked() {
+  // out = and(x, 0): no strike on x's cone can be observed.
+  Netlist nl("masked");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto zero = nl.add_const(false);
+  auto buf = nl.add_unary(GateKind::kBuf, a);
+  auto out = nl.add_binary(GateKind::kAnd, buf, zero);
+  nl.add_output_bus("out", {out});
+  return nl;
+}
+
+TEST(Injection, TransparentCircuitHasFullSensitivity) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  cfg.trials = 64 * 16;
+  auto r = inject_campaign(nl, cfg);
+  EXPECT_DOUBLE_EQ(r.logical_sensitivity, 1.0);
+  EXPECT_EQ(r.propagated, r.trials);
+}
+
+TEST(Injection, DeratingFactorsApplyMultiplicatively) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  cfg.trials = 64 * 4;
+  cfg.electrical_derating = 0.5;
+  cfg.latching_window_derating = 0.25;
+  auto r = inject_campaign(nl, cfg);
+  EXPECT_DOUBLE_EQ(r.susceptibility, 1.0 * 0.5 * 0.25);
+}
+
+TEST(Injection, MaskedGateShowsZeroSensitivity) {
+  Netlist nl = fully_masked();
+  InjectionConfig cfg;
+  cfg.trials = 64 * 8;
+  // Strike only the buffer (the AND gate itself would propagate).
+  auto r = inject_gate(nl, nl.gate_count() - 2, cfg);
+  EXPECT_DOUBLE_EQ(r.logical_sensitivity, 0.0);
+}
+
+TEST(Injection, DeterministicUnderSeed) {
+  Netlist nl = circuits::ripple_carry_adder(8);
+  InjectionConfig cfg;
+  cfg.trials = 64 * 32;
+  cfg.seed = 42;
+  auto a = inject_campaign(nl, cfg);
+  auto b = inject_campaign(nl, cfg);
+  EXPECT_EQ(a.propagated, b.propagated);
+}
+
+TEST(Injection, SensitivityIsAProbability) {
+  Netlist nl = circuits::brent_kung_adder(8);
+  InjectionConfig cfg;
+  cfg.trials = 64 * 64;
+  auto r = inject_campaign(nl, cfg);
+  EXPECT_GT(r.logical_sensitivity, 0.0);
+  EXPECT_LE(r.logical_sensitivity, 1.0);
+  EXPECT_GT(r.half_width_95, 0.0);
+  EXPECT_LT(r.half_width_95, 0.1);
+}
+
+TEST(Injection, TrialsRoundUpToLaneMultiples) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  cfg.trials = 100;  // rounds to 128
+  auto r = inject_campaign(nl, cfg);
+  EXPECT_EQ(r.trials, 128u);
+}
+
+TEST(Injection, RejectsBadConfigs) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(inject_campaign(nl, cfg), Error);
+  cfg.trials = 64;
+  cfg.electrical_derating = 1.5;
+  EXPECT_THROW(inject_campaign(nl, cfg), Error);
+}
+
+TEST(Injection, RejectsBadGateTargets) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  EXPECT_THROW(inject_gate(nl, 999, cfg), Error);
+  EXPECT_THROW(inject_gate(nl, 0, cfg), Error);  // input, not logic
+}
+
+}  // namespace
+}  // namespace rchls::ser

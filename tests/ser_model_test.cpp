@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ser/model.hpp"
+#include "util/error.hpp"
+
+namespace rchls::ser {
+namespace {
+
+TEST(SerModel, RelativeSerIdentityAtEqualCharge) {
+  EXPECT_DOUBLE_EQ(relative_ser(5e-21, 5e-21, 1e-21), 1.0);
+}
+
+TEST(SerModel, LowerChargeMeansHigherSer) {
+  EXPECT_GT(relative_ser(5e-21, 3e-21, 1e-21), 1.0);
+  EXPECT_LT(relative_ser(5e-21, 7e-21, 1e-21), 1.0);
+}
+
+TEST(SerModel, AbsoluteSerScalesWithFluxAndArea) {
+  double s1 = absolute_ser(10.0, 2.0, 5e-21, 1e-21);
+  double s2 = absolute_ser(20.0, 2.0, 5e-21, 1e-21);
+  double s3 = absolute_ser(10.0, 4.0, 5e-21, 1e-21);
+  EXPECT_DOUBLE_EQ(s2, 2.0 * s1);
+  EXPECT_DOUBLE_EQ(s3, 2.0 * s1);
+}
+
+TEST(SerModel, ReliabilityFromRatio) {
+  EXPECT_DOUBLE_EQ(reliability_from_ser_ratio(0.999, 1.0), 0.999);
+  // doubling the SER squares the reliability (exp(-2λt) = R^2).
+  EXPECT_NEAR(reliability_from_ser_ratio(0.999, 2.0), 0.999 * 0.999, 1e-12);
+}
+
+TEST(SerModel, FailureExposureInvertsReliability) {
+  double lt = failure_exposure(0.969);
+  EXPECT_NEAR(std::exp(-lt), 0.969, 1e-12);
+}
+
+TEST(SerModel, CalibrationReproducesPaperQs) {
+  double qs = calibrate_qs(PaperCharges::kRippleCarry, kAnchorReliability,
+                           PaperCharges::kBrentKung, 0.969);
+  // Derived in DESIGN.md: about 8.63e-21 C.
+  EXPECT_NEAR(qs, 8.63e-21, 0.05e-21);
+}
+
+TEST(SerModel, PaperModelPredictsKoggeStoneReliability) {
+  SoftErrorModel m = SoftErrorModel::paper_calibrated();
+  // The headline validation: the model calibrated on ripple/Brent-Kung
+  // predicts Table 1's 0.987 for the Kogge-Stone adder.
+  EXPECT_NEAR(m.reliability(PaperCharges::kKoggeStone), 0.987, 5e-4);
+  EXPECT_DOUBLE_EQ(m.reliability(PaperCharges::kRippleCarry), 0.999);
+  EXPECT_NEAR(m.reliability(PaperCharges::kBrentKung), 0.969, 1e-9);
+}
+
+TEST(SerModel, CriticalChargeRoundTrips) {
+  SoftErrorModel m = SoftErrorModel::paper_calibrated();
+  for (double r : {0.9, 0.969, 0.987, 0.999, 0.9999}) {
+    EXPECT_NEAR(m.reliability(m.critical_charge_for(r)), r, 1e-12);
+  }
+}
+
+TEST(SerModel, MonotoneInCharge) {
+  SoftErrorModel m = SoftErrorModel::paper_calibrated();
+  double prev = 0.0;
+  for (double qc = 20e-21; qc < 70e-21; qc += 5e-21) {
+    double r = m.reliability(qc);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(SerModel, RejectsBadInputs) {
+  EXPECT_THROW(relative_ser(1e-21, 1e-21, 0.0), Error);
+  EXPECT_THROW(reliability_from_ser_ratio(1.5, 1.0), Error);
+  EXPECT_THROW(reliability_from_ser_ratio(0.5, -1.0), Error);
+  EXPECT_THROW(failure_exposure(0.0), Error);
+  EXPECT_THROW(calibrate_qs(1e-21, 0.9, 1e-21, 0.8), Error);
+  EXPECT_THROW(calibrate_qs(1e-21, 0.9, 2e-21, 0.9), Error);
+  EXPECT_THROW(SoftErrorModel(1e-21, 1.2, 1e-21), Error);
+  EXPECT_THROW(absolute_ser(-1.0, 1.0, 1e-21, 1e-21), Error);
+}
+
+}  // namespace
+}  // namespace rchls::ser
