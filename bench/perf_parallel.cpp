@@ -1,0 +1,76 @@
+// Parallel subsystem throughput: exploration-sweep and injection-campaign
+// scaling at 1/2/4/8 workers, plus raw pool overhead. Wall-clock is the
+// interesting axis (work runs on pool workers), hence UseRealTime().
+//
+// Acceptance target: >= 3x items/s on the grid and the campaign at 8
+// workers vs 1 on an 8-core host.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "benchmarks/suite.hpp"
+#include "circuits/multipliers.hpp"
+#include "hls/explore.hpp"
+#include "library/resource.hpp"
+#include "parallel/config.hpp"
+#include "parallel/parallel_for.hpp"
+#include "ser/fault_injection.hpp"
+
+namespace {
+
+using namespace rchls;
+
+void BM_ComparisonGrid(benchmark::State& state) {
+  auto g = benchmarks::fir16();
+  auto lib = library::paper_library();
+  parallel::set_global_jobs(static_cast<std::size_t>(state.range(0)));
+  std::vector<int> lds = {11, 12, 13, 14};
+  std::vector<double> ads = {11.0, 13.0, 15.0, 17.0};
+  for (auto _ : state) {
+    auto rows = hls::comparison_grid(g, lib, lds, ads);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lds.size() * ads.size()));
+  parallel::set_global_jobs(0);
+}
+BENCHMARK(BM_ComparisonGrid)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_InjectCampaign(benchmark::State& state) {
+  netlist::Netlist nl = circuits::carry_save_multiplier(16);
+  ser::InjectionConfig cfg;
+  cfg.trials = 64 * 512;
+  parallel::set_global_jobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = ser::inject_campaign(nl, cfg);
+    benchmark::DoNotOptimize(r.susceptibility);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+  parallel::set_global_jobs(0);
+}
+BENCHMARK(BM_InjectCampaign)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PoolOverhead(benchmark::State& state) {
+  // Dispatch of N trivial tasks through the shared pool: the fixed cost a
+  // parallel region pays before any useful work happens (the first
+  // iteration additionally pays the one-time pool spin-up).
+  std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::size_t> ran{0};
+    parallel::parallel_for(
+        256, [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+        jobs);
+    benchmark::DoNotOptimize(ran.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_PoolOverhead)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace

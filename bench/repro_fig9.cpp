@@ -28,16 +28,18 @@ int main() {
   std::cout << "==============================================\n"
             << "Figure 9: average reliability per benchmark\n"
             << "==============================================\n";
-  Table t({"Benchmark", "Ref[3] paper", "Ref[3] ours", "Ours paper",
+  Table t({"Benchmark", "Cells", "Ref[3] paper", "Ref[3] ours", "Ours paper",
            "Ours ours", "Comb paper", "Comb ours"});
   for (const repro::Panel& panel : repro::all_panels()) {
     auto rows = repro::run_panel(panel, lib);
     auto avg = hls::grid_averages(rows);
     auto paper = paper_avg(panel);
-    t.add_row({panel.benchmark, repro::fmt(paper[0]),
-               repro::fmt(avg.baseline), repro::fmt(paper[1]),
-               repro::fmt(avg.ours), repro::fmt(paper[2]),
-               repro::fmt(avg.combined)});
+    t.add_row({panel.benchmark,
+               std::to_string(avg.solved_cells) + "/" +
+                   std::to_string(avg.total_cells),
+               repro::fmt(paper[0]), repro::fmt(avg.baseline),
+               repro::fmt(paper[1]), repro::fmt(avg.ours),
+               repro::fmt(paper[2]), repro::fmt(avg.combined)});
   }
   std::cout << t.render()
             << "\nExpected shape (paper Section 7): ours > [3] on average "

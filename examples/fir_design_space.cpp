@@ -54,8 +54,10 @@ int main(int argc, char** argv) {
             << t.render();
 
   auto avg = hls::grid_averages(rows);
-  std::cout << "\naverages: baseline " << format_fixed(avg.baseline, 5)
-            << ", centric " << format_fixed(avg.ours, 5) << ", combined "
+  std::cout << "\naverages over " << avg.solved_cells << "/"
+            << avg.total_cells << " commonly solved cells: baseline "
+            << format_fixed(avg.baseline, 5) << ", centric "
+            << format_fixed(avg.ours, 5) << ", combined "
             << format_fixed(avg.combined, 5) << "\n";
   return 0;
 }

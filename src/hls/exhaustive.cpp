@@ -3,13 +3,22 @@
 #include <optional>
 
 #include "dfg/timing.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
 #include "util/error.hpp"
 
 namespace rchls::hls {
 
 namespace {
 constexpr double kAreaEps = 1e-9;
-}
+
+/// Assignments enumerated per task. The chunk layout is a function of the
+/// assignment space ONLY -- never of the worker count -- because the
+/// reliability-upper-bound pruning below is tie-sensitive: a chunk's local
+/// best decides which equal-reliability assignments get evaluated, so a
+/// worker-count-dependent layout would make results vary with --jobs.
+constexpr std::uint64_t kAssignmentsPerChunk = 4096;
+}  // namespace
 
 Design exhaustive_find_design(const dfg::Graph& g,
                               const library::ResourceLibrary& lib,
@@ -29,44 +38,82 @@ Design exhaustive_find_design(const dfg::Graph& g,
     }
   }
 
-  std::vector<std::size_t> index(n, 0);
-  std::vector<library::VersionId> versions(n);
-  std::optional<Design> best;
+  // Ties prefer smaller area, then smaller latency, then enumeration order.
+  auto better = [](const Design& d, const Design& best) {
+    return d.reliability > best.reliability ||
+           (d.reliability == best.reliability &&
+            (d.area < best.area - kAreaEps ||
+             (d.area < best.area + kAreaEps && d.latency < best.latency)));
+  };
 
-  for (std::uint64_t step = 0; step < space; ++step) {
-    for (dfg::NodeId id = 0; id < n; ++id) versions[id] = choices[id][index[id]];
+  // Each range enumerates its slice of the mixed-radix assignment space
+  // independently and keeps a range-local best; the results are then merged
+  // in range order with the same predicate. With the fixed chunk layout the
+  // winner is a pure function of the inputs, i.e. identical at every worker
+  // count. The pruning is range-local, though, so on exact reliability ties
+  // a smaller-area assignment that a single global scan would have pruned
+  // away can now be evaluated and win the area tie-break -- tie resolution
+  // follows `better` exactly rather than scan order.
+  auto ranges = parallel::partition_range(
+      space, static_cast<std::size_t>((space + kAssignmentsPerChunk - 1) /
+                                      kAssignmentsPerChunk),
+      kAssignmentsPerChunk);
+  std::vector<std::optional<Design>> range_best(ranges.size());
 
-    // Cheap pruning before scheduling: reliability upper bound and ASAP.
-    double r_bound = 1.0;
-    for (dfg::NodeId id = 0; id < n; ++id) {
-      r_bound *= lib.version(versions[id]).reliability;
+  parallel::parallel_for(ranges.size(), [&](std::size_t ri) {
+    const parallel::IndexRange& range = ranges[ri];
+
+    // Seed the mixed-radix counter at the range's first assignment
+    // (digit 0 is least significant, matching the advance loop below).
+    std::vector<std::size_t> index(n, 0);
+    std::uint64_t rest = range.begin;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      index[pos] = static_cast<std::size_t>(rest % choices[pos].size());
+      rest /= choices[pos].size();
     }
-    bool worth_trying = !best || r_bound > best->reliability;
-    if (worth_trying) {
-      auto delays = delays_for(g, lib, versions);
-      if (dfg::asap_latency(g, delays) <= latency_bound) {
-        // Evaluate at every feasible target latency; larger latency can
-        // shrink area via sharing.
-        for (int latency = dfg::asap_latency(g, delays);
-             latency <= latency_bound; ++latency) {
-          Design d = assemble(g, lib, versions, latency, options.scheduler);
-          if (d.area > area_bound + kAreaEps) continue;
-          bool better =
-              !best || d.reliability > best->reliability ||
-              (d.reliability == best->reliability &&
-               (d.area < best->area - kAreaEps ||
-                (d.area < best->area + kAreaEps && d.latency < best->latency)));
-          if (better) best = std::move(d);
-          break;  // first feasible latency is enough for this assignment
+
+    std::vector<library::VersionId> versions(n);
+    std::optional<Design> best;
+
+    for (std::uint64_t step = range.begin; step < range.end; ++step) {
+      for (dfg::NodeId id = 0; id < n; ++id) {
+        versions[id] = choices[id][index[id]];
+      }
+
+      // Cheap pruning before scheduling: reliability upper bound and ASAP.
+      double r_bound = 1.0;
+      for (dfg::NodeId id = 0; id < n; ++id) {
+        r_bound *= lib.version(versions[id]).reliability;
+      }
+      bool worth_trying = !best || r_bound > best->reliability;
+      if (worth_trying) {
+        auto delays = delays_for(g, lib, versions);
+        if (dfg::asap_latency(g, delays) <= latency_bound) {
+          // Evaluate at every feasible target latency; larger latency can
+          // shrink area via sharing.
+          for (int latency = dfg::asap_latency(g, delays);
+               latency <= latency_bound; ++latency) {
+            Design d = assemble(g, lib, versions, latency, options.scheduler);
+            if (d.area > area_bound + kAreaEps) continue;
+            if (!best || better(d, *best)) best = std::move(d);
+            break;  // first feasible latency is enough for this assignment
+          }
         }
       }
-    }
 
-    // Advance the mixed-radix counter.
-    for (std::size_t pos = 0; pos < n; ++pos) {
-      if (++index[pos] < choices[pos].size()) break;
-      index[pos] = 0;
+      // Advance the mixed-radix counter.
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (++index[pos] < choices[pos].size()) break;
+        index[pos] = 0;
+      }
     }
+    range_best[ri] = std::move(best);
+  });
+
+  std::optional<Design> best;
+  for (auto& candidate : range_best) {
+    if (!candidate) continue;
+    if (!best || better(*candidate, *best)) best = std::move(candidate);
   }
 
   if (!best) {

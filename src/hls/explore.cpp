@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "parallel/parallel_for.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -33,11 +34,9 @@ std::vector<SweepPoint> latency_sweep(const dfg::Graph& g,
                                       const std::vector<int>& latency_bounds,
                                       double area_bound,
                                       const FindDesignOptions& options) {
-  std::vector<SweepPoint> out;
-  for (int ld : latency_bounds) {
-    out.push_back(run_point(g, lib, ld, area_bound, options));
-  }
-  return out;
+  return parallel::parallel_map(latency_bounds.size(), [&](std::size_t i) {
+    return run_point(g, lib, latency_bounds[i], area_bound, options);
+  });
 }
 
 std::vector<SweepPoint> area_sweep(const dfg::Graph& g,
@@ -45,49 +44,46 @@ std::vector<SweepPoint> area_sweep(const dfg::Graph& g,
                                    int latency_bound,
                                    const std::vector<double>& area_bounds,
                                    const FindDesignOptions& options) {
-  std::vector<SweepPoint> out;
-  for (double ad : area_bounds) {
-    out.push_back(run_point(g, lib, latency_bound, ad, options));
-  }
-  return out;
+  return parallel::parallel_map(area_bounds.size(), [&](std::size_t i) {
+    return run_point(g, lib, latency_bound, area_bounds[i], options);
+  });
 }
 
 std::vector<ComparisonRow> comparison_grid(
     const dfg::Graph& g, const library::ResourceLibrary& lib,
     const std::vector<int>& latency_bounds,
     const std::vector<double>& area_bounds, const GridOptions& options) {
-  std::vector<ComparisonRow> rows;
-  for (int ld : latency_bounds) {
-    for (double ad : area_bounds) {
-      ComparisonRow row;
-      row.latency_bound = ld;
-      row.area_bound = ad;
-      try {
-        row.baseline = nmr_baseline(g, lib, ld, ad, options.baseline)
-                           .reliability;
-      } catch (const NoSolutionError&) {
-      }
-      try {
-        row.ours = find_design(g, lib, ld, ad, options.find_design)
-                       .reliability;
-      } catch (const NoSolutionError&) {
-      }
-      try {
-        row.combined = combined_design(g, lib, ld, ad, options.combined)
-                           .reliability;
-      } catch (const NoSolutionError&) {
-      }
-      if (row.baseline && row.ours) {
-        row.improvement_ours = 100.0 * (*row.ours / *row.baseline - 1.0);
-      }
-      if (row.baseline && row.combined) {
-        row.improvement_combined =
-            100.0 * (*row.combined / *row.baseline - 1.0);
-      }
-      rows.push_back(row);
+  std::size_t cells = latency_bounds.size() * area_bounds.size();
+  return parallel::parallel_map(cells, [&](std::size_t cell) {
+    int ld = latency_bounds[cell / area_bounds.size()];
+    double ad = area_bounds[cell % area_bounds.size()];
+    ComparisonRow row;
+    row.latency_bound = ld;
+    row.area_bound = ad;
+    try {
+      row.baseline = nmr_baseline(g, lib, ld, ad, options.baseline)
+                         .reliability;
+    } catch (const NoSolutionError&) {
     }
-  }
-  return rows;
+    try {
+      row.ours = find_design(g, lib, ld, ad, options.find_design)
+                     .reliability;
+    } catch (const NoSolutionError&) {
+    }
+    try {
+      row.combined = combined_design(g, lib, ld, ad, options.combined)
+                         .reliability;
+    } catch (const NoSolutionError&) {
+    }
+    if (row.baseline && row.ours) {
+      row.improvement_ours = 100.0 * (*row.ours / *row.baseline - 1.0);
+    }
+    if (row.baseline && row.combined) {
+      row.improvement_combined =
+          100.0 * (*row.combined / *row.baseline - 1.0);
+    }
+    return row;
+  });
 }
 
 std::string to_csv(const std::vector<SweepPoint>& points) {
@@ -129,26 +125,19 @@ std::string to_csv(const std::vector<ComparisonRow>& rows) {
 
 GridAverages grid_averages(const std::vector<ComparisonRow>& rows) {
   GridAverages avg;
-  int nb = 0;
-  int no = 0;
-  int nc = 0;
+  avg.total_cells = static_cast<int>(rows.size());
   for (const auto& row : rows) {
-    if (row.baseline) {
-      avg.baseline += *row.baseline;
-      ++nb;
-    }
-    if (row.ours) {
-      avg.ours += *row.ours;
-      ++no;
-    }
-    if (row.combined) {
-      avg.combined += *row.combined;
-      ++nc;
-    }
+    if (!(row.baseline && row.ours && row.combined)) continue;
+    avg.baseline += *row.baseline;
+    avg.ours += *row.ours;
+    avg.combined += *row.combined;
+    ++avg.solved_cells;
   }
-  if (nb > 0) avg.baseline /= nb;
-  if (no > 0) avg.ours /= no;
-  if (nc > 0) avg.combined /= nc;
+  if (avg.solved_cells > 0) {
+    avg.baseline /= avg.solved_cells;
+    avg.ours /= avg.solved_cells;
+    avg.combined /= avg.solved_cells;
+  }
   return avg;
 }
 

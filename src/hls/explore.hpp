@@ -2,6 +2,11 @@
 // Figure 8 (reliability vs latency / area curves), Table 2 (bound grids
 // comparing [3], ours, and the combined approach) and Figure 9 (grid
 // averages).
+//
+// Grid points are independent, so every sweep evaluates them as one task
+// per point on the parallel::ThreadPool (worker count from
+// parallel::Config / the CLI's --jobs). Results are collected by index,
+// making sweep output bit-identical at any worker count.
 #pragma once
 
 #include <optional>
@@ -62,12 +67,19 @@ std::vector<ComparisonRow> comparison_grid(
     const std::vector<int>& latency_bounds,
     const std::vector<double>& area_bounds, const GridOptions& options = {});
 
-/// Average reliability per engine over the rows where that engine solved
-/// (Fig 9 bars). Returns {baseline, ours, combined}.
+/// Average reliability per engine over the *common* solved cells -- rows
+/// where all three engines found a design (Fig 9 bars). Averaging each
+/// engine over its own solved subset would compare apples to oranges: an
+/// engine that only solves the easy cells would look better than one that
+/// also solves the hard ones.
 struct GridAverages {
   double baseline = 0.0;
   double ours = 0.0;
   double combined = 0.0;
+  /// Rows where every engine solved (the averaging population).
+  int solved_cells = 0;
+  /// All rows in the grid.
+  int total_cells = 0;
 };
 GridAverages grid_averages(const std::vector<ComparisonRow>& rows);
 

@@ -1,0 +1,37 @@
+// Process-wide parallelism configuration.
+//
+// Every parallel front-end (parallel_for, parallel_map, and through them the
+// exploration sweeps and injection campaigns) resolves its worker count here
+// unless the caller passes an explicit count. The CLI's --jobs flag and the
+// benchmarks write this once at startup; the default is the hardware
+// concurrency of the host.
+//
+// Parallelism never changes results: work is partitioned the same way at
+// every worker count (see partitioner.hpp), so `jobs` is purely a
+// wall-clock knob.
+#pragma once
+
+#include <cstddef>
+
+namespace rchls::parallel {
+
+struct Config {
+  /// Worker threads used by parallel regions. 0 = hardware concurrency.
+  std::size_t jobs = 0;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+std::size_t hardware_jobs();
+
+/// Maps the 0-means-default convention to a concrete positive count.
+std::size_t resolve_jobs(std::size_t requested);
+
+/// Mutable process-wide configuration (not synchronized: set it during
+/// startup, before parallel regions run).
+Config& global_config();
+
+/// Convenience accessors for the global worker count.
+void set_global_jobs(std::size_t jobs);
+std::size_t global_jobs();
+
+}  // namespace rchls::parallel

@@ -1,0 +1,73 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "parallel/task_pool.hpp"
+
+namespace rchls::parallel {
+
+namespace {
+
+/// Completion latch for one parallel region. Regions own their progress
+/// tracking so several of them can share one pool without seeing each
+/// other's tasks.
+struct Region {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+/// Process-wide pool, created lazily and resized (recreated) when the
+/// requested worker count changes. Pool spawn is paid once, not per
+/// region -- sweeps and campaigns call parallel_for in tight loops.
+/// Resizing tears the old pool down only after it drained, so the only
+/// unsupported pattern is *concurrent* regions with *different* worker
+/// counts, which no current caller does.
+ThreadPool& shared_pool(std::size_t workers) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!pool || pool->worker_count() != workers) {
+    pool.reset();  // join the old workers before spawning the new ones
+    pool = std::make_unique<ThreadPool>(workers);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t jobs) {
+  if (n == 0) return;
+  std::size_t workers = std::min(jobs == 0 ? global_jobs() : jobs, n);
+  if (workers <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = shared_pool(workers);
+  Region region;
+  region.remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&region, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region.mutex);
+        if (!region.first_error) region.first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(region.mutex);
+      if (--region.remaining == 0) region.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(region.mutex);
+  region.done.wait(lock, [&] { return region.remaining == 0; });
+  if (region.first_error) std::rethrow_exception(region.first_error);
+}
+
+}  // namespace rchls::parallel

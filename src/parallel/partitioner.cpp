@@ -1,0 +1,55 @@
+#include "parallel/partitioner.hpp"
+
+#include <algorithm>
+
+namespace rchls::parallel {
+
+std::vector<TrialChunk> partition_trials(std::size_t trials,
+                                         std::uint64_t campaign_seed,
+                                         std::size_t trials_per_chunk) {
+  std::vector<TrialChunk> chunks;
+  if (trials == 0) return chunks;
+  std::size_t total = (trials + kLanes - 1) / kLanes * kLanes;
+  std::size_t per_chunk =
+      std::max(kLanes, (trials_per_chunk + kLanes - 1) / kLanes * kLanes);
+  for (std::size_t first = 0; first < total; first += per_chunk) {
+    TrialChunk c;
+    c.index = chunks.size();
+    c.first_trial = first;
+    c.trials = std::min(per_chunk, total - first);
+    c.seed = derive_stream_seed(campaign_seed, c.index);
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+std::vector<IndexRange> partition_range(std::uint64_t count,
+                                        std::size_t max_ranges,
+                                        std::uint64_t min_per_range) {
+  std::vector<IndexRange> ranges;
+  if (count == 0) return ranges;
+  if (max_ranges == 0) max_ranges = 1;
+  if (min_per_range == 0) min_per_range = 1;
+  std::uint64_t per_range = std::max<std::uint64_t>(
+      min_per_range, (count + max_ranges - 1) / max_ranges);
+  for (std::uint64_t begin = 0; begin < count; begin += per_range) {
+    IndexRange r;
+    r.index = ranges.size();
+    r.begin = begin;
+    r.end = std::min(count, begin + per_range);
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t campaign_seed,
+                                 std::uint64_t stream) {
+  // splitmix64 finalizer over the (seed, stream) pair. The +1 keeps
+  // stream 0 from collapsing onto the bare campaign seed.
+  std::uint64_t z = campaign_seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rchls::parallel

@@ -1,0 +1,67 @@
+// Deterministic work partitioning for Monte-Carlo campaigns and
+// enumeration sweeps.
+//
+// The contract that makes `--jobs` a pure wall-clock knob: the partition of
+// a workload depends only on the workload itself (total trials, campaign
+// seed), never on the worker count. Each chunk gets its own Rng stream
+// derived from (campaign seed, chunk index), and chunk results are merged
+// in chunk-index order -- so a campaign produces bit-identical statistics
+// whether it ran on 1 thread or 64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rchls::parallel {
+
+/// The simulator evaluates 64 input patterns per pass; trial chunks are
+/// always lane-aligned so no pass straddles two chunks.
+inline constexpr std::size_t kLanes = 64;
+
+/// Default chunk granularity: big enough to amortize task overhead, small
+/// enough to load-balance a 16k-trial campaign across 8 workers.
+inline constexpr std::size_t kDefaultTrialsPerChunk = kLanes * 16;
+
+/// One slice of a Monte-Carlo trial budget.
+struct TrialChunk {
+  std::size_t index = 0;        ///< position in the campaign (merge order)
+  std::size_t first_trial = 0;  ///< offset of the chunk's first trial
+  std::size_t trials = 0;       ///< multiple of kLanes
+  std::uint64_t seed = 0;       ///< per-chunk Rng stream seed
+};
+
+/// Splits `trials` (rounded up to a multiple of kLanes) into fixed-size,
+/// lane-aligned chunks with per-chunk stream seeds. The layout is a
+/// function of (trials, campaign_seed, trials_per_chunk) only.
+std::vector<TrialChunk> partition_trials(
+    std::size_t trials, std::uint64_t campaign_seed,
+    std::size_t trials_per_chunk = kDefaultTrialsPerChunk);
+
+/// A contiguous index range [begin, end) of a larger enumeration.
+struct IndexRange {
+  std::size_t index = 0;  ///< position of the range (merge order)
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Splits [0, count) into at most `max_ranges` contiguous ranges of at
+/// least `min_per_range` elements each (except possibly the last).
+std::vector<IndexRange> partition_range(std::uint64_t count,
+                                        std::size_t max_ranges,
+                                        std::uint64_t min_per_range = 1);
+
+/// Statistically independent stream seed for (campaign_seed, stream):
+/// a splitmix64 finalizer over the pair, matching the seeding scheme of
+/// util::Rng itself.
+std::uint64_t derive_stream_seed(std::uint64_t campaign_seed,
+                                 std::uint64_t stream);
+
+/// Convenience: the Rng for one chunk of a campaign.
+inline Rng stream_rng(std::uint64_t campaign_seed, std::uint64_t stream) {
+  return Rng(derive_stream_seed(campaign_seed, stream));
+}
+
+}  // namespace rchls::parallel

@@ -1,0 +1,160 @@
+#include "parallel/task_pool.hpp"
+
+#include <utility>
+
+namespace rchls::parallel {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+void BlockQueue::push(Task task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (blocks_.empty() || blocks_.back().tasks.size() >= kBlockSize) {
+    blocks_.emplace_back();
+    blocks_.back().tasks.reserve(kBlockSize);
+  }
+  blocks_.back().tasks.push_back(std::move(task));
+}
+
+bool BlockQueue::pop_block(std::deque<Task>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (blocks_.empty()) return false;
+  for (Task& t : blocks_.front().tasks) out.push_back(std::move(t));
+  blocks_.pop_front();
+  return true;
+}
+
+bool BlockQueue::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.empty();
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadPool::submit(Task task) {
+  // Count the task before making it visible so a worker can never finish it
+  // and drive the counters below zero.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++unfinished_;
+    ++queued_;
+  }
+  bool queued_locally = false;
+  if (t_on_worker_thread) {
+    // Identify which worker (if any) of *this* pool is submitting.
+    std::thread::id self = std::this_thread::get_id();
+    for (auto& w : workers_) {
+      if (w->thread.get_id() == self) {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        w->deque.push_back(std::move(task));
+        queued_locally = true;
+        break;
+      }
+    }
+  }
+  if (!queued_locally) overflow_.push(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    work_ready_.notify_one();
+  }
+}
+
+void ThreadPool::note_dequeued() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  --queued_;
+}
+
+bool ThreadPool::try_acquire(std::size_t self, Task& task) {
+  Worker& me = *workers_[self];
+  {
+    std::lock_guard<std::mutex> lock(me.mutex);
+    if (!me.deque.empty()) {
+      task = std::move(me.deque.back());
+      me.deque.pop_back();
+    }
+  }
+  if (task) {
+    note_dequeued();
+    return true;
+  }
+  // Refill from the shared overflow queue, a whole block at a time.
+  {
+    std::lock_guard<std::mutex> lock(me.mutex);
+    if (overflow_.pop_block(me.deque) && !me.deque.empty()) {
+      task = std::move(me.deque.back());
+      me.deque.pop_back();
+    }
+  }
+  if (task) {
+    note_dequeued();
+    return true;
+  }
+  // Steal the oldest task of the first non-empty victim.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(self + k) % workers_.size()];
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.deque.empty()) {
+        task = std::move(victim.deque.front());
+        victim.deque.pop_front();
+      }
+    }
+    if (task) {
+      note_dequeued();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_on_worker_thread = true;
+  for (;;) {
+    Task task;
+    if (try_acquire(self, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (--unfinished_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stopping_ && queued_ == 0) break;
+    // No lost wakeup: submit() publishes the task before notifying under
+    // this mutex, and the predicate re-checks `queued_` under it. A wake
+    // with `queued_ > 0` can still lose the race to another worker; the
+    // loop then simply comes back here.
+    work_ready_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) break;
+  }
+  t_on_worker_thread = false;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_.wait(lock, [&] { return unfinished_ == 0; });
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
+}  // namespace rchls::parallel

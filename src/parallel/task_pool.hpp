@@ -1,0 +1,108 @@
+// Work-stealing thread pool.
+//
+// Topology (after the Galois runtime and the block-based relaxed FIFO):
+//
+//   * one LIFO deque per worker -- owners push/pop at the back for cache
+//     locality, thieves steal from the front so they grab the oldest
+//     (typically largest-remaining) task;
+//   * a shared overflow queue for tasks submitted from outside the pool,
+//     organized as fixed-size *blocks* of tasks. Consumers take a whole
+//     block at a time into their local deque, so the shared lock is touched
+//     once per kBlockSize tasks rather than once per task -- the
+//     contention-amortizing idea of the block-based FIFO, which relaxes
+//     per-element FIFO order to block granularity (harmless here: tasks are
+//     independent and results are collected by index, never by completion
+//     order).
+//
+// The pool makes no fairness or ordering promises. Determinism is the
+// *callers'* responsibility and is achieved by partitioning work identically
+// at every worker count (partitioner.hpp) and writing results into
+// pre-assigned slots (parallel_for.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rchls::parallel {
+
+using Task = std::function<void()>;
+
+/// Multi-producer overflow queue handing out tasks one block at a time.
+class BlockQueue {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Appends to the tail block, opening a new block when it is full.
+  void push(Task task);
+
+  /// Detaches the whole head block into `out` (appended at the back).
+  /// Returns false when the queue is empty.
+  bool pop_block(std::deque<Task>& out);
+
+  bool empty() const;
+
+ private:
+  struct Block {
+    std::vector<Task> tasks;  // at most kBlockSize entries
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Block> blocks_;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules a task. Calls from a worker thread of *this pool* go to that
+  /// worker's own deque (stealable by the others); external calls go to the
+  /// shared overflow queue.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing. Tasks may
+  /// submit further tasks; wait_idle() covers those too.
+  void wait_idle();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of any ThreadPool. Used by
+  /// parallel_for to run nested parallel regions inline instead of
+  /// deadlocking on a second pool.
+  static bool on_worker_thread();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> deque;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_acquire(std::size_t self, Task& task);
+  void note_dequeued();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  BlockQueue overflow_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::size_t unfinished_ = 0;  // submitted but not yet finished tasks
+  std::size_t queued_ = 0;      // submitted but not yet started tasks
+  bool stopping_ = false;
+};
+
+}  // namespace rchls::parallel

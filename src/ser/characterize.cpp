@@ -77,7 +77,10 @@ std::vector<ComponentCharacterization> characterize_components(
   if (!(period > 0.0)) throw Error("characterize: degenerate clock period");
 
   // Relative SER: strikes arrive per unit sensitive area (∝ gate count) and
-  // propagate with the measured logical sensitivity.
+  // propagate with the measured logical sensitivity. The spec loop stays
+  // sequential on purpose: each inject_campaign already parallelizes its
+  // trial chunks across the configured workers, and nesting a second
+  // parallel region here would only oversubscribe them.
   std::vector<InjectionResult> inj;
   for (const Spec& s : specs) {
     inj.push_back(inject_campaign(s.nl, config.injection));

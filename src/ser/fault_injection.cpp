@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "netlist/sim.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
 #include "util/error.hpp"
 
 namespace rchls::ser {
@@ -21,8 +23,13 @@ std::vector<GateId> logic_gates(const Netlist& nl) {
   return ids;
 }
 
-/// Runs `passes` 64-lane evaluations, striking `pick_gate(pass)` in every
-/// lane, and accumulates how many lanes saw an output corruption.
+/// Runs the campaign in lane-aligned chunks, striking `pick_gate(pass)` in
+/// every lane of each 64-lane evaluation, and accumulates how many lanes
+/// saw an output corruption.
+///
+/// Each chunk draws from its own Rng stream derived from (seed, chunk
+/// index) and chunk counts are merged in chunk order, so the result is
+/// bit-identical at every parallel::Config worker count.
 template <typename PickGate>
 InjectionResult run_campaign(const Netlist& nl, const InjectionConfig& config,
                              PickGate&& pick_gate) {
@@ -33,28 +40,36 @@ InjectionResult run_campaign(const Netlist& nl, const InjectionConfig& config,
     throw Error("inject: derating factors must lie in [0, 1]");
   }
 
-  Simulator sim(nl);
-  Rng rng(config.seed);
-  std::size_t passes = (config.trials + 63) / 64;
+  auto chunks = parallel::partition_trials(config.trials, config.seed);
+  std::vector<std::size_t> chunk_propagated(chunks.size(), 0);
+  parallel::parallel_for(chunks.size(), [&](std::size_t ci) {
+    const parallel::TrialChunk& chunk = chunks[ci];
+    Simulator sim(nl);
+    Rng rng(chunk.seed);
+    std::vector<std::uint64_t> inputs(nl.input_bits().size());
+    std::size_t passes = chunk.trials / parallel::kLanes;
+    std::size_t first_pass = chunk.first_trial / parallel::kLanes;
+    std::size_t propagated = 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      for (auto& w : inputs) w = rng.next_u64();
+
+      GateId victim = pick_gate(first_pass + pass, rng);
+      auto golden = sim.output_words(sim.run(inputs));
+      auto faulty =
+          sim.output_words(sim.run(inputs, netlist::Fault{victim, ~0ULL}));
+
+      std::uint64_t corrupted = 0;
+      for (std::size_t i = 0; i < golden.size(); ++i) {
+        corrupted |= golden[i] ^ faulty[i];
+      }
+      propagated += static_cast<std::size_t>(__builtin_popcountll(corrupted));
+    }
+    chunk_propagated[ci] = propagated;
+  });
 
   InjectionResult result;
-  result.trials = passes * 64;
-  for (std::size_t pass = 0; pass < passes; ++pass) {
-    std::vector<std::uint64_t> inputs(nl.input_bits().size());
-    for (auto& w : inputs) w = rng.next_u64();
-
-    GateId victim = pick_gate(pass, rng);
-    auto golden = sim.output_words(sim.run(inputs));
-    auto faulty =
-        sim.output_words(sim.run(inputs, netlist::Fault{victim, ~0ULL}));
-
-    std::uint64_t corrupted = 0;
-    for (std::size_t i = 0; i < golden.size(); ++i) {
-      corrupted |= golden[i] ^ faulty[i];
-    }
-    result.propagated +=
-        static_cast<std::size_t>(__builtin_popcountll(corrupted));
-  }
+  for (const auto& chunk : chunks) result.trials += chunk.trials;
+  for (std::size_t p : chunk_propagated) result.propagated += p;
 
   double n = static_cast<double>(result.trials);
   result.logical_sensitivity = static_cast<double>(result.propagated) / n;

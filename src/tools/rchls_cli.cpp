@@ -6,6 +6,10 @@
 //   rchls sweep   <dfg-file|benchmark> --latency N --areas A1,A2,...
 //   rchls bench   (list built-in benchmark graphs)
 //
+// The global --jobs N flag sets the worker count for parallel sweeps and
+// injection campaigns (default: hardware concurrency). Results are
+// bit-identical at every worker count.
+//
 // Exit codes: 0 success, 1 usage error, 2 no solution within bounds.
 #include <fstream>
 #include <iostream>
@@ -20,6 +24,7 @@
 #include "hls/explore.hpp"
 #include "hls/find_design.hpp"
 #include "hls/report.hpp"
+#include "parallel/config.hpp"
 #include "rtl/datapath.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -35,7 +40,9 @@ int usage() {
       "              [--engine centric|baseline|combined] [--polish]\n"
       "              [--scheduler density|fds] [--datapath]\n"
       "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
-      "  rchls bench\n";
+      "  rchls bench\n"
+      "global flags:\n"
+      "  --jobs N    parallel workers (default: hardware concurrency)\n";
   return 1;
 }
 
@@ -99,6 +106,15 @@ std::optional<Args> parse_args(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       a.scheduler = *v;
+    } else if (flag == "--jobs") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      int jobs = std::atoi(v->c_str());
+      if (jobs < 1) {
+        std::cerr << "--jobs needs a positive worker count\n";
+        return std::nullopt;
+      }
+      parallel::set_global_jobs(static_cast<std::size_t>(jobs));
     } else if (flag == "--polish") {
       a.polish = true;
     } else if (flag == "--datapath") {

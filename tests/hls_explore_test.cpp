@@ -99,15 +99,34 @@ TEST(Explore, TighterLatencyExplorationNeverHurts) {
   }
 }
 
-TEST(Explore, GridAveragesSkipUnsolvedPoints) {
-  std::vector<ComparisonRow> rows(2);
+TEST(Explore, GridAveragesUseOnlyCommonlySolvedCells) {
+  std::vector<ComparisonRow> rows(3);
   rows[0].baseline = 0.5;
   rows[0].ours = 0.6;
-  rows[1].ours = 0.8;  // baseline unsolved here
+  rows[0].combined = 0.7;
+  rows[1].ours = 0.99;  // baseline and combined unsolved: excluded entirely
+  rows[2].baseline = 0.7;
+  rows[2].ours = 0.8;
+  rows[2].combined = 0.9;
   auto avg = grid_averages(rows);
-  EXPECT_DOUBLE_EQ(avg.baseline, 0.5);
+  // Averages come from rows 0 and 2 only, for every engine -- averaging
+  // each engine over its own solved subset would be apples-to-oranges.
+  EXPECT_DOUBLE_EQ(avg.baseline, 0.6);
   EXPECT_DOUBLE_EQ(avg.ours, 0.7);
+  EXPECT_DOUBLE_EQ(avg.combined, 0.8);
+  EXPECT_EQ(avg.solved_cells, 2);
+  EXPECT_EQ(avg.total_cells, 3);
+}
+
+TEST(Explore, GridAveragesOnAllUnsolvedGridAreZero) {
+  std::vector<ComparisonRow> rows(2);
+  rows[0].ours = 0.8;  // no row has all three engines solved
+  auto avg = grid_averages(rows);
+  EXPECT_DOUBLE_EQ(avg.baseline, 0.0);
+  EXPECT_DOUBLE_EQ(avg.ours, 0.0);
   EXPECT_DOUBLE_EQ(avg.combined, 0.0);
+  EXPECT_EQ(avg.solved_cells, 0);
+  EXPECT_EQ(avg.total_cells, 2);
 }
 
 }  // namespace
