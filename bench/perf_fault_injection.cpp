@@ -1,16 +1,49 @@
-// Fault-injection and logic-simulation throughput: strikes per second on
-// the five characterized components, and simulator lane throughput.
+// Fault-injection and logic-simulation throughput.
+//
+// Three families:
+//  * BM_Inject             -- whole-circuit campaigns on the cone-limited
+//                             FaultEngine (the production path).
+//  * BM_Characterize*      -- per-node characterization of every gate:
+//                             the incremental engine (one shared golden
+//                             evaluation + cone-limited resimulation per
+//                             strike) against the brute-force path (two
+//                             full-netlist simulations per strike). Run at
+//                             1/2/4/8 workers; items processed = strikes,
+//                             so the reported items/s is directly
+//                             comparable between the two.
+//  * BM_Campaign*          -- engine vs brute force on the whole-circuit
+//                             campaign at 1/2/4/8 workers (bounded at ~2x:
+//                             the campaign still pays one full golden pass
+//                             per input batch).
+//  * BM_Simulate64Lanes    -- raw bit-parallel simulator lane throughput.
 #include <benchmark/benchmark.h>
 
 #include "circuits/adders.hpp"
 #include "circuits/multipliers.hpp"
 #include "netlist/sim.hpp"
+#include "netlist/topology.hpp"
+#include "parallel/config.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/partitioner.hpp"
 #include "ser/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace rchls;
+
+/// Scoped worker-count override so every benchmark leaves the global
+/// configuration as it found it.
+class JobsGuard {
+ public:
+  explicit JobsGuard(std::size_t jobs) : saved_(parallel::global_jobs()) {
+    parallel::set_global_jobs(jobs);
+  }
+  ~JobsGuard() { parallel::set_global_jobs(saved_); }
+
+ private:
+  std::size_t saved_;
+};
 
 void BM_Inject(benchmark::State& state, netlist::Netlist (*gen)(int)) {
   netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
@@ -34,6 +67,122 @@ BENCHMARK_CAPTURE(BM_Inject, carry_save_mult,
 BENCHMARK_CAPTURE(BM_Inject, leapfrog_mult, &circuits::leapfrog_multiplier)
     ->Arg(8)->Arg(16);
 
+// -- per-node characterization: engine vs brute force ----------------------
+
+constexpr std::size_t kCharacterizeTrials = 64 * 4;
+
+/// Every logic gate struck `kCharacterizeTrials` times on the incremental
+/// engine: one golden evaluation per input batch shared by all victims,
+/// cone-limited resimulation per strike. Args: {width, workers}.
+void BM_CharacterizeEngine(benchmark::State& state,
+                           netlist::Netlist (*gen)(int)) {
+  netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
+  JobsGuard jobs(static_cast<std::size_t>(state.range(1)));
+  ser::InjectionConfig cfg;
+  cfg.trials = kCharacterizeTrials;
+  std::int64_t strikes = 0;
+  for (auto _ : state) {
+    auto r = ser::inject_all_gates(nl, cfg);
+    benchmark::DoNotOptimize(r.data());
+    strikes += static_cast<std::int64_t>(r.size() * cfg.trials);
+  }
+  state.SetItemsProcessed(strikes);
+}
+
+/// The brute-force path for the same workload: two full-netlist
+/// bit-parallel simulations plus an output comparison per strike.
+void BM_CharacterizeBrute(benchmark::State& state,
+                          netlist::Netlist (*gen)(int)) {
+  netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
+  JobsGuard jobs(static_cast<std::size_t>(state.range(1)));
+  const netlist::Topology topo(nl);
+  const auto& gates = topo.logic_gates();
+  ser::InjectionConfig cfg;
+  cfg.trials = kCharacterizeTrials;
+
+  std::int64_t strikes = 0;
+  for (auto _ : state) {
+    auto chunks = parallel::partition_trials(cfg.trials, cfg.seed);
+    std::vector<std::vector<std::size_t>> chunk_counts(
+        chunks.size(), std::vector<std::size_t>(gates.size(), 0));
+    parallel::parallel_for(chunks.size(), [&](std::size_t ci) {
+      const parallel::TrialChunk& chunk = chunks[ci];
+      netlist::Simulator sim(nl);
+      Rng rng(chunk.seed);
+      std::vector<std::uint64_t> inputs(nl.input_bits().size());
+      std::vector<std::uint64_t> golden, faulty;
+      for (std::size_t p = 0; p < chunk.trials / parallel::kLanes; ++p) {
+        for (auto& w : inputs) w = rng.next_u64();
+        for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+          sim.eval(inputs);
+          sim.pack_outputs(golden);
+          sim.eval(inputs, netlist::Fault{gates[gi], ~0ULL});
+          sim.pack_outputs(faulty);
+          std::uint64_t corrupted = 0;
+          for (std::size_t i = 0; i < golden.size(); ++i) {
+            corrupted |= golden[i] ^ faulty[i];
+          }
+          chunk_counts[ci][gi] += static_cast<std::size_t>(
+              __builtin_popcountll(corrupted));
+        }
+      }
+    });
+    benchmark::DoNotOptimize(chunk_counts.data());
+    strikes += static_cast<std::int64_t>(gates.size() * cfg.trials);
+  }
+  state.SetItemsProcessed(strikes);
+}
+
+BENCHMARK_CAPTURE(BM_CharacterizeEngine, carry_save_mult,
+                  &circuits::carry_save_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+BENCHMARK_CAPTURE(BM_CharacterizeBrute, carry_save_mult,
+                  &circuits::carry_save_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+BENCHMARK_CAPTURE(BM_CharacterizeEngine, leapfrog_mult,
+                  &circuits::leapfrog_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+BENCHMARK_CAPTURE(BM_CharacterizeBrute, leapfrog_mult,
+                  &circuits::leapfrog_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+
+// -- whole-circuit campaign: engine vs brute force -------------------------
+
+void BM_CampaignEngine(benchmark::State& state,
+                       netlist::Netlist (*gen)(int)) {
+  netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
+  JobsGuard jobs(static_cast<std::size_t>(state.range(1)));
+  ser::InjectionConfig cfg;
+  cfg.trials = 64 * 64;
+  for (auto _ : state) {
+    auto r = ser::inject_campaign(nl, cfg);
+    benchmark::DoNotOptimize(r.susceptibility);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+
+void BM_CampaignBrute(benchmark::State& state,
+                      netlist::Netlist (*gen)(int)) {
+  netlist::Netlist nl = gen(static_cast<int>(state.range(0)));
+  JobsGuard jobs(static_cast<std::size_t>(state.range(1)));
+  ser::InjectionConfig cfg;
+  cfg.trials = 64 * 64;
+  for (auto _ : state) {
+    auto r = ser::inject_campaign_reference(nl, cfg);
+    benchmark::DoNotOptimize(r.susceptibility);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.trials));
+}
+
+BENCHMARK_CAPTURE(BM_CampaignEngine, carry_save_mult,
+                  &circuits::carry_save_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+BENCHMARK_CAPTURE(BM_CampaignBrute, carry_save_mult,
+                  &circuits::carry_save_multiplier)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8});
+
 void BM_Simulate64Lanes(benchmark::State& state) {
   netlist::Netlist nl =
       circuits::leapfrog_multiplier(static_cast<int>(state.range(0)));
@@ -42,7 +191,7 @@ void BM_Simulate64Lanes(benchmark::State& state) {
   std::vector<std::uint64_t> inputs(nl.input_bits().size());
   for (auto& w : inputs) w = rng.next_u64();
   for (auto _ : state) {
-    auto words = sim.run(inputs);
+    const auto& words = sim.eval(inputs);
     benchmark::DoNotOptimize(words.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);

@@ -1,0 +1,83 @@
+// Cone-limited incremental fault simulation.
+//
+// The brute-force way to measure a single-event transient is two
+// full-netlist bit-parallel passes per 64-lane batch: one golden, one
+// faulty, then an output-by-output comparison. But a strike at gate g can
+// only disturb g's transitive fanout cone, and in real circuits most flips
+// are logically masked within a few levels. FaultEngine exploits both
+// facts (the classic concurrent-fault-simulation idea from ATPG):
+//
+//   1. set_inputs() evaluates the golden values ONCE per input batch;
+//   2. inject() resimulates only the victim's fanout cone via a
+//      level-ordered frontier worklist, early-exiting the moment every
+//      64-lane diff word has gone to zero (the fault is fully masked);
+//   3. output corruption is read straight off the diff words as the
+//      frontier crosses primary-output bits -- no second full pass, no
+//      golden/faulty output comparison loop.
+//
+// Faulty values live in an epoch-stamped overlay on top of the golden
+// values, so consecutive inject() calls against the same golden batch cost
+// O(disturbed cone), not O(netlist). The corruption words are bit-identical
+// to the brute-force golden-vs-faulty comparison (enforced by the
+// differential property test in tests/netlist_fault_engine_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/sim.hpp"
+#include "netlist/topology.hpp"
+
+namespace rchls::netlist {
+
+/// Incremental single-fault simulator over one Netlist + Topology, both of
+/// which must outlive the engine. Each engine instance is single-threaded;
+/// parallel campaigns give every worker its own engine over the shared
+/// read-only Topology.
+class FaultEngine {
+ public:
+  FaultEngine(const Netlist& nl, const Topology& topo);
+
+  /// Evaluates the golden (fault-free) values for a fresh 64-lane input
+  /// batch. Must be called before inject().
+  void set_inputs(const std::vector<std::uint64_t>& input_words);
+
+  /// Golden per-gate words of the current batch.
+  const std::vector<std::uint64_t>& golden() const { return golden_; }
+
+  /// Injects `fault` against the current golden batch and returns the
+  /// 64-lane output-corruption word: bit L is set iff some primary-output
+  /// bit differs from golden in lane L. Only the disturbed part of the
+  /// victim's fanout cone is evaluated.
+  std::uint64_t inject(const Fault& fault);
+
+  /// Gates re-evaluated by the last inject() -- the dynamic cone size.
+  /// Exposed so tests can pin down the early-exit behaviour.
+  std::size_t last_evaluations() const { return last_evaluations_; }
+
+ private:
+  std::uint64_t value_of(GateId id) const {
+    return stamp_[id] == epoch_ ? faulty_[id] : golden_[id];
+  }
+  std::uint64_t eval_gate(const Gate& g) const;
+  void enqueue_fanouts(GateId id);
+  void next_epoch();
+
+  const Netlist& nl_;
+  const Topology& topo_;
+  bool have_inputs_ = false;
+
+  std::vector<std::uint64_t> golden_;
+  /// Overlay: faulty_[g] is the faulty value iff stamp_[g] == epoch_.
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> stamp_;
+  /// queued_[g] == epoch_ iff g already sits in a level bucket.
+  std::vector<std::uint32_t> queued_;
+  /// Frontier worklist bucketed by topological level.
+  std::vector<std::vector<GateId>> buckets_;
+  std::uint32_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t last_evaluations_ = 0;
+};
+
+}  // namespace rchls::netlist

@@ -4,24 +4,24 @@
 
 namespace rchls::netlist {
 
-Simulator::Simulator(const Netlist& nl) : nl_(nl) { nl_.validate(); }
-
-std::vector<std::uint64_t> Simulator::run(
-    const std::vector<std::uint64_t>& input_words,
-    std::optional<Fault> fault) const {
-  const auto& inputs = nl_.input_bits();
+void eval_netlist(const Netlist& nl,
+                  const std::vector<std::uint64_t>& input_words,
+                  std::optional<Fault> fault,
+                  std::vector<std::uint64_t>& values) {
+  const auto& inputs = nl.input_bits();
   if (input_words.size() != inputs.size()) {
-    throw Error("Simulator::run: expected " + std::to_string(inputs.size()) +
+    throw Error("eval_netlist: expected " + std::to_string(inputs.size()) +
                 " input words, got " + std::to_string(input_words.size()));
   }
-  if (fault && fault->gate >= nl_.gate_count()) {
-    throw Error("Simulator::run: fault gate out of range");
+  if (fault && fault->gate >= nl.gate_count()) {
+    throw Error("eval_netlist: fault gate out of range");
   }
 
-  std::vector<std::uint64_t> value(nl_.gate_count(), 0);
+  values.resize(nl.gate_count());
+  std::uint64_t* value = values.data();
   std::size_t next_input = 0;
-  for (GateId id = 0; id < nl_.gate_count(); ++id) {
-    const Gate& g = nl_.gate(id);
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gates()[id];
     std::uint64_t v = 0;
     switch (g.kind) {
       case GateKind::kConst0: v = 0; break;
@@ -39,7 +39,34 @@ std::vector<std::uint64_t> Simulator::run(
     if (fault && fault->gate == id) v ^= fault->lane_mask;
     value[id] = v;
   }
-  return value;
+}
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl), output_bits_(nl.output_bits()) {
+  nl_.validate();
+}
+
+const std::vector<std::uint64_t>& Simulator::eval(
+    const std::vector<std::uint64_t>& input_words,
+    std::optional<Fault> fault) {
+  eval_netlist(nl_, input_words, fault, values_);
+  return values_;
+}
+
+void Simulator::pack_outputs(std::vector<std::uint64_t>& out) const {
+  if (values_.size() != nl_.gate_count()) {
+    throw Error("pack_outputs: no evaluation in the context yet");
+  }
+  out.resize(output_bits_.size());
+  for (std::size_t i = 0; i < output_bits_.size(); ++i) {
+    out[i] = values_[output_bits_[i]];
+  }
+}
+
+std::vector<std::uint64_t> Simulator::run(
+    const std::vector<std::uint64_t>& input_words,
+    std::optional<Fault> fault) {
+  return eval(input_words, fault);  // copies the context out
 }
 
 std::vector<std::uint64_t> Simulator::output_words(
@@ -48,12 +75,13 @@ std::vector<std::uint64_t> Simulator::output_words(
     throw Error("output_words: gate word vector has wrong size");
   }
   std::vector<std::uint64_t> out;
-  for (GateId id : nl_.output_bits()) out.push_back(gate_words[id]);
+  out.reserve(output_bits_.size());
+  for (GateId id : output_bits_) out.push_back(gate_words[id]);
   return out;
 }
 
 std::vector<std::uint64_t> Simulator::run_scalar(
-    const std::vector<std::uint64_t>& bus_values) const {
+    const std::vector<std::uint64_t>& bus_values) {
   const auto& buses = nl_.input_buses();
   if (bus_values.size() != buses.size()) {
     throw Error("run_scalar: expected " + std::to_string(buses.size()) +
@@ -74,7 +102,7 @@ std::vector<std::uint64_t> Simulator::run_scalar(
     throw Error("run_scalar: netlist has input bits outside of buses");
   }
 
-  auto words = run(input_words);
+  const auto& words = eval(input_words);
   std::vector<std::uint64_t> results;
   for (const Bus& bus : nl_.output_buses()) {
     if (bus.bits.size() > 64) throw Error("run_scalar: bus wider than 64");

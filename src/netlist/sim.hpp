@@ -3,6 +3,12 @@
 // The simulator evaluates 64 input patterns at once (one per bit lane of a
 // 64-bit word), which makes the Monte-Carlo fault-injection campaigns in
 // src/ser fast enough to run inside the test suite.
+//
+// Hot loops use the reusable-context interface (eval / pack_outputs): the
+// simulator owns its value buffers, so repeated passes over the same
+// netlist perform no per-pass allocation. The allocating run/output_words
+// wrappers remain for tests and cold paths. For per-fault resimulation that
+// only revisits the struck gate's fanout cone, see fault_engine.hpp.
 #pragma once
 
 #include <cstdint>
@@ -24,17 +30,39 @@ struct Fault {
   std::uint64_t lane_mask = ~0ULL;
 };
 
+/// Full levelized evaluation of `nl` into `values` (resized to the gate
+/// count, contents overwritten). Shared by Simulator and FaultEngine.
+void eval_netlist(const Netlist& nl,
+                  const std::vector<std::uint64_t>& input_words,
+                  std::optional<Fault> fault,
+                  std::vector<std::uint64_t>& values);
+
 /// Evaluates a Netlist over 64 parallel input patterns.
 class Simulator {
  public:
   explicit Simulator(const Netlist& nl);
 
+  // -- reusable-context interface (no per-pass allocation) ----------------
+
+  /// Evaluates into the simulator's internal context and returns the
+  /// per-gate words. The reference is invalidated by the next eval().
   /// `input_words[i]` holds the 64 lane values of input bit i (the i-th
-  /// entry of Netlist::input_bits()). Returns one word per gate.
-  /// If `fault` is set, the struck gate's word is inverted under the mask.
+  /// entry of Netlist::input_bits()). If `fault` is set, the struck gate's
+  /// word is inverted under the mask.
+  const std::vector<std::uint64_t>& eval(
+      const std::vector<std::uint64_t>& input_words,
+      std::optional<Fault> fault = std::nullopt);
+
+  /// Packs the per-output-bit words of the last eval() into `out`
+  /// (resized; capacity is reused across calls).
+  void pack_outputs(std::vector<std::uint64_t>& out) const;
+
+  // -- allocating conveniences --------------------------------------------
+
+  /// As eval(), but returns a fresh vector (one word per gate).
   std::vector<std::uint64_t> run(
       const std::vector<std::uint64_t>& input_words,
-      std::optional<Fault> fault = std::nullopt) const;
+      std::optional<Fault> fault = std::nullopt);
 
   /// Convenience: packs the per-output-bit words for the circuit's outputs
   /// (concatenated output buses) out of a `run` result.
@@ -46,10 +74,12 @@ class Simulator {
   /// bits beyond the bus width are ignored. Returns one unsigned value per
   /// output bus. This is the scalar interface used by functional tests.
   std::vector<std::uint64_t> run_scalar(
-      const std::vector<std::uint64_t>& bus_values) const;
+      const std::vector<std::uint64_t>& bus_values);
 
  private:
   const Netlist& nl_;
+  std::vector<GateId> output_bits_;     ///< cached concatenated output bits
+  std::vector<std::uint64_t> values_;   ///< reusable simulation context
 };
 
 }  // namespace rchls::netlist

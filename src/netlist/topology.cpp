@@ -1,0 +1,86 @@
+#include "netlist/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+
+Topology::Topology(const Netlist& nl) {
+  const auto& gates = nl.gates();
+  const std::size_t n = gates.size();
+
+  level_.assign(n, 0);
+  is_output_.assign(n, 0);
+  fanout_offsets_.assign(n + 1, 0);
+
+  // Pass 1: levels, logic-gate list, fanout degrees.
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = gates[id];
+    int fi = fanin_count(g.kind);
+    if (fi >= 1) {
+      logic_gates_.push_back(id);
+      std::uint32_t lvl = level_[g.fanin0] + 1;
+      ++fanout_offsets_[g.fanin0 + 1];
+      if (fi == 2 && g.fanin1 != g.fanin0) {
+        lvl = std::max(lvl, level_[g.fanin1] + 1);
+        ++fanout_offsets_[g.fanin1 + 1];
+      }
+      level_[id] = lvl;
+      max_level_ = std::max(max_level_, lvl);
+    }
+  }
+  for (GateId id : nl.output_bits()) is_output_[id] = 1;
+
+  // Pass 2: prefix-sum the degrees and scatter the CSR targets.
+  for (std::size_t i = 1; i <= n; ++i) {
+    fanout_offsets_[i] += fanout_offsets_[i - 1];
+  }
+  fanout_targets_.resize(fanout_offsets_[n]);
+  std::vector<std::size_t> cursor(fanout_offsets_.begin(),
+                                  fanout_offsets_.end() - 1);
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = gates[id];
+    int fi = fanin_count(g.kind);
+    if (fi >= 1) {
+      fanout_targets_[cursor[g.fanin0]++] = id;
+      if (fi == 2 && g.fanin1 != g.fanin0) {
+        fanout_targets_[cursor[g.fanin1]++] = id;
+      }
+    }
+  }
+
+}
+
+const std::vector<GateId>& Topology::cone(GateId root) const {
+  if (root >= level_.size()) throw Error("Topology::cone: gate out of range");
+  std::lock_guard<std::mutex> lock(cone_mutex_);
+  if (cones_.empty()) {
+    // Campaigns never call cone() (the engine tracks the disturbed frontier
+    // dynamically), so the memo state is only allocated on first use.
+    cones_.resize(level_.size());
+    cone_ready_.assign(level_.size(), 0);
+    cone_visited_.assign(level_.size(), 0);
+  }
+  if (!cone_ready_[root]) {
+    ++cone_epoch_;
+    std::vector<GateId>& out = cones_[root];
+    out.push_back(root);
+    cone_visited_[root] = cone_epoch_;
+    // Breadth-first over the fanout CSR; the worklist grows while we scan.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      GateId g = out[i];
+      for (const GateId* f = fanout_begin(g); f != fanout_end(g); ++f) {
+        if (cone_visited_[*f] != cone_epoch_) {
+          cone_visited_[*f] = cone_epoch_;
+          out.push_back(*f);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    cone_ready_[root] = 1;
+  }
+  return cones_[root];
+}
+
+}  // namespace rchls::netlist

@@ -1,5 +1,6 @@
 #include "ser/characterize.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "circuits/adders.hpp"
@@ -115,6 +116,19 @@ std::vector<ComponentCharacterization> characterize_components(
     out.push_back(std::move(c));
   }
   return out;
+}
+
+std::vector<GateSensitivity> rank_gate_sensitivities(
+    const netlist::Netlist& nl, const InjectionConfig& config) {
+  std::vector<GateSensitivity> gates = inject_all_gates(nl, config);
+  std::sort(gates.begin(), gates.end(),
+            [](const GateSensitivity& a, const GateSensitivity& b) {
+              if (a.result.propagated != b.result.propagated) {
+                return a.result.propagated > b.result.propagated;
+              }
+              return a.gate < b.gate;
+            });
+  return gates;
 }
 
 }  // namespace rchls::ser

@@ -61,4 +61,13 @@ struct CharacterizeConfig {
 std::vector<ComponentCharacterization> characterize_components(
     const CharacterizeConfig& config);
 
+/// Per-node sensitivity map of one netlist -- the paper's "each of the
+/// nodes in the netlist can be characterized individually" -- computed in
+/// a single sweep on the cone-limited FaultEngine (every gate shares each
+/// input batch's golden evaluation, see ser::inject_all_gates). Returns
+/// all logic gates sorted by descending logical sensitivity, ties broken
+/// by ascending gate id; deterministic at every worker count.
+std::vector<GateSensitivity> rank_gate_sensitivities(
+    const netlist::Netlist& nl, const InjectionConfig& config);
+
 }  // namespace rchls::ser

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "netlist/fault_engine.hpp"
 #include "netlist/sim.hpp"
+#include "netlist/topology.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/partitioner.hpp"
 #include "util/error.hpp"
@@ -11,40 +13,68 @@ namespace rchls::ser {
 
 namespace {
 
+using netlist::FaultEngine;
 using netlist::GateId;
 using netlist::Netlist;
 using netlist::Simulator;
+using netlist::Topology;
 
-std::vector<GateId> logic_gates(const Netlist& nl) {
-  std::vector<GateId> ids;
-  for (GateId id = 0; id < nl.gate_count(); ++id) {
-    if (netlist::fanin_count(nl.gate(id).kind) > 0) ids.push_back(id);
-  }
-  return ids;
-}
-
-/// Runs the campaign in lane-aligned chunks, striking `pick_gate(pass)` in
-/// every lane of each 64-lane evaluation, and accumulates how many lanes
-/// saw an output corruption.
-///
-/// Each chunk draws from its own Rng stream derived from (seed, chunk
-/// index) and chunk counts are merged in chunk order, so the result is
-/// bit-identical at every parallel::Config worker count.
-template <typename PickGate>
-InjectionResult run_campaign(const Netlist& nl, const InjectionConfig& config,
-                             PickGate&& pick_gate) {
+void validate_config(const InjectionConfig& config) {
   if (config.trials == 0) throw Error("inject: trials must be positive");
   if (config.electrical_derating < 0 || config.electrical_derating > 1 ||
       config.latching_window_derating < 0 ||
       config.latching_window_derating > 1) {
     throw Error("inject: derating factors must lie in [0, 1]");
   }
+}
+
+/// Wilson score 95% half-width for `propagated` successes in `n` trials.
+double wilson_half_width_95(std::size_t propagated, std::size_t n) {
+  constexpr double z = 1.96;
+  double nn = static_cast<double>(n);
+  double p = static_cast<double>(propagated) / nn;
+  double z2_over_n = z * z / nn;
+  return z / (1.0 + z2_over_n) *
+         std::sqrt(std::max(p * (1.0 - p), 0.0) / nn +
+                   z2_over_n / (4.0 * nn));
+}
+
+InjectionResult finalize(std::size_t trials, std::size_t propagated,
+                         const InjectionConfig& config) {
+  InjectionResult result;
+  result.trials = trials;
+  result.propagated = propagated;
+  double n = static_cast<double>(trials);
+  result.logical_sensitivity = static_cast<double>(propagated) / n;
+  result.susceptibility = result.logical_sensitivity *
+                          config.electrical_derating *
+                          config.latching_window_derating;
+  result.half_width_95 = wilson_half_width_95(propagated, trials);
+  return result;
+}
+
+/// Runs the campaign in lane-aligned chunks, striking `pick_gate(pass)` in
+/// every lane of each 64-lane evaluation, and accumulates how many lanes
+/// saw an output corruption. The 64 trials of a pass share one victim and
+/// one golden evaluation; the strike itself resimulates only the victim's
+/// fanout cone on the FaultEngine.
+///
+/// The netlist is validated and its Topology computed ONCE, before the
+/// parallel region: worker chunks share them read-only. Each chunk draws
+/// from its own Rng stream derived from (seed, chunk index) and chunk
+/// counts are merged in chunk order, so the result is bit-identical at
+/// every parallel::Config worker count.
+template <typename PickGate>
+InjectionResult run_campaign(const Netlist& nl, const Topology& topo,
+                             const InjectionConfig& config,
+                             PickGate&& pick_gate) {
+  validate_config(config);
 
   auto chunks = parallel::partition_trials(config.trials, config.seed);
   std::vector<std::size_t> chunk_propagated(chunks.size(), 0);
   parallel::parallel_for(chunks.size(), [&](std::size_t ci) {
     const parallel::TrialChunk& chunk = chunks[ci];
-    Simulator sim(nl);
+    FaultEngine engine(nl, topo);
     Rng rng(chunk.seed);
     std::vector<std::uint64_t> inputs(nl.input_bits().size());
     std::size_t passes = chunk.trials / parallel::kLanes;
@@ -54,40 +84,30 @@ InjectionResult run_campaign(const Netlist& nl, const InjectionConfig& config,
       for (auto& w : inputs) w = rng.next_u64();
 
       GateId victim = pick_gate(first_pass + pass, rng);
-      auto golden = sim.output_words(sim.run(inputs));
-      auto faulty =
-          sim.output_words(sim.run(inputs, netlist::Fault{victim, ~0ULL}));
-
-      std::uint64_t corrupted = 0;
-      for (std::size_t i = 0; i < golden.size(); ++i) {
-        corrupted |= golden[i] ^ faulty[i];
-      }
+      engine.set_inputs(inputs);
+      std::uint64_t corrupted =
+          engine.inject(netlist::Fault{victim, ~0ULL});
       propagated += static_cast<std::size_t>(__builtin_popcountll(corrupted));
     }
     chunk_propagated[ci] = propagated;
   });
 
-  InjectionResult result;
-  for (const auto& chunk : chunks) result.trials += chunk.trials;
-  for (std::size_t p : chunk_propagated) result.propagated += p;
-
-  double n = static_cast<double>(result.trials);
-  result.logical_sensitivity = static_cast<double>(result.propagated) / n;
-  result.susceptibility = result.logical_sensitivity *
-                          config.electrical_derating *
-                          config.latching_window_derating;
-  double p = result.logical_sensitivity;
-  result.half_width_95 = 1.96 * std::sqrt(std::max(p * (1.0 - p), 0.0) / n);
-  return result;
+  std::size_t trials = 0;
+  std::size_t propagated = 0;
+  for (const auto& chunk : chunks) trials += chunk.trials;
+  for (std::size_t p : chunk_propagated) propagated += p;
+  return finalize(trials, propagated, config);
 }
 
 }  // namespace
 
 InjectionResult inject_campaign(const Netlist& nl,
                                 const InjectionConfig& config) {
-  auto gates = logic_gates(nl);
+  nl.validate();
+  const Topology topo(nl);
+  const auto& gates = topo.logic_gates();
   if (gates.empty()) throw Error("inject_campaign: netlist has no logic");
-  return run_campaign(nl, config, [&gates](std::size_t, Rng& rng) {
+  return run_campaign(nl, topo, config, [&gates](std::size_t, Rng& rng) {
     return gates[rng.next_below(gates.size())];
   });
 }
@@ -98,8 +118,98 @@ InjectionResult inject_gate(const Netlist& nl, GateId gate,
   if (netlist::fanin_count(nl.gate(gate).kind) == 0) {
     throw Error("inject_gate: target must be a logic gate");
   }
-  return run_campaign(nl, config,
+  nl.validate();
+  const Topology topo(nl);
+  return run_campaign(nl, topo, config,
                       [gate](std::size_t, Rng&) { return gate; });
+}
+
+std::vector<GateSensitivity> inject_all_gates(const Netlist& nl,
+                                              const InjectionConfig& config) {
+  validate_config(config);
+  nl.validate();
+  const Topology topo(nl);
+  const auto& gates = topo.logic_gates();
+  if (gates.empty()) throw Error("inject_all_gates: netlist has no logic");
+
+  auto chunks = parallel::partition_trials(config.trials, config.seed);
+  // Per-chunk, per-gate propagation counts; merged in chunk order below.
+  std::vector<std::vector<std::size_t>> chunk_counts(
+      chunks.size(), std::vector<std::size_t>(gates.size(), 0));
+  parallel::parallel_for(chunks.size(), [&](std::size_t ci) {
+    const parallel::TrialChunk& chunk = chunks[ci];
+    FaultEngine engine(nl, topo);
+    Rng rng(chunk.seed);
+    std::vector<std::uint64_t> inputs(nl.input_bits().size());
+    std::vector<std::size_t>& counts = chunk_counts[ci];
+    std::size_t passes = chunk.trials / parallel::kLanes;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      for (auto& w : inputs) w = rng.next_u64();
+      engine.set_inputs(inputs);  // one golden eval shared by ALL victims
+      for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        std::uint64_t corrupted =
+            engine.inject(netlist::Fault{gates[gi], ~0ULL});
+        counts[gi] +=
+            static_cast<std::size_t>(__builtin_popcountll(corrupted));
+      }
+    }
+  });
+
+  std::size_t trials = 0;
+  for (const auto& chunk : chunks) trials += chunk.trials;
+  std::vector<GateSensitivity> out(gates.size());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    std::size_t propagated = 0;
+    for (const auto& counts : chunk_counts) propagated += counts[gi];
+    out[gi].gate = gates[gi];
+    out[gi].result = finalize(trials, propagated, config);
+  }
+  return out;
+}
+
+InjectionResult inject_campaign_reference(const Netlist& nl,
+                                          const InjectionConfig& config) {
+  validate_config(config);
+  nl.validate();
+  const Topology topo(nl);
+  const auto& gates = topo.logic_gates();
+  if (gates.empty()) {
+    throw Error("inject_campaign_reference: netlist has no logic");
+  }
+
+  auto chunks = parallel::partition_trials(config.trials, config.seed);
+  std::vector<std::size_t> chunk_propagated(chunks.size(), 0);
+  parallel::parallel_for(chunks.size(), [&](std::size_t ci) {
+    const parallel::TrialChunk& chunk = chunks[ci];
+    Simulator sim(nl);
+    Rng rng(chunk.seed);
+    std::vector<std::uint64_t> inputs(nl.input_bits().size());
+    std::vector<std::uint64_t> golden, faulty;
+    std::size_t passes = chunk.trials / parallel::kLanes;
+    std::size_t propagated = 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      for (auto& w : inputs) w = rng.next_u64();
+
+      GateId victim = gates[rng.next_below(gates.size())];
+      sim.eval(inputs);
+      sim.pack_outputs(golden);
+      sim.eval(inputs, netlist::Fault{victim, ~0ULL});
+      sim.pack_outputs(faulty);
+
+      std::uint64_t corrupted = 0;
+      for (std::size_t i = 0; i < golden.size(); ++i) {
+        corrupted |= golden[i] ^ faulty[i];
+      }
+      propagated += static_cast<std::size_t>(__builtin_popcountll(corrupted));
+    }
+    chunk_propagated[ci] = propagated;
+  });
+
+  std::size_t trials = 0;
+  std::size_t propagated = 0;
+  for (const auto& chunk : chunks) trials += chunk.trials;
+  for (std::size_t p : chunk_propagated) propagated += p;
+  return finalize(trials, propagated, config);
 }
 
 }  // namespace rchls::ser

@@ -8,6 +8,13 @@
 // probability captures *logical masking*; *electrical* and
 // *latching-window* masking -- analog effects a logic simulator cannot see
 // -- enter as analytic derating factors, as is standard practice.
+//
+// Campaigns run on the cone-limited incremental FaultEngine
+// (netlist/fault_engine.hpp): one golden evaluation per 64-lane input
+// batch, then per-strike resimulation of only the victim's fanout cone.
+// Results are bit-identical to the brute-force double-full-simulation
+// oracle (inject_campaign_reference), which is kept for differential
+// testing and benchmarking.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +48,12 @@ struct InjectionResult {
   /// proportional to the circuit's SER once multiplied by flux, area and
   /// the per-node charge term.
   double susceptibility = 0.0;
-  /// 95% half-width of the logical_sensitivity estimate (normal approx).
+  /// 95% half-width of the logical_sensitivity estimate, from the Wilson
+  /// score interval (measured around its center, (p + z^2/2n) / (1 +
+  /// z^2/n)). Unlike the normal approximation this stays positive and
+  /// honest at p near 0 or 1 -- exactly the small-p regime that redundant
+  /// (voted) components produce -- at the cost of no longer being centered
+  /// on the point estimate itself.
   double half_width_95 = 0.0;
 };
 
@@ -55,5 +67,29 @@ InjectionResult inject_campaign(const netlist::Netlist& nl,
 /// the nodes in the netlist can be characterized individually".
 InjectionResult inject_gate(const netlist::Netlist& nl, netlist::GateId gate,
                             const InjectionConfig& config);
+
+/// One logic gate's campaign outcome within inject_all_gates.
+struct GateSensitivity {
+  netlist::GateId gate = 0;
+  InjectionResult result;
+};
+
+/// Characterizes EVERY logic gate at once: each 64-lane pass draws one
+/// input batch, evaluates the golden values a single time, and injects
+/// every gate against that shared golden -- collapsing the per-node
+/// characterization loop from gate_count full campaigns into one sweep.
+/// Each gate sees `config.trials` strikes (the same input batches for
+/// all gates). Results are in ascending gate-id order and bit-identical
+/// at every worker count.
+std::vector<GateSensitivity> inject_all_gates(const netlist::Netlist& nl,
+                                              const InjectionConfig& config);
+
+/// Brute-force oracle for inject_campaign: two full-netlist bit-parallel
+/// simulations per 64-lane pass plus an output comparison loop (the
+/// pre-FaultEngine implementation). Bit-identical to inject_campaign by
+/// construction; kept as the differential-testing oracle and the benchmark
+/// baseline for the cone-limited engine.
+InjectionResult inject_campaign_reference(const netlist::Netlist& nl,
+                                          const InjectionConfig& config);
 
 }  // namespace rchls::ser

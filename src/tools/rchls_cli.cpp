@@ -4,6 +4,7 @@
 //                 [--engine centric|baseline|combined] [--polish]
 //                 [--scheduler density|fds] [--datapath]
 //   rchls sweep   <dfg-file|benchmark> --latency N --areas A1,A2,...
+//   rchls inject  <component> [--width W] [--trials N] [--gate G] [--top K]
 //   rchls bench   (list built-in benchmark graphs)
 //
 // The global --jobs N flag sets the worker count for parallel sweeps and
@@ -11,6 +12,7 @@
 // bit-identical at every worker count.
 //
 // Exit codes: 0 success, 1 usage error, 2 no solution within bounds.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -18,16 +20,22 @@
 #include <vector>
 
 #include "benchmarks/suite.hpp"
+#include "circuits/adders.hpp"
+#include "circuits/multipliers.hpp"
 #include "dfg/io.hpp"
 #include "hls/baseline.hpp"
 #include "hls/combined.hpp"
 #include "hls/explore.hpp"
 #include "hls/find_design.hpp"
 #include "hls/report.hpp"
+#include "netlist/stats.hpp"
 #include "parallel/config.hpp"
 #include "rtl/datapath.hpp"
+#include "ser/characterize.hpp"
+#include "ser/fault_injection.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -40,10 +48,29 @@ int usage() {
       "              [--engine centric|baseline|combined] [--polish]\n"
       "              [--scheduler density|fds] [--datapath]\n"
       "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
+      "  rchls inject <component> [--width W] [--trials N] [--gate G]\n"
+      "               [--top K]\n"
       "  rchls bench\n"
+      "inject components: ripple_carry_adder brent_kung_adder\n"
+      "  kogge_stone_adder carry_save_multiplier leapfrog_multiplier\n"
       "global flags:\n"
       "  --jobs N    parallel workers (default: hardware concurrency)\n";
   return 1;
+}
+
+netlist::Netlist make_component(const std::string& name, int width) {
+  if (name == "ripple_carry_adder") {
+    return circuits::ripple_carry_adder(width);
+  }
+  if (name == "brent_kung_adder") return circuits::brent_kung_adder(width);
+  if (name == "kogge_stone_adder") return circuits::kogge_stone_adder(width);
+  if (name == "carry_save_multiplier") {
+    return circuits::carry_save_multiplier(width);
+  }
+  if (name == "leapfrog_multiplier") {
+    return circuits::leapfrog_multiplier(width);
+  }
+  throw Error("unknown component '" + name + "'");
 }
 
 dfg::Graph load_graph(const std::string& spec) {
@@ -66,6 +93,10 @@ struct Args {
   std::string scheduler = "density";
   bool polish = false;
   bool datapath = false;
+  int width = 16;
+  std::size_t trials = 64 * 256;
+  std::optional<netlist::GateId> gate;
+  int top = 0;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -115,6 +146,27 @@ std::optional<Args> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       parallel::set_global_jobs(static_cast<std::size_t>(jobs));
+    } else if (flag == "--width") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.width = std::atoi(v->c_str());
+    } else if (flag == "--trials") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      long t = std::atol(v->c_str());
+      if (t < 1) {
+        std::cerr << "--trials needs a positive count\n";
+        return std::nullopt;
+      }
+      a.trials = static_cast<std::size_t>(t);
+    } else if (flag == "--gate") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.gate = static_cast<netlist::GateId>(std::atol(v->c_str()));
+    } else if (flag == "--top") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.top = std::atoi(v->c_str());
     } else if (flag == "--polish") {
       a.polish = true;
     } else if (flag == "--datapath") {
@@ -185,6 +237,58 @@ int run_sweep(const Args& a) {
   return 0;
 }
 
+int run_inject(const Args& a) {
+  if (a.width < 1) {
+    std::cerr << "inject needs a positive --width\n";
+    return 1;
+  }
+  netlist::Netlist nl = make_component(a.graph_spec, a.width);
+  netlist::Stats stats = netlist::compute_stats(nl);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = a.trials;
+
+  auto t0 = std::chrono::steady_clock::now();
+  ser::InjectionResult r = a.gate ? ser::inject_gate(nl, *a.gate, cfg)
+                                  : ser::inject_campaign(nl, cfg);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+  std::cout << a.graph_spec << " (width " << a.width << "): "
+            << nl.gate_count() << " gates, " << stats.logic_gates
+            << " logic, depth " << format_fixed(stats.depth, 1) << "\n"
+            << "strikes:       " << r.trials
+            << (a.gate ? " on gate " + std::to_string(*a.gate) : "") << "\n"
+            << "propagated:    " << r.propagated << "\n"
+            << "sensitivity:   " << format_fixed(r.logical_sensitivity, 5)
+            << " +/- " << format_fixed(r.half_width_95, 5)
+            << " (95% Wilson)\n"
+            << "susceptibility: " << format_fixed(r.susceptibility, 5)
+            << "\n"
+            << "wall time:     " << format_fixed(wall_ms, 1) << " ms ("
+            << format_fixed(static_cast<double>(r.trials) / wall_ms, 0)
+            << " strikes/ms, " << parallel::global_jobs() << " workers)\n";
+
+  if (a.top > 0) {
+    auto ranked = ser::rank_gate_sensitivities(nl, cfg);
+    Table t({"gate", "kind", "sensitivity", "+/- 95%"});
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(ranked.size(),
+                                   static_cast<std::size_t>(a.top));
+         ++i) {
+      const auto& gs = ranked[i];
+      t.add_row({std::to_string(gs.gate),
+                 netlist::to_string(nl.gate(gs.gate).kind),
+                 format_fixed(gs.result.logical_sensitivity, 5),
+                 format_fixed(gs.result.half_width_95, 5)});
+    }
+    std::cout << "\nmost sensitive nodes (shared-golden per-node sweep):\n"
+              << t.render();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,6 +305,7 @@ int main(int argc, char** argv) {
     }
     if (args->command == "synth") return run_synth(*args);
     if (args->command == "sweep") return run_sweep(*args);
+    if (args->command == "inject") return run_inject(*args);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

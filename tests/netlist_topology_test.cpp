@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "circuits/adders.hpp"
+#include "netlist/topology.hpp"
+#include "util/error.hpp"
+
+namespace rchls::netlist {
+namespace {
+
+// Gate ids: 0=a, 1=b, 2=not(a), 3=and(a,b), 4=or(2,3) -- a reconvergent
+// diamond with a single output.
+Netlist diamond() {
+  Netlist nl("diamond");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto b = nl.add_input_bus("b", 1).bits[0];
+  auto g1 = nl.bnot(a);
+  auto g2 = nl.band(a, b);
+  auto g3 = nl.bor(g1, g2);
+  nl.add_output_bus("out", {g3});
+  return nl;
+}
+
+TEST(Topology, LevelsAreZeroForInputsAndIncreaseDownstream) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+  EXPECT_EQ(topo.level(0), 0u);  // input a
+  EXPECT_EQ(topo.level(1), 0u);  // input b
+  EXPECT_EQ(topo.level(2), 1u);  // not(a)
+  EXPECT_EQ(topo.level(3), 1u);  // and(a, b)
+  EXPECT_EQ(topo.level(4), 2u);  // or
+  EXPECT_EQ(topo.max_level(), 2u);
+
+  // Every logic gate sits strictly above each of its fanins.
+  for (GateId id : topo.logic_gates()) {
+    const Gate& g = nl.gate(id);
+    EXPECT_GT(topo.level(id), topo.level(g.fanin0));
+    if (fanin_count(g.kind) == 2) {
+      EXPECT_GT(topo.level(id), topo.level(g.fanin1));
+    }
+  }
+}
+
+TEST(Topology, FanoutAdjacencyMatchesFanins) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+
+  auto fanouts = [&](GateId id) {
+    return std::vector<GateId>(topo.fanout_begin(id), topo.fanout_end(id));
+  };
+  EXPECT_EQ(fanouts(0), (std::vector<GateId>{2, 3}));  // a feeds not, and
+  EXPECT_EQ(fanouts(1), (std::vector<GateId>{3}));     // b feeds and
+  EXPECT_EQ(fanouts(2), (std::vector<GateId>{4}));
+  EXPECT_EQ(fanouts(3), (std::vector<GateId>{4}));
+  EXPECT_EQ(topo.fanout_count(4), 0u);
+}
+
+TEST(Topology, DuplicateFaninEdgeIsCollapsed) {
+  Netlist nl("dup");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto g = nl.bxor(a, a);
+  nl.add_output_bus("out", {g});
+  Topology topo(nl);
+  EXPECT_EQ(topo.fanout_count(a), 1u);
+}
+
+TEST(Topology, LogicGatesExcludeInputsAndConstants) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+  EXPECT_EQ(topo.logic_gates(), (std::vector<GateId>{2, 3, 4}));
+}
+
+TEST(Topology, OutputBitsAreFlagged) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+  for (GateId id = 0; id < nl.gate_count(); ++id) {
+    EXPECT_EQ(topo.is_output_bit(id), id == 4u) << "gate " << id;
+  }
+}
+
+TEST(Topology, ConeMatchesBruteForceReachability) {
+  Netlist nl = circuits::kogge_stone_adder(8);
+  Topology topo(nl);
+
+  // Brute force: reverse-reachability via repeated fanin scans.
+  for (GateId root : {GateId{0}, GateId{5}, GateId{20},
+                      static_cast<GateId>(nl.gate_count() - 1)}) {
+    std::set<GateId> reach{root};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (GateId id = 0; id < nl.gate_count(); ++id) {
+        const Gate& g = nl.gate(id);
+        int n = fanin_count(g.kind);
+        bool feeds = (n >= 1 && reach.count(g.fanin0)) ||
+                     (n == 2 && reach.count(g.fanin1));
+        if (feeds && !reach.count(id)) {
+          reach.insert(id);
+          grew = true;
+        }
+      }
+    }
+    const auto& cone = topo.cone(root);
+    EXPECT_TRUE(std::is_sorted(cone.begin(), cone.end()));
+    EXPECT_EQ(std::vector<GateId>(reach.begin(), reach.end()), cone);
+  }
+}
+
+TEST(Topology, ConeIsMemoized) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+  const auto& first = topo.cone(0);
+  const auto& second = topo.cone(0);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first, (std::vector<GateId>{0, 2, 3, 4}));
+}
+
+TEST(Topology, ConeRejectsOutOfRangeGate) {
+  Netlist nl = diamond();
+  Topology topo(nl);
+  EXPECT_THROW(topo.cone(999), Error);
+}
+
+}  // namespace
+}  // namespace rchls::netlist

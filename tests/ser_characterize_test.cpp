@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "circuits/adders.hpp"
+#include "netlist/netlist.hpp"
 #include "ser/characterize.hpp"
 #include "util/error.hpp"
 
@@ -82,6 +84,51 @@ TEST(SimulatedCharacterization, ProducesFiveAnchoredComponents) {
   // than the anchor adder.
   EXPECT_LT(comps[3].reliability, comps[0].reliability);
   EXPECT_LT(comps[4].reliability, comps[0].reliability);
+}
+
+TEST(GateSensitivities, RankedSweepSeparatesTransparentFromMaskedNodes) {
+  // out = or(buf(a), and(buf(b), 0)). Fully observable: buf(a) and the OR
+  // (sensitivity 1). Fully masked: buf(b), killed by the constant zero.
+  // Partially masked: the AND itself (observable only in lanes where
+  // buf(a) is 0).
+  netlist::Netlist nl("mixed");
+  auto a = nl.add_input_bus("a", 1).bits[0];
+  auto b = nl.add_input_bus("b", 1).bits[0];
+  auto zero = nl.add_const(false);
+  auto buf_a = nl.add_unary(netlist::GateKind::kBuf, a);
+  auto buf_b = nl.add_unary(netlist::GateKind::kBuf, b);
+  auto gated = nl.add_binary(netlist::GateKind::kAnd, buf_b, zero);
+  auto out = nl.add_binary(netlist::GateKind::kOr, buf_a, gated);
+  nl.add_output_bus("out", {out});
+
+  InjectionConfig cfg;
+  cfg.trials = 64 * 4;
+  auto ranked = rank_gate_sensitivities(nl, cfg);
+  ASSERT_EQ(ranked.size(), 4u);
+
+  // Descending sensitivity, ties by ascending gate id.
+  EXPECT_EQ(ranked[0].gate, buf_a);
+  EXPECT_EQ(ranked[1].gate, out);
+  EXPECT_DOUBLE_EQ(ranked[0].result.logical_sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[1].result.logical_sensitivity, 1.0);
+  EXPECT_EQ(ranked[2].gate, gated);
+  EXPECT_GT(ranked[2].result.logical_sensitivity, 0.0);
+  EXPECT_LT(ranked[2].result.logical_sensitivity, 1.0);
+  EXPECT_EQ(ranked[3].gate, buf_b);
+  EXPECT_DOUBLE_EQ(ranked[3].result.logical_sensitivity, 0.0);
+  EXPECT_GT(ranked[3].result.half_width_95, 0.0);  // Wilson, not normal
+}
+
+TEST(GateSensitivities, CoversEveryLogicGateOnce) {
+  netlist::Netlist nl = circuits::ripple_carry_adder(4);
+  InjectionConfig cfg;
+  cfg.trials = 64 * 2;
+  auto ranked = rank_gate_sensitivities(nl, cfg);
+  std::size_t logic = 0;
+  for (netlist::GateId id = 0; id < nl.gate_count(); ++id) {
+    if (netlist::fanin_count(nl.gate(id).kind) > 0) ++logic;
+  }
+  EXPECT_EQ(ranked.size(), logic);
 }
 
 TEST(SimulatedCharacterization, DeterministicUnderSeed) {

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "circuits/adders.hpp"
+#include "circuits/multipliers.hpp"
 #include "netlist/netlist.hpp"
+#include "parallel/config.hpp"
 #include "ser/fault_injection.hpp"
 #include "util/error.hpp"
 
@@ -10,6 +14,12 @@ namespace {
 
 using netlist::GateKind;
 using netlist::Netlist;
+
+class JobsGuard {
+ public:
+  explicit JobsGuard(std::size_t jobs) { parallel::set_global_jobs(jobs); }
+  ~JobsGuard() { parallel::set_global_jobs(0); }
+};
 
 Netlist transparent_chain() {
   // out = buf(buf(a)): every strike on the chain reaches the output.
@@ -97,6 +107,131 @@ TEST(Injection, RejectsBadConfigs) {
   cfg.trials = 64;
   cfg.electrical_derating = 1.5;
   EXPECT_THROW(inject_campaign(nl, cfg), Error);
+}
+
+// Golden values captured from the pre-FaultEngine brute-force
+// implementation (two full simulations per pass). The cone-limited engine
+// must reproduce them exactly, at every worker count.
+TEST(Injection, BitIdenticalToPreRefactorGoldenValues) {
+  struct Case {
+    Netlist nl;
+    std::size_t propagated;
+  };
+  std::vector<Case> cases;
+  cases.push_back({circuits::ripple_carry_adder(8), 3647});
+  cases.push_back({circuits::kogge_stone_adder(8), 2642});
+  cases.push_back({circuits::brent_kung_adder(16), 2692});
+  cases.push_back({circuits::carry_save_multiplier(8), 3971});
+  cases.push_back({circuits::leapfrog_multiplier(8), 3622});
+
+  for (std::size_t jobs : {1, 2, 8}) {
+    JobsGuard guard(jobs);
+    for (const Case& c : cases) {
+      InjectionConfig cfg;
+      cfg.trials = 64 * 64;
+      cfg.seed = 2026;
+      auto r = inject_campaign(c.nl, cfg);
+      EXPECT_EQ(r.trials, 4096u);
+      EXPECT_EQ(r.propagated, c.propagated)
+          << c.nl.name() << " at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Injection, InjectGateBitIdenticalToPreRefactorGoldenValues) {
+  // Partially masked victims of the 8-bit Kogge-Stone adder (seed 7,
+  // 2048 trials): gate 20 -> 1525, gate 40 -> 1292, gate 60 -> 0.
+  Netlist nl = circuits::kogge_stone_adder(8);
+  const std::pair<netlist::GateId, std::size_t> golden[] = {
+      {20, 1525}, {40, 1292}, {60, 0}, {80, 2048}};
+  for (std::size_t jobs : {1, 2, 8}) {
+    JobsGuard guard(jobs);
+    for (const auto& [victim, expected] : golden) {
+      InjectionConfig cfg;
+      cfg.trials = 64 * 32;
+      cfg.seed = 7;
+      auto r = inject_gate(nl, victim, cfg);
+      EXPECT_EQ(r.propagated, expected)
+          << "victim " << victim << " at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Injection, EngineMatchesBruteForceReference) {
+  for (int width : {8, 12}) {
+    Netlist nl = circuits::carry_save_multiplier(width);
+    InjectionConfig cfg;
+    cfg.trials = 64 * 32;
+    cfg.seed = 99;
+    auto engine = inject_campaign(nl, cfg);
+    auto brute = inject_campaign_reference(nl, cfg);
+    EXPECT_EQ(engine.trials, brute.trials);
+    EXPECT_EQ(engine.propagated, brute.propagated);
+    EXPECT_DOUBLE_EQ(engine.logical_sensitivity, brute.logical_sensitivity);
+    EXPECT_DOUBLE_EQ(engine.half_width_95, brute.half_width_95);
+  }
+}
+
+TEST(Injection, HalfWidthIsWilsonScore) {
+  Netlist nl = transparent_chain();
+  InjectionConfig cfg;
+  cfg.trials = 64 * 16;
+  auto r = inject_campaign(nl, cfg);
+  ASSERT_DOUBLE_EQ(r.logical_sensitivity, 1.0);
+
+  // Wilson 95% half-width at p = 1: z/(1 + z^2/n) * sqrt(z^2/(4 n^2)).
+  double z = 1.96;
+  double n = static_cast<double>(r.trials);
+  double expected = z / (1.0 + z * z / n) * std::sqrt(z * z / (4 * n * n));
+  EXPECT_DOUBLE_EQ(r.half_width_95, expected);
+}
+
+TEST(Injection, WilsonHalfWidthStaysPositiveAtZeroSensitivity) {
+  // The normal approximation collapses to 0 at p == 0; Wilson must not --
+  // this is exactly the small-p regime of voted redundant components.
+  Netlist nl = fully_masked();
+  InjectionConfig cfg;
+  cfg.trials = 64 * 8;
+  auto r = inject_gate(nl, nl.gate_count() - 2, cfg);
+  EXPECT_DOUBLE_EQ(r.logical_sensitivity, 0.0);
+  EXPECT_GT(r.half_width_95, 0.0);
+  EXPECT_LT(r.half_width_95, 0.05);
+}
+
+TEST(Injection, AllGatesSweepMatchesPerGateCampaigns) {
+  // inject_all_gates shares each batch's golden evaluation across every
+  // victim but must report, per gate, exactly what inject_gate reports
+  // (both draw the same per-chunk input streams).
+  Netlist nl = circuits::ripple_carry_adder(4);
+  InjectionConfig cfg;
+  cfg.trials = 64 * 8;
+  cfg.seed = 5;
+  auto all = inject_all_gates(nl, cfg);
+  ASSERT_FALSE(all.empty());
+  for (const auto& gs : all) {
+    auto single = inject_gate(nl, gs.gate, cfg);
+    EXPECT_EQ(gs.result.propagated, single.propagated) << "gate " << gs.gate;
+    EXPECT_EQ(gs.result.trials, single.trials);
+  }
+}
+
+TEST(Injection, AllGatesSweepIsBitIdenticalAtAnyWorkerCount) {
+  Netlist nl = circuits::kogge_stone_adder(6);
+  InjectionConfig cfg;
+  cfg.trials = 64 * 16;
+  cfg.seed = 11;
+  std::vector<std::vector<GateSensitivity>> runs;
+  for (std::size_t jobs : {1, 2, 8}) {
+    JobsGuard guard(jobs);
+    runs.push_back(inject_all_gates(nl, cfg));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].gate, runs[0][i].gate);
+      EXPECT_EQ(runs[r][i].result.propagated, runs[0][i].result.propagated);
+    }
+  }
 }
 
 TEST(Injection, RejectsBadGateTargets) {
