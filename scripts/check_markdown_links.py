@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fails when any intra-repo markdown link points at a missing file.
+
+Scans every *.md under the repository root (skipping build directories)
+for [text](target) links. External targets (http/https/mailto) and pure
+anchors (#...) are ignored; everything else is resolved relative to the
+file containing the link (or the repo root for absolute /paths) and must
+exist. Used by the CI docs job.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {"build", "build-tsan", ".git"}
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def check(root: Path) -> int:
+    broken = []
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(root).parts[:-1]):
+            continue
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                if path_part.startswith("/"):
+                    resolved = root / path_part.lstrip("/")
+                else:
+                    resolved = md.parent / path_part
+                if not resolved.exists():
+                    broken.append(f"{md.relative_to(root)}:{lineno}: "
+                                  f"broken link -> {target}")
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken intra-repo markdown link(s)")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(repo_root()))

@@ -1,0 +1,51 @@
+#include "circuits/components.hpp"
+
+#include "circuits/adders.hpp"
+#include "circuits/multipliers.hpp"
+#include "util/error.hpp"
+
+namespace rchls::circuits {
+
+namespace {
+
+// The one registry: names(), is_component() and component_by_name() all
+// read this table, so adding a generator is a single-line change.
+struct Entry {
+  const char* name;
+  netlist::Netlist (*make)(int width);
+};
+
+constexpr Entry kComponents[] = {
+    {"ripple_carry_adder", ripple_carry_adder},
+    {"brent_kung_adder", brent_kung_adder},
+    {"kogge_stone_adder", kogge_stone_adder},
+    {"carry_save_multiplier", carry_save_multiplier},
+    {"leapfrog_multiplier", leapfrog_multiplier},
+};
+
+}  // namespace
+
+std::vector<std::string> component_names() {
+  std::vector<std::string> out;
+  for (const auto& e : kComponents) out.emplace_back(e.name);
+  return out;
+}
+
+bool is_component(const std::string& name) {
+  for (const auto& e : kComponents) {
+    if (name == e.name) return true;
+  }
+  return false;
+}
+
+netlist::Netlist component_by_name(const std::string& name, int width) {
+  if (width < 1) {
+    throw Error("component_by_name: width must be >= 1");
+  }
+  for (const auto& e : kComponents) {
+    if (name == e.name) return e.make(width);
+  }
+  throw Error("unknown component '" + name + "'");
+}
+
+}  // namespace rchls::circuits

@@ -1,0 +1,26 @@
+// By-name factory over the arithmetic circuit generators -- the single
+// registry behind `rchls inject <component>` and the scenario file
+// `inject` / `rank_gates` actions, so every declarative surface accepts
+// the same component names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rchls::circuits {
+
+/// Canonical generator names, in Table 1 order: ripple_carry_adder,
+/// brent_kung_adder, kogge_stone_adder, carry_save_multiplier,
+/// leapfrog_multiplier.
+std::vector<std::string> component_names();
+
+/// True when `name` is one of component_names().
+bool is_component(const std::string& name);
+
+/// Builds the named circuit at the given operand bit width (>= 1).
+/// Throws Error for unknown names or non-positive widths.
+netlist::Netlist component_by_name(const std::string& name, int width);
+
+}  // namespace rchls::circuits

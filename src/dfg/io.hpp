@@ -6,8 +6,10 @@
 //   node <name> <op>        # op in {add, sub, mul, lt}
 //   edge <from> <to>        # by node name; nodes must be declared first
 //
-// This is the interchange format for user-supplied designs (see
-// examples/custom_graph.dfg-style usage in the README).
+// This is the interchange format for user-supplied designs: `rchls synth
+// <file>` reads it directly, and scenario files embed the same
+// `dfg`/`node`/`edge` directives inline or pull a file in via
+// `graph @<file>` (full reference: docs/scenario-format.md).
 #pragma once
 
 #include <iosfwd>
@@ -17,14 +19,23 @@
 
 namespace rchls::dfg {
 
-/// Parses the text format; throws ParseError with a line number on errors.
+/// Parses the text format. Throws ParseError carrying "line <n>:" for
+/// malformed or unknown directives, duplicate/undeclared node names, and
+/// unparsable ops; a graph whose edges form a cycle throws
+/// ValidationError (from Graph::validate) instead. Parsing is
+/// deterministic and node ids follow declaration order.
 Graph parse(std::istream& in);
 Graph parse_string(const std::string& text);
 
-/// Writes the text format (round-trips through parse()).
+/// Writes the text format. Round-trips through parse(): node ids, names,
+/// ops and adjacency are preserved exactly. Never throws for a valid
+/// Graph.
 std::string to_text(const Graph& g);
 
-/// Graphviz rendering for documentation and debugging.
+/// Graphviz rendering for documentation and debugging: one node per
+/// operation (multiplications boxed, adder-class ops elliptic), one arrow
+/// per dependence, deterministic output in node-id order. Not meant to be
+/// parsed back.
 std::string to_dot(const Graph& g);
 
 }  // namespace rchls::dfg

@@ -1,6 +1,15 @@
 // Human-readable rendering of designs: a schedule table shaped like the
 // paper's Figures 5 and 7 (steps x functional units) plus a metrics
-// summary. Used by the reproduction benches and the examples.
+// summary. Used by the reproduction benches, the examples, the CLI's
+// `synth` command and the scenario table reports (scenario/report.hpp;
+// the machine-readable JSON/CSV forms live there).
+//
+// Both writers are pure functions of (design, graph, library): output is
+// deterministic, ordered by instance id / version name, and contains
+// nothing time- or host-dependent. They assume `d` is consistent with
+// `g` and `lib` (as produced by the synthesis engines and checked by
+// validate_design); indexing a design against the wrong graph or
+// library throws rchls::Error from the library accessors.
 #pragma once
 
 #include <string>
@@ -12,12 +21,18 @@
 namespace rchls::hls {
 
 /// Step-by-step table: one column per functional-unit instance, one row
-/// per control step; cells carry the operation occupying that unit.
+/// per control step (latency rows total, in cycles; a node with delay d
+/// occupies d consecutive rows); cells carry the name of the operation
+/// occupying that unit, "-" when idle. Column headers are
+/// "<version>#<instance>" plus a "xN" copy-count suffix for redundant
+/// instances.
 std::string schedule_table(const Design& d, const dfg::Graph& g,
                            const library::ResourceLibrary& lib);
 
-/// Multi-line summary: latency/area/reliability, instance inventory with
-/// copy counts, and version histogram over operations.
+/// Multi-line summary: latency (cycles) / area (normalized units,
+/// ripple-carry adder == 1) / reliability (mission reliability, fixed
+/// 5-decimal rendering), instance inventory with copy counts, and the
+/// operations-per-version histogram in version-name order.
 std::string design_summary(const Design& d, const dfg::Graph& g,
                            const library::ResourceLibrary& lib);
 

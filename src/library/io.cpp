@@ -1,0 +1,105 @@
+#include "library/io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::library {
+
+namespace {
+
+double to_double(const std::string& tok, const char* what) {
+  auto v = try_parse_double(tok);
+  if (!v) {
+    throw ParseError(std::string(what) + " is not a number: '" + tok + "'");
+  }
+  return *v;
+}
+
+int to_int(const std::string& tok, const char* what) {
+  auto v = try_parse_int(tok);
+  if (!v) {
+    throw ParseError(std::string(what) + " is not an integer: '" + tok +
+                     "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+ResourceClass class_from_string(const std::string& s) {
+  if (s == "adder") return ResourceClass::kAdder;
+  if (s == "multiplier" || s == "mult") return ResourceClass::kMultiplier;
+  throw ParseError("unknown resource class '" + s +
+                   "' (expected adder or multiplier)");
+}
+
+ResourceVersion parse_resource_tokens(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 6 || tokens[0] != "resource") {
+    throw ParseError(
+        "expected: resource <name> <class> <area> <delay> <reliability>");
+  }
+  ResourceVersion v;
+  v.name = tokens[1];
+  v.cls = class_from_string(tokens[2]);
+  v.area = to_double(tokens[3], "area");
+  v.delay = to_int(tokens[4], "delay");
+  v.reliability = to_double(tokens[5], "reliability");
+  return v;
+}
+
+ResourceLibrary parse(std::istream& in) {
+  ResourceLibrary lib;
+  bool named = false;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&lineno](const std::string& msg) {
+    throw ParseError("line " + std::to_string(lineno) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+
+    const std::string& directive = tokens[0];
+    if (directive == "library") {
+      if (tokens.size() != 2) fail("expected: library <name>");
+      if (named) fail("duplicate library directive");
+      named = true;
+    } else if (directive == "resource") {
+      try {
+        // add() rejects duplicate names and out-of-range values.
+        lib.add(parse_resource_tokens(tokens));
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  return lib;
+}
+
+ResourceLibrary parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::string to_text(const ResourceLibrary& lib) {
+  std::ostringstream os;
+  for (const auto& v : lib.versions()) {
+    os << "resource " << v.name << " " << to_string(v.cls) << " "
+       << format_shortest(v.area) << " " << v.delay << " "
+       << format_shortest(v.reliability) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rchls::library

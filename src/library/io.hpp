@@ -1,0 +1,48 @@
+// Text serialization for resource libraries -- the declarative counterpart
+// of library::paper_library(), so experiments can supply their own
+// characterized component sets without writing C++.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   library  <name>                                    # optional, once
+//   resource <name> <class> <area> <delay> <reliability>
+//
+// where <class> is `adder` or `multiplier` (alias `mult`), <area> is in
+// the paper's normalized units (ripple-carry adder == 1, must be > 0),
+// <delay> is in whole clock cycles (>= 1), and <reliability> is the
+// mission reliability in (0, 1]. Version ids are assigned in file order,
+// matching ResourceLibrary::add.
+//
+// See docs/scenario-format.md for how scenario files embed or include
+// libraries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "library/resource.hpp"
+
+namespace rchls::library {
+
+/// Parses the text format. Throws ParseError carrying "line <n>:" for
+/// malformed directives, out-of-range values, or duplicate names; the
+/// returned library always passes ResourceLibrary::validate().
+ResourceLibrary parse(std::istream& in);
+ResourceLibrary parse_string(const std::string& text);
+
+/// Writes the text format (round-trips through parse() with identical
+/// version ids; doubles keep full precision).
+std::string to_text(const ResourceLibrary& lib);
+
+/// Parses "adder" / "multiplier" / "mult"; throws ParseError otherwise.
+ResourceClass class_from_string(const std::string& s);
+
+/// Parses one tokenized "resource <name> <class> <area> <delay>
+/// <reliability>" directive -- the single implementation shared by
+/// library files and scenario files. Throws ParseError without position
+/// information (callers prepend their own "<source>:<line>:" context) on
+/// a wrong token count or malformed class/number tokens; range
+/// validation happens in ResourceLibrary::add.
+ResourceVersion parse_resource_tokens(const std::vector<std::string>& tokens);
+
+}  // namespace rchls::library

@@ -2,6 +2,17 @@
 // Table 1): several versions per resource class, each with its own area,
 // delay and reliability. The synthesis engines (src/hls) pick versions per
 // operation from this library.
+//
+// Units throughout: area in the paper's normalized units (ripple-carry
+// adder == 1), delay in whole clock cycles, reliability as mission
+// reliability in (0, 1]. Libraries are plain value types -- cheap to
+// copy, safe to share read-only across worker threads -- and every query
+// below is deterministic: ties are broken by documented total orders,
+// never by pointer or hash order. Failures throw rchls::Error.
+//
+// Libraries can also be written as text ("resource <name> <class> <area>
+// <delay> <reliability>" lines, see library/io.hpp) and embedded in
+// scenario files (docs/scenario-format.md).
 #pragma once
 
 #include <cstdint>
@@ -17,12 +28,14 @@ namespace rchls::library {
 /// multiplier-class units.
 enum class ResourceClass : std::uint8_t { kAdder, kMultiplier };
 
+/// "adder" / "multiplier" (the spelling library/io.hpp parses back).
 const char* to_string(ResourceClass cls);
 
 /// The resource class that executes a DFG operation.
 ResourceClass class_of(dfg::OpType op);
 
-/// Index of a version within a ResourceLibrary.
+/// Index of a version within a ResourceLibrary: the 0-based insertion
+/// order of add() calls (file order for parsed libraries).
 using VersionId = std::uint32_t;
 
 /// One implementation (version) of a resource class.
@@ -36,10 +49,13 @@ struct ResourceVersion {
 
 class ResourceLibrary {
  public:
-  /// Adds a version; validates area > 0, delay >= 1, reliability in (0, 1].
+  /// Adds a version and returns its id. Throws Error unless name is
+  /// non-empty and unique, area > 0, delay >= 1 and reliability lies in
+  /// (0, 1].
   VersionId add(ResourceVersion v);
 
   std::size_t size() const { return versions_.size(); }
+  /// Throws Error when `id` is out of range.
   const ResourceVersion& version(VersionId id) const;
   const std::vector<ResourceVersion>& versions() const { return versions_; }
 
@@ -50,26 +66,31 @@ class ResourceLibrary {
 
   /// The version the paper's initial solution allocates: maximum
   /// reliability; ties broken by smaller area, then smaller delay.
+  /// Throws Error if the class has no versions.
   VersionId most_reliable(ResourceClass cls) const;
 
   /// Minimum delay; ties broken by higher reliability, then smaller area.
+  /// Throws Error if the class has no versions.
   VersionId fastest(ResourceClass cls) const;
 
   /// Versions of the same class strictly faster than `current`
   /// (t_r > t_r'), sorted by reliability descending (the reliability-
-  /// centric choice), ties by smaller area.
+  /// centric choice), ties by smaller area. May be empty; throws Error
+  /// only for an out-of-range `current`.
   std::vector<VersionId> faster_versions(VersionId current) const;
 
   /// Versions of the same class strictly smaller than `current`
   /// (a_r > a_r') and not slower (t_r >= t_r'), per Fig. 6 line 26;
-  /// sorted by reliability descending, ties by smaller area.
+  /// sorted by reliability descending, ties by smaller area. May be
+  /// empty; throws Error only for an out-of-range `current`.
   std::vector<VersionId> smaller_versions(VersionId current) const;
 
   /// Lookup by version name; throws Error if absent.
   VersionId find(const std::string& name) const;
 
-  /// Checks that every class that appears has at least one version and
-  /// names are unique.
+  /// Throws ValidationError when the library is empty (nothing to
+  /// synthesize with). Name uniqueness and value ranges are enforced by
+  /// add() itself, so a non-empty library is always well-formed.
   void validate() const;
 
  private:
@@ -84,8 +105,11 @@ class ResourceLibrary {
 ///   mult_2   leapfrog       area 4, delay 1, R 0.969
 ResourceLibrary paper_library();
 
-/// Per-node delay vector for a graph where every node uses the given
-/// version of its class (used by schedulers and the baseline).
+/// Per-node delay vector (cycles, indexed by NodeId) for a graph where
+/// every node uses the given version of its class (used by schedulers
+/// and the baseline). Throws Error for out-of-range version ids or when
+/// a version's class does not match its parameter (adder_version must
+/// be adder-class, mult_version multiplier-class).
 std::vector<int> uniform_delays(const dfg::Graph& g,
                                 const ResourceLibrary& lib,
                                 VersionId adder_version,

@@ -1,0 +1,512 @@
+#include "scenario/parse.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "benchmarks/suite.hpp"
+#include "circuits/components.hpp"
+#include "dfg/io.hpp"
+#include "library/io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::scenario {
+
+namespace {
+
+// Carries the per-file parse position so every helper can throw
+// ParseError anchored at "<source>:<line>:".
+struct Cursor {
+  std::string source;
+  int line = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(source + ":" + std::to_string(line) + ": " + msg);
+  }
+};
+
+int to_int(const Cursor& at, const std::string& tok, const std::string& what) {
+  auto v = try_parse_int(tok);
+  if (!v) at.fail(what + " is not an integer: '" + tok + "'");
+  return *v;
+}
+
+double to_double(const Cursor& at, const std::string& tok,
+                 const std::string& what) {
+  auto v = try_parse_double(tok);
+  if (!v) at.fail(what + " is not a number: '" + tok + "'");
+  return *v;
+}
+
+bool to_bool(const Cursor& at, const std::string& tok,
+             const std::string& what) {
+  if (tok == "on" || tok == "true") return true;
+  if (tok == "off" || tok == "false") return false;
+  at.fail(what + " expects on/off (got '" + tok + "')");
+}
+
+std::vector<int> to_int_list(const Cursor& at, const std::string& tok,
+                             const std::string& what) {
+  std::vector<int> out;
+  for (const auto& part : split(tok, ',')) {
+    out.push_back(to_int(at, part, what));
+  }
+  if (out.empty()) at.fail(what + " needs at least one value");
+  return out;
+}
+
+std::vector<double> to_double_list(const Cursor& at, const std::string& tok,
+                                   const std::string& what) {
+  std::vector<double> out;
+  for (const auto& part : split(tok, ',')) {
+    out.push_back(to_double(at, part, what));
+  }
+  if (out.empty()) at.fail(what + " needs at least one value");
+  return out;
+}
+
+// key=value tokens after an action's positional arguments. Consuming
+// accessors + a final check that no unknown key remains.
+class Options {
+ public:
+  Options(const Cursor& at, const std::vector<std::string>& tokens,
+          std::size_t first)
+      : at_(at) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      auto eq = tokens[i].find('=');
+      if (eq == std::string::npos || eq == 0) {
+        at_.fail("expected key=value option, got '" + tokens[i] + "'");
+      }
+      auto key = tokens[i].substr(0, eq);
+      if (!pairs_.emplace(key, tokens[i].substr(eq + 1)).second) {
+        at_.fail("duplicate option '" + key + "'");
+      }
+    }
+  }
+
+  std::optional<std::string> take(const std::string& key) {
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) return std::nullopt;
+    std::string v = it->second;
+    pairs_.erase(it);
+    return v;
+  }
+
+  void take_int(const std::string& key, int& out) {
+    if (auto v = take(key)) out = to_int(at_, *v, key);
+  }
+  void take_double(const std::string& key, double& out) {
+    if (auto v = take(key)) out = to_double(at_, *v, key);
+  }
+  void take_bool(const std::string& key, bool& out) {
+    if (auto v = take(key)) out = to_bool(at_, *v, key);
+  }
+  void take_size(const std::string& key, std::size_t& out) {
+    if (auto v = take(key)) {
+      int n = to_int(at_, *v, key);
+      if (n < 1) at_.fail(key + " must be >= 1");
+      out = static_cast<std::size_t>(n);
+    }
+  }
+  void take_seed(const std::string& key, std::uint64_t& out) {
+    if (auto v = take(key)) {
+      std::uint64_t n = 0;
+      auto [ptr, ec] =
+          std::from_chars(v->data(), v->data() + v->size(), n);
+      if (ec != std::errc{} || ptr != v->data() + v->size()) {
+        at_.fail(key + " is not a non-negative integer: '" + *v + "'");
+      }
+      out = n;
+    }
+  }
+
+  /// Rejects any option key no accessor consumed.
+  void finish() const {
+    if (!pairs_.empty()) {
+      at_.fail("unknown option '" + pairs_.begin()->first + "'");
+    }
+  }
+
+ private:
+  const Cursor& at_;
+  std::map<std::string, std::string> pairs_;
+};
+
+// The scheduler/polish/consolidation/explore option cluster shared by
+// find_design, sweep and grid actions.
+void take_engine_options(const Cursor& at, Options& opts,
+                         hls::FindDesignOptions& out) {
+  if (auto v = opts.take("scheduler")) {
+    if (*v == "density") {
+      out.scheduler = hls::SchedulerKind::kDensity;
+    } else if (*v == "fds") {
+      out.scheduler = hls::SchedulerKind::kForceDirected;
+    } else {
+      at.fail("unknown scheduler '" + *v + "' (expected density or fds)");
+    }
+  }
+  opts.take_bool("polish", out.enable_polish);
+  opts.take_bool("consolidation", out.enable_consolidation);
+  opts.take_int("explore", out.explore_tighter_latency);
+  if (out.explore_tighter_latency < 0) at.fail("explore must be >= 0");
+}
+
+std::optional<std::pair<std::string, std::string>> take_baseline_versions(
+    const Cursor& at, Options& opts) {
+  auto adder = opts.take("baseline_adder");
+  auto mult = opts.take("baseline_mult");
+  if (adder.has_value() != mult.has_value()) {
+    at.fail("baseline_adder and baseline_mult must be given together");
+  }
+  if (!adder) return std::nullopt;
+  return std::make_pair(*adder, *mult);
+}
+
+struct Parser {
+  Cursor at;
+  std::filesystem::path base_dir;
+
+  Scenario scn;
+  bool named = false;
+  bool graph_declared = false;     // graph directive or inline dfg seen
+  bool inline_graph = false;       // currently building an inline dfg
+  bool library_declared = false;   // library directive seen
+  bool inline_library = false;     // resource lines seen
+  dfg::Graph building{"dfg"};      // inline graph under construction
+  std::map<std::string, std::pair<int, double>> bounds;  // label -> Ld, Ad
+  std::map<std::string, int> kind_counts;  // for default labels
+
+  void declare_graph() {
+    if (graph_declared) at.fail("duplicate graph declaration");
+    graph_declared = true;
+  }
+
+  std::ifstream open_include(const std::string& spec) {
+    std::filesystem::path p = base_dir / spec;
+    std::ifstream in(p);
+    if (!in) at.fail("cannot open included file '" + p.string() + "'");
+    return in;
+  }
+
+  void push_action(const Cursor& action_at, Options& opts, const char* kind,
+                   std::variant<FindDesignAction, SweepAction, GridAction,
+                                InjectAction, RankGatesAction>
+                       op) {
+    Action a;
+    a.line = action_at.line;
+    a.op = std::move(op);
+    if (auto v = opts.take("label")) {
+      a.label = *v;
+    } else {
+      a.label = std::string(kind) + "#" + std::to_string(++kind_counts[kind]);
+    }
+    opts.finish();
+    scn.actions.push_back(std::move(a));
+  }
+
+  void handle(const std::vector<std::string>& tokens);
+  void finalize();
+};
+
+void Parser::handle(const std::vector<std::string>& tokens) {
+  const std::string& directive = tokens[0];
+
+  if (directive == "scenario") {
+    if (tokens.size() != 2) at.fail("expected: scenario <name>");
+    if (named) at.fail("duplicate scenario directive");
+    scn.name = tokens[1];
+    named = true;
+
+  } else if (directive == "graph") {
+    if (tokens.size() != 2) {
+      at.fail("expected: graph <benchmark> or graph @<file.dfg>");
+    }
+    declare_graph();
+    const std::string& spec = tokens[1];
+    if (starts_with(spec, "@")) {
+      auto in = open_include(spec.substr(1));
+      try {
+        scn.graph = dfg::parse(in);
+      } catch (const Error& e) {
+        at.fail("in included graph '" + spec.substr(1) + "': " + e.what());
+      }
+    } else {
+      try {
+        scn.graph = benchmarks::by_name(spec);
+      } catch (const Error&) {
+        at.fail("unknown benchmark '" + spec +
+                "' (use @<file> for a graph file)");
+      }
+    }
+
+  } else if (directive == "dfg") {
+    if (tokens.size() != 2) at.fail("expected: dfg <name>");
+    declare_graph();
+    inline_graph = true;
+    building = dfg::Graph(tokens[1]);
+
+  } else if (directive == "node") {
+    if (!inline_graph) at.fail("node directive outside an inline dfg block");
+    if (tokens.size() != 3) at.fail("expected: node <name> <op>");
+    try {
+      building.add_node(tokens[1], dfg::op_from_string(tokens[2]));
+    } catch (const Error& e) {
+      at.fail(e.what());
+    }
+
+  } else if (directive == "edge") {
+    if (!inline_graph) at.fail("edge directive outside an inline dfg block");
+    if (tokens.size() != 3) at.fail("expected: edge <from> <to>");
+    try {
+      building.add_edge(building.find(tokens[1]), building.find(tokens[2]));
+    } catch (const Error& e) {
+      at.fail(e.what());
+    }
+
+  } else if (directive == "library") {
+    if (tokens.size() != 2) {
+      at.fail("expected: library paper or library @<file.lib>");
+    }
+    if (library_declared) at.fail("duplicate library directive");
+    if (inline_library) {
+      at.fail("library directive after inline resource lines");
+    }
+    library_declared = true;
+    if (tokens[1] == "paper") {
+      scn.library = library::paper_library();
+    } else if (starts_with(tokens[1], "@")) {
+      auto in = open_include(tokens[1].substr(1));
+      try {
+        scn.library = library::parse(in);
+      } catch (const Error& e) {
+        at.fail("in included library '" + tokens[1].substr(1) +
+                "': " + e.what());
+      }
+    } else {
+      at.fail("expected: library paper or library @<file.lib>");
+    }
+
+  } else if (directive == "resource") {
+    if (library_declared) {
+      at.fail("resource line after a library directive");
+    }
+    if (!inline_library) {
+      inline_library = true;
+      scn.library = library::ResourceLibrary();
+    }
+    try {
+      // Shared with library/io: one grammar for resource lines
+      // everywhere. add() rejects duplicates and out-of-range values.
+      scn.library.add(library::parse_resource_tokens(tokens));
+    } catch (const Error& e) {
+      at.fail(e.what());
+    }
+
+  } else if (directive == "bounds") {
+    if (tokens.size() != 4) {
+      at.fail("expected: bounds <label> <latency> <area>");
+    }
+    int ld = to_int(at, tokens[2], "latency");
+    double ad = to_double(at, tokens[3], "area");
+    if (!bounds.emplace(tokens[1], std::make_pair(ld, ad)).second) {
+      at.fail("duplicate bounds label '" + tokens[1] + "'");
+    }
+
+  } else if (directive == "find_design") {
+    FindDesignAction fd;
+    std::size_t first_option = 1;
+    if (tokens.size() >= 2 && tokens[1].find('=') == std::string::npos) {
+      auto it = bounds.find(tokens[1]);
+      if (it == bounds.end()) {
+        at.fail("undeclared bounds label '" + tokens[1] + "'");
+      }
+      fd.latency_bound = it->second.first;
+      fd.area_bound = it->second.second;
+      first_option = 2;
+    }
+    Options opts(at, tokens, first_option);
+    bool have_bounds = first_option == 2;
+    if (auto v = opts.take("latency")) {
+      fd.latency_bound = to_int(at, *v, "latency");
+      have_bounds = true;
+    }
+    if (auto v = opts.take("area")) {
+      fd.area_bound = to_double(at, *v, "area");
+    } else if (first_option == 1) {
+      have_bounds = false;
+    }
+    if (!have_bounds) {
+      at.fail("find_design needs a bounds label or latency=/area= options");
+    }
+    if (auto v = opts.take("engine")) {
+      if (*v != "centric" && *v != "baseline" && *v != "combined") {
+        at.fail("unknown engine '" + *v +
+                "' (expected centric, baseline or combined)");
+      }
+      fd.engine = *v;
+    }
+    take_engine_options(at, opts, fd.options);
+    fd.baseline_versions = take_baseline_versions(at, opts);
+    if (fd.baseline_versions && fd.engine != "baseline") {
+      at.fail("baseline_adder/baseline_mult require engine=baseline");
+    }
+    push_action(at, opts, "find_design", std::move(fd));
+
+  } else if (directive == "sweep") {
+    if (tokens.size() < 3) {
+      at.fail("expected: sweep latency <l1,l2,...> area=<A> or "
+              "sweep area <a1,a2,...> latency=<N>");
+    }
+    SweepAction sw;
+    Options opts(at, tokens, 3);
+    if (tokens[1] == "latency") {
+      sw.axis = SweepAction::Axis::kLatency;
+      sw.latency_bounds = to_int_list(at, tokens[2], "latency list");
+      auto v = opts.take("area");
+      if (!v) at.fail("sweep latency needs area=<bound>");
+      sw.area_bounds = {to_double(at, *v, "area")};
+    } else if (tokens[1] == "area") {
+      sw.axis = SweepAction::Axis::kArea;
+      sw.area_bounds = to_double_list(at, tokens[2], "area list");
+      auto v = opts.take("latency");
+      if (!v) at.fail("sweep area needs latency=<bound>");
+      sw.latency_bounds = {to_int(at, *v, "latency")};
+    } else {
+      at.fail("sweep axis must be latency or area (got '" + tokens[1] +
+              "')");
+    }
+    take_engine_options(at, opts, sw.options);
+    push_action(at, opts, "sweep", std::move(sw));
+
+  } else if (directive == "grid") {
+    GridAction gr;
+    Options opts(at, tokens, 1);
+    auto lats = opts.take("latencies");
+    auto areas = opts.take("areas");
+    if (!lats || !areas) {
+      at.fail("grid needs latencies=<l1,l2,...> and areas=<a1,a2,...>");
+    }
+    gr.latency_bounds = to_int_list(at, *lats, "latencies");
+    gr.area_bounds = to_double_list(at, *areas, "areas");
+    take_engine_options(at, opts, gr.options);
+    gr.baseline_versions = take_baseline_versions(at, opts);
+    push_action(at, opts, "grid", std::move(gr));
+
+  } else if (directive == "inject") {
+    if (tokens.size() < 2) at.fail("expected: inject <component> [options]");
+    InjectAction in;
+    in.component = tokens[1];
+    if (!circuits::is_component(in.component)) {
+      at.fail("unknown component '" + in.component + "'");
+    }
+    Options opts(at, tokens, 2);
+    opts.take_int("width", in.width);
+    if (in.width < 1) at.fail("width must be >= 1");
+    opts.take_size("trials", in.trials);
+    opts.take_seed("seed", in.seed);
+    if (auto v = opts.take("gate")) {
+      int gate = to_int(at, *v, "gate");
+      if (gate < 0) at.fail("gate must be >= 0");
+      in.gate = static_cast<std::uint32_t>(gate);
+    }
+    push_action(at, opts, "inject", std::move(in));
+
+  } else if (directive == "rank_gates") {
+    if (tokens.size() < 2) {
+      at.fail("expected: rank_gates <component> [options]");
+    }
+    RankGatesAction rg;
+    rg.component = tokens[1];
+    if (!circuits::is_component(rg.component)) {
+      at.fail("unknown component '" + rg.component + "'");
+    }
+    Options opts(at, tokens, 2);
+    opts.take_int("width", rg.width);
+    if (rg.width < 1) at.fail("width must be >= 1");
+    opts.take_size("trials", rg.trials);
+    opts.take_seed("seed", rg.seed);
+    opts.take_int("top", rg.top);
+    if (rg.top < 0) at.fail("top must be >= 0");
+    push_action(at, opts, "rank_gates", std::move(rg));
+
+  } else {
+    at.fail("unknown directive '" + directive + "'");
+  }
+}
+
+void Parser::finalize() {
+  if (inline_graph) {
+    building.validate();  // throws ValidationError on cycles, like dfg/io
+    scn.graph = std::move(building);
+  }
+  if (!library_declared && !inline_library) {
+    scn.library = library::paper_library();
+  }
+  for (const auto& a : scn.actions) {
+    Cursor action_at{at.source, a.line};
+    bool needs_graph = std::holds_alternative<FindDesignAction>(a.op) ||
+                       std::holds_alternative<SweepAction>(a.op) ||
+                       std::holds_alternative<GridAction>(a.op);
+    if (needs_graph && !scn.graph) {
+      action_at.fail("action needs a graph, but the scenario declares none");
+    }
+    // Resolve baseline version names now so a typo fails at parse time.
+    const std::optional<std::pair<std::string, std::string>>* pinned =
+        nullptr;
+    if (const auto* fd = std::get_if<FindDesignAction>(&a.op)) {
+      pinned = &fd->baseline_versions;
+    } else if (const auto* gr = std::get_if<GridAction>(&a.op)) {
+      pinned = &gr->baseline_versions;
+    }
+    if (pinned && *pinned) {
+      for (const auto& name : {(*pinned)->first, (*pinned)->second}) {
+        try {
+          scn.library.find(name);
+        } catch (const Error&) {
+          action_at.fail("library has no version named '" + name + "'");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Scenario parse(std::istream& in, const std::string& source,
+               const std::filesystem::path& base_dir) {
+  Parser p;
+  p.at.source = source;
+  p.base_dir = base_dir;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++p.at.line;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    p.handle(tokens);
+  }
+  p.finalize();
+  return p.scn;
+}
+
+Scenario parse_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open scenario file '" + path.string() + "'");
+  }
+  auto dir = path.parent_path();
+  return parse(in, path.filename().string(), dir.empty() ? "." : dir);
+}
+
+Scenario parse_string(const std::string& text,
+                      const std::filesystem::path& base_dir) {
+  std::istringstream in(text);
+  return parse(in, "<string>", base_dir);
+}
+
+}  // namespace rchls::scenario

@@ -1,0 +1,39 @@
+// Parser for the `.scn` scenario format (full directive reference with
+// examples: docs/scenario-format.md).
+//
+// Line-directive text in the spirit of dfg/io: one directive per line,
+// '#' starts a comment, blank lines are ignored. `graph @file.dfg` and
+// `library @file.lib` include external artifacts, resolved relative to
+// `base_dir` (for parse_file: the scenario file's own directory).
+//
+// Every syntactic or semantic error -- unknown directive, malformed
+// option, undeclared node or bounds label, unopenable include, action
+// without a graph -- throws ParseError whose message starts with
+// "<source>:<line>:", pointing at the offending line of the scenario
+// file. Cyclic inline graphs throw ValidationError (from
+// dfg::Graph::validate), matching dfg::parse. Parsing has no side
+// effects and is fully deterministic.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace rchls::scenario {
+
+/// Parses a scenario from a stream. `source` names the input in error
+/// messages; `base_dir` anchors `@file` includes.
+Scenario parse(std::istream& in, const std::string& source = "<scenario>",
+               const std::filesystem::path& base_dir = ".");
+
+/// Opens and parses `path` (throws ParseError when it cannot be opened);
+/// includes resolve relative to the file's directory.
+Scenario parse_file(const std::filesystem::path& path);
+
+/// Parses from a string; includes resolve relative to `base_dir`.
+Scenario parse_string(const std::string& text,
+                      const std::filesystem::path& base_dir = ".");
+
+}  // namespace rchls::scenario

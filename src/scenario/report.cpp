@@ -1,0 +1,386 @@
+#include "scenario/report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "hls/report.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rchls::scenario::report {
+
+namespace {
+
+const char* kind_name(const ActionResult& a) {
+  if (std::holds_alternative<FindDesignResult>(a.data)) return "find_design";
+  if (std::holds_alternative<SweepResult>(a.data)) return "sweep";
+  if (std::holds_alternative<GridResult>(a.data)) return "grid";
+  if (std::holds_alternative<InjectResult>(a.data)) return "inject";
+  return "rank_gates";
+}
+
+// Ops-per-version histogram in version-name order (deterministic).
+std::map<std::string, int> version_histogram(
+    const hls::Design& d, const library::ResourceLibrary& lib) {
+  std::map<std::string, int> histogram;
+  for (auto v : d.version_of) histogram[lib.version(v).name]++;
+  return histogram;
+}
+
+// ------------------------------------------------------------------ JSON
+
+json::Value json_find_design(const FindDesignResult& r,
+                             const library::ResourceLibrary& lib) {
+  auto v = json::Value::object();
+  v.set("engine", r.engine)
+      .set("latency_bound", r.latency_bound)
+      .set("area_bound", r.area_bound)
+      .set("solved", r.solved);
+  if (r.solved) {
+    const auto& d = *r.design;
+    v.set("latency", d.latency)
+        .set("area", d.area)
+        .set("reliability", d.reliability);
+    auto versions = json::Value::object();
+    for (const auto& [name, count] : version_histogram(d, lib)) {
+      versions.set(name, count);
+    }
+    v.set("versions", std::move(versions));
+    auto version_of = json::Value::array();
+    for (auto id : d.version_of) version_of.push(lib.version(id).name);
+    v.set("version_of", std::move(version_of));
+  } else {
+    v.set("latency", json::Value())
+        .set("area", json::Value())
+        .set("reliability", json::Value())
+        .set("no_solution_reason", r.no_solution_reason);
+  }
+  return v;
+}
+
+json::Value json_point(const hls::SweepPoint& p) {
+  auto v = json::Value::object();
+  v.set("latency_bound", p.latency_bound).set("area_bound", p.area_bound);
+  v.set("reliability",
+        p.reliability ? json::Value(*p.reliability) : json::Value());
+  v.set("area", p.area ? json::Value(*p.area) : json::Value());
+  v.set("latency", p.latency ? json::Value(*p.latency) : json::Value());
+  return v;
+}
+
+json::Value json_sweep(const SweepResult& r) {
+  auto v = json::Value::object();
+  v.set("axis",
+        r.axis == SweepAction::Axis::kLatency ? "latency" : "area");
+  auto points = json::Value::array();
+  for (const auto& p : r.points) points.push(json_point(p));
+  v.set("points", std::move(points));
+  return v;
+}
+
+json::Value json_opt(const std::optional<double>& d) {
+  return d ? json::Value(*d) : json::Value();
+}
+
+json::Value json_grid(const GridResult& r) {
+  auto v = json::Value::object();
+  auto rows = json::Value::array();
+  for (const auto& row : r.rows) {
+    auto jr = json::Value::object();
+    jr.set("latency_bound", row.latency_bound)
+        .set("area_bound", row.area_bound)
+        .set("baseline", json_opt(row.baseline))
+        .set("ours", json_opt(row.ours))
+        .set("combined", json_opt(row.combined))
+        .set("improvement_ours_pct", json_opt(row.improvement_ours))
+        .set("improvement_combined_pct",
+             json_opt(row.improvement_combined));
+    rows.push(std::move(jr));
+  }
+  v.set("rows", std::move(rows));
+  auto avg = json::Value::object();
+  avg.set("baseline", r.averages.baseline)
+      .set("ours", r.averages.ours)
+      .set("combined", r.averages.combined)
+      .set("solved_cells", r.averages.solved_cells)
+      .set("total_cells", r.averages.total_cells);
+  v.set("averages", std::move(avg));
+  return v;
+}
+
+json::Value json_injection(const ser::InjectionResult& r) {
+  auto v = json::Value::object();
+  v.set("trials", r.trials)
+      .set("propagated", r.propagated)
+      .set("logical_sensitivity", r.logical_sensitivity)
+      .set("half_width_95", r.half_width_95)
+      .set("susceptibility", r.susceptibility);
+  return v;
+}
+
+json::Value json_inject(const InjectResult& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component)
+      .set("width", r.width)
+      .set("gate_count", r.gate_count)
+      .set("logic_gates", r.logic_gates)
+      .set("gate", r.gate ? json::Value(*r.gate) : json::Value())
+      .set("result", json_injection(r.result));
+  return v;
+}
+
+json::Value json_rank_gates(const RankGatesResult& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component).set("width", r.width);
+  auto gates = json::Value::array();
+  for (std::size_t i = 0; i < r.gates.size(); ++i) {
+    auto jg = json::Value::object();
+    jg.set("gate", r.gates[i].gate)
+        .set("kind", r.kinds[i])
+        .set("result", json_injection(r.gates[i].result));
+    gates.push(std::move(jg));
+  }
+  v.set("gates", std::move(gates));
+  return v;
+}
+
+// ------------------------------------------------------------------- CSV
+
+std::string csv_find_design(const FindDesignResult& r) {
+  std::ostringstream os;
+  os << "engine,latency_bound,area_bound,solved,latency,area,reliability\n"
+     << r.engine << "," << r.latency_bound << ","
+     << format_fixed(r.area_bound, 2) << "," << (r.solved ? 1 : 0) << ",";
+  if (r.solved) {
+    const auto& d = *r.design;
+    os << d.latency << "," << format_fixed(d.area, 2) << ","
+       << format_fixed(d.reliability, 6);
+  } else {
+    os << ",,";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string csv_inject(const InjectResult& r) {
+  std::ostringstream os;
+  os << "component,width,gate,trials,propagated,logical_sensitivity,"
+        "half_width_95,susceptibility\n"
+     << r.component << "," << r.width << ",";
+  if (r.gate) os << *r.gate;
+  os << "," << r.result.trials << "," << r.result.propagated << ","
+     << format_fixed(r.result.logical_sensitivity, 5) << ","
+     << format_fixed(r.result.half_width_95, 5) << ","
+     << format_fixed(r.result.susceptibility, 5) << "\n";
+  return os.str();
+}
+
+std::string csv_rank_gates(const RankGatesResult& r) {
+  std::ostringstream os;
+  os << "gate,kind,logical_sensitivity,half_width_95,susceptibility\n";
+  for (std::size_t i = 0; i < r.gates.size(); ++i) {
+    const auto& res = r.gates[i].result;
+    os << r.gates[i].gate << "," << r.kinds[i] << ","
+       << format_fixed(res.logical_sensitivity, 5) << ","
+       << format_fixed(res.half_width_95, 5) << ","
+       << format_fixed(res.susceptibility, 5) << "\n";
+  }
+  return os.str();
+}
+
+// ----------------------------------------------------------------- table
+
+std::string table_sweep(const SweepResult& r) {
+  Table t({"latency_bound", "area_bound", "reliability", "area",
+           "latency"});
+  for (const auto& p : r.points) {
+    t.add_row({std::to_string(p.latency_bound),
+               format_fixed(p.area_bound, 2),
+               p.reliability ? format_fixed(*p.reliability, 5) : "-",
+               p.area ? format_fixed(*p.area, 2) : "-",
+               p.latency ? std::to_string(*p.latency) : "-"});
+  }
+  return t.render();
+}
+
+std::string table_grid(const GridResult& r) {
+  std::ostringstream os;
+  Table t({"Ld", "Ad", "baseline", "ours", "combined", "ours %",
+           "combined %"});
+  for (const auto& row : r.rows) {
+    t.add_row({std::to_string(row.latency_bound),
+               format_fixed(row.area_bound, 2),
+               row.baseline ? format_fixed(*row.baseline, 5) : "-",
+               row.ours ? format_fixed(*row.ours, 5) : "-",
+               row.combined ? format_fixed(*row.combined, 5) : "-",
+               row.improvement_ours
+                   ? format_fixed(*row.improvement_ours, 2)
+                   : "-",
+               row.improvement_combined
+                   ? format_fixed(*row.improvement_combined, 2)
+                   : "-"});
+  }
+  os << t.render();
+  os << "averages over " << r.averages.solved_cells << "/"
+     << r.averages.total_cells << " commonly solved cells: baseline "
+     << format_fixed(r.averages.baseline, 5) << ", ours "
+     << format_fixed(r.averages.ours, 5) << ", combined "
+     << format_fixed(r.averages.combined, 5) << "\n";
+  return os.str();
+}
+
+std::string table_inject(const InjectResult& r) {
+  std::ostringstream os;
+  os << r.component << " (width " << r.width << "): " << r.gate_count
+     << " gates, " << r.logic_gates << " logic\n"
+     << "strikes:        " << r.result.trials
+     << (r.gate ? " on gate " + std::to_string(*r.gate) : "") << "\n"
+     << "propagated:     " << r.result.propagated << "\n"
+     << "sensitivity:    " << format_fixed(r.result.logical_sensitivity, 5)
+     << " +/- " << format_fixed(r.result.half_width_95, 5)
+     << " (95% Wilson)\n"
+     << "susceptibility: " << format_fixed(r.result.susceptibility, 5)
+     << "\n";
+  return os.str();
+}
+
+std::string table_rank_gates(const RankGatesResult& r) {
+  std::ostringstream os;
+  os << r.component << " (width " << r.width
+     << "), most sensitive gates:\n";
+  Table t({"gate", "kind", "sensitivity", "+/- 95%"});
+  for (std::size_t i = 0; i < r.gates.size(); ++i) {
+    t.add_row({std::to_string(r.gates[i].gate), r.kinds[i],
+               format_fixed(r.gates[i].result.logical_sensitivity, 5),
+               format_fixed(r.gates[i].result.half_width_95, 5)});
+  }
+  os << t.render();
+  return os.str();
+}
+
+std::string table_find_design(const FindDesignResult& r,
+                              const RunReport& report) {
+  std::ostringstream os;
+  os << "engine " << r.engine << ", bounds Ld=" << r.latency_bound
+     << " Ad=" << format_fixed(r.area_bound, 2) << "\n";
+  if (!r.solved) {
+    os << "no solution: " << r.no_solution_reason << "\n";
+    return os.str();
+  }
+  os << hls::schedule_table(*r.design, *report.graph, report.library)
+     << hls::design_summary(*r.design, *report.graph, report.library);
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_json(const RunReport& report) {
+  auto doc = json::Value::object();
+  doc.set("format_version", 1).set("scenario", report.scenario_name);
+
+  if (report.graph) {
+    auto g = json::Value::object();
+    g.set("name", report.graph->name())
+        .set("nodes", report.graph->node_count())
+        .set("edges", report.graph->edge_count());
+    doc.set("graph", std::move(g));
+  } else {
+    doc.set("graph", json::Value());
+  }
+
+  auto lib = json::Value::array();
+  for (const auto& v : report.library.versions()) {
+    auto jv = json::Value::object();
+    jv.set("name", v.name)
+        .set("class", library::to_string(v.cls))
+        .set("area", v.area)
+        .set("delay", v.delay)
+        .set("reliability", v.reliability);
+    lib.push(std::move(jv));
+  }
+  doc.set("library", std::move(lib));
+
+  auto actions = json::Value::array();
+  for (const auto& a : report.actions) {
+    json::Value v = json::Value::object();
+    if (const auto* fd = std::get_if<FindDesignResult>(&a.data)) {
+      v = json_find_design(*fd, report.library);
+    } else if (const auto* sw = std::get_if<SweepResult>(&a.data)) {
+      v = json_sweep(*sw);
+    } else if (const auto* gr = std::get_if<GridResult>(&a.data)) {
+      v = json_grid(*gr);
+    } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
+      v = json_inject(*in);
+    } else {
+      v = json_rank_gates(std::get<RankGatesResult>(a.data));
+    }
+    auto entry = json::Value::object();
+    entry.set("label", a.label).set("kind", kind_name(a));
+    // splice the action payload after the identity keys
+    entry.set("result", std::move(v));
+    actions.push(std::move(entry));
+  }
+  doc.set("actions", std::move(actions));
+  return doc.dump(2) + "\n";
+}
+
+std::string to_csv(const RunReport& report) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& a : report.actions) {
+    if (!first) os << "\n";
+    first = false;
+    os << "# action " << a.label << " " << kind_name(a) << "\n";
+    if (const auto* fd = std::get_if<FindDesignResult>(&a.data)) {
+      os << csv_find_design(*fd);
+    } else if (const auto* sw = std::get_if<SweepResult>(&a.data)) {
+      os << hls::to_csv(sw->points);
+    } else if (const auto* gr = std::get_if<GridResult>(&a.data)) {
+      os << hls::to_csv(gr->rows);
+      os << "\n# action " << a.label << " averages\n"
+         << "baseline,ours,combined,solved_cells,total_cells\n"
+         << format_fixed(gr->averages.baseline, 6) << ","
+         << format_fixed(gr->averages.ours, 6) << ","
+         << format_fixed(gr->averages.combined, 6) << ","
+         << gr->averages.solved_cells << "," << gr->averages.total_cells
+         << "\n";
+    } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
+      os << csv_inject(*in);
+    } else {
+      os << csv_rank_gates(std::get<RankGatesResult>(a.data));
+    }
+  }
+  return os.str();
+}
+
+std::string to_table(const RunReport& report) {
+  std::ostringstream os;
+  os << "scenario " << report.scenario_name;
+  if (report.graph) {
+    os << " | graph " << report.graph->name() << " ("
+       << report.graph->node_count() << " ops, "
+       << report.graph->edge_count() << " deps)";
+  }
+  os << " | library:";
+  for (const auto& v : report.library.versions()) os << " " << v.name;
+  os << "\n";
+
+  for (const auto& a : report.actions) {
+    os << "\n== " << a.label << " (" << kind_name(a) << ") ==\n";
+    if (const auto* fd = std::get_if<FindDesignResult>(&a.data)) {
+      os << table_find_design(*fd, report);
+    } else if (const auto* sw = std::get_if<SweepResult>(&a.data)) {
+      os << table_sweep(*sw);
+    } else if (const auto* gr = std::get_if<GridResult>(&a.data)) {
+      os << table_grid(*gr);
+    } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
+      os << table_inject(*in);
+    } else {
+      os << table_rank_gates(std::get<RankGatesResult>(a.data));
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rchls::scenario::report

@@ -1,0 +1,43 @@
+// Renders a scenario::RunReport for machines and humans.
+//
+// Three writers over the same report:
+//
+//  * report::to_json -- the machine-readable form: one JSON document with
+//    `format_version`, the scenario identity, the resource library, and
+//    one object per action. Doubles are emitted at full shortest-round-
+//    trip precision, object keys are in fixed order, and nothing
+//    time- or host-dependent is included -- so the output is byte-
+//    identical across runs, platforms and --jobs values (a golden-file
+//    test pins it). Unsolved metrics are JSON null.
+//
+//  * report::to_csv -- one CSV block per action, each preceded by a
+//    `# action <label> <kind>` comment line (grids emit a second block
+//    for the common-cell averages). Sweep and grid blocks reuse the
+//    hls::to_csv column layout; numeric formatting matches the paper's
+//    tables (format_fixed), unsolved cells are empty.
+//
+//  * report::to_table -- the human rendering: the same schedule tables
+//    and summaries `rchls synth` prints (hls::schedule_table /
+//    design_summary), plus aligned tables for sweeps, grids and
+//    campaigns.
+//
+// All writers are pure functions of the report; none throws for any
+// report produced by scenario::run.
+#pragma once
+
+#include <string>
+
+#include "scenario/runner.hpp"
+
+namespace rchls::scenario::report {
+
+/// JSON document (pretty-printed, 2-space indent, trailing newline).
+std::string to_json(const RunReport& report);
+
+/// Per-action CSV blocks separated by blank lines.
+std::string to_csv(const RunReport& report);
+
+/// Human-readable tables (the `--format table` default of `rchls run`).
+std::string to_table(const RunReport& report);
+
+}  // namespace rchls::scenario::report

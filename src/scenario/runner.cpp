@@ -1,0 +1,158 @@
+#include "scenario/runner.hpp"
+
+#include "circuits/components.hpp"
+#include "hls/baseline.hpp"
+#include "hls/combined.hpp"
+#include "hls/find_design.hpp"
+#include "netlist/stats.hpp"
+#include "ser/characterize.hpp"
+#include "util/error.hpp"
+
+namespace rchls::scenario {
+
+namespace {
+
+FindDesignResult run_find_design(const FindDesignAction& a,
+                                 const dfg::Graph& g,
+                                 const library::ResourceLibrary& lib) {
+  FindDesignResult r;
+  r.engine = a.engine;
+  r.latency_bound = a.latency_bound;
+  r.area_bound = a.area_bound;
+  try {
+    if (a.engine == "centric") {
+      r.design = hls::find_design(g, lib, a.latency_bound, a.area_bound,
+                                  a.options);
+    } else if (a.engine == "baseline") {
+      hls::BaselineOptions bo;
+      if (a.baseline_versions) {
+        bo.fixed_versions = {{lib.find(a.baseline_versions->first),
+                              lib.find(a.baseline_versions->second)}};
+      }
+      r.design =
+          hls::nmr_baseline(g, lib, a.latency_bound, a.area_bound, bo);
+    } else {  // "combined", enforced by the parser
+      hls::CombinedOptions co;
+      co.find_design = a.options;
+      r.design = hls::combined_design(g, lib, a.latency_bound, a.area_bound,
+                                      co);
+    }
+    r.solved = true;
+  } catch (const NoSolutionError& e) {
+    r.solved = false;
+    r.no_solution_reason = e.what();
+  }
+  return r;
+}
+
+SweepResult run_sweep(const SweepAction& a, const dfg::Graph& g,
+                      const library::ResourceLibrary& lib) {
+  SweepResult r;
+  r.axis = a.axis;
+  if (a.axis == SweepAction::Axis::kLatency) {
+    r.points = hls::latency_sweep(g, lib, a.latency_bounds,
+                                  a.area_bounds.front(), a.options);
+  } else {
+    r.points = hls::area_sweep(g, lib, a.latency_bounds.front(),
+                               a.area_bounds, a.options);
+  }
+  return r;
+}
+
+GridResult run_grid(const GridAction& a, const dfg::Graph& g,
+                    const library::ResourceLibrary& lib) {
+  hls::GridOptions go;
+  go.find_design = a.options;
+  go.combined.find_design = a.options;
+  if (a.baseline_versions) {
+    go.baseline.fixed_versions = {{lib.find(a.baseline_versions->first),
+                                   lib.find(a.baseline_versions->second)}};
+  }
+  GridResult r;
+  r.rows = hls::comparison_grid(g, lib, a.latency_bounds, a.area_bounds, go);
+  r.averages = hls::grid_averages(r.rows);
+  return r;
+}
+
+InjectResult run_inject(const InjectAction& a) {
+  netlist::Netlist nl = circuits::component_by_name(a.component, a.width);
+  netlist::Stats stats = netlist::compute_stats(nl);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = a.trials;
+  cfg.seed = a.seed;
+
+  InjectResult r;
+  r.component = a.component;
+  r.width = a.width;
+  r.gate_count = nl.gate_count();
+  r.logic_gates = stats.logic_gates;
+  r.gate = a.gate;
+  r.result = a.gate ? ser::inject_gate(
+                          nl, static_cast<netlist::GateId>(*a.gate), cfg)
+                    : ser::inject_campaign(nl, cfg);
+  return r;
+}
+
+RankGatesResult run_rank_gates(const RankGatesAction& a) {
+  netlist::Netlist nl = circuits::component_by_name(a.component, a.width);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = a.trials;
+  cfg.seed = a.seed;
+
+  RankGatesResult r;
+  r.component = a.component;
+  r.width = a.width;
+  r.gates = ser::rank_gate_sensitivities(nl, cfg);
+  if (a.top > 0 &&
+      r.gates.size() > static_cast<std::size_t>(a.top)) {
+    r.gates.resize(static_cast<std::size_t>(a.top));
+  }
+  for (const auto& gs : r.gates) {
+    r.kinds.emplace_back(netlist::to_string(nl.gate(gs.gate).kind));
+  }
+  return r;
+}
+
+}  // namespace
+
+RunReport run(const Scenario& scn) {
+  RunReport report;
+  report.scenario_name = scn.name;
+  report.graph = scn.graph;
+  report.library = scn.library;
+
+  for (const auto& action : scn.actions) {
+    ActionResult out;
+    out.label = action.label;
+    out.line = action.line;
+    // The parser enforces this for .scn files; guard hand-built Scenarios.
+    bool needs_graph = !std::holds_alternative<InjectAction>(action.op) &&
+                       !std::holds_alternative<RankGatesAction>(action.op);
+    if (needs_graph && !scn.graph) {
+      throw Error("action '" + action.label +
+                  "' needs a graph, but the scenario has none");
+    }
+    try {
+      if (const auto* fd = std::get_if<FindDesignAction>(&action.op)) {
+        out.data = run_find_design(*fd, *scn.graph, scn.library);
+      } else if (const auto* sw = std::get_if<SweepAction>(&action.op)) {
+        out.data = run_sweep(*sw, *scn.graph, scn.library);
+      } else if (const auto* gr = std::get_if<GridAction>(&action.op)) {
+        out.data = run_grid(*gr, *scn.graph, scn.library);
+      } else if (const auto* in = std::get_if<InjectAction>(&action.op)) {
+        out.data = run_inject(*in);
+      } else {
+        out.data = run_rank_gates(std::get<RankGatesAction>(action.op));
+      }
+    } catch (const Error& e) {
+      throw Error("action '" + action.label + "' (line " +
+                  std::to_string(action.line) + "): " + e.what());
+    }
+    report.actions.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace rchls::scenario

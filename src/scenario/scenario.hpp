@@ -1,0 +1,105 @@
+// The declarative experiment model behind `rchls run`.
+//
+// A Scenario is the parsed form of a `.scn` file (see
+// docs/scenario-format.md): one data-flow graph (built-in benchmark,
+// included `.dfg` file, or inline `dfg`/`node`/`edge` directives), one
+// resource library (the paper's Table 1 by default, or custom `resource`
+// lines / an included `.lib` file), named latency/area constraint sets,
+// and an ordered list of actions. Actions are executed in file order by
+// scenario::Runner (runner.hpp) and rendered by scenario::report
+// (report.hpp).
+//
+// All quantities use the codebase's standard units: latencies and delays
+// in clock cycles, areas in the paper's normalized units (ripple-carry
+// adder == 1), reliabilities in (0, 1].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "hls/find_design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::scenario {
+
+/// One `find_design` action: a single synthesis run under one constraint
+/// set. `engine` selects the algorithm exactly as the CLI's `synth`
+/// command does: "centric" (paper Fig. 6), "baseline" (NMR prior work
+/// [3]) or "combined" (centric + redundancy).
+struct FindDesignAction {
+  int latency_bound = 0;      ///< Ld in cycles
+  double area_bound = 0.0;    ///< Ad in normalized area units
+  std::string engine = "centric";
+  hls::FindDesignOptions options;
+  /// Baseline-only: restrict [3] to this (adder, multiplier) version
+  /// pair by library name instead of searching all combos.
+  std::optional<std::pair<std::string, std::string>> baseline_versions;
+};
+
+/// One `sweep` action: find_design over a list of bounds on one axis
+/// while the other is held fixed (paper Fig. 8).
+struct SweepAction {
+  enum class Axis { kLatency, kArea };
+  Axis axis = Axis::kLatency;
+  std::vector<int> latency_bounds;   ///< swept (kLatency) or size 1 (kArea)
+  std::vector<double> area_bounds;   ///< swept (kArea) or size 1 (kLatency)
+  hls::FindDesignOptions options;
+};
+
+/// One `grid` action: the three-engine comparison over the cross product
+/// of bounds (paper Table 2 / Fig. 9), including the common-cell
+/// averages.
+struct GridAction {
+  std::vector<int> latency_bounds;
+  std::vector<double> area_bounds;
+  hls::FindDesignOptions options;  ///< centric and combined passes
+  /// When set, pin the baseline to this (adder, multiplier) version pair
+  /// by library name (the paper's experiments use the fastest versions).
+  std::optional<std::pair<std::string, std::string>> baseline_versions;
+};
+
+/// One `inject` action: a Monte-Carlo SET campaign on a generated
+/// arithmetic circuit (whole-circuit, or a single gate when `gate` is
+/// set).
+struct InjectAction {
+  std::string component;  ///< a circuits::component_names() entry
+  int width = 16;         ///< operand bit width
+  std::size_t trials = 64 * 256;
+  std::uint64_t seed = 1;
+  std::optional<std::uint32_t> gate;  ///< strike only this gate id
+};
+
+/// One `rank_gates` action: per-gate sensitivity characterization of a
+/// generated circuit, reporting the `top` most sensitive logic gates
+/// (0 = all).
+struct RankGatesAction {
+  std::string component;
+  int width = 16;
+  std::size_t trials = 64 * 64;
+  std::uint64_t seed = 1;
+  int top = 10;
+};
+
+/// A parsed action: the payload plus its report label and the source line
+/// it came from (used in runtime error messages).
+struct Action {
+  std::string label;
+  int line = 0;
+  std::variant<FindDesignAction, SweepAction, GridAction, InjectAction,
+               RankGatesAction>
+      op;
+};
+
+/// A complete parsed scenario. `graph` is empty when the file declares
+/// none (legal as long as every action is inject / rank_gates).
+struct Scenario {
+  std::string name = "scenario";
+  std::optional<dfg::Graph> graph;
+  library::ResourceLibrary library;
+  std::vector<Action> actions;
+};
+
+}  // namespace rchls::scenario

@@ -1,5 +1,6 @@
 // rchls: command-line reliability-centric HLS.
 //
+//   rchls run     <scenario.scn> [--format json|csv|table] [--out FILE]
 //   rchls synth   <dfg-file|benchmark> --latency N --area A
 //                 [--engine centric|baseline|combined] [--polish]
 //                 [--scheduler density|fds] [--datapath]
@@ -7,11 +8,17 @@
 //   rchls inject  <component> [--width W] [--trials N] [--gate G] [--top K]
 //   rchls bench   (list built-in benchmark graphs)
 //
+// `run` executes a declarative scenario file (docs/scenario-format.md):
+// a DFG, a resource library, constraint sets and a list of actions, with
+// results rendered as a human table (default), JSON or CSV. Infeasible
+// bounds inside a scenario are reported as unsolved results, not errors.
+//
 // The global --jobs N flag sets the worker count for parallel sweeps and
 // injection campaigns (default: hardware concurrency). Results are
 // bit-identical at every worker count.
 //
-// Exit codes: 0 success, 1 usage error, 2 no solution within bounds.
+// Exit codes: 0 success, 1 usage/parse error, 2 no solution within
+// bounds (synth only).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -20,8 +27,7 @@
 #include <vector>
 
 #include "benchmarks/suite.hpp"
-#include "circuits/adders.hpp"
-#include "circuits/multipliers.hpp"
+#include "circuits/components.hpp"
 #include "dfg/io.hpp"
 #include "hls/baseline.hpp"
 #include "hls/combined.hpp"
@@ -31,6 +37,9 @@
 #include "netlist/stats.hpp"
 #include "parallel/config.hpp"
 #include "rtl/datapath.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
 #include "ser/characterize.hpp"
 #include "ser/fault_injection.hpp"
 #include "util/error.hpp"
@@ -44,6 +53,7 @@ using namespace rchls;
 int usage() {
   std::cerr <<
       "usage:\n"
+      "  rchls run <scenario.scn> [--format json|csv|table] [--out FILE]\n"
       "  rchls synth <dfg-file|benchmark> --latency N --area A\n"
       "              [--engine centric|baseline|combined] [--polish]\n"
       "              [--scheduler density|fds] [--datapath]\n"
@@ -54,23 +64,9 @@ int usage() {
       "inject components: ripple_carry_adder brent_kung_adder\n"
       "  kogge_stone_adder carry_save_multiplier leapfrog_multiplier\n"
       "global flags:\n"
-      "  --jobs N    parallel workers (default: hardware concurrency)\n";
+      "  --jobs N    parallel workers (default: hardware concurrency)\n"
+      "scenario format reference: docs/scenario-format.md\n";
   return 1;
-}
-
-netlist::Netlist make_component(const std::string& name, int width) {
-  if (name == "ripple_carry_adder") {
-    return circuits::ripple_carry_adder(width);
-  }
-  if (name == "brent_kung_adder") return circuits::brent_kung_adder(width);
-  if (name == "kogge_stone_adder") return circuits::kogge_stone_adder(width);
-  if (name == "carry_save_multiplier") {
-    return circuits::carry_save_multiplier(width);
-  }
-  if (name == "leapfrog_multiplier") {
-    return circuits::leapfrog_multiplier(width);
-  }
-  throw Error("unknown component '" + name + "'");
 }
 
 dfg::Graph load_graph(const std::string& spec) {
@@ -97,6 +93,8 @@ struct Args {
   std::size_t trials = 64 * 256;
   std::optional<netlist::GateId> gate;
   int top = 0;
+  std::string format = "table";
+  std::string out;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -167,6 +165,18 @@ std::optional<Args> parse_args(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       a.top = std::atoi(v->c_str());
+    } else if (flag == "--format") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      if (*v != "json" && *v != "csv" && *v != "table") {
+        std::cerr << "--format must be json, csv or table\n";
+        return std::nullopt;
+      }
+      a.format = *v;
+    } else if (flag == "--out") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.out = *v;
     } else if (flag == "--polish") {
       a.polish = true;
     } else if (flag == "--datapath") {
@@ -175,6 +185,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       std::cerr << "unknown flag '" << flag << "'\n";
       return std::nullopt;
     }
+  }
+  if (a.command != "run" && (a.format != "table" || !a.out.empty())) {
+    std::cerr << "--format/--out only apply to 'rchls run'\n";
+    return std::nullopt;
   }
   return a;
 }
@@ -237,12 +251,39 @@ int run_sweep(const Args& a) {
   return 0;
 }
 
+int run_scenario(const Args& a) {
+  scenario::Scenario scn = scenario::parse_file(a.graph_spec);
+  scenario::RunReport report = scenario::run(scn);
+
+  std::string rendered;
+  if (a.format == "json") {
+    rendered = scenario::report::to_json(report);
+  } else if (a.format == "csv") {
+    rendered = scenario::report::to_csv(report);
+  } else {
+    rendered = scenario::report::to_table(report);
+  }
+
+  if (a.out.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(a.out);
+    if (!out) throw Error("cannot open output file '" + a.out + "'");
+    out << rendered;
+    out.flush();
+    if (!out) {
+      throw Error("failed writing output file '" + a.out + "'");
+    }
+  }
+  return 0;
+}
+
 int run_inject(const Args& a) {
   if (a.width < 1) {
     std::cerr << "inject needs a positive --width\n";
     return 1;
   }
-  netlist::Netlist nl = make_component(a.graph_spec, a.width);
+  netlist::Netlist nl = circuits::component_by_name(a.graph_spec, a.width);
   netlist::Stats stats = netlist::compute_stats(nl);
 
   ser::InjectionConfig cfg;
@@ -303,6 +344,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (args->command == "run") return run_scenario(*args);
     if (args->command == "synth") return run_synth(*args);
     if (args->command == "sweep") return run_sweep(*args);
     if (args->command == "inject") return run_inject(*args);

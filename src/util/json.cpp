@@ -1,0 +1,143 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::json {
+
+Value::Value() : kind_(Kind::kNull) {}
+Value::Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+Value::Value(int i) : kind_(Kind::kInt), int_(i) {}
+Value::Value(long i) : kind_(Kind::kInt), int_(i) {}
+Value::Value(long long i) : kind_(Kind::kInt), int_(i) {}
+Value::Value(unsigned i) : kind_(Kind::kInt), int_(i) {}
+Value::Value(unsigned long i)
+    : kind_(Kind::kInt), int_(static_cast<std::int64_t>(i)) {}
+Value::Value(unsigned long long i)
+    : kind_(Kind::kInt), int_(static_cast<std::int64_t>(i)) {}
+Value::Value(double d) : kind_(Kind::kDouble), double_(d) {}
+Value::Value(const char* s) : kind_(Kind::kString), string_(s) {}
+Value::Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (kind_ != Kind::kObject) {
+    throw Error("json::Value::set on a non-object value");
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ != Kind::kArray) {
+    throw Error("json::Value::push on a non-array value");
+  }
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  out += format_shortest(d);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: write_double(out, double_); break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_indent(out, indent, depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline_indent(out, indent, depth + 1);
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace rchls::json

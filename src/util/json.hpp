@@ -1,0 +1,82 @@
+// Minimal deterministic JSON document builder for the report writers.
+//
+// Only what structured output needs: a Value is null, a bool, an integer,
+// a double, a string, an array, or an object. Objects preserve insertion
+// order, doubles are rendered with std::to_chars shortest round-trip
+// formatting and integers without a decimal point, and strings are escaped
+// per RFC 8259 -- so dump() is byte-identical for equal documents on every
+// platform and at every worker count. Non-finite doubles render as null
+// (JSON has no NaN/Inf).
+//
+// This is a writer, not a parser: rchls emits JSON for other programs to
+// consume, it never ingests it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rchls::json {
+
+class Value {
+ public:
+  /// null.
+  Value();
+  Value(bool b);
+  Value(int i);
+  Value(long i);
+  Value(long long i);
+  Value(unsigned i);
+  Value(unsigned long i);
+  Value(unsigned long long i);
+  Value(double d);
+  Value(const char* s);
+  Value(std::string s);
+
+  /// Empty aggregates ({} and []).
+  static Value object();
+  static Value array();
+
+  /// Appends a key (objects keep insertion order; keys are not checked for
+  /// uniqueness -- callers build each object once). Returns *this so
+  /// documents can be built by chaining. Throws Error when called on
+  /// anything but an object (silently dropping data would be worse).
+  Value& set(std::string key, Value v);
+
+  /// Appends an array element. Throws Error when called on anything but
+  /// an array.
+  Value& push(Value v);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serializes the document. indent > 0 pretty-prints with that many
+  /// spaces per level; indent == 0 emits the compact single-line form.
+  /// Output ends without a trailing newline.
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace rchls::json

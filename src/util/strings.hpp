@@ -1,6 +1,7 @@
 // Small string helpers used by the text parsers and report writers.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,5 +23,17 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// Render a double with `digits` significant decimals, trailing-zero padded
 /// (e.g. format_fixed(0.5, 5) == "0.50000"), matching the paper's tables.
 std::string format_fixed(double v, int digits);
+
+/// Strict full-token numeric parses (std::from_chars): nullopt unless the
+/// whole token converts. The shared primitive behind the .dfg/.lib/.scn
+/// parsers, which attach their own source/line context to failures.
+std::optional<int> try_parse_int(std::string_view s);
+std::optional<double> try_parse_double(std::string_view s);
+
+/// Shortest round-trip rendering of a finite double (std::to_chars):
+/// deterministic across platforms, parses back to the identical value.
+/// Shared by the JSON writer and the library text writer, whose
+/// byte-stability guarantees depend on it. Precondition: v is finite.
+std::string format_shortest(double v);
 
 }  // namespace rchls

@@ -71,6 +71,54 @@ TEST(Io, DotOutputMentionsAllNodes) {
   EXPECT_NE(dot.find("shape=box"), std::string::npos);  // mul node
 }
 
+TEST(Io, DotListsEveryNodeAndEdge) {
+  Graph g = parse_string(kSample);
+  std::string dot = to_dot(g);
+  // One declaration line per node: "  nK [label=..." for K = 0..3.
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    std::string decl = "  n" + std::to_string(id) + " [label=";
+    EXPECT_NE(dot.find(decl), std::string::npos) << decl;
+  }
+  // One arrow per edge, by node id.
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);  // a -> b
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);  // b -> c
+  EXPECT_NE(dot.find("n0 -> n3"), std::string::npos);  // a -> d
+  // Exactly edge_count() arrows in total.
+  std::size_t arrows = 0;
+  for (auto pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.edge_count());
+}
+
+TEST(Io, DotShapesFollowResourceClasses) {
+  Graph g = parse_string(kSample);
+  std::string dot = to_dot(g);
+  // The single mul is boxed; the three adder-class ops are ellipses.
+  EXPECT_EQ(dot.find("shape=box"), dot.rfind("shape=box"));
+  std::size_t ellipses = 0;
+  for (auto pos = dot.find("shape=ellipse"); pos != std::string::npos;
+       pos = dot.find("shape=ellipse", pos + 1)) {
+    ++ellipses;
+  }
+  EXPECT_EQ(ellipses, 3u);
+}
+
+TEST(Io, DotLabelsCarryNameAndOp) {
+  Graph g = parse_string("dfg g\nnode acc add\nnode prod mul\n");
+  std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("label=\"acc\\nadd\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("label=\"prod\\nmul\""), std::string::npos) << dot;
+}
+
+TEST(Io, DotOfEmptyGraphIsWellFormed) {
+  std::string dot = to_dot(Graph("empty"));
+  EXPECT_NE(dot.find("digraph \"empty\""), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
 TEST(Io, EmptyInputYieldsEmptyGraph) {
   Graph g = parse_string("# nothing\n");
   EXPECT_EQ(g.node_count(), 0u);

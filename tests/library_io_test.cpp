@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "library/io.hpp"
+#include "library/resource.hpp"
+#include "util/error.hpp"
+
+namespace rchls::library {
+namespace {
+
+const char* kSample = R"(# a custom library
+library mylib
+resource fast_add adder 2 1 0.969    # trailing comment
+resource safe_add adder 1 2 0.999
+resource mul_a multiplier 2.5 2 0.995
+)";
+
+TEST(LibraryIo, ParsesDirectives) {
+  ResourceLibrary lib = parse_string(kSample);
+  ASSERT_EQ(lib.size(), 3u);
+  EXPECT_EQ(lib.version(0).name, "fast_add");
+  EXPECT_EQ(lib.version(0).cls, ResourceClass::kAdder);
+  EXPECT_EQ(lib.version(0).delay, 1);
+  EXPECT_DOUBLE_EQ(lib.version(2).area, 2.5);
+  EXPECT_EQ(lib.version(2).cls, ResourceClass::kMultiplier);
+  EXPECT_EQ(lib.find("safe_add"), 1u);
+}
+
+TEST(LibraryIo, AcceptsMultAlias) {
+  ResourceLibrary lib = parse_string("resource m mult 2 1 0.9\n");
+  EXPECT_EQ(lib.version(0).cls, ResourceClass::kMultiplier);
+}
+
+TEST(LibraryIo, RoundTripsThroughText) {
+  ResourceLibrary lib = parse_string(kSample);
+  ResourceLibrary lib2 = parse_string(to_text(lib));
+  ASSERT_EQ(lib2.size(), lib.size());
+  for (VersionId id = 0; id < lib.size(); ++id) {
+    EXPECT_EQ(lib2.version(id).name, lib.version(id).name);
+    EXPECT_EQ(lib2.version(id).cls, lib.version(id).cls);
+    EXPECT_DOUBLE_EQ(lib2.version(id).area, lib.version(id).area);
+    EXPECT_EQ(lib2.version(id).delay, lib.version(id).delay);
+    EXPECT_DOUBLE_EQ(lib2.version(id).reliability,
+                     lib.version(id).reliability);
+  }
+}
+
+TEST(LibraryIo, PaperLibraryRoundTrips) {
+  ResourceLibrary paper = paper_library();
+  ResourceLibrary again = parse_string(to_text(paper));
+  ASSERT_EQ(again.size(), paper.size());
+  for (VersionId id = 0; id < paper.size(); ++id) {
+    EXPECT_EQ(again.version(id).name, paper.version(id).name);
+    EXPECT_DOUBLE_EQ(again.version(id).reliability,
+                     paper.version(id).reliability);
+  }
+}
+
+TEST(LibraryIo, ReportsLineNumbers) {
+  try {
+    parse_string("resource a adder 1 1 0.9\nfrobnicate\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LibraryIo, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_string("resource a adder 1 1\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a gpu 1 1 0.9\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a adder x 1 0.9\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a adder 1 1.5 0.9\n"), ParseError);
+  EXPECT_THROW(parse_string("library a\nlibrary b\n"), ParseError);
+}
+
+TEST(LibraryIo, RejectsOutOfRangeValues) {
+  EXPECT_THROW(parse_string("resource a adder 0 1 0.9\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a adder 1 0 0.9\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a adder 1 1 1.5\n"), ParseError);
+  EXPECT_THROW(parse_string("resource a adder 1 1 0\n"), ParseError);
+}
+
+TEST(LibraryIo, RejectsDuplicateNames) {
+  EXPECT_THROW(
+      parse_string("resource a adder 1 1 0.9\nresource a adder 2 1 0.8\n"),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace rchls::library

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scenario/parse.hpp"
+#include "util/error.hpp"
+
+namespace rchls::scenario {
+namespace {
+
+// Temp directory (under the test's CWD) for include-resolution tests.
+class ScenarioIncludeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path("scenario_parse_test_tmp");
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& name, const std::string& text) {
+    std::ofstream out(dir_ / name);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::string error_of(const std::string& text) {
+  try {
+    parse_string(text);
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ScenarioParse, FullScenario) {
+  Scenario s = parse_string(
+      "scenario demo\n"
+      "graph fir16\n"
+      "library paper\n"
+      "bounds tight 11 11\n"
+      "find_design tight\n"
+      "find_design latency=12 area=13 engine=combined polish=on\n"
+      "sweep latency 11,12,13 area=13\n"
+      "sweep area 11,13 latency=12 explore=2\n"
+      "grid latencies=11,12 areas=11,13 baseline_adder=adder_2 "
+      "baseline_mult=mult_2\n"
+      "inject ripple_carry_adder width=8 trials=128 seed=7\n"
+      "rank_gates kogge_stone_adder width=4 trials=64 top=3\n");
+  EXPECT_EQ(s.name, "demo");
+  ASSERT_TRUE(s.graph.has_value());
+  EXPECT_EQ(s.graph->name(), "fir16");
+  EXPECT_EQ(s.library.size(), 5u);
+  ASSERT_EQ(s.actions.size(), 7u);
+
+  const auto& fd1 = std::get<FindDesignAction>(s.actions[0].op);
+  EXPECT_EQ(fd1.latency_bound, 11);
+  EXPECT_DOUBLE_EQ(fd1.area_bound, 11.0);
+  EXPECT_EQ(fd1.engine, "centric");
+  EXPECT_EQ(s.actions[0].label, "find_design#1");
+
+  const auto& fd2 = std::get<FindDesignAction>(s.actions[1].op);
+  EXPECT_EQ(fd2.engine, "combined");
+  EXPECT_TRUE(fd2.options.enable_polish);
+
+  const auto& sw = std::get<SweepAction>(s.actions[2].op);
+  EXPECT_EQ(sw.axis, SweepAction::Axis::kLatency);
+  EXPECT_EQ(sw.latency_bounds, (std::vector<int>{11, 12, 13}));
+  ASSERT_EQ(sw.area_bounds.size(), 1u);
+
+  const auto& sw2 = std::get<SweepAction>(s.actions[3].op);
+  EXPECT_EQ(sw2.options.explore_tighter_latency, 2);
+
+  const auto& gr = std::get<GridAction>(s.actions[4].op);
+  ASSERT_TRUE(gr.baseline_versions.has_value());
+  EXPECT_EQ(gr.baseline_versions->first, "adder_2");
+
+  const auto& in = std::get<InjectAction>(s.actions[5].op);
+  EXPECT_EQ(in.trials, 128u);
+  EXPECT_EQ(in.seed, 7u);
+
+  const auto& rg = std::get<RankGatesAction>(s.actions[6].op);
+  EXPECT_EQ(rg.top, 3);
+}
+
+TEST(ScenarioParse, InlineGraphAndLibrary) {
+  Scenario s = parse_string(
+      "dfg tiny\n"
+      "node a add\n"
+      "node b mul\n"
+      "edge a b\n"
+      "resource aa adder 1 1 0.99\n"
+      "resource mm mult 2 1 0.98\n"
+      "find_design latency=4 area=8\n");
+  ASSERT_TRUE(s.graph.has_value());
+  EXPECT_EQ(s.graph->node_count(), 2u);
+  EXPECT_EQ(s.library.size(), 2u);
+}
+
+TEST(ScenarioParse, DefaultsToPaperLibrary) {
+  Scenario s = parse_string("graph diffeq\nfind_design latency=7 area=13\n");
+  EXPECT_EQ(s.library.size(), 5u);
+  EXPECT_EQ(s.library.version(s.library.find("adder_1")).delay, 2);
+}
+
+TEST(ScenarioParse, ScenarioWithoutGraphAllowsOnlyCampaigns) {
+  Scenario s =
+      parse_string("inject ripple_carry_adder width=4 trials=64\n");
+  EXPECT_FALSE(s.graph.has_value());
+  EXPECT_EQ(s.actions.size(), 1u);
+}
+
+// --- error paths (each must throw ParseError with the offending line) ---
+
+TEST(ScenarioParse, BadDirectiveHasLineNumber) {
+  std::string msg = error_of("scenario x\ngraph fir16\nfrobnicate a b\n");
+  EXPECT_NE(msg.find(":3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown directive"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, UndeclaredNodeHasLineNumber) {
+  std::string msg =
+      error_of("dfg g\nnode a add\nedge a missing\n");
+  EXPECT_NE(msg.find(":3:"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, MissingIncludeFileHasLineNumber) {
+  std::string msg = error_of("scenario x\ngraph @does_not_exist.dfg\n");
+  EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cannot open"), std::string::npos) << msg;
+
+  msg = error_of("library @nope.lib\n");
+  EXPECT_NE(msg.find(":1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cannot open"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, UndeclaredBoundsLabel) {
+  std::string msg = error_of("graph fir16\nfind_design nosuch\n");
+  EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undeclared bounds label"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, ActionWithoutGraphFails) {
+  std::string msg = error_of("find_design latency=5 area=9\n");
+  EXPECT_NE(msg.find(":1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("needs a graph"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, RejectsMalformedActions) {
+  EXPECT_THROW(parse_string("graph fir16\nfind_design latency=5\n"),
+               ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nfind_design area=5\n"),
+               ParseError);
+  EXPECT_THROW(
+      parse_string("graph fir16\nfind_design latency=5 area=x\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("graph fir16\nsweep latency 1,2,3\n"),  // missing area=
+      ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsweep sideways 1,2 area=3\n"),
+               ParseError);
+  EXPECT_THROW(parse_string("graph fir16\ngrid latencies=1,2\n"),
+               ParseError);
+  EXPECT_THROW(parse_string("inject warp_core\n"), ParseError);
+  EXPECT_THROW(
+      parse_string("graph fir16\nfind_design latency=5 area=9 bogus=1\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("graph fir16\nfind_design latency=5 area=9 engine=magic\n"),
+      ParseError);
+}
+
+TEST(ScenarioParse, RejectsNegativeExploreAndGate) {
+  // A negative explore would make hls::find_design run zero pipeline
+  // iterations and report every point unsolved; a negative gate would
+  // wrap to a huge unsigned id. Both must fail at parse time.
+  EXPECT_THROW(
+      parse_string("graph fir16\nfind_design latency=12 area=13 explore=-1\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("graph fir16\nsweep latency 11,12 area=13 explore=-3\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("inject ripple_carry_adder width=4 trials=64 gate=-1\n"),
+      ParseError);
+}
+
+TEST(ScenarioParse, RejectsDuplicateDeclarations) {
+  EXPECT_THROW(parse_string("graph fir16\ngraph diffeq\n"), ParseError);
+  EXPECT_THROW(parse_string("graph fir16\ndfg g\n"), ParseError);
+  EXPECT_THROW(parse_string("library paper\nlibrary paper\n"), ParseError);
+  EXPECT_THROW(
+      parse_string("library paper\nresource a adder 1 1 0.9\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("bounds b 5 9\nbounds b 6 9\ngraph fir16\n"),
+      ParseError);
+  EXPECT_THROW(parse_string("scenario a\nscenario b\n"), ParseError);
+}
+
+TEST(ScenarioParse, NodeOutsideInlineGraphFails) {
+  std::string msg = error_of("graph fir16\nnode a add\n");
+  EXPECT_NE(msg.find("outside an inline dfg block"), std::string::npos)
+      << msg;
+}
+
+TEST(ScenarioParse, UnknownBaselineVersionNameFails) {
+  std::string msg = error_of(
+      "graph fir16\n"
+      "grid latencies=11 areas=11 baseline_adder=nope baseline_mult=mult_2\n");
+  EXPECT_NE(msg.find("no version named 'nope'"), std::string::npos) << msg;
+}
+
+TEST(ScenarioParse, InlineCycleThrowsValidationError) {
+  EXPECT_THROW(
+      parse_string("dfg g\nnode a add\nnode b add\nedge a b\nedge b a\n"),
+      ValidationError);
+}
+
+TEST_F(ScenarioIncludeTest, ResolvesGraphAndLibraryIncludes) {
+  write("g.dfg", "dfg included\nnode a add\nnode b mul\nedge a b\n");
+  write("l.lib",
+        "resource aa adder 1 1 0.99\nresource mm mult 2 1 0.98\n");
+  write("main.scn",
+        "scenario inc\ngraph @g.dfg\nlibrary @l.lib\n"
+        "find_design latency=4 area=8\n");
+
+  Scenario s = parse_file(dir_ / "main.scn");
+  ASSERT_TRUE(s.graph.has_value());
+  EXPECT_EQ(s.graph->name(), "included");
+  EXPECT_EQ(s.library.size(), 2u);
+}
+
+TEST_F(ScenarioIncludeTest, IncludeErrorsCarryIncluderLine) {
+  write("bad.dfg", "dfg g\nnode a add\nnode a add\n");
+  write("main.scn", "scenario inc\n\ngraph @bad.dfg\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("main.scn:3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad.dfg"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace rchls::scenario

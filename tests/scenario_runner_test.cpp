@@ -1,0 +1,189 @@
+// End-to-end tests of the scenario subsystem: runner results must be
+// bit-identical to the direct C++ engine calls at every worker count, and
+// the JSON rendering is pinned by a golden file (tests/data/).
+//
+// RCHLS_SOURCE_DIR is injected by CMake so the tests can load the shipped
+// examples/*.scn and the golden fixtures from the source tree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "benchmarks/suite.hpp"
+#include "hls/explore.hpp"
+#include "hls/find_design.hpp"
+#include "library/resource.hpp"
+#include "parallel/config.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/error.hpp"
+
+namespace rchls::scenario {
+namespace {
+
+std::filesystem::path source_dir() {
+  return std::filesystem::path(RCHLS_SOURCE_DIR);
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << p;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Restores the global worker count after a test that changes it.
+class JobsGuard {
+ public:
+  JobsGuard() : saved_(parallel::global_config().jobs) {}
+  ~JobsGuard() { parallel::global_config().jobs = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+const FindDesignResult& find_result(const RunReport& report,
+                                    const std::string& label) {
+  for (const auto& a : report.actions) {
+    if (a.label == label) return std::get<FindDesignResult>(a.data);
+  }
+  throw std::runtime_error("no action labeled " + label);
+}
+
+// Acceptance: the shipped paper_fir16.scn reproduces the paper-suite
+// find_design result bit-identically to the direct C++ path, at 1 and 8
+// workers.
+TEST(ScenarioRunner, PaperExampleMatchesDirectCallBitIdentically) {
+  Scenario scn = parse_file(source_dir() / "examples" / "paper_fir16.scn");
+
+  auto g = benchmarks::by_name("fir16");
+  auto lib = library::paper_library();
+  hls::Design direct = hls::find_design(g, lib, 11, 11.0);
+
+  JobsGuard guard;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    parallel::set_global_jobs(jobs);
+    RunReport report = run(scn);
+    const FindDesignResult& r = find_result(report, "fig7_centric");
+    ASSERT_TRUE(r.solved) << "jobs=" << jobs;
+    EXPECT_EQ(r.design->reliability, direct.reliability) << "jobs=" << jobs;
+    EXPECT_EQ(r.design->area, direct.area) << "jobs=" << jobs;
+    EXPECT_EQ(r.design->latency, direct.latency) << "jobs=" << jobs;
+    EXPECT_EQ(r.design->version_of, direct.version_of) << "jobs=" << jobs;
+    EXPECT_EQ(r.design->schedule.start, direct.schedule.start)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ScenarioRunner, JsonIsBitIdenticalAcrossWorkerCounts) {
+  Scenario scn = parse_file(source_dir() / "tests" / "data" / "golden.scn");
+
+  JobsGuard guard;
+  parallel::set_global_jobs(1);
+  std::string json1 = report::to_json(run(scn));
+  parallel::set_global_jobs(8);
+  std::string json8 = report::to_json(run(scn));
+  EXPECT_EQ(json1, json8);
+}
+
+// Golden-file test: the JSON rendering of tests/data/golden.scn is pinned
+// byte-for-byte. If an intentional format change trips this, regenerate
+// with the command in golden.scn's header comment.
+TEST(ScenarioRunner, JsonMatchesGoldenFile) {
+  Scenario scn = parse_file(source_dir() / "tests" / "data" / "golden.scn");
+  std::string expected =
+      slurp(source_dir() / "tests" / "data" / "scenario_golden.json");
+  EXPECT_EQ(report::to_json(run(scn)), expected);
+}
+
+TEST(ScenarioRunner, UnsolvedFindDesignIsReportedNotThrown) {
+  Scenario scn = parse_string(
+      "graph fig4_example\nfind_design latency=1 area=1 label=im\n");
+  RunReport report = run(scn);
+  const FindDesignResult& r = find_result(report, "im");
+  EXPECT_FALSE(r.solved);
+  EXPECT_FALSE(r.design.has_value());
+  EXPECT_FALSE(r.no_solution_reason.empty());
+
+  std::string json = report::to_json(report);
+  EXPECT_NE(json.find("\"solved\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"reliability\": null"), std::string::npos);
+}
+
+TEST(ScenarioRunner, SweepMatchesDirectSweep) {
+  Scenario scn = parse_string(
+      "graph diffeq\nsweep area 9,11,13 latency=7 label=s\n");
+  RunReport report = run(scn);
+  const auto& sr = std::get<SweepResult>(report.actions[0].data);
+
+  auto g = benchmarks::by_name("diffeq");
+  auto lib = library::paper_library();
+  auto direct = hls::area_sweep(g, lib, 7, {9.0, 11.0, 13.0});
+  ASSERT_EQ(sr.points.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(sr.points[i].reliability, direct[i].reliability);
+    EXPECT_EQ(sr.points[i].area, direct[i].area);
+  }
+}
+
+TEST(ScenarioRunner, RunsEveryShippedExample) {
+  auto dir = source_dir() / "examples";
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".scn") continue;
+    ++count;
+    SCOPED_TRACE(entry.path().string());
+    Scenario scn = parse_file(entry.path());
+    RunReport report = run(scn);
+    EXPECT_FALSE(report.actions.empty());
+    EXPECT_FALSE(report::to_json(report).empty());
+    EXPECT_FALSE(report::to_csv(report).empty());
+    EXPECT_FALSE(report::to_table(report).empty());
+  }
+  EXPECT_GE(count, 6u) << "expected the shipped scenario examples";
+}
+
+TEST(ScenarioRunner, CsvHasActionSections) {
+  Scenario scn = parse_file(source_dir() / "tests" / "data" / "golden.scn");
+  std::string csv = report::to_csv(run(scn));
+  EXPECT_NE(csv.find("# action find_design#1 find_design"),
+            std::string::npos);
+  EXPECT_NE(csv.find("# action sweep#1 sweep"), std::string::npos);
+  EXPECT_NE(csv.find("# action grid#1 averages"), std::string::npos);
+  EXPECT_NE(csv.find("latency_bound,area_bound,reliability"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, HandBuiltScenarioWithoutGraphThrows) {
+  // The parser rejects this; a programmatically built Scenario must get
+  // an Error, not undefined behavior on the empty optional.
+  Scenario scn;
+  scn.library = library::paper_library();
+  Action a;
+  a.label = "orphan";
+  a.op = FindDesignAction{};
+  scn.actions.push_back(std::move(a));
+  EXPECT_THROW(run(scn), Error);
+}
+
+TEST(ScenarioRunner, RuntimeErrorsNameTheAction) {
+  // A custom library with no multiplier version cannot synthesize a graph
+  // containing a multiplication: the runner must surface the action label.
+  Scenario scn = parse_string(
+      "dfg g\nnode a mul\n"
+      "resource aa adder 1 1 0.9\n"
+      "find_design latency=4 area=8 label=broken\n");
+  try {
+    run(scn);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace rchls::scenario

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace rchls::json {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(std::size_t{7}).dump(), "7");
+  EXPECT_EQ(Value(-3).dump(), "-3");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(Value(0.5).dump(), "0.5");
+  EXPECT_EQ(Value(0.1).dump(), "0.1");  // not 0.1000000000000000055...
+  EXPECT_EQ(Value(1e21).dump(), "1e+21");
+  // Integral doubles keep a floating marker or render exactly.
+  EXPECT_EQ(Value(2.0).dump(), "2");
+}
+
+TEST(Json, NonFiniteDoublesAreNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Value("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Value(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  auto v = Value::object();
+  v.set("zeta", 1).set("alpha", 2);
+  EXPECT_EQ(v.dump(0), "{\"zeta\": 1, \"alpha\": 2}");
+}
+
+TEST(Json, NestedPrettyPrinting) {
+  auto inner = Value::array();
+  inner.push(1).push(2);
+  auto v = Value::object();
+  v.set("xs", std::move(inner)).set("empty", Value::array());
+  EXPECT_EQ(v.dump(2),
+            "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}");
+}
+
+TEST(Json, EmptyAggregates) {
+  EXPECT_EQ(Value::object().dump(), "{}");
+  EXPECT_EQ(Value::array().dump(), "[]");
+}
+
+TEST(Json, SetAndPushRejectWrongKinds) {
+  // Silent data loss (set on null dumping "null") must be impossible.
+  Value null_value;
+  EXPECT_THROW(null_value.set("k", 1), Error);
+  EXPECT_THROW(Value(3).push(1), Error);
+  auto obj = Value::object();
+  EXPECT_THROW(obj.push(1), Error);
+  auto arr = Value::array();
+  EXPECT_THROW(arr.set("k", 1), Error);
+}
+
+}  // namespace
+}  // namespace rchls::json
