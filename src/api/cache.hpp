@@ -1,0 +1,82 @@
+// Content-addressed result cache for api::Session.
+//
+// Cache-key contract (pinned by docs/api.md and tests/api_session_test):
+// a key is the canonical text encoding of everything a request's result
+// depends on -- a format-version header, the request kind, the full
+// graph (dfg::to_text) and library (library::to_text) where applicable,
+// and every option field rendered deterministically (integers as
+// decimal, doubles via format_shortest, variable-length strings and
+// embedded artifacts length-framed so adjacent fields can never alias).
+// Two requests share a key if and only if the engines are
+// guaranteed to produce identical results for them. Node and version
+// NAMES are deliberately included even though the engines ignore them:
+// over-inclusion can only cost a cache miss, never a wrong hit.
+//
+// The 64-bit FNV-1a digest of the canonical encoding is the compact
+// content address (logs, stats, the future wire format); the cache map
+// itself is keyed on the full canonical string, so hash collisions
+// cannot alias entries -- correctness never rests on 64 bits.
+//
+// The cache is deliberately eviction-free: results are small (designs,
+// sweep points, campaign summaries -- not netlists), scenario suites are
+// bounded, and eviction would make "which runs were served from cache"
+// dependent on traffic order, breaking the determinism statements in
+// docs/api.md. Not thread-safe; a Session confines it to one thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+
+namespace rchls::api {
+
+/// A computed content address: the full canonical encoding plus its
+/// 64-bit digest (to_hex64(digest) is the display form).
+struct CacheKey {
+  std::string canonical;
+  std::uint64_t digest = 0;
+};
+
+/// Canonicalize a request into its content address. Pure and
+/// deterministic: equal requests (field-wise, including graph and
+/// library contents) always produce equal keys, on every platform.
+CacheKey key_of(const FindDesignRequest& req);
+CacheKey key_of(const SweepRequest& req);
+CacheKey key_of(const GridRequest& req);
+CacheKey key_of(const InjectRequest& req);
+CacheKey key_of(const RankGatesRequest& req);
+
+/// Hit/miss counters plus the current population. `hits + misses` is the
+/// total number of lookups since construction (clear() resets all
+/// three).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// The memo table: canonical encoding -> Result. find() counts a hit or
+/// a miss; store() inserts (last write wins on the -- deterministic --
+/// rare path where a caller recomputes an existing key).
+class ResultCache {
+ public:
+  /// Returns the cached result or nullptr, updating the stats. The
+  /// pointer stays valid until clear() (entries are never evicted).
+  const Result* find(const CacheKey& key);
+
+  void store(const CacheKey& key, Result value);
+
+  const CacheStats& stats() const { return stats_; }
+
+  /// Drops every entry and zeroes the counters.
+  void clear();
+
+ private:
+  std::unordered_map<std::string, Result> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace rchls::api

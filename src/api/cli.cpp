@@ -1,0 +1,434 @@
+#include "api/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "api/session.hpp"
+#include "benchmarks/suite.hpp"
+#include "dfg/io.hpp"
+#include "rtl/datapath.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::api {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  rchls run <scenario.scn> [--verify-cache]\n"
+    "  rchls synth <dfg-file|benchmark> --latency N --area A\n"
+    "              [--engine centric|baseline|combined] [--polish]\n"
+    "              [--scheduler density|fds] [--datapath]\n"
+    "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
+    "              [--polish] [--scheduler density|fds]\n"
+    "  rchls inject <component> [--width W] [--trials N] [--seed S]\n"
+    "               [--gate G] [--top K]\n"
+    "  rchls bench   (list built-in benchmark graphs)\n"
+    "inject components: ripple_carry_adder brent_kung_adder\n"
+    "  kogge_stone_adder carry_save_multiplier leapfrog_multiplier\n"
+    "global flags (all commands except bench):\n"
+    "  --jobs N                  parallel workers (default: hardware\n"
+    "                            concurrency)\n"
+    "  --format json|csv|table   report format (default: table; sweep\n"
+    "                            defaults to csv)\n"
+    "  --out FILE                write the report to FILE, not stdout\n"
+    "exit codes: 0 success; 1 usage, parse or I/O error; 2 no solution\n"
+    "  within bounds (synth only)\n"
+    "scenario format reference: docs/scenario-format.md\n";
+
+struct Args {
+  std::string command;
+  std::string target;  // graph spec, scenario path, or component name
+  std::optional<int> latency;
+  std::optional<double> area;
+  std::vector<double> areas;
+  std::string engine = "centric";
+  std::string scheduler = "density";
+  bool polish = false;
+  bool datapath = false;
+  bool verify_cache = false;
+  int width = 16;
+  std::size_t trials = 64 * 256;
+  std::uint64_t seed = 1;
+  std::optional<std::uint32_t> gate;
+  int top = 0;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string format;    // empty = per-command default
+  std::string out;
+};
+
+// One diagnostic convention for every failure path (tested by
+// tests/api_cli_test.cpp): a single "error: ..." line on the error
+// stream, exit code 1.
+int fail(std::ostream& err, const std::string& msg) {
+  err << "error: " << msg << "\n";
+  return 1;
+}
+
+// Argument errors additionally print the usage text.
+int fail_usage(std::ostream& err, const std::string& msg) {
+  fail(err, msg);
+  err << kUsage;
+  return 1;
+}
+
+int to_int(const std::string& flag, const std::string& tok) {
+  auto v = try_parse_int(tok);
+  if (!v) throw Error(flag + " expects an integer (got '" + tok + "')");
+  return *v;
+}
+
+// Full 64-bit range for counters like --seed and --trials, which the
+// engines take as uint64/size_t (to_int would reject anything past
+// 2^31-1).
+std::uint64_t to_uint64(const std::string& flag, const std::string& tok) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    throw Error(flag + " expects a non-negative integer (got '" + tok +
+                "')");
+  }
+  return v;
+}
+
+double to_double(const std::string& flag, const std::string& tok) {
+  auto v = try_parse_double(tok);
+  if (!v) throw Error(flag + " expects a number (got '" + tok + "')");
+  return *v;
+}
+
+// Which subcommands each flag applies to; anything else is rejected
+// up front with the same "error: ..." contract as unknown flags, so a
+// misplaced flag can never be silently ignored.
+const std::map<std::string, std::vector<std::string>, std::less<>>&
+flag_commands() {
+  static const std::map<std::string, std::vector<std::string>, std::less<>>
+      table = {
+          {"--latency", {"synth", "sweep"}},
+          {"--area", {"synth"}},
+          {"--areas", {"sweep"}},
+          {"--engine", {"synth"}},
+          {"--scheduler", {"synth", "sweep"}},
+          {"--polish", {"synth", "sweep"}},
+          {"--datapath", {"synth"}},
+          {"--width", {"inject"}},
+          {"--trials", {"inject"}},
+          {"--seed", {"inject"}},
+          {"--gate", {"inject"}},
+          {"--top", {"inject"}},
+          {"--verify-cache", {"run"}},
+          {"--jobs", {"run", "synth", "sweep", "inject"}},
+          {"--format", {"run", "synth", "sweep", "inject"}},
+          {"--out", {"run", "synth", "sweep", "inject"}},
+      };
+  return table;
+}
+
+// Throws Error (reported as a usage failure by cli_main) instead of
+// returning a partial Args; keeps every malformed flag on the same
+// "error: ..." + usage path.
+Args parse_args(const std::vector<std::string>& args) {
+  Args a;
+  a.command = args.front();
+  std::size_t i = 1;
+  if (a.command != "bench") {
+    if (args.size() < 2 || starts_with(args[1], "--")) {
+      throw Error("'" + a.command + "' needs a positional argument");
+    }
+    a.target = args[1];
+    i = 2;
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw Error(flag + " expects a value");
+      }
+      return args[++i];
+    };
+    auto allowed = flag_commands().find(flag);
+    if (allowed == flag_commands().end()) {
+      throw Error("unknown flag '" + flag + "'");
+    }
+    if (std::find(allowed->second.begin(), allowed->second.end(),
+                  a.command) == allowed->second.end()) {
+      throw Error(flag + " does not apply to 'rchls " + a.command + "'");
+    }
+    if (flag == "--latency") {
+      a.latency = to_int(flag, next());
+    } else if (flag == "--area") {
+      a.area = to_double(flag, next());
+    } else if (flag == "--areas") {
+      for (const auto& tok : split(next(), ',')) {
+        a.areas.push_back(to_double(flag, tok));
+      }
+    } else if (flag == "--engine") {
+      a.engine = next();
+    } else if (flag == "--scheduler") {
+      a.scheduler = next();
+    } else if (flag == "--jobs") {
+      int jobs = to_int(flag, next());
+      if (jobs < 1) throw Error("--jobs needs a positive worker count");
+      a.jobs = static_cast<std::size_t>(jobs);
+    } else if (flag == "--width") {
+      a.width = to_int(flag, next());
+    } else if (flag == "--trials") {
+      std::uint64_t t = to_uint64(flag, next());
+      if (t < 1) throw Error("--trials needs a positive count");
+      a.trials = static_cast<std::size_t>(t);
+    } else if (flag == "--seed") {
+      a.seed = to_uint64(flag, next());
+    } else if (flag == "--gate") {
+      std::uint64_t g = to_uint64(flag, next());
+      if (g > std::numeric_limits<std::uint32_t>::max()) {
+        throw Error("--gate id is out of range");
+      }
+      a.gate = static_cast<std::uint32_t>(g);
+    } else if (flag == "--top") {
+      a.top = to_int(flag, next());
+      if (a.top < 0) throw Error("--top needs a non-negative count");
+    } else if (flag == "--format") {
+      const std::string& v = next();
+      if (v != "json" && v != "csv" && v != "table") {
+        throw Error("--format must be json, csv or table (got '" + v +
+                    "')");
+      }
+      a.format = v;
+    } else if (flag == "--out") {
+      a.out = next();
+    } else if (flag == "--polish") {
+      a.polish = true;
+    } else if (flag == "--datapath") {
+      a.datapath = true;
+    } else {  // "--verify-cache" (the table rejected everything else)
+      a.verify_cache = true;
+    }
+  }
+  if (a.format.empty()) a.format = a.command == "sweep" ? "csv" : "table";
+  if (a.datapath && a.format != "table") {
+    throw Error("--datapath requires --format table");
+  }
+  return a;
+}
+
+dfg::Graph load_graph(const std::string& spec) {
+  for (const auto& name : benchmarks::all_names()) {
+    if (name == spec) return benchmarks::by_name(spec);
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    throw Error("cannot open '" + spec + "' (and it is not a built-in "
+                "benchmark name)");
+  }
+  return dfg::parse(in);
+}
+
+std::string render(const scenario::RunReport& report,
+                   const std::string& format) {
+  if (format == "json") return scenario::report::to_json(report);
+  if (format == "csv") return scenario::report::to_csv(report);
+  return scenario::report::to_table(report);
+}
+
+// Delivers a rendered report to stdout or --out FILE.
+int emit(const std::string& rendered, const Args& a, std::ostream& out) {
+  if (a.out.empty()) {
+    out << rendered;
+    return 0;
+  }
+  std::ofstream file(a.out);
+  if (!file) throw Error("cannot open output file '" + a.out + "'");
+  file << rendered;
+  file.flush();
+  if (!file) throw Error("failed writing output file '" + a.out + "'");
+  return 0;
+}
+
+hls::FindDesignOptions engine_options(const Args& a) {
+  hls::FindDesignOptions fd;
+  fd.enable_polish = a.polish;
+  if (a.scheduler == "fds") {
+    fd.scheduler = hls::SchedulerKind::kForceDirected;
+  } else if (a.scheduler != "density") {
+    throw Error("unknown scheduler '" + a.scheduler +
+                "' (expected density or fds)");
+  }
+  return fd;
+}
+
+// The one-shot commands wrap their single result in a RunReport whose
+// scenario name and action label equal the command name. That makes
+// `rchls synth ... --format json` byte-identical to `rchls run` on the
+// equivalent one-action scenario (`scenario synth` + `find_design ...
+// label=synth`) -- the shared-writer guarantee tests/api_cli_test.cpp
+// pins.
+scenario::RunReport one_shot_report(const std::string& command,
+                                    std::optional<dfg::Graph> graph,
+                                    library::ResourceLibrary lib) {
+  scenario::RunReport report;
+  report.scenario_name = command;
+  report.graph = std::move(graph);
+  report.library = std::move(lib);
+  return report;
+}
+
+int run_synth(const Args& a, Session& session, std::ostream& out,
+              std::ostream& err) {
+  if (!a.latency || !a.area) {
+    throw Error("synth needs --latency and --area");
+  }
+  FindDesignRequest req;
+  req.graph = load_graph(a.target);
+  req.library = library::paper_library();
+  req.latency_bound = *a.latency;
+  req.area_bound = *a.area;
+  req.engine = a.engine;
+  req.options = engine_options(a);
+
+  FindDesignResult r = session.run(req);
+  if (!r.solved) {
+    err << "error: no solution: " << r.no_solution_reason << "\n";
+    return 2;
+  }
+
+  std::string datapath;
+  if (a.datapath) {  // parse_args enforced --format table
+    datapath = "\n" + rtl::to_string(
+        rtl::build_datapath(*r.design, req.graph, req.library), req.graph);
+  }
+
+  scenario::RunReport report =
+      one_shot_report("synth", req.graph, req.library);
+  report.actions.push_back({"synth", 0, std::move(r)});
+  return emit(render(report, a.format) + datapath, a, out);
+}
+
+int run_sweep(const Args& a, Session& session, std::ostream& out) {
+  if (!a.latency || a.areas.empty()) {
+    throw Error("sweep needs --latency and --areas");
+  }
+  SweepRequest req;
+  req.graph = load_graph(a.target);
+  req.library = library::paper_library();
+  req.axis = SweepAxis::kArea;
+  req.latency_bounds = {*a.latency};
+  req.area_bounds = a.areas;
+  req.options = engine_options(a);
+
+  SweepResult r = session.run(req);
+  scenario::RunReport report =
+      one_shot_report("sweep", req.graph, req.library);
+  report.actions.push_back({"sweep", 0, std::move(r)});
+  return emit(render(report, a.format), a, out);
+}
+
+int run_inject(const Args& a, Session& session, std::ostream& out) {
+  if (a.width < 1) throw Error("inject needs a positive --width");
+
+  InjectRequest req;
+  req.component = a.target;
+  req.width = a.width;
+  req.trials = a.trials;
+  req.seed = a.seed;
+  req.gate = a.gate;
+
+  // A graphless report defaults to the paper library, exactly like a
+  // campaign-only scenario file.
+  scenario::RunReport report =
+      one_shot_report("inject", std::nullopt, library::paper_library());
+  report.actions.push_back({"inject", 0, session.run(req)});
+
+  if (a.top > 0) {
+    RankGatesRequest rank;
+    rank.component = a.target;
+    rank.width = a.width;
+    rank.trials = a.trials;
+    rank.seed = a.seed;
+    rank.top = a.top;
+    report.actions.push_back({"rank_gates", 0, session.run(rank)});
+  }
+  return emit(render(report, a.format), a, out);
+}
+
+int run_scenario(const Args& a, Session& session, std::ostream& out,
+                 std::ostream& err) {
+  scenario::Scenario scn = scenario::parse_file(a.target);
+  scenario::RunReport report = scenario::run(scn, session);
+
+  if (a.verify_cache) {
+    // Cache-correctness check (CI runs this over every shipped
+    // scenario): a second pass through the same session must be served
+    // entirely from cache and render byte-identically.
+    CacheStats cold = session.cache_stats();
+    scenario::RunReport warm = scenario::run(scn, session);
+    CacheStats stats = session.cache_stats();
+    if (scenario::report::to_json(warm) !=
+        scenario::report::to_json(report)) {
+      return fail(err, "cache verification failed: warm-run report "
+                       "differs from the cold run");
+    }
+    if (stats.misses != cold.misses ||
+        stats.hits != cold.hits + scn.actions.size()) {
+      return fail(err, "cache verification failed: " +
+                           std::to_string(stats.misses - cold.misses) +
+                           " of " + std::to_string(scn.actions.size()) +
+                           " warm-run actions were recomputed");
+    }
+    err << "cache: verified " << scn.actions.size()
+        << " actions served from cache, reports byte-identical\n";
+  }
+  return emit(render(report, a.format), a, out);
+}
+
+int run_bench(std::ostream& out) {
+  for (const auto& name : benchmarks::all_names()) {
+    auto g = benchmarks::by_name(name);
+    out << name << ": " << g.node_count() << " ops ("
+        << g.count_ops(dfg::OpType::kMul) << " mul)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  if (args.empty()) return fail_usage(err, "missing command");
+  const std::string& command = args.front();
+  if (command != "run" && command != "synth" && command != "sweep" &&
+      command != "inject" && command != "bench") {
+    return fail_usage(err, "unknown command '" + command + "'");
+  }
+
+  Args a;
+  try {
+    a = parse_args(args);
+  } catch (const Error& e) {
+    return fail_usage(err, e.what());
+  }
+
+  try {
+    SessionOptions opts;
+    opts.jobs = a.jobs;
+    Session session(opts);
+    if (a.command == "run") return run_scenario(a, session, out, err);
+    if (a.command == "synth") return run_synth(a, session, out, err);
+    if (a.command == "sweep") return run_sweep(a, session, out);
+    if (a.command == "inject") return run_inject(a, session, out);
+    return run_bench(out);
+  } catch (const Error& e) {
+    return fail(err, e.what());
+  }
+}
+
+}  // namespace rchls::api

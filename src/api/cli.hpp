@@ -1,0 +1,33 @@
+// The rchls command-line interface as a library function.
+//
+// Every subcommand (`run`, `synth`, `sweep`, `inject`, `bench`) is a
+// thin client of the api facade: parse arguments, build the matching
+// typed request (request.hpp), execute it through one api::Session, and
+// render the result with the shared scenario::report writers -- so
+// `rchls synth ... --format json` is byte-identical to `rchls run` on
+// the equivalent one-action scenario (pinned by tests/api_cli_test.cpp).
+//
+// Living in the core library (instead of src/tools/) makes the CLI
+// testable in-process: tests drive cli_main with string streams and
+// assert on exit codes and rendered bytes without spawning the binary.
+// src/tools/rchls_cli.cpp is the 10-line executable wrapper.
+//
+// Error contract (the CLI-wide convention, tested): every failure path
+// prints one diagnostic line starting with "error: " to `err`. Exit
+// codes: 0 success; 1 usage, parse or I/O error (argument errors also
+// print the usage text); 2 `synth` found no solution within the bounds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rchls::api {
+
+/// Runs the CLI on `args` (argv without the program name), writing
+/// reports to `out` and diagnostics to `err`. Returns the process exit
+/// code; never throws.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace rchls::api

@@ -1,0 +1,98 @@
+// Typed requests for every engine operation -- the input half of the
+// rchls::api facade (see docs/api.md for the full catalogue).
+//
+// A request is a self-contained value: it carries the graph and library
+// it runs against (not references into caller state), so one request
+// fully determines its result. That property is what makes requests
+// cacheable -- api::key_of canonicalizes a request into a content
+// address, and api::Session memoizes results under it -- and it is the
+// natural wire unit for the ROADMAP's sharded/remote runners.
+//
+// Both front-ends build these: scenario::Runner maps `.scn` actions to
+// requests, and the CLI subcommands (`rchls synth/sweep/inject`,
+// api/cli.cpp) are thin request builders. Field conventions and units
+// mirror the scenario actions (scenario/scenario.hpp): latencies and
+// delays in cycles, areas in normalized units (ripple-carry adder == 1),
+// reliabilities in (0, 1].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "hls/find_design.hpp"
+#include "library/resource.hpp"
+
+namespace rchls::api {
+
+/// Which bound a SweepRequest varies (the other is held fixed).
+enum class SweepAxis { kLatency, kArea };
+
+/// One synthesis run under one (latency, area) bound pair.
+/// `engine` selects the algorithm: "centric" (paper Fig. 6), "baseline"
+/// (NMR prior work [3]) or "combined" (centric + redundancy); anything
+/// else makes Session::run throw Error.
+struct FindDesignRequest {
+  dfg::Graph graph{"dfg"};
+  library::ResourceLibrary library;
+  int latency_bound = 0;      ///< Ld in cycles
+  double area_bound = 0.0;    ///< Ad in normalized area units
+  std::string engine = "centric";
+  hls::FindDesignOptions options;
+  /// Baseline-only: restrict [3] to this (adder, multiplier) version
+  /// pair by library name instead of searching all combos.
+  std::optional<std::pair<std::string, std::string>> baseline_versions;
+};
+
+/// find_design over a list of bounds on one axis while the other is held
+/// fixed (paper Fig. 8). The swept axis reads its list; the fixed axis
+/// reads element 0 of its (size >= 1) vector.
+struct SweepRequest {
+  dfg::Graph graph{"dfg"};
+  library::ResourceLibrary library;
+  SweepAxis axis = SweepAxis::kLatency;
+  std::vector<int> latency_bounds;   ///< swept (kLatency) or size 1 (kArea)
+  std::vector<double> area_bounds;   ///< swept (kArea) or size 1 (kLatency)
+  hls::FindDesignOptions options;
+};
+
+/// The three-engine comparison over the cross product of bounds (paper
+/// Table 2 / Fig. 9), including the common-cell averages.
+struct GridRequest {
+  dfg::Graph graph{"dfg"};
+  library::ResourceLibrary library;
+  std::vector<int> latency_bounds;
+  std::vector<double> area_bounds;
+  hls::FindDesignOptions options;  ///< centric and combined passes
+  /// When set, pin the baseline to this (adder, multiplier) version pair
+  /// by library name.
+  std::optional<std::pair<std::string, std::string>> baseline_versions;
+};
+
+/// A Monte-Carlo SET campaign on a generated arithmetic circuit
+/// (whole-circuit, or a single gate when `gate` is set). Component names
+/// come from circuits::component_names(); no graph or library is
+/// involved, so these two requests are fully described by their scalar
+/// fields.
+struct InjectRequest {
+  std::string component;
+  int width = 16;         ///< operand bit width
+  std::size_t trials = 64 * 256;
+  std::uint64_t seed = 1;
+  std::optional<std::uint32_t> gate;  ///< strike only this gate id
+};
+
+/// Per-gate sensitivity characterization of a generated circuit,
+/// reporting the `top` most sensitive logic gates (0 = all).
+struct RankGatesRequest {
+  std::string component;
+  int width = 16;
+  std::size_t trials = 64 * 64;
+  std::uint64_t seed = 1;
+  int top = 10;
+};
+
+}  // namespace rchls::api

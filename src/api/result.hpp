@@ -1,0 +1,87 @@
+// Typed results for every engine operation -- the output half of the
+// rchls::api facade. Each request type in request.hpp has exactly one
+// result type here, and api::Result is the closed variant over all of
+// them (what Session's cache stores and scenario::ActionResult carries).
+//
+// These are the payloads the scenario::report writers render, so
+// everything a JSON/CSV/table rendering needs -- including structural
+// context like gate counts -- lives in the result, never in side
+// channels. All fields are plain values: results are copyable,
+// comparable field-by-field, and contain nothing time- or
+// host-dependent, which is what lets Session serve a cached result
+// byte-identical to a cold recomputation.
+//
+// Units follow the codebase's standard conventions: cycles for latency
+// and delay, normalized area units (ripple-carry adder == 1) for area,
+// mission reliability in (0, 1].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/request.hpp"
+#include "hls/design.hpp"
+#include "hls/explore.hpp"
+#include "ser/characterize.hpp"
+#include "ser/fault_injection.hpp"
+
+namespace rchls::api {
+
+/// Result of one FindDesignRequest. When `solved`, `design` holds the
+/// full synthesis result (schedule, binding, versions) and the metric
+/// fields mirror design->latency/area/reliability. An infeasible bound
+/// pair is NOT an error: it comes back with solved == false and the
+/// engine's explanation in `no_solution_reason`.
+struct FindDesignResult {
+  std::string engine;
+  int latency_bound = 0;
+  double area_bound = 0.0;
+  bool solved = false;
+  std::optional<hls::Design> design;
+  std::string no_solution_reason;  ///< empty when solved
+};
+
+/// Result of one SweepRequest: one SweepPoint per swept bound, in sweep
+/// order (unsolved points have empty optionals).
+struct SweepResult {
+  SweepAxis axis = SweepAxis::kLatency;
+  std::vector<hls::SweepPoint> points;
+};
+
+/// Result of one GridRequest: the full cross product in row-major
+/// (latency-outer) order plus the common-cell averages.
+struct GridResult {
+  std::vector<hls::ComparisonRow> rows;
+  hls::GridAverages averages;
+};
+
+/// Result of one InjectRequest, plus the structural context (gate count)
+/// needed to interpret the sensitivity numbers.
+struct InjectResult {
+  std::string component;
+  int width = 0;
+  std::size_t gate_count = 0;   ///< all gates incl. inputs/constants
+  std::size_t logic_gates = 0;  ///< strike population
+  std::optional<std::uint32_t> gate;  ///< set for single-gate campaigns
+  ser::InjectionResult result;
+};
+
+/// Result of one RankGatesRequest: the `top` most sensitive logic gates
+/// (all of them when top == 0), most sensitive first. `kinds[i]` is the
+/// gate-kind name of `gates[i]` (e.g. "xor"), kept so reports need not
+/// rebuild the netlist.
+struct RankGatesResult {
+  std::string component;
+  int width = 0;
+  std::vector<ser::GateSensitivity> gates;
+  std::vector<std::string> kinds;
+};
+
+/// Any engine result -- the unit the result cache stores and the
+/// scenario report writers dispatch over.
+using Result = std::variant<FindDesignResult, SweepResult, GridResult,
+                            InjectResult, RankGatesResult>;
+
+}  // namespace rchls::api

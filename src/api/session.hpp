@@ -1,0 +1,79 @@
+// api::Session -- the single execution boundary in front of every
+// engine.
+//
+// Both front-ends (scenario::Runner and the CLI, api/cli.cpp) and any
+// embedding program execute engine work by building a typed request
+// (request.hpp) and calling Session::run. The session owns the pieces a
+// request execution needs:
+//
+//  * the engine wiring -- the dispatch from request fields to
+//    hls::find_design / nmr_baseline / combined_design, the sweep and
+//    grid drivers, and the ser campaign entry points, including the
+//    component registry lookups (circuits::component_by_name) and
+//    library version-name resolution;
+//  * the parallel worker configuration -- SessionOptions::jobs, when
+//    non-zero, is written to the process-wide parallel::Config at
+//    construction (the pool itself stays process-global, see
+//    parallel/parallel_for.cpp; engines partition deterministically, so
+//    the worker count never changes results);
+//  * the content-addressed result cache (cache.hpp): run() first looks
+//    the request's canonical key up and only executes on a miss, so
+//    re-running an edited scenario through one session recomputes only
+//    the changed actions.
+//
+// Determinism guarantee: for a given request, run() returns a result
+// that is byte-identical (through every report writer) whether it was
+// computed cold, served from cache, or computed at a different --jobs
+// value. This is tested by tests/api_session_test.cpp and enforced in
+// CI by `rchls run --verify-cache` over every shipped scenario.
+//
+// Error behavior: infeasible synthesis bounds are results (solved ==
+// false), not errors. Structural problems -- an unknown engine or
+// component name, a library missing a resource class or version the
+// request names -- throw rchls::Error; failed executions are never
+// cached. Sessions are value-cheap to create but single-threaded: share
+// one per thread, not across threads.
+#pragma once
+
+#include "api/cache.hpp"
+#include "api/request.hpp"
+#include "api/result.hpp"
+
+namespace rchls::api {
+
+struct SessionOptions {
+  /// Memoize results by content address. Off = every run() executes.
+  bool enable_cache = true;
+  /// Worker count for parallel regions; 0 leaves the process-wide
+  /// parallel::Config untouched (the CLI's --jobs default).
+  std::size_t jobs = 0;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  /// Executes the request (or serves it from cache). See the header
+  /// comment for the determinism and error contracts.
+  FindDesignResult run(const FindDesignRequest& req);
+  SweepResult run(const SweepRequest& req);
+  GridResult run(const GridRequest& req);
+  InjectResult run(const InjectRequest& req);
+  RankGatesResult run(const RankGatesRequest& req);
+
+  /// Lookup/population counters -- the observable cache behavior tests
+  /// and `rchls run --verify-cache` assert on.
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+
+  /// Drops all cached results and zeroes the stats.
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  template <typename ResultT, typename RequestT, typename Fn>
+  ResultT cached(const RequestT& req, Fn execute);
+
+  SessionOptions options_;
+  ResultCache cache_;
+};
+
+}  // namespace rchls::api

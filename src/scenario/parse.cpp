@@ -165,9 +165,15 @@ std::optional<std::pair<std::string, std::string>> take_baseline_versions(
   return std::make_pair(*adder, *mult);
 }
 
+// Nesting cap for `include` chains: deep enough for any sane prelude
+// layering, shallow enough to stop include cycles with a clear message
+// instead of a stack overflow.
+constexpr int kMaxIncludeDepth = 10;
+
 struct Parser {
   Cursor at;
   std::filesystem::path base_dir;
+  int include_depth = 0;
 
   Scenario scn;
   bool named = false;
@@ -208,13 +214,61 @@ struct Parser {
   }
 
   void handle(const std::vector<std::string>& tokens);
+  void consume(std::istream& in);
+  void include_file(const std::string& spec);
   void finalize();
 };
+
+// Reads every directive of one stream against the current at/base_dir
+// state (parse() uses it for the top-level file, include_file() for
+// nested fragments).
+void Parser::consume(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++at.line;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    auto tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    handle(tokens);
+  }
+}
+
+// `include <file>`: parses the file's directives into this scenario as
+// if they appeared in place of the include line. Shares all parser
+// state, so duplicate-declaration rules apply across files and errors
+// inside the fragment are anchored at "<fragment>:<line>:". Nested
+// includes resolve relative to the *including* file's directory.
+void Parser::include_file(const std::string& spec) {
+  if (include_depth >= kMaxIncludeDepth) {
+    at.fail("includes nested deeper than " +
+            std::to_string(kMaxIncludeDepth) +
+            " levels -- is there an include cycle?");
+  }
+  std::filesystem::path p = base_dir / spec;
+  std::ifstream in(p);
+  if (!in) at.fail("cannot open included file '" + p.string() + "'");
+
+  Cursor saved_at = at;
+  std::filesystem::path saved_dir = base_dir;
+  at = Cursor{spec, 0};
+  auto dir = p.parent_path();
+  base_dir = dir.empty() ? "." : dir;
+  ++include_depth;
+  consume(in);
+  --include_depth;
+  at = saved_at;
+  base_dir = saved_dir;
+}
 
 void Parser::handle(const std::vector<std::string>& tokens) {
   const std::string& directive = tokens[0];
 
-  if (directive == "scenario") {
+  if (directive == "include") {
+    if (tokens.size() != 2) at.fail("expected: include <file>");
+    include_file(tokens[1]);
+
+  } else if (directive == "scenario") {
     if (tokens.size() != 2) at.fail("expected: scenario <name>");
     if (named) at.fail("duplicate scenario directive");
     scn.name = tokens[1];
@@ -480,16 +534,7 @@ Scenario parse(std::istream& in, const std::string& source,
   Parser p;
   p.at.source = source;
   p.base_dir = base_dir;
-
-  std::string line;
-  while (std::getline(in, line)) {
-    ++p.at.line;
-    auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    auto tokens = split_ws(line);
-    if (tokens.empty()) continue;
-    p.handle(tokens);
-  }
+  p.consume(in);
   p.finalize();
   return p.scn;
 }

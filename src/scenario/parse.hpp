@@ -3,8 +3,12 @@
 //
 // Line-directive text in the spirit of dfg/io: one directive per line,
 // '#' starts a comment, blank lines are ignored. `graph @file.dfg` and
-// `library @file.lib` include external artifacts, resolved relative to
-// `base_dir` (for parse_file: the scenario file's own directory).
+// `library @file.lib` include external artifacts, and `include <file>`
+// splices another scenario fragment's directives in place (shared
+// preludes; nested up to 10 levels, duplicate-declaration rules apply
+// across files). All paths resolve relative to `base_dir` (for
+// parse_file: the scenario file's own directory; for a nested include:
+// the including file's directory).
 //
 // Every syntactic or semantic error -- unknown directive, malformed
 // option, undeclared node or bounds label, unopenable include, action

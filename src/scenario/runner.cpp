@@ -1,123 +1,76 @@
 #include "scenario/runner.hpp"
 
-#include "circuits/components.hpp"
-#include "hls/baseline.hpp"
-#include "hls/combined.hpp"
-#include "hls/find_design.hpp"
-#include "netlist/stats.hpp"
-#include "ser/characterize.hpp"
 #include "util/error.hpp"
 
 namespace rchls::scenario {
 
 namespace {
 
-FindDesignResult run_find_design(const FindDesignAction& a,
-                                 const dfg::Graph& g,
-                                 const library::ResourceLibrary& lib) {
-  FindDesignResult r;
-  r.engine = a.engine;
-  r.latency_bound = a.latency_bound;
-  r.area_bound = a.area_bound;
-  try {
-    if (a.engine == "centric") {
-      r.design = hls::find_design(g, lib, a.latency_bound, a.area_bound,
-                                  a.options);
-    } else if (a.engine == "baseline") {
-      hls::BaselineOptions bo;
-      if (a.baseline_versions) {
-        bo.fixed_versions = {{lib.find(a.baseline_versions->first),
-                              lib.find(a.baseline_versions->second)}};
-      }
-      r.design =
-          hls::nmr_baseline(g, lib, a.latency_bound, a.area_bound, bo);
-    } else {  // "combined", enforced by the parser
-      hls::CombinedOptions co;
-      co.find_design = a.options;
-      r.design = hls::combined_design(g, lib, a.latency_bound, a.area_bound,
-                                      co);
-    }
-    r.solved = true;
-  } catch (const NoSolutionError& e) {
-    r.solved = false;
-    r.no_solution_reason = e.what();
-  }
-  return r;
+// Action -> request mapping: attach the scenario's graph/library context
+// to the action's option payload. The graph parameter is only read for
+// the three synthesis actions, whose callers have checked it exists.
+
+api::FindDesignRequest to_request(const FindDesignAction& a,
+                                  const dfg::Graph& g,
+                                  const library::ResourceLibrary& lib) {
+  api::FindDesignRequest req;
+  req.graph = g;
+  req.library = lib;
+  req.latency_bound = a.latency_bound;
+  req.area_bound = a.area_bound;
+  req.engine = a.engine;
+  req.options = a.options;
+  req.baseline_versions = a.baseline_versions;
+  return req;
 }
 
-SweepResult run_sweep(const SweepAction& a, const dfg::Graph& g,
-                      const library::ResourceLibrary& lib) {
-  SweepResult r;
-  r.axis = a.axis;
-  if (a.axis == SweepAction::Axis::kLatency) {
-    r.points = hls::latency_sweep(g, lib, a.latency_bounds,
-                                  a.area_bounds.front(), a.options);
-  } else {
-    r.points = hls::area_sweep(g, lib, a.latency_bounds.front(),
-                               a.area_bounds, a.options);
-  }
-  return r;
+api::SweepRequest to_request(const SweepAction& a, const dfg::Graph& g,
+                             const library::ResourceLibrary& lib) {
+  api::SweepRequest req;
+  req.graph = g;
+  req.library = lib;
+  req.axis = a.axis;
+  req.latency_bounds = a.latency_bounds;
+  req.area_bounds = a.area_bounds;
+  req.options = a.options;
+  return req;
 }
 
-GridResult run_grid(const GridAction& a, const dfg::Graph& g,
-                    const library::ResourceLibrary& lib) {
-  hls::GridOptions go;
-  go.find_design = a.options;
-  go.combined.find_design = a.options;
-  if (a.baseline_versions) {
-    go.baseline.fixed_versions = {{lib.find(a.baseline_versions->first),
-                                   lib.find(a.baseline_versions->second)}};
-  }
-  GridResult r;
-  r.rows = hls::comparison_grid(g, lib, a.latency_bounds, a.area_bounds, go);
-  r.averages = hls::grid_averages(r.rows);
-  return r;
+api::GridRequest to_request(const GridAction& a, const dfg::Graph& g,
+                            const library::ResourceLibrary& lib) {
+  api::GridRequest req;
+  req.graph = g;
+  req.library = lib;
+  req.latency_bounds = a.latency_bounds;
+  req.area_bounds = a.area_bounds;
+  req.options = a.options;
+  req.baseline_versions = a.baseline_versions;
+  return req;
 }
 
-InjectResult run_inject(const InjectAction& a) {
-  netlist::Netlist nl = circuits::component_by_name(a.component, a.width);
-  netlist::Stats stats = netlist::compute_stats(nl);
-
-  ser::InjectionConfig cfg;
-  cfg.trials = a.trials;
-  cfg.seed = a.seed;
-
-  InjectResult r;
-  r.component = a.component;
-  r.width = a.width;
-  r.gate_count = nl.gate_count();
-  r.logic_gates = stats.logic_gates;
-  r.gate = a.gate;
-  r.result = a.gate ? ser::inject_gate(
-                          nl, static_cast<netlist::GateId>(*a.gate), cfg)
-                    : ser::inject_campaign(nl, cfg);
-  return r;
+api::InjectRequest to_request(const InjectAction& a) {
+  api::InjectRequest req;
+  req.component = a.component;
+  req.width = a.width;
+  req.trials = a.trials;
+  req.seed = a.seed;
+  req.gate = a.gate;
+  return req;
 }
 
-RankGatesResult run_rank_gates(const RankGatesAction& a) {
-  netlist::Netlist nl = circuits::component_by_name(a.component, a.width);
-
-  ser::InjectionConfig cfg;
-  cfg.trials = a.trials;
-  cfg.seed = a.seed;
-
-  RankGatesResult r;
-  r.component = a.component;
-  r.width = a.width;
-  r.gates = ser::rank_gate_sensitivities(nl, cfg);
-  if (a.top > 0 &&
-      r.gates.size() > static_cast<std::size_t>(a.top)) {
-    r.gates.resize(static_cast<std::size_t>(a.top));
-  }
-  for (const auto& gs : r.gates) {
-    r.kinds.emplace_back(netlist::to_string(nl.gate(gs.gate).kind));
-  }
-  return r;
+api::RankGatesRequest to_request(const RankGatesAction& a) {
+  api::RankGatesRequest req;
+  req.component = a.component;
+  req.width = a.width;
+  req.trials = a.trials;
+  req.seed = a.seed;
+  req.top = a.top;
+  return req;
 }
 
 }  // namespace
 
-RunReport run(const Scenario& scn) {
+RunReport run(const Scenario& scn, api::Session& session) {
   RunReport report;
   report.scenario_name = scn.name;
   report.graph = scn.graph;
@@ -136,15 +89,16 @@ RunReport run(const Scenario& scn) {
     }
     try {
       if (const auto* fd = std::get_if<FindDesignAction>(&action.op)) {
-        out.data = run_find_design(*fd, *scn.graph, scn.library);
+        out.data = session.run(to_request(*fd, *scn.graph, scn.library));
       } else if (const auto* sw = std::get_if<SweepAction>(&action.op)) {
-        out.data = run_sweep(*sw, *scn.graph, scn.library);
+        out.data = session.run(to_request(*sw, *scn.graph, scn.library));
       } else if (const auto* gr = std::get_if<GridAction>(&action.op)) {
-        out.data = run_grid(*gr, *scn.graph, scn.library);
+        out.data = session.run(to_request(*gr, *scn.graph, scn.library));
       } else if (const auto* in = std::get_if<InjectAction>(&action.op)) {
-        out.data = run_inject(*in);
+        out.data = session.run(to_request(*in));
       } else {
-        out.data = run_rank_gates(std::get<RankGatesAction>(action.op));
+        out.data =
+            session.run(to_request(std::get<RankGatesAction>(action.op)));
       }
     } catch (const Error& e) {
       throw Error("action '" + action.label + "' (line " +
@@ -153,6 +107,11 @@ RunReport run(const Scenario& scn) {
     report.actions.push_back(std::move(out));
   }
   return report;
+}
+
+RunReport run(const Scenario& scn) {
+  api::Session session;
+  return run(scn, session);
 }
 
 }  // namespace rchls::scenario

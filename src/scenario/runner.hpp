@@ -1,14 +1,23 @@
 // Executes a parsed Scenario and collects structured results.
 //
-// run() walks the scenario's actions in file order. Each action is
-// delegated to the existing engines -- hls::find_design / nmr_baseline /
+// The runner is a thin client of the rchls::api facade: run() walks the
+// scenario's actions in file order, maps each one onto a typed request
+// (api/request.hpp) carrying the scenario's graph and library, and
+// executes it through an api::Session. The session memoizes results by
+// content address, so running several scenarios -- or the same scenario
+// after an edit -- through one shared Session recomputes only the
+// actions whose (graph, library, options) content actually changed; the
+// single-argument run() overload uses a private session per call
+// (correct, but cache-cold).
+//
+// The engines behind the session (hls::find_design / nmr_baseline /
 // combined_design, hls::latency_sweep / area_sweep / comparison_grid,
-// ser::inject_campaign / inject_gate / rank_gate_sensitivities -- whose
-// inner loops already fan out over the work-stealing parallel::ThreadPool.
-// The worker count is the processwide parallel::Config (the CLI's --jobs
-// flag); because every engine partitions and merges deterministically, a
-// RunReport (and its JSON/CSV rendering, see report.hpp) is bit-identical
-// at every worker count.
+// ser::inject_campaign / inject_gate / rank_gate_sensitivities) fan out
+// over the work-stealing parallel::ThreadPool; the worker count is the
+// processwide parallel::Config (the CLI's --jobs flag). Because every
+// engine partitions and merges deterministically, a RunReport (and its
+// JSON/CSV rendering, see report.hpp) is bit-identical at every worker
+// count, and cached results are byte-identical to cold recomputations.
 //
 // Error behavior: an infeasible find_design point is NOT an error -- it
 // becomes a result with solved == false (sweep/grid points likewise stay
@@ -25,71 +34,28 @@
 
 #include <optional>
 #include <string>
-#include <variant>
 #include <vector>
 
-#include "hls/design.hpp"
-#include "hls/explore.hpp"
+#include "api/result.hpp"
+#include "api/session.hpp"
 #include "scenario/scenario.hpp"
-#include "ser/fault_injection.hpp"
 
 namespace rchls::scenario {
 
-/// Result of one find_design action. When `solved`, `design` holds the
-/// full synthesis result (schedule, binding, versions) and the metric
-/// fields mirror design->latency/area/reliability.
-struct FindDesignResult {
-  std::string engine;
-  int latency_bound = 0;
-  double area_bound = 0.0;
-  bool solved = false;
-  std::optional<hls::Design> design;
-  std::string no_solution_reason;  ///< empty when solved
-};
-
-/// Result of one sweep action: one SweepPoint per swept bound, in sweep
-/// order (unsolved points have empty optionals).
-struct SweepResult {
-  SweepAction::Axis axis = SweepAction::Axis::kLatency;
-  std::vector<hls::SweepPoint> points;
-};
-
-/// Result of one grid action: the full cross product in row-major
-/// (latency-outer) order plus the common-cell averages.
-struct GridResult {
-  std::vector<hls::ComparisonRow> rows;
-  hls::GridAverages averages;
-};
-
-/// Result of one inject action, plus the structural context (gate count)
-/// needed to interpret the sensitivity numbers.
-struct InjectResult {
-  std::string component;
-  int width = 0;
-  std::size_t gate_count = 0;   ///< all gates incl. inputs/constants
-  std::size_t logic_gates = 0;  ///< strike population
-  std::optional<std::uint32_t> gate;  ///< set for single-gate campaigns
-  ser::InjectionResult result;
-};
-
-/// Result of one rank_gates action: the `top` most sensitive logic gates
-/// (all of them when top == 0), most sensitive first. `kinds[i]` is the
-/// gate-kind name of `gates[i]` (e.g. "xor"), kept so reports need not
-/// rebuild the netlist.
-struct RankGatesResult {
-  std::string component;
-  int width = 0;
-  std::vector<ser::GateSensitivity> gates;
-  std::vector<std::string> kinds;
-};
+/// The per-action result payloads are the api facade's result types
+/// (api/result.hpp); the aliases keep existing scenario-level code and
+/// the report writers source-compatible.
+using FindDesignResult = api::FindDesignResult;
+using SweepResult = api::SweepResult;
+using GridResult = api::GridResult;
+using InjectResult = api::InjectResult;
+using RankGatesResult = api::RankGatesResult;
 
 /// One executed action: the label/line it came from and its payload.
 struct ActionResult {
   std::string label;
   int line = 0;
-  std::variant<FindDesignResult, SweepResult, GridResult, InjectResult,
-               RankGatesResult>
-      data;
+  api::Result data;
 };
 
 /// A completed run: scenario identity, the graph and library the actions
@@ -102,8 +68,14 @@ struct RunReport {
   std::vector<ActionResult> actions;
 };
 
-/// Runs every action and returns the report. Deterministic for a given
-/// scenario at every parallel::Config worker count.
+/// Runs every action through `session`, sharing its result cache (and
+/// its stats -- `rchls run --verify-cache` and the cache tests observe
+/// recomputation through them). Deterministic for a given scenario at
+/// every parallel::Config worker count.
+RunReport run(const Scenario& scn, api::Session& session);
+
+/// Convenience overload executing against a fresh private session (no
+/// caching across calls).
 RunReport run(const Scenario& scn);
 
 }  // namespace rchls::scenario

@@ -6,8 +6,10 @@
 // resource library (the paper's Table 1 by default, or custom `resource`
 // lines / an included `.lib` file), named latency/area constraint sets,
 // and an ordered list of actions. Actions are executed in file order by
-// scenario::Runner (runner.hpp) and rendered by scenario::report
-// (report.hpp).
+// scenario::Runner (runner.hpp), which maps each one onto a typed
+// api::Session request, and rendered by scenario::report (report.hpp).
+// The action payloads mirror the request types of api/request.hpp minus
+// the graph/library, which a scenario declares once for all actions.
 //
 // All quantities use the codebase's standard units: latencies and delays
 // in clock cycles, areas in the paper's normalized units (ripple-carry
@@ -19,6 +21,7 @@
 #include <variant>
 #include <vector>
 
+#include "api/request.hpp"
 #include "dfg/graph.hpp"
 #include "hls/find_design.hpp"
 #include "library/resource.hpp"
@@ -42,7 +45,7 @@ struct FindDesignAction {
 /// One `sweep` action: find_design over a list of bounds on one axis
 /// while the other is held fixed (paper Fig. 8).
 struct SweepAction {
-  enum class Axis { kLatency, kArea };
+  using Axis = api::SweepAxis;
   Axis axis = Axis::kLatency;
   std::vector<int> latency_bounds;   ///< swept (kLatency) or size 1 (kArea)
   std::vector<double> area_bounds;   ///< swept (kArea) or size 1 (kLatency)

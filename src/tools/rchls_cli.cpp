@@ -1,356 +1,17 @@
 // rchls: command-line reliability-centric HLS.
 //
-//   rchls run     <scenario.scn> [--format json|csv|table] [--out FILE]
-//   rchls synth   <dfg-file|benchmark> --latency N --area A
-//                 [--engine centric|baseline|combined] [--polish]
-//                 [--scheduler density|fds] [--datapath]
-//   rchls sweep   <dfg-file|benchmark> --latency N --areas A1,A2,...
-//   rchls inject  <component> [--width W] [--trials N] [--gate G] [--top K]
-//   rchls bench   (list built-in benchmark graphs)
-//
-// `run` executes a declarative scenario file (docs/scenario-format.md):
-// a DFG, a resource library, constraint sets and a list of actions, with
-// results rendered as a human table (default), JSON or CSV. Infeasible
-// bounds inside a scenario are reported as unsolved results, not errors.
-//
-// The global --jobs N flag sets the worker count for parallel sweeps and
-// injection campaigns (default: hardware concurrency). Results are
-// bit-identical at every worker count.
-//
-// Exit codes: 0 success, 1 usage/parse error, 2 no solution within
-// bounds (synth only).
-#include <chrono>
-#include <fstream>
+// The whole CLI lives in the core library (api/cli.hpp) so tests can
+// drive it in-process; this wrapper only adapts argv and the standard
+// streams. Run `rchls` with no arguments for usage, subcommands, flags
+// and the exit-code contract (docs/api.md documents the api facade the
+// subcommands are thin clients of).
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "benchmarks/suite.hpp"
-#include "circuits/components.hpp"
-#include "dfg/io.hpp"
-#include "hls/baseline.hpp"
-#include "hls/combined.hpp"
-#include "hls/explore.hpp"
-#include "hls/find_design.hpp"
-#include "hls/report.hpp"
-#include "netlist/stats.hpp"
-#include "parallel/config.hpp"
-#include "rtl/datapath.hpp"
-#include "scenario/parse.hpp"
-#include "scenario/report.hpp"
-#include "scenario/runner.hpp"
-#include "ser/characterize.hpp"
-#include "ser/fault_injection.hpp"
-#include "util/error.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace rchls;
-
-int usage() {
-  std::cerr <<
-      "usage:\n"
-      "  rchls run <scenario.scn> [--format json|csv|table] [--out FILE]\n"
-      "  rchls synth <dfg-file|benchmark> --latency N --area A\n"
-      "              [--engine centric|baseline|combined] [--polish]\n"
-      "              [--scheduler density|fds] [--datapath]\n"
-      "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
-      "  rchls inject <component> [--width W] [--trials N] [--gate G]\n"
-      "               [--top K]\n"
-      "  rchls bench\n"
-      "inject components: ripple_carry_adder brent_kung_adder\n"
-      "  kogge_stone_adder carry_save_multiplier leapfrog_multiplier\n"
-      "global flags:\n"
-      "  --jobs N    parallel workers (default: hardware concurrency)\n"
-      "scenario format reference: docs/scenario-format.md\n";
-  return 1;
-}
-
-dfg::Graph load_graph(const std::string& spec) {
-  for (const auto& name : benchmarks::all_names()) {
-    if (name == spec) return benchmarks::by_name(spec);
-  }
-  std::ifstream in(spec);
-  if (!in) throw Error("cannot open '" + spec + "' (and it is not a "
-                       "built-in benchmark name)");
-  return dfg::parse(in);
-}
-
-struct Args {
-  std::string command;
-  std::string graph_spec;
-  std::optional<int> latency;
-  std::optional<double> area;
-  std::vector<double> areas;
-  std::string engine = "centric";
-  std::string scheduler = "density";
-  bool polish = false;
-  bool datapath = false;
-  int width = 16;
-  std::size_t trials = 64 * 256;
-  std::optional<netlist::GateId> gate;
-  int top = 0;
-  std::string format = "table";
-  std::string out;
-};
-
-std::optional<Args> parse_args(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  Args a;
-  a.command = argv[1];
-  int i = 2;
-  if (a.command != "bench") {
-    if (argc < 3) return std::nullopt;
-    a.graph_spec = argv[2];
-    i = 3;
-  }
-  for (; i < argc; ++i) {
-    std::string flag = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (flag == "--latency") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.latency = std::atoi(v->c_str());
-    } else if (flag == "--area") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.area = std::atof(v->c_str());
-    } else if (flag == "--areas") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      for (const auto& tok : split(*v, ',')) {
-        a.areas.push_back(std::atof(tok.c_str()));
-      }
-    } else if (flag == "--engine") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.engine = *v;
-    } else if (flag == "--scheduler") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.scheduler = *v;
-    } else if (flag == "--jobs") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      int jobs = std::atoi(v->c_str());
-      if (jobs < 1) {
-        std::cerr << "--jobs needs a positive worker count\n";
-        return std::nullopt;
-      }
-      parallel::set_global_jobs(static_cast<std::size_t>(jobs));
-    } else if (flag == "--width") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.width = std::atoi(v->c_str());
-    } else if (flag == "--trials") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      long t = std::atol(v->c_str());
-      if (t < 1) {
-        std::cerr << "--trials needs a positive count\n";
-        return std::nullopt;
-      }
-      a.trials = static_cast<std::size_t>(t);
-    } else if (flag == "--gate") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.gate = static_cast<netlist::GateId>(std::atol(v->c_str()));
-    } else if (flag == "--top") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.top = std::atoi(v->c_str());
-    } else if (flag == "--format") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      if (*v != "json" && *v != "csv" && *v != "table") {
-        std::cerr << "--format must be json, csv or table\n";
-        return std::nullopt;
-      }
-      a.format = *v;
-    } else if (flag == "--out") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.out = *v;
-    } else if (flag == "--polish") {
-      a.polish = true;
-    } else if (flag == "--datapath") {
-      a.datapath = true;
-    } else {
-      std::cerr << "unknown flag '" << flag << "'\n";
-      return std::nullopt;
-    }
-  }
-  if (a.command != "run" && (a.format != "table" || !a.out.empty())) {
-    std::cerr << "--format/--out only apply to 'rchls run'\n";
-    return std::nullopt;
-  }
-  return a;
-}
-
-int run_synth(const Args& a) {
-  if (!a.latency || !a.area) {
-    std::cerr << "synth needs --latency and --area\n";
-    return 1;
-  }
-  dfg::Graph g = load_graph(a.graph_spec);
-  auto lib = library::paper_library();
-
-  hls::FindDesignOptions fd;
-  fd.enable_polish = a.polish;
-  if (a.scheduler == "fds") {
-    fd.scheduler = hls::SchedulerKind::kForceDirected;
-  } else if (a.scheduler != "density") {
-    std::cerr << "unknown scheduler '" << a.scheduler << "'\n";
-    return 1;
-  }
-
-  hls::Design d;
-  try {
-    if (a.engine == "centric") {
-      d = hls::find_design(g, lib, *a.latency, *a.area, fd);
-    } else if (a.engine == "baseline") {
-      d = hls::nmr_baseline(g, lib, *a.latency, *a.area);
-    } else if (a.engine == "combined") {
-      hls::CombinedOptions co;
-      co.find_design = fd;
-      d = hls::combined_design(g, lib, *a.latency, *a.area, co);
-    } else {
-      std::cerr << "unknown engine '" << a.engine << "'\n";
-      return 1;
-    }
-  } catch (const NoSolutionError& e) {
-    std::cerr << "no solution: " << e.what() << "\n";
-    return 2;
-  }
-
-  std::cout << hls::schedule_table(d, g, lib)
-            << hls::design_summary(d, g, lib);
-  if (a.datapath) {
-    std::cout << "\n" << rtl::to_string(rtl::build_datapath(d, g, lib), g);
-  }
-  return 0;
-}
-
-int run_sweep(const Args& a) {
-  if (!a.latency || a.areas.empty()) {
-    std::cerr << "sweep needs --latency and --areas\n";
-    return 1;
-  }
-  dfg::Graph g = load_graph(a.graph_spec);
-  auto lib = library::paper_library();
-  hls::FindDesignOptions fd;
-  fd.enable_polish = a.polish;
-  auto points = hls::area_sweep(g, lib, *a.latency, a.areas, fd);
-  std::cout << hls::to_csv(points);
-  return 0;
-}
-
-int run_scenario(const Args& a) {
-  scenario::Scenario scn = scenario::parse_file(a.graph_spec);
-  scenario::RunReport report = scenario::run(scn);
-
-  std::string rendered;
-  if (a.format == "json") {
-    rendered = scenario::report::to_json(report);
-  } else if (a.format == "csv") {
-    rendered = scenario::report::to_csv(report);
-  } else {
-    rendered = scenario::report::to_table(report);
-  }
-
-  if (a.out.empty()) {
-    std::cout << rendered;
-  } else {
-    std::ofstream out(a.out);
-    if (!out) throw Error("cannot open output file '" + a.out + "'");
-    out << rendered;
-    out.flush();
-    if (!out) {
-      throw Error("failed writing output file '" + a.out + "'");
-    }
-  }
-  return 0;
-}
-
-int run_inject(const Args& a) {
-  if (a.width < 1) {
-    std::cerr << "inject needs a positive --width\n";
-    return 1;
-  }
-  netlist::Netlist nl = circuits::component_by_name(a.graph_spec, a.width);
-  netlist::Stats stats = netlist::compute_stats(nl);
-
-  ser::InjectionConfig cfg;
-  cfg.trials = a.trials;
-
-  auto t0 = std::chrono::steady_clock::now();
-  ser::InjectionResult r = a.gate ? ser::inject_gate(nl, *a.gate, cfg)
-                                  : ser::inject_campaign(nl, cfg);
-  double wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-
-  std::cout << a.graph_spec << " (width " << a.width << "): "
-            << nl.gate_count() << " gates, " << stats.logic_gates
-            << " logic, depth " << format_fixed(stats.depth, 1) << "\n"
-            << "strikes:       " << r.trials
-            << (a.gate ? " on gate " + std::to_string(*a.gate) : "") << "\n"
-            << "propagated:    " << r.propagated << "\n"
-            << "sensitivity:   " << format_fixed(r.logical_sensitivity, 5)
-            << " +/- " << format_fixed(r.half_width_95, 5)
-            << " (95% Wilson)\n"
-            << "susceptibility: " << format_fixed(r.susceptibility, 5)
-            << "\n"
-            << "wall time:     " << format_fixed(wall_ms, 1) << " ms ("
-            << format_fixed(static_cast<double>(r.trials) / wall_ms, 0)
-            << " strikes/ms, " << parallel::global_jobs() << " workers)\n";
-
-  if (a.top > 0) {
-    auto ranked = ser::rank_gate_sensitivities(nl, cfg);
-    Table t({"gate", "kind", "sensitivity", "+/- 95%"});
-    for (std::size_t i = 0;
-         i < std::min<std::size_t>(ranked.size(),
-                                   static_cast<std::size_t>(a.top));
-         ++i) {
-      const auto& gs = ranked[i];
-      t.add_row({std::to_string(gs.gate),
-                 netlist::to_string(nl.gate(gs.gate).kind),
-                 format_fixed(gs.result.logical_sensitivity, 5),
-                 format_fixed(gs.result.half_width_95, 5)});
-    }
-    std::cout << "\nmost sensitive nodes (shared-golden per-node sweep):\n"
-              << t.render();
-  }
-  return 0;
-}
-
-}  // namespace
+#include "api/cli.hpp"
 
 int main(int argc, char** argv) {
-  auto args = parse_args(argc, argv);
-  if (!args) return usage();
-  try {
-    if (args->command == "bench") {
-      for (const auto& name : benchmarks::all_names()) {
-        auto g = benchmarks::by_name(name);
-        std::cout << name << ": " << g.node_count() << " ops ("
-                  << g.count_ops(dfg::OpType::kMul) << " mul)\n";
-      }
-      return 0;
-    }
-    if (args->command == "run") return run_scenario(*args);
-    if (args->command == "synth") return run_synth(*args);
-    if (args->command == "sweep") return run_sweep(*args);
-    if (args->command == "inject") return run_inject(*args);
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  return usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return rchls::api::cli_main(args, std::cout, std::cerr);
 }

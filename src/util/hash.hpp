@@ -1,0 +1,30 @@
+// Content hashing for the api result cache.
+//
+// fnv1a64 is the 64-bit Fowler-Noll-Vo 1a hash -- tiny, allocation-free,
+// and (unlike std::hash) specified byte-for-byte, so a digest computed on
+// one platform or build matches every other. That stability is what lets
+// api::CacheKey digests serve as content addresses: equal canonical
+// encodings always produce equal digests, on every host (the property the
+// ROADMAP's sharded/remote runners will rely on when a request + digest
+// becomes the wire unit).
+//
+// Digests are identifiers, not integrity protection: FNV is not
+// cryptographic. Collision safety in the cache comes from storing the
+// full canonical encoding alongside the digest (see api/cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rchls {
+
+/// 64-bit FNV-1a over the bytes of `data` (offset basis 14695981039346656037,
+/// prime 1099511628211).
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Lower-case fixed-width (16 digit) hex rendering, e.g. for digests in
+/// logs and error messages.
+std::string to_hex64(std::uint64_t v);
+
+}  // namespace rchls

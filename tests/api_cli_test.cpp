@@ -1,0 +1,230 @@
+// In-process tests of the CLI (api/cli.hpp): the unified error contract
+// (every failure is one "error: ..." line with documented exit codes),
+// and the shared-writer guarantee -- `rchls synth`/`inject` with
+// --format json are byte-identical to `rchls run` on the equivalent
+// one-action scenario.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/cli.hpp"
+#include "parallel/config.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::api {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliRun r;
+  r.code = cli_main(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+// The CLI accepts --jobs, which writes the process-global config; keep
+// tests hermetic.
+class ApiCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_jobs_ = parallel::global_config().jobs;
+    dir_ = std::filesystem::path("api_cli_test_tmp");
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    parallel::global_config().jobs = saved_jobs_;
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path write(const std::string& name,
+                              const std::string& text) {
+    std::filesystem::path p = dir_ / name;
+    std::ofstream out(p);
+    out << text;
+    return p;
+  }
+
+  std::size_t saved_jobs_ = 0;
+  std::filesystem::path dir_;
+};
+
+// ------------------------------------------------- error contract (codes)
+
+TEST_F(ApiCliTest, MissingCommandIsExitOneWithUsage) {
+  CliRun r = cli({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(starts_with(r.err, "error: missing command")) << r.err;
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST_F(ApiCliTest, EveryBadArgumentPathSharesTheErrorPrefix) {
+  // One representative per failure family; all exit 1, all "error: ".
+  const std::vector<std::vector<std::string>> cases = {
+      {"frobnicate"},                                  // unknown command
+      {"synth"},                                       // missing positional
+      {"synth", "fir16"},                              // missing bounds
+      {"synth", "fir16", "--latency", "x", "--area", "11"},  // bad number
+      {"synth", "fir16", "--latency"},                 // missing value
+      {"synth", "fir16", "--wat"},                     // unknown flag
+      {"synth", "fir16", "--latency", "11", "--area", "11",
+       "--engine", "quantum"},                         // unknown engine
+      {"synth", "fir16", "--latency", "11", "--area", "11",
+       "--scheduler", "magic"},                        // unknown scheduler
+      {"synth", "nope.dfg", "--latency", "11", "--area", "11"},  // no file
+      {"run", "nope.scn"},                             // missing scenario
+      {"run", "x.scn", "--format", "yaml"},            // bad format
+      {"sweep", "fir16", "--latency", "12"},           // missing areas
+      {"inject", "ripple_carry_adder", "--width", "0"},  // bad width
+      {"inject", "not_a_component"},                   // unknown component
+      {"bench", "--format", "json"},                   // format on bench
+      {"synth", "fir16", "--latency", "11", "--area", "11",
+       "--verify-cache"},                              // flag on wrong cmd
+      {"run", "x.scn", "--trials", "64"},              // inject flag on run
+      {"inject", "ripple_carry_adder", "--seed", "-1"},  // negative seed
+      {"synth", "fir16", "--latency", "11", "--area", "11",
+       "--datapath", "--format", "json"},              // datapath sans table
+  };
+  for (const auto& args : cases) {
+    CliRun r = cli(args);
+    std::string joined;
+    for (const auto& a : args) joined += a + " ";
+    EXPECT_EQ(r.code, 1) << joined;
+    EXPECT_TRUE(starts_with(r.err, "error: ")) << joined << "-> " << r.err;
+  }
+}
+
+TEST_F(ApiCliTest, MisplacedFlagsFailBeforeAnyWorkRuns) {
+  // Argument validation happens before the engines run, so even an
+  // otherwise-valid synth with a misplaced flag is a cheap exit-1.
+  CliRun r = cli({"synth", "fir16", "--latency", "11", "--area", "11",
+                  "--top", "5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(starts_with(r.err, "error: --top does not apply"))
+      << r.err;
+}
+
+TEST_F(ApiCliTest, SeedAcceptsTheFullUint64Range) {
+  CliRun r = cli({"inject", "ripple_carry_adder", "--width", "4",
+                  "--trials", "128", "--seed", "3000000000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST_F(ApiCliTest, InfeasibleSynthIsExitTwo) {
+  CliRun r = cli({"synth", "fir16", "--latency", "1", "--area", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_TRUE(starts_with(r.err, "error: no solution: ")) << r.err;
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST_F(ApiCliTest, SuccessIsExitZero) {
+  EXPECT_EQ(cli({"bench"}).code, 0);
+  CliRun r = cli({"synth", "fig4_example", "--latency", "6", "--area",
+                  "8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(r.err.empty());
+  EXPECT_NE(r.out.find("reliability"), std::string::npos);
+}
+
+// ------------------------------------------- shared writers, --format/--out
+
+TEST_F(ApiCliTest, SynthJsonIsByteIdenticalToEquivalentScenario) {
+  auto scn = write("synth_equiv.scn",
+                   "scenario synth\n"
+                   "graph fir16\n"
+                   "find_design latency=11 area=11 label=synth\n");
+  CliRun direct = cli({"synth", "fir16", "--latency", "11", "--area",
+                       "11", "--format", "json"});
+  CliRun scenario = cli({"run", scn.string(), "--format", "json"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(scenario.code, 0) << scenario.err;
+  EXPECT_EQ(direct.out, scenario.out);
+}
+
+TEST_F(ApiCliTest, InjectJsonIsByteIdenticalToEquivalentScenario) {
+  auto scn = write("inject_equiv.scn",
+                   "scenario inject\n"
+                   "inject ripple_carry_adder width=4 trials=128 "
+                   "label=inject\n"
+                   "rank_gates ripple_carry_adder width=4 trials=128 "
+                   "top=3 label=rank_gates\n");
+  CliRun direct = cli({"inject", "ripple_carry_adder", "--width", "4",
+                       "--trials", "128", "--top", "3", "--format",
+                       "json"});
+  CliRun scenario = cli({"run", scn.string(), "--format", "json"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(scenario.code, 0) << scenario.err;
+  EXPECT_EQ(direct.out, scenario.out);
+}
+
+TEST_F(ApiCliTest, SynthSupportsCsvAndTableFormats) {
+  CliRun csv = cli({"synth", "fig4_example", "--latency", "6", "--area",
+                    "8", "--format", "csv"});
+  EXPECT_EQ(csv.code, 0);
+  EXPECT_NE(csv.out.find("engine,latency_bound,area_bound,solved"),
+            std::string::npos)
+      << csv.out;
+
+  CliRun table = cli({"synth", "fig4_example", "--latency", "6",
+                      "--area", "8", "--format", "table"});
+  EXPECT_EQ(table.code, 0);
+  EXPECT_NE(table.out.find("== synth (find_design) =="),
+            std::string::npos);
+}
+
+TEST_F(ApiCliTest, OutFlagWritesTheReportToAFile) {
+  std::filesystem::path out_path = dir_ / "report.json";
+  CliRun r = cli({"inject", "ripple_carry_adder", "--width", "4",
+                  "--trials", "128", "--format", "json", "--out",
+                  out_path.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(r.out.empty());
+
+  std::ifstream in(out_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"kind\": \"inject\""),
+            std::string::npos);
+
+  CliRun direct = cli({"inject", "ripple_carry_adder", "--width", "4",
+                       "--trials", "128", "--format", "json"});
+  EXPECT_EQ(content.str(), direct.out);
+}
+
+TEST_F(ApiCliTest, SweepDefaultsToCsv) {
+  CliRun r = cli({"sweep", "fig4_example", "--latency", "6", "--areas",
+                  "6,8,10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# action sweep sweep"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("latency_bound,area_bound,reliability"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- verify-cache
+
+TEST_F(ApiCliTest, VerifyCacheConfirmsWarmRunServedFromCache) {
+  auto scn = write("verify.scn",
+                   "scenario verify\n"
+                   "graph fig4_example\n"
+                   "find_design latency=6 area=8\n"
+                   "inject ripple_carry_adder width=4 trials=128\n");
+  CliRun r = cli({"run", scn.string(), "--format", "json",
+                  "--verify-cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("cache: verified 2 actions"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.out.find("\"format_version\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rchls::api

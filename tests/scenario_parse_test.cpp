@@ -246,5 +246,88 @@ TEST_F(ScenarioIncludeTest, IncludeErrorsCarryIncluderLine) {
   }
 }
 
+TEST_F(ScenarioIncludeTest, IncludeDirectiveSplicesSharedPrelude) {
+  write("prelude.inc",
+        "library paper\nbounds tight 11 11\nbounds wide 12 15\n");
+  write("main.scn",
+        "scenario inc\ngraph fir16\ninclude prelude.inc\n"
+        "find_design tight\nfind_design wide\n");
+
+  Scenario s = parse_file(dir_ / "main.scn");
+  EXPECT_EQ(s.library.size(), 5u);
+  ASSERT_EQ(s.actions.size(), 2u);
+  const auto& fd = std::get<FindDesignAction>(s.actions[0].op);
+  EXPECT_EQ(fd.latency_bound, 11);
+  EXPECT_DOUBLE_EQ(fd.area_bound, 11.0);
+}
+
+TEST_F(ScenarioIncludeTest, NestedIncludesResolveRelativeToIncluder) {
+  std::filesystem::create_directories(dir_ / "sub");
+  {
+    std::ofstream out(dir_ / "sub" / "inner.inc");
+    out << "bounds tight 6 8\n";
+  }
+  write("sub/outer.inc", "include inner.inc\n");  // relative to sub/
+  write("main.scn",
+        "graph fig4_example\ninclude sub/outer.inc\nfind_design tight\n");
+
+  Scenario s = parse_file(dir_ / "main.scn");
+  ASSERT_EQ(s.actions.size(), 1u);
+  EXPECT_EQ(std::get<FindDesignAction>(s.actions[0].op).latency_bound, 6);
+}
+
+TEST_F(ScenarioIncludeTest, MissingIncludeNamesIncluderLine) {
+  write("main.scn", "scenario inc\ninclude nope.inc\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("main.scn:2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nope.inc"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ScenarioIncludeTest, ErrorsInsideIncludeAnchorAtTheFragment) {
+  write("broken.inc", "library paper\nwat 1 2\n");
+  write("main.scn", "scenario inc\ninclude broken.inc\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.inc:2:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ScenarioIncludeTest, IncludeCycleHitsDepthLimit) {
+  write("a.inc", "include b.inc\n");
+  write("b.inc", "include a.inc\n");
+  write("main.scn", "include a.inc\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nested deeper"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ScenarioIncludeTest, DuplicateDeclarationsApplyAcrossIncludes) {
+  write("prelude.inc", "library paper\n");
+  write("main.scn",
+        "scenario inc\ninclude prelude.inc\nlibrary paper\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("main.scn:3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate library"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace rchls::scenario
