@@ -1,0 +1,143 @@
+// perf_cache: wall-clock measurements for the PR-5 api layers --
+// cold vs disk-warm scenario runs (api::DiskCache behind --cache-dir)
+// and local vs sharded sweep execution (api::SubprocessExecutor over
+// real `rchls exec-request` worker processes).
+//
+// Standalone harness (like the repro_* binaries): prints one JSON
+// document to stdout; the checked-in BENCH_cache.json is a captured
+// run. Usage:
+//
+//   ./build/perf_cache [path-to-rchls-binary]
+//
+// The rchls binary defaults to the sibling of this executable (both
+// live in the build directory). Timings are wall-clock and
+// machine-dependent -- the *ratios* are the interesting part: the
+// disk-warm run pays only JSON decode + verification, so it should sit
+// 2-3 orders of magnitude under the cold run; sharded sweeps pay
+// process spawn + wire I/O per cell against engines that already
+// parallelize in-process, so on a single host they bound the
+// distribution overhead a multi-host runner would amortize.
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+
+#include "api/session.hpp"
+#include "api/subprocess.hpp"
+#include "benchmarks/suite.hpp"
+#include "library/resource.hpp"
+#include "parallel/config.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/runner.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using rchls::api::Session;
+using rchls::api::SessionOptions;
+
+double seconds_of(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// A scenario heavy enough to time: polished/explored synthesis sweep +
+// three-engine grid + a large campaign.
+constexpr const char* kScenario =
+    "scenario perf_cache\n"
+    "graph fir16\n"
+    "sweep area 9,10,11,12,13,14 latency=11 polish=on explore=2\n"
+    "grid latencies=11,12,13 areas=11,13,15 polish=on explore=2\n"
+    "inject carry_save_multiplier width=16 trials=131072\n";
+
+rchls::api::SweepRequest sweep_request() {
+  rchls::api::SweepRequest req;
+  req.graph = rchls::benchmarks::by_name("fir16");
+  req.library = rchls::library::paper_library();
+  req.axis = rchls::api::SweepAxis::kArea;
+  req.latency_bounds = {11};
+  req.area_bounds = {9, 9.5, 10, 10.5, 11, 11.5, 12, 12.5, 13, 13.5, 14, 15};
+  req.options.enable_polish = true;
+  req.options.explore_tighter_latency = 3;
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path rchls_bin;
+  if (argc > 1) {
+    rchls_bin = argv[1];
+  } else {
+    // Default to the sibling binary; only Linux can resolve the running
+    // executable, so elsewhere argv[1] is required.
+    std::error_code ec;
+    auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (ec) {
+      std::cerr << "error: cannot locate this executable; pass the rchls "
+                   "binary path as argv[1]\n";
+      return 1;
+    }
+    rchls_bin = self.parent_path() / "rchls";
+  }
+  if (!std::filesystem::exists(rchls_bin)) {
+    std::cerr << "error: rchls binary not found at " << rchls_bin
+              << " (pass its path as argv[1])\n";
+    return 1;
+  }
+
+  std::filesystem::path cache_dir = "perf_cache_tmp";
+  std::filesystem::remove_all(cache_dir);
+  rchls::scenario::Scenario scn = rchls::scenario::parse_string(kScenario);
+
+  // ---- cold vs disk-warm vs memory-warm scenario runs
+  SessionOptions disk_opts;
+  disk_opts.cache_dir = cache_dir.string();
+
+  double t_cold = 0.0;
+  {
+    Session session(disk_opts);  // empty disk cache: every action executes
+    t_cold = seconds_of([&] { rchls::scenario::run(scn, session); });
+  }
+  double t_disk_warm = 0.0;
+  double t_mem_warm = 0.0;
+  {
+    Session session(disk_opts);  // fresh process-equivalent: disk hits
+    t_disk_warm = seconds_of([&] { rchls::scenario::run(scn, session); });
+    t_mem_warm = seconds_of([&] { rchls::scenario::run(scn, session); });
+  }
+
+  // ---- local vs sharded sweep
+  rchls::api::SweepRequest sweep = sweep_request();
+  rchls::api::LocalExecutor local;
+  double t_local = seconds_of([&] { local.run(sweep); });
+
+  auto doc = rchls::json::Value::object();
+  doc.set("bench", "perf_cache")
+      .set("jobs", rchls::parallel::global_config().jobs)
+      .set("scenario_actions", scn.actions.size());
+  auto scenario_runs = rchls::json::Value::object();
+  scenario_runs.set("cold_s", t_cold)
+      .set("disk_warm_s", t_disk_warm)
+      .set("memory_warm_s", t_mem_warm)
+      .set("disk_warm_speedup", t_cold / t_disk_warm);
+  doc.set("scenario", std::move(scenario_runs));
+
+  auto sweeps = rchls::json::Value::object();
+  sweeps.set("cells", sweep.area_bounds.size()).set("local_s", t_local);
+  for (int shards : {2, 4}) {
+    rchls::api::SubprocessOptions so;
+    so.shards = shards;
+    so.worker_command = {rchls_bin.string(), "exec-request"};
+    rchls::api::SubprocessExecutor sub(so);
+    double t = seconds_of([&] { sub.run(sweep); });
+    sweeps.set("shards_" + std::to_string(shards) + "_s", t);
+  }
+  doc.set("sweep", std::move(sweeps));
+
+  std::filesystem::remove_all(cache_dir);
+  std::cout << doc.dump(2) << "\n";
+  return 0;
+}

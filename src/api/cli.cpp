@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "api/disk_cache.hpp"
 #include "api/session.hpp"
+#include "api/subprocess.hpp"
+#include "api/wire.hpp"
 #include "benchmarks/suite.hpp"
 #include "dfg/io.hpp"
 #include "rtl/datapath.hpp"
@@ -17,6 +23,7 @@
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace rchls::api {
@@ -33,6 +40,10 @@ constexpr const char* kUsage =
     "              [--polish] [--scheduler density|fds]\n"
     "  rchls inject <component> [--width W] [--trials N] [--seed S]\n"
     "               [--gate G] [--top K]\n"
+    "  rchls cache stats|clear   (inspect / empty the persistent cache)\n"
+    "  rchls exec-request <request.json> <result.json>\n"
+    "              (execute one wire request; the worker mode behind\n"
+    "               --shards, see docs/wire-protocol.md)\n"
     "  rchls bench   (list built-in benchmark graphs)\n"
     "inject components: ripple_carry_adder brent_kung_adder\n"
     "  kogge_stone_adder carry_save_multiplier leapfrog_multiplier\n"
@@ -42,13 +53,19 @@ constexpr const char* kUsage =
     "  --format json|csv|table   report format (default: table; sweep\n"
     "                            defaults to csv)\n"
     "  --out FILE                write the report to FILE, not stdout\n"
+    "  --cache-dir DIR           persistent result cache directory\n"
+    "                            (default: $RCHLS_CACHE_DIR; for `cache`:\n"
+    "                            .rchls-cache)\n"
+    "  --shards N                run via N exec-request worker processes\n"
+    "                            (run and sweep)\n"
     "exit codes: 0 success; 1 usage, parse or I/O error; 2 no solution\n"
     "  within bounds (synth only)\n"
     "scenario format reference: docs/scenario-format.md\n";
 
 struct Args {
   std::string command;
-  std::string target;  // graph spec, scenario path, or component name
+  std::string target;   // graph spec, scenario path, component, or subverb
+  std::string target2;  // exec-request only: the result file path
   std::optional<int> latency;
   std::optional<double> area;
   std::vector<double> areas;
@@ -63,6 +80,8 @@ struct Args {
   std::optional<std::uint32_t> gate;
   int top = 0;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  int shards = 0;        // 0 = in-process LocalExecutor
+  std::string cache_dir;  // empty = $RCHLS_CACHE_DIR, then none
   std::string format;    // empty = per-command default
   std::string out;
 };
@@ -127,9 +146,12 @@ flag_commands() {
           {"--gate", {"inject"}},
           {"--top", {"inject"}},
           {"--verify-cache", {"run"}},
-          {"--jobs", {"run", "synth", "sweep", "inject"}},
+          {"--jobs", {"run", "synth", "sweep", "inject", "exec-request"}},
           {"--format", {"run", "synth", "sweep", "inject"}},
           {"--out", {"run", "synth", "sweep", "inject"}},
+          {"--cache-dir",
+           {"run", "synth", "sweep", "inject", "cache", "exec-request"}},
+          {"--shards", {"run", "sweep"}},
       };
   return table;
 }
@@ -147,6 +169,13 @@ Args parse_args(const std::vector<std::string>& args) {
     }
     a.target = args[1];
     i = 2;
+    if (a.command == "exec-request") {
+      if (args.size() < 3 || starts_with(args[2], "--")) {
+        throw Error("exec-request needs <request.json> <result.json>");
+      }
+      a.target2 = args[2];
+      i = 3;
+    }
   }
   for (; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -197,6 +226,14 @@ Args parse_args(const std::vector<std::string>& args) {
     } else if (flag == "--top") {
       a.top = to_int(flag, next());
       if (a.top < 0) throw Error("--top needs a non-negative count");
+    } else if (flag == "--shards") {
+      a.shards = to_int(flag, next());
+      if (a.shards < 1) throw Error("--shards needs a positive count");
+    } else if (flag == "--cache-dir") {
+      a.cache_dir = next();
+      if (a.cache_dir.empty()) {
+        throw Error("--cache-dir needs a non-empty directory");
+      }
     } else if (flag == "--format") {
       const std::string& v = next();
       if (v != "json" && v != "csv" && v != "table") {
@@ -384,8 +421,12 @@ int run_scenario(const Args& a, Session& session, std::ostream& out,
                            " of " + std::to_string(scn.actions.size()) +
                            " warm-run actions were recomputed");
     }
+    // The stats ride along so CI logs show WHAT was verified, not just
+    // that verification passed.
     err << "cache: verified " << scn.actions.size()
-        << " actions served from cache, reports byte-identical\n";
+        << " actions served from cache, reports byte-identical"
+        << " (hits=" << stats.hits << " misses=" << stats.misses
+        << " entries=" << stats.entries << ")\n";
   }
   return emit(render(report, a.format), a, out);
 }
@@ -399,6 +440,51 @@ int run_bench(std::ostream& out) {
   return 0;
 }
 
+// --cache-dir wins, then $RCHLS_CACHE_DIR; the `cache` subcommand
+// additionally defaults to the conventional .rchls-cache so
+// `rchls cache stats` works bare. Engine commands default to NO disk
+// cache -- persisting results is an explicit opt-in.
+std::string resolved_cache_dir(const Args& a) {
+  if (!a.cache_dir.empty()) return a.cache_dir;
+  if (const char* env = std::getenv("RCHLS_CACHE_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return a.command == "cache" ? ".rchls-cache" : "";
+}
+
+int run_cache(const Args& a, std::ostream& out) {
+  std::string dir = resolved_cache_dir(a);
+  if (a.target == "stats") {
+    DiskCacheUsage u;
+    // Don't create the directory just to report that it is empty.
+    if (std::filesystem::is_directory(dir)) u = DiskCache(dir).usage();
+    out << "cache directory: " << dir << "\n"
+        << "entries: " << u.entries << "\n"
+        << "bytes: " << u.bytes << "\n";
+    return 0;
+  }
+  if (a.target == "clear") {
+    std::uint64_t removed = 0;
+    if (std::filesystem::is_directory(dir)) removed = DiskCache(dir).clear();
+    out << "cache directory: " << dir << "\n"
+        << "removed: " << removed << "\n";
+    return 0;
+  }
+  throw Error("cache expects 'stats' or 'clear' (got '" + a.target + "')");
+}
+
+// The worker mode behind SubprocessExecutor: one wire request in, one
+// wire result out. Shares the persistent cache when --cache-dir is
+// given, so repeated shard cells are disk hits even across sweeps.
+int run_exec_request(const Args& a, Session& session) {
+  Request req = wire::decode_request(read_file(a.target));
+  Result res = session.run(req);
+  if (!write_file(a.target2, wire::encode(res))) {
+    throw Error("cannot write result file '" + a.target2 + "'");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int cli_main(const std::vector<std::string>& args, std::ostream& out,
@@ -406,7 +492,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty()) return fail_usage(err, "missing command");
   const std::string& command = args.front();
   if (command != "run" && command != "synth" && command != "sweep" &&
-      command != "inject" && command != "bench") {
+      command != "inject" && command != "bench" && command != "cache" &&
+      command != "exec-request") {
     return fail_usage(err, "unknown command '" + command + "'");
   }
 
@@ -418,14 +505,43 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   }
 
   try {
+    if (a.command == "bench") return run_bench(out);
+    if (a.command == "cache") return run_cache(a, out);
+
     SessionOptions opts;
     opts.jobs = a.jobs;
+    opts.cache_dir = resolved_cache_dir(a);
+    if (a.shards > 0) {
+      SubprocessOptions so;
+      so.shards = a.shards;
+      so.cache_dir = opts.cache_dir;
+      so.jobs = a.jobs;  // workers inherit the user's --jobs cap
+      opts.executor = std::make_shared<SubprocessExecutor>(so);
+    }
     Session session(opts);
-    if (a.command == "run") return run_scenario(a, session, out, err);
-    if (a.command == "synth") return run_synth(a, session, out, err);
-    if (a.command == "sweep") return run_sweep(a, session, out);
-    if (a.command == "inject") return run_inject(a, session, out);
-    return run_bench(out);
+
+    int code = 0;
+    if (a.command == "run") {
+      code = run_scenario(a, session, out, err);
+    } else if (a.command == "synth") {
+      code = run_synth(a, session, out, err);
+    } else if (a.command == "sweep") {
+      code = run_sweep(a, session, out);
+    } else if (a.command == "inject") {
+      code = run_inject(a, session, out);
+    } else {
+      return run_exec_request(a, session);
+    }
+    if (!opts.cache_dir.empty()) {
+      // One machine-greppable summary of the persistent layer (CI's
+      // cross-process warm-cache job asserts disk_misses=0 executed=0
+      // on a second invocation). Stderr, so reports stay byte-stable.
+      const DiskCacheStats& ds = session.disk_stats();
+      err << "cache: dir=" << opts.cache_dir << " disk_hits=" << ds.hits
+          << " disk_misses=" << ds.misses << " stores=" << ds.stores
+          << " executed=" << session.executions() << "\n";
+    }
+    return code;
   } catch (const Error& e) {
     return fail(err, e.what());
   }

@@ -1,0 +1,143 @@
+#include "api/disk_cache.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "api/wire.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace rchls::api {
+
+namespace {
+
+// Serial for temp-file names: pid alone is not enough when several
+// Sessions (one per thread, the documented pattern) share a cache_dir
+// within one process.
+std::atomic<std::uint64_t> g_tmp_counter{0};
+
+}  // namespace
+
+DiskCache::DiskCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw Error("cannot create cache directory '" + dir_.string() + "'");
+  }
+}
+
+std::filesystem::path DiskCache::entry_path(const CacheKey& key) const {
+  return dir_ / (to_hex64(key.digest) + ".json");
+}
+
+std::optional<Result> DiskCache::find(const CacheKey& key) {
+  std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    json::Value doc = json::parse(read_file(path));
+    if (doc.at("format_version").as_string() != wire::kFormatVersion) {
+      throw Error("stale format_version");
+    }
+    // The full canonical key rules out aliasing outright: a digest
+    // collision (same filename, different request) fails here.
+    if (doc.at("canonical").as_string() != key.canonical) {
+      throw Error("canonical key mismatch");
+    }
+    // Rebuild the wire envelope from the stored payload and decode it;
+    // re-encoding the decoded result must reproduce the stored checksum
+    // (encode/decode is a fixed point), so any bit flip that survives
+    // JSON parsing still fails verification.
+    auto envelope = json::Value::object();
+    envelope.set("format_version", wire::kFormatVersion)
+        .set("kind", doc.at("kind").as_string())
+        .set("result", doc.at("result"));
+    Result result = wire::decode_result(envelope.dump(2) + "\n");
+    if (to_hex64(fnv1a64(wire::encode(result))) !=
+        doc.at("payload_check").as_string()) {
+      throw Error("payload checksum mismatch");
+    }
+    ++stats_.hits;
+    return result;
+  } catch (const Error&) {
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+}
+
+bool DiskCache::store(const CacheKey& key, const Result& value) {
+  std::string wire_text = wire::encode(value);
+  json::Value wire_doc = json::parse(wire_text);
+
+  auto doc = json::Value::object();
+  doc.set("format_version", wire::kFormatVersion)
+      .set("kind", wire::kind_of(value))
+      .set("key_digest", to_hex64(key.digest))
+      .set("canonical", key.canonical)
+      .set("payload_check", to_hex64(fnv1a64(wire_text)))
+      .set("result", wire_doc.at("result"));
+
+  std::filesystem::path path = entry_path(key);
+  std::filesystem::path tmp = path.string() + ".tmp." +
+                              std::to_string(current_pid()) + "." +
+                              std::to_string(g_tmp_counter.fetch_add(1));
+  if (!write_file(tmp, doc.dump(2) + "\n")) {
+    ++stats_.store_failures;
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    // E.g. a concurrent `rchls cache clear` swept the tmp file away, or
+    // the disk filled up: the result is already computed, so failing to
+    // PERSIST it must never fail the caller's run.
+    std::filesystem::remove(tmp, ec);
+    ++stats_.store_failures;
+    return false;
+  }
+  ++stats_.stores;
+  return true;
+}
+
+DiskCacheUsage DiskCache::usage() const {
+  DiskCacheUsage u;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") {
+      continue;
+    }
+    ++u.entries;
+    // file_size reports uintmax_t(-1) on error (e.g. the entry was
+    // cleared mid-scan) -- skip it rather than poisoning the total.
+    std::uintmax_t size = entry.file_size(ec);
+    if (!ec) u.bytes += size;
+  }
+  return u;
+}
+
+std::uint64_t DiskCache::clear() {
+  std::uint64_t removed = 0;
+  std::error_code ec;
+  std::vector<std::filesystem::path> doomed;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".json" ||
+        name.find(".json.tmp.") != std::string::npos) {
+      doomed.push_back(entry.path());
+    }
+  }
+  for (const auto& p : doomed) {
+    if (p.extension() == ".json") ++removed;
+    std::filesystem::remove(p, ec);
+  }
+  return removed;
+}
+
+}  // namespace rchls::api

@@ -1,0 +1,99 @@
+// Persistent on-disk result cache: the cross-process layer beneath
+// api::Session's in-memory ResultCache.
+//
+// Layout: one file per cached result, `<dir>/<digest>.json`, where
+// <digest> is the 16-hex-digit FNV-1a content address of the request's
+// canonical cache key (api/cache.hpp). Each entry is a JSON document:
+//
+//   { "format_version": "rchls.wire.v1",
+//     "kind": "sweep",
+//     "key_digest": "<hex16>",
+//     "canonical": "<the full canonical cache key>",
+//     "payload_check": "<hex16 FNV-1a of the result's wire encoding>",
+//     "result": { ... } }            // the api/wire result payload
+//
+// Correctness rests on verification at read time, never on trust:
+//
+//  * aliasing is impossible -- the FULL canonical key is stored and
+//    compared against the requesting key, so even a 64-bit digest
+//    collision (two keys, one filename) degrades to a miss;
+//  * corruption is detected -- the decoded result is re-encoded through
+//    the canonical wire encoder and its FNV-1a digest compared against
+//    `payload_check`; any bit flip that survives JSON parsing changes
+//    the re-encoding and is rejected as a miss (tests flip bits to pin
+//    this). Unreadable/unparsable files are likewise misses, counted in
+//    stats().corrupt;
+//  * writes are atomic -- entries are written to a `.tmp.<pid>.<serial>`
+//    sibling and renamed into place, so a crashed or concurrent writer
+//    (another process, or another thread's Session sharing the
+//    directory) can never leave a half-written entry under a live name.
+//    Last write wins, which is safe because equal keys hold equal
+//    results.
+//
+// The cache never evicts (mirroring ResultCache's determinism argument);
+// `rchls cache stats|clear` inspects and resets a directory. A stale
+// format: bumping the wire or cache-key version changes filenames or
+// fails verification, so old entries silently become misses.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "api/cache.hpp"
+#include "api/result.hpp"
+
+namespace rchls::api {
+
+/// Lookup/population counters for one DiskCache instance (per process;
+/// the directory itself is shared across processes).
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;    ///< includes corrupt entries
+  std::uint64_t stores = 0;
+  std::uint64_t corrupt = 0;   ///< failed verification, treated as misses
+  std::uint64_t store_failures = 0;  ///< failed writes (results kept)
+};
+
+/// Aggregate of one cache directory on disk (the `rchls cache stats`
+/// payload). Computed by scanning, not tracked incrementally.
+struct DiskCacheUsage {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+class DiskCache {
+ public:
+  /// Binds to `dir`, creating it (and parents) if missing. Throws
+  /// rchls::Error when the directory cannot be created.
+  explicit DiskCache(std::filesystem::path dir);
+
+  /// Returns the verified result for `key`, or nullopt on a miss (no
+  /// entry, wrong canonical key, failed checksum, unreadable file).
+  std::optional<Result> find(const CacheKey& key);
+
+  /// Persists `value` under `key` (atomic rename; last write wins).
+  /// Best-effort by design: persisting is an optimization, and a full
+  /// disk or a concurrent `cache clear` must never fail a run whose
+  /// result is already computed -- failures return false (counted in
+  /// stats().store_failures) instead of throwing.
+  bool store(const CacheKey& key, const Result& value);
+
+  const DiskCacheStats& stats() const { return stats_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Scans the directory: entry count and total bytes of `*.json` files.
+  DiskCacheUsage usage() const;
+
+  /// Deletes every `*.json` entry (and stray `.tmp` files); returns the
+  /// number of entries removed. The directory itself is kept.
+  std::uint64_t clear();
+
+ private:
+  std::filesystem::path entry_path(const CacheKey& key) const;
+
+  std::filesystem::path dir_;
+  DiskCacheStats stats_;
+};
+
+}  // namespace rchls::api

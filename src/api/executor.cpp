@@ -1,0 +1,127 @@
+#include "api/executor.hpp"
+
+#include "circuits/components.hpp"
+#include "hls/baseline.hpp"
+#include "hls/combined.hpp"
+#include "hls/explore.hpp"
+#include "hls/find_design.hpp"
+#include "netlist/stats.hpp"
+#include "ser/characterize.hpp"
+#include "util/error.hpp"
+
+namespace rchls::api {
+
+Result Executor::run(const Request& req) {
+  return std::visit([this](const auto& r) -> Result { return run(r); }, req);
+}
+
+FindDesignResult LocalExecutor::run(const FindDesignRequest& req) {
+  FindDesignResult r;
+  r.engine = req.engine;
+  r.latency_bound = req.latency_bound;
+  r.area_bound = req.area_bound;
+  try {
+    if (req.engine == "centric") {
+      r.design = hls::find_design(req.graph, req.library, req.latency_bound,
+                                  req.area_bound, req.options);
+    } else if (req.engine == "baseline") {
+      hls::BaselineOptions bo;
+      if (req.baseline_versions) {
+        bo.fixed_versions = {
+            {req.library.find(req.baseline_versions->first),
+             req.library.find(req.baseline_versions->second)}};
+      }
+      r.design = hls::nmr_baseline(req.graph, req.library, req.latency_bound,
+                                   req.area_bound, bo);
+    } else if (req.engine == "combined") {
+      hls::CombinedOptions co;
+      co.find_design = req.options;
+      r.design = hls::combined_design(req.graph, req.library,
+                                      req.latency_bound, req.area_bound, co);
+    } else {
+      throw Error("unknown engine '" + req.engine +
+                  "' (expected centric, baseline or combined)");
+    }
+    r.solved = true;
+  } catch (const NoSolutionError& e) {
+    r.solved = false;
+    r.no_solution_reason = e.what();
+  }
+  return r;
+}
+
+SweepResult LocalExecutor::run(const SweepRequest& req) {
+  SweepResult r;
+  r.axis = req.axis;
+  if (req.latency_bounds.empty() || req.area_bounds.empty()) {
+    throw Error("sweep request needs at least one bound on each axis");
+  }
+  if (req.axis == SweepAxis::kLatency) {
+    r.points = hls::latency_sweep(req.graph, req.library, req.latency_bounds,
+                                  req.area_bounds.front(), req.options);
+  } else {
+    r.points = hls::area_sweep(req.graph, req.library,
+                               req.latency_bounds.front(), req.area_bounds,
+                               req.options);
+  }
+  return r;
+}
+
+GridResult LocalExecutor::run(const GridRequest& req) {
+  hls::GridOptions go;
+  go.find_design = req.options;
+  go.combined.find_design = req.options;
+  if (req.baseline_versions) {
+    go.baseline.fixed_versions = {
+        {req.library.find(req.baseline_versions->first),
+         req.library.find(req.baseline_versions->second)}};
+  }
+  GridResult r;
+  r.rows = hls::comparison_grid(req.graph, req.library, req.latency_bounds,
+                                req.area_bounds, go);
+  r.averages = hls::grid_averages(r.rows);
+  return r;
+}
+
+InjectResult LocalExecutor::run(const InjectRequest& req) {
+  netlist::Netlist nl = circuits::component_by_name(req.component, req.width);
+  netlist::Stats stats = netlist::compute_stats(nl);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = req.trials;
+  cfg.seed = req.seed;
+
+  InjectResult r;
+  r.component = req.component;
+  r.width = req.width;
+  r.gate_count = nl.gate_count();
+  r.logic_gates = stats.logic_gates;
+  r.gate = req.gate;
+  r.result = req.gate ? ser::inject_gate(
+                            nl, static_cast<netlist::GateId>(*req.gate), cfg)
+                      : ser::inject_campaign(nl, cfg);
+  return r;
+}
+
+RankGatesResult LocalExecutor::run(const RankGatesRequest& req) {
+  netlist::Netlist nl = circuits::component_by_name(req.component, req.width);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = req.trials;
+  cfg.seed = req.seed;
+
+  RankGatesResult r;
+  r.component = req.component;
+  r.width = req.width;
+  r.gates = ser::rank_gate_sensitivities(nl, cfg);
+  if (req.top > 0 &&
+      r.gates.size() > static_cast<std::size_t>(req.top)) {
+    r.gates.resize(static_cast<std::size_t>(req.top));
+  }
+  for (const auto& gs : r.gates) {
+    r.kinds.emplace_back(netlist::to_string(nl.gate(gs.gate).kind));
+  }
+  return r;
+}
+
+}  // namespace rchls::api

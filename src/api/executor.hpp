@@ -1,0 +1,55 @@
+// The execution seam behind api::Session: WHERE a request runs,
+// separated from whether its result is cached.
+//
+// Session resolves caching (memory, then disk) and delegates every
+// actual execution to an Executor. Two implementations ship:
+//
+//  * LocalExecutor -- the in-process path: dispatches each request kind
+//    to the engine entry points (hls::find_design / nmr_baseline /
+//    combined_design, the sweep and grid drivers, the ser campaigns),
+//    including component-registry and library version-name resolution.
+//    This is the default and the engine wiring every other executor
+//    bottoms out in.
+//
+//  * SubprocessExecutor (api/subprocess.hpp) -- shards Sweep/Grid
+//    requests into per-cell child requests and fans them out to
+//    `rchls exec-request` worker processes over wire files.
+//
+// Contract: run() is a pure function of the request -- byte-identical
+// results for equal requests, on every executor, at every worker count
+// (tests assert LocalExecutor and SubprocessExecutor render identically).
+// Infeasible bounds are results (solved == false), structural problems
+// throw rchls::Error; executors never cache (that is Session's job).
+// Executors are single-caller: confine each instance to one thread.
+#pragma once
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+
+namespace rchls::api {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual FindDesignResult run(const FindDesignRequest& req) = 0;
+  virtual SweepResult run(const SweepRequest& req) = 0;
+  virtual GridResult run(const GridRequest& req) = 0;
+  virtual InjectResult run(const InjectRequest& req) = 0;
+  virtual RankGatesResult run(const RankGatesRequest& req) = 0;
+
+  /// Variant dispatch over the five overloads (the wire entry point).
+  Result run(const Request& req);
+};
+
+/// The in-process engine wiring (the only executor that computes).
+class LocalExecutor final : public Executor {
+ public:
+  FindDesignResult run(const FindDesignRequest& req) override;
+  SweepResult run(const SweepRequest& req) override;
+  GridResult run(const GridRequest& req) override;
+  InjectResult run(const InjectRequest& req) override;
+  RankGatesResult run(const RankGatesRequest& req) override;
+};
+
+}  // namespace rchls::api

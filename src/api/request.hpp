@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "dfg/graph.hpp"
@@ -94,5 +95,11 @@ struct RankGatesRequest {
   std::uint64_t seed = 1;
   int top = 10;
 };
+
+/// Any engine request -- the closed variant the wire protocol
+/// (api/wire.hpp) ships and an api::Executor dispatches over. The
+/// alternative order matches api::Result's.
+using Request = std::variant<FindDesignRequest, SweepRequest, GridRequest,
+                             InjectRequest, RankGatesRequest>;
 
 }  // namespace rchls::api

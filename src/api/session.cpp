@@ -1,169 +1,77 @@
 #include "api/session.hpp"
 
-#include "circuits/components.hpp"
-#include "hls/baseline.hpp"
-#include "hls/combined.hpp"
-#include "hls/explore.hpp"
-#include "hls/find_design.hpp"
-#include "netlist/stats.hpp"
 #include "parallel/config.hpp"
-#include "ser/characterize.hpp"
-#include "util/error.hpp"
 
 namespace rchls::api {
 
 namespace {
 
-FindDesignResult execute(const FindDesignRequest& req) {
-  FindDesignResult r;
-  r.engine = req.engine;
-  r.latency_bound = req.latency_bound;
-  r.area_bound = req.area_bound;
-  try {
-    if (req.engine == "centric") {
-      r.design = hls::find_design(req.graph, req.library, req.latency_bound,
-                                  req.area_bound, req.options);
-    } else if (req.engine == "baseline") {
-      hls::BaselineOptions bo;
-      if (req.baseline_versions) {
-        bo.fixed_versions = {
-            {req.library.find(req.baseline_versions->first),
-             req.library.find(req.baseline_versions->second)}};
-      }
-      r.design = hls::nmr_baseline(req.graph, req.library, req.latency_bound,
-                                   req.area_bound, bo);
-    } else if (req.engine == "combined") {
-      hls::CombinedOptions co;
-      co.find_design = req.options;
-      r.design = hls::combined_design(req.graph, req.library,
-                                      req.latency_bound, req.area_bound, co);
-    } else {
-      throw Error("unknown engine '" + req.engine +
-                  "' (expected centric, baseline or combined)");
-    }
-    r.solved = true;
-  } catch (const NoSolutionError& e) {
-    r.solved = false;
-    r.no_solution_reason = e.what();
-  }
-  return r;
-}
-
-SweepResult execute(const SweepRequest& req) {
-  SweepResult r;
-  r.axis = req.axis;
-  if (req.latency_bounds.empty() || req.area_bounds.empty()) {
-    throw Error("sweep request needs at least one bound on each axis");
-  }
-  if (req.axis == SweepAxis::kLatency) {
-    r.points = hls::latency_sweep(req.graph, req.library, req.latency_bounds,
-                                  req.area_bounds.front(), req.options);
-  } else {
-    r.points = hls::area_sweep(req.graph, req.library,
-                               req.latency_bounds.front(), req.area_bounds,
-                               req.options);
-  }
-  return r;
-}
-
-GridResult execute(const GridRequest& req) {
-  hls::GridOptions go;
-  go.find_design = req.options;
-  go.combined.find_design = req.options;
-  if (req.baseline_versions) {
-    go.baseline.fixed_versions = {
-        {req.library.find(req.baseline_versions->first),
-         req.library.find(req.baseline_versions->second)}};
-  }
-  GridResult r;
-  r.rows = hls::comparison_grid(req.graph, req.library, req.latency_bounds,
-                                req.area_bounds, go);
-  r.averages = hls::grid_averages(r.rows);
-  return r;
-}
-
-InjectResult execute(const InjectRequest& req) {
-  netlist::Netlist nl = circuits::component_by_name(req.component, req.width);
-  netlist::Stats stats = netlist::compute_stats(nl);
-
-  ser::InjectionConfig cfg;
-  cfg.trials = req.trials;
-  cfg.seed = req.seed;
-
-  InjectResult r;
-  r.component = req.component;
-  r.width = req.width;
-  r.gate_count = nl.gate_count();
-  r.logic_gates = stats.logic_gates;
-  r.gate = req.gate;
-  r.result = req.gate ? ser::inject_gate(
-                            nl, static_cast<netlist::GateId>(*req.gate), cfg)
-                      : ser::inject_campaign(nl, cfg);
-  return r;
-}
-
-RankGatesResult execute(const RankGatesRequest& req) {
-  netlist::Netlist nl = circuits::component_by_name(req.component, req.width);
-
-  ser::InjectionConfig cfg;
-  cfg.trials = req.trials;
-  cfg.seed = req.seed;
-
-  RankGatesResult r;
-  r.component = req.component;
-  r.width = req.width;
-  r.gates = ser::rank_gate_sensitivities(nl, cfg);
-  if (req.top > 0 &&
-      r.gates.size() > static_cast<std::size_t>(req.top)) {
-    r.gates.resize(static_cast<std::size_t>(req.top));
-  }
-  for (const auto& gs : r.gates) {
-    r.kinds.emplace_back(netlist::to_string(nl.gate(gs.gate).kind));
-  }
-  return r;
-}
+// disk_stats() needs something to reference when no disk cache exists.
+const DiskCacheStats kNoDiskStats{};
 
 }  // namespace
 
-Session::Session(SessionOptions options) : options_(options) {
+Session::Session(SessionOptions options) : options_(std::move(options)) {
   if (options_.jobs != 0) parallel::set_global_jobs(options_.jobs);
+  if (!options_.cache_dir.empty()) {
+    disk_ = std::make_unique<DiskCache>(options_.cache_dir);
+  }
+  executor_ = options_.executor ? options_.executor
+                                : std::make_shared<LocalExecutor>();
 }
 
-template <typename ResultT, typename RequestT, typename Fn>
-ResultT Session::cached(const RequestT& req, Fn execute_fn) {
-  if (!options_.enable_cache) return execute_fn(req);
+const DiskCacheStats& Session::disk_stats() const {
+  return disk_ ? disk_->stats() : kNoDiskStats;
+}
+
+template <typename ResultT, typename RequestT>
+ResultT Session::cached(const RequestT& req) {
+  if (!options_.enable_cache) {
+    ++executions_;
+    return executor_->run(req);
+  }
   CacheKey key = key_of(req);
   if (const Result* hit = cache_.find(key)) {
     return std::get<ResultT>(*hit);
   }
-  ResultT r = execute_fn(req);
+  if (disk_) {
+    if (std::optional<Result> hit = disk_->find(key)) {
+      // Promote to the memory layer so repeated lookups in this process
+      // stop touching the filesystem.
+      ResultT r = std::get<ResultT>(std::move(*hit));
+      cache_.store(key, r);
+      return r;
+    }
+  }
+  ++executions_;
+  ResultT r = executor_->run(req);
   cache_.store(key, r);
+  if (disk_) disk_->store(key, r);
   return r;
 }
 
 FindDesignResult Session::run(const FindDesignRequest& req) {
-  return cached<FindDesignResult>(
-      req, [](const FindDesignRequest& r) { return execute(r); });
+  return cached<FindDesignResult>(req);
 }
 
 SweepResult Session::run(const SweepRequest& req) {
-  return cached<SweepResult>(
-      req, [](const SweepRequest& r) { return execute(r); });
+  return cached<SweepResult>(req);
 }
 
 GridResult Session::run(const GridRequest& req) {
-  return cached<GridResult>(
-      req, [](const GridRequest& r) { return execute(r); });
+  return cached<GridResult>(req);
 }
 
 InjectResult Session::run(const InjectRequest& req) {
-  return cached<InjectResult>(
-      req, [](const InjectRequest& r) { return execute(r); });
+  return cached<InjectResult>(req);
 }
 
 RankGatesResult Session::run(const RankGatesRequest& req) {
-  return cached<RankGatesResult>(
-      req, [](const RankGatesRequest& r) { return execute(r); });
+  return cached<RankGatesResult>(req);
+}
+
+Result Session::run(const Request& req) {
+  return std::visit([this](const auto& r) -> Result { return run(r); }, req);
 }
 
 }  // namespace rchls::api

@@ -3,77 +3,116 @@
 //
 // Both front-ends (scenario::Runner and the CLI, api/cli.cpp) and any
 // embedding program execute engine work by building a typed request
-// (request.hpp) and calling Session::run. The session owns the pieces a
-// request execution needs:
+// (request.hpp) and calling Session::run. The session stacks three
+// layers in front of the engines:
 //
-//  * the engine wiring -- the dispatch from request fields to
-//    hls::find_design / nmr_baseline / combined_design, the sweep and
-//    grid drivers, and the ser campaign entry points, including the
-//    component registry lookups (circuits::component_by_name) and
-//    library version-name resolution;
-//  * the parallel worker configuration -- SessionOptions::jobs, when
-//    non-zero, is written to the process-wide parallel::Config at
-//    construction (the pool itself stays process-global, see
-//    parallel/parallel_for.cpp; engines partition deterministically, so
-//    the worker count never changes results);
-//  * the content-addressed result cache (cache.hpp): run() first looks
-//    the request's canonical key up and only executes on a miss, so
-//    re-running an edited scenario through one session recomputes only
-//    the changed actions.
+//  1. the in-memory result cache (cache.hpp): run() first looks the
+//     request's canonical key up and short-circuits on a hit, so
+//     re-running an edited scenario through one session recomputes only
+//     the changed actions;
+//  2. the optional persistent disk cache (disk_cache.hpp), consulted on
+//     a memory miss: entries live under SessionOptions::cache_dir as
+//     digest-named wire files, so a SEPARATE process that ran the same
+//     request already paid for it -- warm CLI re-invocations execute
+//     nothing (CI asserts zero executions on the second run);
+//  3. the Executor (executor.hpp), which owns WHERE a miss actually
+//     executes: LocalExecutor (default) dispatches in-process to
+//     hls::find_design / nmr_baseline / combined_design, the sweep and
+//     grid drivers, and the ser campaign entry points;
+//     SubprocessExecutor (subprocess.hpp) shards the work across
+//     `rchls exec-request` worker processes over the wire protocol.
+//
+// SessionOptions::jobs, when non-zero, is written to the process-wide
+// parallel::Config at construction (the pool itself stays
+// process-global; engines partition deterministically, so the worker
+// count never changes results).
 //
 // Determinism guarantee: for a given request, run() returns a result
 // that is byte-identical (through every report writer) whether it was
-// computed cold, served from cache, or computed at a different --jobs
-// value. This is tested by tests/api_session_test.cpp and enforced in
-// CI by `rchls run --verify-cache` over every shipped scenario.
+// computed cold, served from either cache layer, computed at a
+// different --jobs value, or sharded across processes. This is tested
+// by tests/api_session_test.cpp, tests/api_executor_test.cpp and
+// enforced in CI by `rchls run --verify-cache` plus the cross-process
+// warm-cache job.
 //
 // Error behavior: infeasible synthesis bounds are results (solved ==
 // false), not errors. Structural problems -- an unknown engine or
 // component name, a library missing a resource class or version the
 // request names -- throw rchls::Error; failed executions are never
-// cached. Sessions are value-cheap to create but single-threaded: share
-// one per thread, not across threads.
+// cached (in memory or on disk). Sessions are value-cheap to create but
+// single-threaded: share one per thread, not across threads.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "api/cache.hpp"
+#include "api/disk_cache.hpp"
+#include "api/executor.hpp"
 #include "api/request.hpp"
 #include "api/result.hpp"
 
 namespace rchls::api {
 
 struct SessionOptions {
-  /// Memoize results by content address. Off = every run() executes.
+  /// Memoize results by content address. Off = every run() executes
+  /// (and the disk cache, if any, is bypassed too).
   bool enable_cache = true;
   /// Worker count for parallel regions; 0 leaves the process-wide
   /// parallel::Config untouched (the CLI's --jobs default).
   std::size_t jobs = 0;
+  /// Directory of the persistent result cache; empty = memory only.
+  /// (The CLI wires --cache-dir / RCHLS_CACHE_DIR through here.)
+  std::string cache_dir;
+  /// Execution seam; null = a private LocalExecutor.
+  std::shared_ptr<Executor> executor;
 };
 
 class Session {
  public:
   explicit Session(SessionOptions options = {});
 
-  /// Executes the request (or serves it from cache). See the header
-  /// comment for the determinism and error contracts.
+  /// Executes the request (or serves it from a cache layer). See the
+  /// header comment for the determinism and error contracts.
   FindDesignResult run(const FindDesignRequest& req);
   SweepResult run(const SweepRequest& req);
   GridResult run(const GridRequest& req);
   InjectResult run(const InjectRequest& req);
   RankGatesResult run(const RankGatesRequest& req);
 
-  /// Lookup/population counters -- the observable cache behavior tests
-  /// and `rchls run --verify-cache` assert on.
+  /// Variant overload for wire-decoded requests (used by
+  /// `rchls exec-request`); same caching and error behavior.
+  Result run(const Request& req);
+
+  /// Lookup/population counters of the in-memory layer -- the
+  /// observable cache behavior tests and `rchls run --verify-cache`
+  /// assert on. A disk hit counts as a memory miss here (the request
+  /// did reach layer 2) and a hit in disk_stats().
   const CacheStats& cache_stats() const { return cache_.stats(); }
 
-  /// Drops all cached results and zeroes the stats.
+  /// Counters of the persistent layer (all zero when no cache_dir was
+  /// configured).
+  const DiskCacheStats& disk_stats() const;
+
+  /// Number of requests that reached the executor (neither cache layer
+  /// answered). The "zero engine executions" acceptance criterion for
+  /// warm cross-process runs is asserted on this.
+  std::uint64_t executions() const { return executions_; }
+
+  /// Drops all in-memory cached results and zeroes the stats (the disk
+  /// layer is unaffected; use `rchls cache clear` / DiskCache::clear).
   void clear_cache() { cache_.clear(); }
 
  private:
-  template <typename ResultT, typename RequestT, typename Fn>
-  ResultT cached(const RequestT& req, Fn execute);
+  template <typename ResultT, typename RequestT>
+  ResultT cached(const RequestT& req);
 
   SessionOptions options_;
   ResultCache cache_;
+  std::unique_ptr<DiskCache> disk_;
+  std::shared_ptr<Executor> executor_;
+  std::uint64_t executions_ = 0;
 };
 
 }  // namespace rchls::api

@@ -1,0 +1,284 @@
+#include "api/subprocess.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "api/wire.hpp"
+#include "hls/explore.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace rchls::api {
+
+namespace {
+
+// Linux resolves the running binary exactly; elsewhere the PATH
+// fallback may find a different install, so non-Linux embedders should
+// set SubprocessOptions::worker_command explicitly.
+std::string self_executable() {
+#ifdef __linux__
+  std::error_code ec;
+  auto p = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return p.string();
+#endif
+  return "rchls";
+}
+
+// POSIX single-quote escaping: robust for any path the filesystem can
+// produce, including spaces.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+int default_spawn(const std::vector<std::string>& argv,
+                  const std::filesystem::path& stderr_file) {
+  std::string cmd;
+  for (const auto& a : argv) {
+    if (!cmd.empty()) cmd += " ";
+    cmd += shell_quote(a);
+  }
+  cmd += " 2> " + shell_quote(stderr_file.string());
+  int rc = std::system(cmd.c_str());
+#ifndef _WIN32
+  if (rc == -1) return -1;
+  return WEXITSTATUS(rc);
+#else
+  return rc;
+#endif
+}
+
+std::string tail_of(const std::filesystem::path& p) {
+  std::string text;
+  try {
+    text = read_file(p);
+  } catch (const Error&) {
+    return "";
+  }
+  constexpr std::size_t kTail = 512;
+  if (text.size() > kTail) text.erase(0, text.size() - kTail);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+// Copies the shared context of a sharded parent onto one child cell.
+template <typename RequestT>
+RequestT cell_base(const RequestT& parent) {
+  RequestT cell;
+  cell.graph = parent.graph;
+  cell.library = parent.library;
+  cell.options = parent.options;
+  return cell;
+}
+
+std::atomic<std::uint64_t> g_instance_counter{0};
+
+}  // namespace
+
+SubprocessExecutor::SubprocessExecutor(SubprocessOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards < 1) {
+    throw Error("subprocess executor needs at least one shard");
+  }
+#ifdef _WIN32
+  // default_spawn's quoting targets POSIX sh; cmd.exe treats single
+  // quotes literally, so real process spawning would silently mangle
+  // every worker command line. Fail loudly instead.
+  if (!options_.spawn) {
+    throw Error("subprocess sharding needs a POSIX shell; provide "
+                "SubprocessOptions::spawn on this platform");
+  }
+#endif
+  if (options_.worker_command.empty()) {
+    options_.worker_command = {self_executable(), "exec-request"};
+  }
+  std::filesystem::path base = options_.work_dir.empty()
+                                   ? std::filesystem::temp_directory_path()
+                                   : options_.work_dir;
+  run_dir_ = base / ("rchls-exec-" + std::to_string(current_pid()) + "-" +
+                     std::to_string(g_instance_counter.fetch_add(1)));
+  std::error_code ec;
+  std::filesystem::create_directories(run_dir_, ec);
+  if (ec || !std::filesystem::is_directory(run_dir_)) {
+    throw Error("cannot create worker directory '" + run_dir_.string() + "'");
+  }
+}
+
+SubprocessExecutor::~SubprocessExecutor() {
+  std::error_code ec;
+  std::filesystem::remove_all(run_dir_, ec);
+}
+
+std::vector<Result> SubprocessExecutor::run_cells(
+    const std::vector<Request>& cells) {
+  std::filesystem::path dir =
+      run_dir_ / ("run-" + std::to_string(next_run_++));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw Error("cannot create worker directory '" + dir.string() + "'");
+
+  // Write every request file up front; workers only ever read them.
+  std::vector<std::filesystem::path> req_files(cells.size());
+  std::vector<std::filesystem::path> res_files(cells.size());
+  std::vector<std::filesystem::path> err_files(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    req_files[i] = dir / ("req-" + std::to_string(i) + ".json");
+    res_files[i] = dir / ("res-" + std::to_string(i) + ".json");
+    err_files[i] = dir / ("err-" + std::to_string(i) + ".log");
+    if (!write_file(req_files[i], wire::encode(cells[i]))) {
+      throw Error("cannot write request file '" + req_files[i].string() +
+                  "'");
+    }
+  }
+
+  auto spawn = options_.spawn ? options_.spawn : default_spawn;
+  std::vector<Result> results(cells.size());
+  std::vector<std::string> errors(cells.size());
+
+  // Static index striding: cell i runs on worker-slot i % T, results land
+  // by index -- the merge order is the cell order, never completion order.
+  auto drive = [&](std::size_t t, std::size_t stride) {
+    for (std::size_t i = t; i < cells.size(); i += stride) {
+      std::vector<std::string> argv = options_.worker_command;
+      argv.push_back(req_files[i].string());
+      argv.push_back(res_files[i].string());
+      if (!options_.cache_dir.empty()) {
+        argv.push_back("--cache-dir");
+        argv.push_back(options_.cache_dir);
+      }
+      if (options_.jobs != 0) {
+        argv.push_back("--jobs");
+        argv.push_back(std::to_string(options_.jobs));
+      }
+      try {
+        int code = spawn(argv, err_files[i]);
+        if (code != 0) {
+          std::string tail = tail_of(err_files[i]);
+          throw Error("worker exited with code " + std::to_string(code) +
+                      (tail.empty() ? "" : ": " + tail));
+        }
+        Result res = wire::decode_result(read_file(res_files[i]));
+        if (std::string(wire::kind_of(res)) !=
+            wire::kind_of(cells[i])) {
+          throw Error(std::string("worker answered kind '") +
+                      wire::kind_of(res) + "' for a '" +
+                      wire::kind_of(cells[i]) + "' request");
+        }
+        results[i] = std::move(res);
+      } catch (const Error& e) {
+        errors[i] = e.what();
+      }
+    }
+  };
+
+  std::size_t threads = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.shards), cells.size());
+  workers_launched_ += cells.size();
+  if (threads <= 1) {
+    drive(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back(drive, t, threads);
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!errors[i].empty()) {
+      throw Error("shard cell " + std::to_string(i) + " of " +
+                  std::to_string(cells.size()) + " failed: " + errors[i]);
+    }
+  }
+  std::filesystem::remove_all(dir, ec);
+  return results;
+}
+
+FindDesignResult SubprocessExecutor::run(const FindDesignRequest& req) {
+  return std::get<FindDesignResult>(run_cells({Request(req)}).front());
+}
+
+SweepResult SubprocessExecutor::run(const SweepRequest& req) {
+  if (req.latency_bounds.empty() || req.area_bounds.empty()) {
+    throw Error("sweep request needs at least one bound on each axis");
+  }
+  // One child per swept bound; the fixed axis rides along unchanged.
+  std::vector<Request> cells;
+  if (req.axis == SweepAxis::kLatency) {
+    for (int ld : req.latency_bounds) {
+      SweepRequest cell = cell_base(req);
+      cell.axis = req.axis;
+      cell.latency_bounds = {ld};
+      cell.area_bounds = {req.area_bounds.front()};
+      cells.emplace_back(std::move(cell));
+    }
+  } else {
+    for (double ad : req.area_bounds) {
+      SweepRequest cell = cell_base(req);
+      cell.axis = req.axis;
+      cell.latency_bounds = {req.latency_bounds.front()};
+      cell.area_bounds = {ad};
+      cells.emplace_back(std::move(cell));
+    }
+  }
+
+  SweepResult merged;
+  merged.axis = req.axis;
+  for (Result& r : run_cells(cells)) {
+    auto& part = std::get<SweepResult>(r);
+    merged.points.insert(merged.points.end(), part.points.begin(),
+                         part.points.end());
+  }
+  return merged;
+}
+
+GridResult SubprocessExecutor::run(const GridRequest& req) {
+  // One child per (latency, area) cell, in the grid's row-major
+  // (latency-outer) order.
+  std::vector<Request> cells;
+  for (int ld : req.latency_bounds) {
+    for (double ad : req.area_bounds) {
+      GridRequest cell = cell_base(req);
+      cell.latency_bounds = {ld};
+      cell.area_bounds = {ad};
+      cell.baseline_versions = req.baseline_versions;
+      cells.emplace_back(std::move(cell));
+    }
+  }
+
+  GridResult merged;
+  for (Result& r : run_cells(cells)) {
+    auto& part = std::get<GridResult>(r);
+    merged.rows.insert(merged.rows.end(), part.rows.begin(),
+                       part.rows.end());
+  }
+  // Averages are over common cells of the WHOLE grid; recompute from the
+  // merged rows with the same pure function the local path uses.
+  merged.averages = hls::grid_averages(merged.rows);
+  return merged;
+}
+
+InjectResult SubprocessExecutor::run(const InjectRequest& req) {
+  return std::get<InjectResult>(run_cells({Request(req)}).front());
+}
+
+RankGatesResult SubprocessExecutor::run(const RankGatesRequest& req) {
+  return std::get<RankGatesResult>(run_cells({Request(req)}).front());
+}
+
+}  // namespace rchls::api

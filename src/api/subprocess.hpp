@@ -1,0 +1,97 @@
+// SubprocessExecutor: fan engine requests out to worker PROCESSES over
+// the wire protocol.
+//
+// Sweep and Grid requests are embarrassingly cell-parallel (every point
+// of hls::latency_sweep / area_sweep / comparison_grid is independent),
+// so this executor shards them into one self-contained child request
+// per cell, writes each as a wire file, runs up to `shards` concurrent
+// `rchls exec-request <request.json> <result.json>` worker processes,
+// and merges the per-cell results back in cell order. The other three
+// request kinds ship as a single child request -- everything the
+// executor runs goes over the wire, nothing executes in-process.
+//
+// Determinism: sharding is by index and merging is by index, so the
+// merged result -- and every report rendered from it -- is byte-identical
+// to LocalExecutor's at any shard count (tests assert shards 1/2/4
+// against jobs 1/2/8). Grid averages are recomputed from the merged rows
+// with hls::grid_averages, the same pure function the local path uses.
+//
+// Failure: a worker that exits non-zero, writes no result, or writes a
+// result of the wrong kind fails the whole request with rchls::Error
+// (first failing cell wins), including the tail of the worker's stderr.
+// Partial results are never merged.
+//
+// This is the process-level rung of the ROADMAP's remote-runner ladder:
+// the wire files this executor exchanges with its workers are exactly
+// what a remote transport would ship between hosts.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+
+namespace rchls::api {
+
+struct SubprocessOptions {
+  /// Maximum concurrent worker processes (>= 1).
+  int shards = 2;
+  /// argv prefix of the worker; the executor appends the request and
+  /// result file paths (plus --cache-dir when `cache_dir` is set).
+  /// Empty = {<this executable>, "exec-request"} -- correct when the
+  /// embedding binary is the rchls CLI itself.
+  std::vector<std::string> worker_command;
+  /// Directory for wire files; a unique subdirectory is created beneath
+  /// it (and removed on destruction). Empty = the system temp directory.
+  std::filesystem::path work_dir;
+  /// When set, workers share this persistent result cache: each child
+  /// request is content-addressed on its own, so re-sharded or repeated
+  /// cells become disk hits. Forwarded as --cache-dir.
+  std::string cache_dir;
+  /// Worker count WITHIN each worker process, forwarded as --jobs
+  /// (0 = leave the workers at their hardware-concurrency default).
+  /// With N shards each running M engine threads the host sees N*M
+  /// threads, so a jobs cap is how single-host sharded runs avoid
+  /// oversubscription.
+  std::size_t jobs = 0;
+  /// Test seam: launches one worker (argv[0] is the program), with
+  /// stderr redirected to `stderr_file`, and returns its exit code.
+  /// Empty = spawn a real process through the shell.
+  std::function<int(const std::vector<std::string>& argv,
+                    const std::filesystem::path& stderr_file)>
+      spawn;
+};
+
+class SubprocessExecutor final : public Executor {
+ public:
+  explicit SubprocessExecutor(SubprocessOptions options = {});
+  ~SubprocessExecutor() override;
+
+  SubprocessExecutor(const SubprocessExecutor&) = delete;
+  SubprocessExecutor& operator=(const SubprocessExecutor&) = delete;
+
+  FindDesignResult run(const FindDesignRequest& req) override;
+  SweepResult run(const SweepRequest& req) override;
+  GridResult run(const GridRequest& req) override;
+  InjectResult run(const InjectRequest& req) override;
+  RankGatesResult run(const RankGatesRequest& req) override;
+
+  /// Total worker processes launched by this executor (observability;
+  /// tests assert sharding actually happened).
+  std::uint64_t workers_launched() const { return workers_launched_; }
+
+ private:
+  /// Ships every cell over the wire and returns their results in cell
+  /// order. Throws on the first (lowest-index) failed cell.
+  std::vector<Result> run_cells(const std::vector<Request>& cells);
+
+  SubprocessOptions options_;
+  std::filesystem::path run_dir_;   ///< unique, owned, removed on dtor
+  std::uint64_t next_run_ = 0;
+  std::uint64_t workers_launched_ = 0;
+};
+
+}  // namespace rchls::api

@@ -1,0 +1,592 @@
+#include "api/wire.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "dfg/io.hpp"
+#include "library/io.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace rchls::api::wire {
+
+namespace {
+
+// ----------------------------------------------------------- field helpers
+
+[[noreturn]] void fail(const std::string& msg) { throw Error("wire: " + msg); }
+
+int to_int(const json::Value& v, const char* what) {
+  std::int64_t x = v.as_int();
+  if (x < std::numeric_limits<int>::min() ||
+      x > std::numeric_limits<int>::max()) {
+    fail(std::string(what) + " is out of int range");
+  }
+  return static_cast<int>(x);
+}
+
+std::size_t to_size(const json::Value& v, const char* what) {
+  std::int64_t x = v.as_int();
+  if (x < 0) fail(std::string(what) + " must be non-negative");
+  return static_cast<std::size_t>(x);
+}
+
+std::uint32_t to_u32(const json::Value& v, const char* what) {
+  std::int64_t x = v.as_int();
+  if (x < 0 || x > std::numeric_limits<std::uint32_t>::max()) {
+    fail(std::string(what) + " is out of uint32 range");
+  }
+  return static_cast<std::uint32_t>(x);
+}
+
+// 64-bit seeds ride as decimal strings: JSON integers are int64 at best,
+// and a seed of 2^63 must round-trip exactly, not wrap negative.
+json::Value seed_to_json(std::uint64_t seed) {
+  return json::Value(std::to_string(seed));
+}
+
+std::uint64_t seed_from_json(const json::Value& v) {
+  const std::string& s = v.as_string();
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail("seed is not a decimal uint64: '" + s + "'");
+  }
+  return out;
+}
+
+json::Value opt_to_json(const std::optional<double>& d) {
+  return d ? json::Value(*d) : json::Value();
+}
+
+std::optional<double> opt_double_from_json(const json::Value& v) {
+  if (v.is_null()) return std::nullopt;
+  return v.as_double();
+}
+
+json::Value int_list_to_json(const std::vector<int>& xs) {
+  auto a = json::Value::array();
+  for (int x : xs) a.push(x);
+  return a;
+}
+
+std::vector<int> int_list_from_json(const json::Value& v, const char* what) {
+  std::vector<int> out;
+  for (const auto& x : v.items()) out.push_back(to_int(x, what));
+  return out;
+}
+
+json::Value double_list_to_json(const std::vector<double>& xs) {
+  auto a = json::Value::array();
+  for (double x : xs) a.push(x);
+  return a;
+}
+
+std::vector<double> double_list_from_json(const json::Value& v) {
+  std::vector<double> out;
+  for (const auto& x : v.items()) out.push_back(x.as_double());
+  return out;
+}
+
+// ------------------------------------------------------- shared sub-objects
+
+json::Value context_to_json(const dfg::Graph& g,
+                            const library::ResourceLibrary& lib) {
+  // Graphs and libraries ship as their own round-tripping text formats
+  // (dfg/io, library/io) embedded in JSON strings -- one grammar for
+  // files, scenarios and the wire.
+  auto v = json::Value::object();
+  v.set("graph", dfg::to_text(g)).set("library", library::to_text(lib));
+  return v;
+}
+
+json::Value options_to_json(const hls::FindDesignOptions& o) {
+  auto v = json::Value::object();
+  v.set("scheduler",
+        o.scheduler == hls::SchedulerKind::kDensity ? "density" : "fds")
+      .set("consolidation", o.enable_consolidation)
+      .set("polish", o.enable_polish)
+      .set("explore", o.explore_tighter_latency)
+      .set("max_iterations", o.max_iterations);
+  return v;
+}
+
+hls::FindDesignOptions options_from_json(const json::Value& v) {
+  hls::FindDesignOptions o;
+  const std::string& sched = v.at("scheduler").as_string();
+  if (sched == "density") {
+    o.scheduler = hls::SchedulerKind::kDensity;
+  } else if (sched == "fds") {
+    o.scheduler = hls::SchedulerKind::kForceDirected;
+  } else {
+    fail("unknown scheduler '" + sched + "'");
+  }
+  o.enable_consolidation = v.at("consolidation").as_bool();
+  o.enable_polish = v.at("polish").as_bool();
+  o.explore_tighter_latency = to_int(v.at("explore"), "explore");
+  o.max_iterations = to_int(v.at("max_iterations"), "max_iterations");
+  return o;
+}
+
+json::Value baseline_to_json(
+    const std::optional<std::pair<std::string, std::string>>& versions) {
+  if (!versions) return json::Value();
+  auto a = json::Value::array();
+  a.push(versions->first).push(versions->second);
+  return a;
+}
+
+std::optional<std::pair<std::string, std::string>> baseline_from_json(
+    const json::Value& v) {
+  if (v.is_null()) return std::nullopt;
+  if (v.items().size() != 2) {
+    fail("baseline_versions must be null or [adder, mult]");
+  }
+  return std::make_pair(v.items()[0].as_string(), v.items()[1].as_string());
+}
+
+const char* axis_name(SweepAxis axis) {
+  return axis == SweepAxis::kLatency ? "latency" : "area";
+}
+
+SweepAxis axis_from_json(const json::Value& v) {
+  const std::string& s = v.as_string();
+  if (s == "latency") return SweepAxis::kLatency;
+  if (s == "area") return SweepAxis::kArea;
+  fail("unknown sweep axis '" + s + "'");
+}
+
+// --------------------------------------------------------- request payloads
+
+json::Value payload(const FindDesignRequest& r) {
+  auto v = context_to_json(r.graph, r.library);
+  v.set("latency_bound", r.latency_bound)
+      .set("area_bound", r.area_bound)
+      .set("engine", r.engine)
+      .set("options", options_to_json(r.options))
+      .set("baseline_versions", baseline_to_json(r.baseline_versions));
+  return v;
+}
+
+json::Value payload(const SweepRequest& r) {
+  auto v = context_to_json(r.graph, r.library);
+  v.set("axis", axis_name(r.axis))
+      .set("latency_bounds", int_list_to_json(r.latency_bounds))
+      .set("area_bounds", double_list_to_json(r.area_bounds))
+      .set("options", options_to_json(r.options));
+  return v;
+}
+
+json::Value payload(const GridRequest& r) {
+  auto v = context_to_json(r.graph, r.library);
+  v.set("latency_bounds", int_list_to_json(r.latency_bounds))
+      .set("area_bounds", double_list_to_json(r.area_bounds))
+      .set("options", options_to_json(r.options))
+      .set("baseline_versions", baseline_to_json(r.baseline_versions));
+  return v;
+}
+
+json::Value payload(const InjectRequest& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component)
+      .set("width", r.width)
+      .set("trials", r.trials)
+      .set("seed", seed_to_json(r.seed))
+      .set("gate", r.gate ? json::Value(*r.gate) : json::Value());
+  return v;
+}
+
+json::Value payload(const RankGatesRequest& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component)
+      .set("width", r.width)
+      .set("trials", r.trials)
+      .set("seed", seed_to_json(r.seed))
+      .set("top", r.top);
+  return v;
+}
+
+FindDesignRequest find_design_request(const json::Value& v) {
+  FindDesignRequest r;
+  r.graph = dfg::parse_string(v.at("graph").as_string());
+  r.library = library::parse_string(v.at("library").as_string());
+  r.latency_bound = to_int(v.at("latency_bound"), "latency_bound");
+  r.area_bound = v.at("area_bound").as_double();
+  r.engine = v.at("engine").as_string();
+  r.options = options_from_json(v.at("options"));
+  r.baseline_versions = baseline_from_json(v.at("baseline_versions"));
+  return r;
+}
+
+SweepRequest sweep_request(const json::Value& v) {
+  SweepRequest r;
+  r.graph = dfg::parse_string(v.at("graph").as_string());
+  r.library = library::parse_string(v.at("library").as_string());
+  r.axis = axis_from_json(v.at("axis"));
+  r.latency_bounds = int_list_from_json(v.at("latency_bounds"), "latency");
+  r.area_bounds = double_list_from_json(v.at("area_bounds"));
+  r.options = options_from_json(v.at("options"));
+  return r;
+}
+
+GridRequest grid_request(const json::Value& v) {
+  GridRequest r;
+  r.graph = dfg::parse_string(v.at("graph").as_string());
+  r.library = library::parse_string(v.at("library").as_string());
+  r.latency_bounds = int_list_from_json(v.at("latency_bounds"), "latency");
+  r.area_bounds = double_list_from_json(v.at("area_bounds"));
+  r.options = options_from_json(v.at("options"));
+  r.baseline_versions = baseline_from_json(v.at("baseline_versions"));
+  return r;
+}
+
+InjectRequest inject_request(const json::Value& v) {
+  InjectRequest r;
+  r.component = v.at("component").as_string();
+  r.width = to_int(v.at("width"), "width");
+  r.trials = to_size(v.at("trials"), "trials");
+  r.seed = seed_from_json(v.at("seed"));
+  const json::Value& gate = v.at("gate");
+  if (!gate.is_null()) r.gate = to_u32(gate, "gate");
+  return r;
+}
+
+RankGatesRequest rank_gates_request(const json::Value& v) {
+  RankGatesRequest r;
+  r.component = v.at("component").as_string();
+  r.width = to_int(v.at("width"), "width");
+  r.trials = to_size(v.at("trials"), "trials");
+  r.seed = seed_from_json(v.at("seed"));
+  r.top = to_int(v.at("top"), "top");
+  return r;
+}
+
+// ---------------------------------------------------------- result payloads
+
+json::Value design_to_json(const hls::Design& d) {
+  auto v = json::Value::object();
+  auto version_of = json::Value::array();
+  for (auto id : d.version_of) version_of.push(id);
+  v.set("version_of", std::move(version_of));
+
+  auto schedule = json::Value::object();
+  schedule.set("start", int_list_to_json(d.schedule.start))
+      .set("latency", d.schedule.latency);
+  v.set("schedule", std::move(schedule));
+
+  auto instances = json::Value::array();
+  for (const auto& inst : d.binding.instances) {
+    auto ji = json::Value::object();
+    auto ops = json::Value::array();
+    for (auto op : inst.ops) ops.push(op);
+    ji.set("version", inst.version).set("ops", std::move(ops));
+    instances.push(std::move(ji));
+  }
+  auto instance_of = json::Value::array();
+  for (auto id : d.binding.instance_of) instance_of.push(id);
+  auto binding = json::Value::object();
+  binding.set("instances", std::move(instances))
+      .set("instance_of", std::move(instance_of));
+  v.set("binding", std::move(binding));
+
+  v.set("copies", int_list_to_json(d.copies))
+      .set("latency", d.latency)
+      .set("area", d.area)
+      .set("reliability", d.reliability);
+  return v;
+}
+
+hls::Design design_from_json(const json::Value& v) {
+  hls::Design d;
+  for (const auto& x : v.at("version_of").items()) {
+    d.version_of.push_back(to_u32(x, "version_of"));
+  }
+  const json::Value& schedule = v.at("schedule");
+  d.schedule.start = int_list_from_json(schedule.at("start"), "start");
+  d.schedule.latency = to_int(schedule.at("latency"), "schedule.latency");
+
+  const json::Value& binding = v.at("binding");
+  for (const auto& ji : binding.at("instances").items()) {
+    bind::Instance inst;
+    inst.version = to_u32(ji.at("version"), "instance version");
+    for (const auto& op : ji.at("ops").items()) {
+      inst.ops.push_back(to_u32(op, "instance op"));
+    }
+    d.binding.instances.push_back(std::move(inst));
+  }
+  for (const auto& x : binding.at("instance_of").items()) {
+    d.binding.instance_of.push_back(to_u32(x, "instance_of"));
+  }
+
+  d.copies = int_list_from_json(v.at("copies"), "copies");
+  d.latency = to_int(v.at("latency"), "latency");
+  d.area = v.at("area").as_double();
+  d.reliability = v.at("reliability").as_double();
+  return d;
+}
+
+json::Value injection_to_json(const ser::InjectionResult& r) {
+  auto v = json::Value::object();
+  v.set("trials", r.trials)
+      .set("propagated", r.propagated)
+      .set("logical_sensitivity", r.logical_sensitivity)
+      .set("susceptibility", r.susceptibility)
+      .set("half_width_95", r.half_width_95);
+  return v;
+}
+
+ser::InjectionResult injection_from_json(const json::Value& v) {
+  ser::InjectionResult r;
+  r.trials = to_size(v.at("trials"), "trials");
+  r.propagated = to_size(v.at("propagated"), "propagated");
+  r.logical_sensitivity = v.at("logical_sensitivity").as_double();
+  r.susceptibility = v.at("susceptibility").as_double();
+  r.half_width_95 = v.at("half_width_95").as_double();
+  return r;
+}
+
+json::Value payload(const FindDesignResult& r) {
+  auto v = json::Value::object();
+  v.set("engine", r.engine)
+      .set("latency_bound", r.latency_bound)
+      .set("area_bound", r.area_bound)
+      .set("solved", r.solved)
+      .set("design", r.design ? design_to_json(*r.design) : json::Value())
+      .set("no_solution_reason", r.no_solution_reason);
+  return v;
+}
+
+json::Value payload(const SweepResult& r) {
+  auto v = json::Value::object();
+  v.set("axis", axis_name(r.axis));
+  auto points = json::Value::array();
+  for (const auto& p : r.points) {
+    auto jp = json::Value::object();
+    jp.set("latency_bound", p.latency_bound)
+        .set("area_bound", p.area_bound)
+        .set("reliability", opt_to_json(p.reliability))
+        .set("area", opt_to_json(p.area))
+        .set("latency",
+             p.latency ? json::Value(*p.latency) : json::Value());
+    points.push(std::move(jp));
+  }
+  v.set("points", std::move(points));
+  return v;
+}
+
+json::Value payload(const GridResult& r) {
+  auto v = json::Value::object();
+  auto rows = json::Value::array();
+  for (const auto& row : r.rows) {
+    auto jr = json::Value::object();
+    jr.set("latency_bound", row.latency_bound)
+        .set("area_bound", row.area_bound)
+        .set("baseline", opt_to_json(row.baseline))
+        .set("ours", opt_to_json(row.ours))
+        .set("combined", opt_to_json(row.combined))
+        .set("improvement_ours", opt_to_json(row.improvement_ours))
+        .set("improvement_combined",
+             opt_to_json(row.improvement_combined));
+    rows.push(std::move(jr));
+  }
+  v.set("rows", std::move(rows));
+  auto avg = json::Value::object();
+  avg.set("baseline", r.averages.baseline)
+      .set("ours", r.averages.ours)
+      .set("combined", r.averages.combined)
+      .set("solved_cells", r.averages.solved_cells)
+      .set("total_cells", r.averages.total_cells);
+  v.set("averages", std::move(avg));
+  return v;
+}
+
+json::Value payload(const InjectResult& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component)
+      .set("width", r.width)
+      .set("gate_count", r.gate_count)
+      .set("logic_gates", r.logic_gates)
+      .set("gate", r.gate ? json::Value(*r.gate) : json::Value())
+      .set("result", injection_to_json(r.result));
+  return v;
+}
+
+json::Value payload(const RankGatesResult& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component).set("width", r.width);
+  auto gates = json::Value::array();
+  for (const auto& g : r.gates) {
+    auto jg = json::Value::object();
+    jg.set("gate", g.gate).set("result", injection_to_json(g.result));
+    gates.push(std::move(jg));
+  }
+  v.set("gates", std::move(gates));
+  auto kinds = json::Value::array();
+  for (const auto& k : r.kinds) kinds.push(k);
+  v.set("kinds", std::move(kinds));
+  return v;
+}
+
+FindDesignResult find_design_result(const json::Value& v) {
+  FindDesignResult r;
+  r.engine = v.at("engine").as_string();
+  r.latency_bound = to_int(v.at("latency_bound"), "latency_bound");
+  r.area_bound = v.at("area_bound").as_double();
+  r.solved = v.at("solved").as_bool();
+  const json::Value& design = v.at("design");
+  if (!design.is_null()) r.design = design_from_json(design);
+  r.no_solution_reason = v.at("no_solution_reason").as_string();
+  return r;
+}
+
+SweepResult sweep_result(const json::Value& v) {
+  SweepResult r;
+  r.axis = axis_from_json(v.at("axis"));
+  for (const auto& jp : v.at("points").items()) {
+    hls::SweepPoint p;
+    p.latency_bound = to_int(jp.at("latency_bound"), "latency_bound");
+    p.area_bound = jp.at("area_bound").as_double();
+    p.reliability = opt_double_from_json(jp.at("reliability"));
+    p.area = opt_double_from_json(jp.at("area"));
+    const json::Value& lat = jp.at("latency");
+    if (!lat.is_null()) p.latency = to_int(lat, "latency");
+    r.points.push_back(p);
+  }
+  return r;
+}
+
+GridResult grid_result(const json::Value& v) {
+  GridResult r;
+  for (const auto& jr : v.at("rows").items()) {
+    hls::ComparisonRow row;
+    row.latency_bound = to_int(jr.at("latency_bound"), "latency_bound");
+    row.area_bound = jr.at("area_bound").as_double();
+    row.baseline = opt_double_from_json(jr.at("baseline"));
+    row.ours = opt_double_from_json(jr.at("ours"));
+    row.combined = opt_double_from_json(jr.at("combined"));
+    row.improvement_ours =
+        opt_double_from_json(jr.at("improvement_ours"));
+    row.improvement_combined =
+        opt_double_from_json(jr.at("improvement_combined"));
+    r.rows.push_back(row);
+  }
+  const json::Value& avg = v.at("averages");
+  r.averages.baseline = avg.at("baseline").as_double();
+  r.averages.ours = avg.at("ours").as_double();
+  r.averages.combined = avg.at("combined").as_double();
+  r.averages.solved_cells = to_int(avg.at("solved_cells"), "solved_cells");
+  r.averages.total_cells = to_int(avg.at("total_cells"), "total_cells");
+  return r;
+}
+
+InjectResult inject_result(const json::Value& v) {
+  InjectResult r;
+  r.component = v.at("component").as_string();
+  r.width = to_int(v.at("width"), "width");
+  r.gate_count = to_size(v.at("gate_count"), "gate_count");
+  r.logic_gates = to_size(v.at("logic_gates"), "logic_gates");
+  const json::Value& gate = v.at("gate");
+  if (!gate.is_null()) r.gate = to_u32(gate, "gate");
+  r.result = injection_from_json(v.at("result"));
+  return r;
+}
+
+RankGatesResult rank_gates_result(const json::Value& v) {
+  RankGatesResult r;
+  r.component = v.at("component").as_string();
+  r.width = to_int(v.at("width"), "width");
+  for (const auto& jg : v.at("gates").items()) {
+    ser::GateSensitivity g;
+    g.gate = to_u32(jg.at("gate"), "gate");
+    g.result = injection_from_json(jg.at("result"));
+    r.gates.push_back(g);
+  }
+  for (const auto& k : v.at("kinds").items()) {
+    r.kinds.push_back(k.as_string());
+  }
+  if (r.kinds.size() != r.gates.size()) {
+    fail("rank_gates kinds/gates length mismatch");
+  }
+  return r;
+}
+
+// ----------------------------------------------------------------- envelope
+
+std::string seal(const char* kind, const char* slot, json::Value body) {
+  auto doc = json::Value::object();
+  doc.set("format_version", kFormatVersion)
+      .set("kind", kind)
+      .set(slot, std::move(body));
+  return doc.dump(2) + "\n";
+}
+
+// Parses the envelope, checks the version, and returns (kind, payload).
+std::pair<std::string, const json::Value*> open(const json::Value& doc,
+                                                const char* slot) {
+  const std::string& version = doc.at("format_version").as_string();
+  if (version != kFormatVersion) {
+    fail("unsupported format_version '" + version + "' (expected " +
+         kFormatVersion + ")");
+  }
+  return {doc.at("kind").as_string(), &doc.at(slot)};
+}
+
+}  // namespace
+
+const char* kind_of(const Request& req) {
+  struct Visitor {
+    const char* operator()(const FindDesignRequest&) { return "find_design"; }
+    const char* operator()(const SweepRequest&) { return "sweep"; }
+    const char* operator()(const GridRequest&) { return "grid"; }
+    const char* operator()(const InjectRequest&) { return "inject"; }
+    const char* operator()(const RankGatesRequest&) { return "rank_gates"; }
+  };
+  return std::visit(Visitor{}, req);
+}
+
+const char* kind_of(const Result& res) {
+  struct Visitor {
+    const char* operator()(const FindDesignResult&) { return "find_design"; }
+    const char* operator()(const SweepResult&) { return "sweep"; }
+    const char* operator()(const GridResult&) { return "grid"; }
+    const char* operator()(const InjectResult&) { return "inject"; }
+    const char* operator()(const RankGatesResult&) { return "rank_gates"; }
+  };
+  return std::visit(Visitor{}, res);
+}
+
+std::string encode(const Request& req) {
+  return std::visit(
+      [&](const auto& r) { return seal(kind_of(req), "request", payload(r)); },
+      req);
+}
+
+std::string encode(const Result& res) {
+  return std::visit(
+      [&](const auto& r) { return seal(kind_of(res), "result", payload(r)); },
+      res);
+}
+
+Request decode_request(const std::string& text) {
+  json::Value doc = json::parse(text);
+  auto [kind, body] = open(doc, "request");
+  if (kind == "find_design") return find_design_request(*body);
+  if (kind == "sweep") return sweep_request(*body);
+  if (kind == "grid") return grid_request(*body);
+  if (kind == "inject") return inject_request(*body);
+  if (kind == "rank_gates") return rank_gates_request(*body);
+  fail("unknown request kind '" + kind + "'");
+}
+
+Result decode_result(const std::string& text) {
+  json::Value doc = json::parse(text);
+  auto [kind, body] = open(doc, "result");
+  if (kind == "find_design") return find_design_result(*body);
+  if (kind == "sweep") return sweep_result(*body);
+  if (kind == "grid") return grid_result(*body);
+  if (kind == "inject") return inject_result(*body);
+  if (kind == "rank_gates") return rank_gates_result(*body);
+  fail("unknown result kind '" + kind + "'");
+}
+
+}  // namespace rchls::api::wire

@@ -176,6 +176,7 @@ struct Parser {
   int include_depth = 0;
 
   Scenario scn;
+  std::map<std::string, std::string> variables;  // `set` definitions
   bool named = false;
   bool graph_declared = false;     // graph directive or inline dfg seen
   bool inline_graph = false;       // currently building an inline dfg
@@ -213,11 +214,47 @@ struct Parser {
     scn.actions.push_back(std::move(a));
   }
 
+  std::string expand_variables(const std::string& line);
   void handle(const std::vector<std::string>& tokens);
   void consume(std::istream& in);
   void include_file(const std::string& spec);
   void finalize();
 };
+
+// ${name} substitution over one comment-stripped line. Expansion is
+// textual and happens at USE time, so a variable can be (re)defined by
+// `set` any time before the directives that read it -- including across
+// include boundaries (variables are shared parser state, which is what
+// lets a scenario parameterize a shared prelude fragment). A lone `$`
+// without `{` passes through untouched; an undefined variable is a
+// parse error anchored at the offending line.
+std::string Parser::expand_variables(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t dollar = line.find("${", pos);
+    if (dollar == std::string::npos) {
+      out.append(line, pos, std::string::npos);
+      break;
+    }
+    out.append(line, pos, dollar - pos);
+    std::size_t close = line.find('}', dollar + 2);
+    if (close == std::string::npos) {
+      at.fail("unterminated ${...} variable reference");
+    }
+    std::string name = line.substr(dollar + 2, close - dollar - 2);
+    if (name.empty()) at.fail("empty ${} variable reference");
+    auto it = variables.find(name);
+    if (it == variables.end()) {
+      at.fail("undefined variable '${" + name +
+              "}' (declare it first: set " + name + " <value>)");
+    }
+    out += it->second;
+    pos = close + 1;
+  }
+  return out;
+}
 
 // Reads every directive of one stream against the current at/base_dir
 // state (parse() uses it for the top-level file, include_file() for
@@ -228,6 +265,9 @@ void Parser::consume(std::istream& in) {
     ++at.line;
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
+    if (line.find("${") != std::string::npos) {
+      line = expand_variables(line);
+    }
     auto tokens = split_ws(line);
     if (tokens.empty()) continue;
     handle(tokens);
@@ -267,6 +307,17 @@ void Parser::handle(const std::vector<std::string>& tokens) {
   if (directive == "include") {
     if (tokens.size() != 2) at.fail("expected: include <file>");
     include_file(tokens[1]);
+
+  } else if (directive == "set") {
+    // `set <name> <value...>`: multi-token values join with single
+    // spaces (they are re-tokenized after expansion anyway). Last `set`
+    // wins, so a scenario can re-parameterize between actions.
+    if (tokens.size() < 3) at.fail("expected: set <name> <value>");
+    std::string value = tokens[2];
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      value += " " + tokens[i];
+    }
+    variables[tokens[1]] = std::move(value);
 
   } else if (directive == "scenario") {
     if (tokens.size() != 2) at.fail("expected: scenario <name>");

@@ -10,6 +10,13 @@
 // parse_file: the scenario file's own directory; for a nested include:
 // the including file's directory).
 //
+// `set <name> <value>` defines a variable; `${name}` in any later line
+// (of this file or an included fragment -- variables are shared parser
+// state) expands textually before tokenization, so one parameterized
+// prelude can express a family of scenarios (see
+// examples/paper_common.inc). Referencing an undefined variable is a
+// parse error at the referencing line.
+//
 // Every syntactic or semantic error -- unknown directive, malformed
 // option, undeclared node or bounds label, unopenable include, action
 // without a graph -- throws ParseError whose message starts with

@@ -4,11 +4,14 @@
 // scenario's actions in file order, maps each one onto a typed request
 // (api/request.hpp) carrying the scenario's graph and library, and
 // executes it through an api::Session. The session memoizes results by
-// content address, so running several scenarios -- or the same scenario
-// after an edit -- through one shared Session recomputes only the
-// actions whose (graph, library, options) content actually changed; the
-// single-argument run() overload uses a private session per call
-// (correct, but cache-cold).
+// content address -- in memory and, when configured with a cache_dir,
+// persistently on disk -- so running several scenarios (or the same
+// scenario after an edit, or in a later process) through a Session
+// recomputes only the actions whose (graph, library, options) content
+// actually changed; the session's executor decides whether misses run
+// in-process or sharded across worker processes (api/executor.hpp).
+// The single-argument run() overload uses a private default session
+// per call (correct, but cache-cold and local-only).
 //
 // The engines behind the session (hls::find_design / nmr_baseline /
 // combined_design, hls::latency_sweep / area_sweep / comparison_grid,

@@ -1,0 +1,40 @@
+#include "util/fsio.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace rchls {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path.string() + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool write_file(const std::filesystem::path& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+long current_pid() {
+#ifdef _WIN32
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+
+}  // namespace rchls

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -48,6 +49,50 @@ Value& Value::push(Value v) {
   }
   items_.push_back(std::move(v));
   return *this;
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw Error("json: value is not a bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ != Kind::kInt) throw Error("json: value is not an integer");
+  return int_;
+}
+
+double Value::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) throw Error("json: value is not a number");
+  return double_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) throw Error("json: value is not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::kArray) throw Error("json: value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::kObject) throw Error("json: value is not an object");
+  return members_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : members()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw Error("json: missing object key '" + key + "'");
+  return *v;
 }
 
 namespace {
@@ -139,5 +184,251 @@ std::string Value::dump(int indent) const {
   write(out, indent, 0);
   return out;
 }
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+// Recursive-descent reader over one document. Depth-capped so a hostile
+// "[[[[..." cannot overflow the stack before hitting the input's end.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("json: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("document nested too deeply");
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = peek();
+      ++pos_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume_literal("\\u")) fail("unpaired surrogate");
+            unsigned lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+      } else if (c != '+' && c != '-') {
+        break;
+      }
+      ++pos_;
+    }
+    if (!digits) fail("invalid number");
+    std::string_view tok = text_.substr(start, pos_ - start);
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    if (integral) {
+      std::int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc{} && ptr == last) {
+        // "-0" is the shortest-round-trip rendering of -0.0 (there is
+        // no integer negative zero); classifying it as int 0 would
+        // break the wire protocol's encode/decode fixed point.
+        if (v == 0 && tok.front() == '-') return Value(-0.0);
+        return Value(static_cast<long long>(v));
+      }
+      // Beyond int64 range: a large double rendered in fixed notation
+      // (to_chars picks it when shorter than scientific). Fall through
+      // to the double path so parse(dump(v)) keeps its fixed point.
+      if (ec != std::errc::result_out_of_range) fail("invalid integer");
+    }
+    double d = 0.0;
+    auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc{} || ptr != last) fail("invalid number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
 }  // namespace rchls::json

@@ -1,6 +1,6 @@
-// Minimal deterministic JSON document builder for the report writers.
+// Minimal deterministic JSON document builder + reader.
 //
-// Only what structured output needs: a Value is null, a bool, an integer,
+// Only what structured I/O needs: a Value is null, a bool, an integer,
 // a double, a string, an array, or an object. Objects preserve insertion
 // order, doubles are rendered with std::to_chars shortest round-trip
 // formatting and integers without a decimal point, and strings are escaped
@@ -8,8 +8,16 @@
 // platform and at every worker count. Non-finite doubles render as null
 // (JSON has no NaN/Inf).
 //
-// This is a writer, not a parser: rchls emits JSON for other programs to
-// consume, it never ingests it.
+// The reader (json::parse) is the strict inverse the api wire protocol
+// (api/wire.hpp) needs: numbers without '.', 'e' or 'E' become integers
+// ("-0" becomes the double -0.0, its shortest rendering), everything
+// else parses with std::from_chars shortest-round-trip semantics, so
+// parse(dump(v)) reproduces every value bit-for-bit. It accepts RFC
+// 8259 documents (no comments, no trailing commas; a few number forms
+// the writer never emits, like leading zeros, pass through from_chars
+// unrejected) and throws rchls::Error with a byte offset on malformed
+// input -- ingesting anything fancier than rchls' own output is a
+// non-goal.
 #pragma once
 
 #include <cstdint>
@@ -49,8 +57,31 @@ class Value {
   /// an array.
   Value& push(Value v);
 
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed readers for parsed documents. Each throws Error when the
+  /// value's kind does not match; as_double additionally accepts
+  /// integers (JSON does not distinguish 8 from 8.0).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Aggregate access (throws Error on the wrong kind).
+  const std::vector<Value>& items() const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member lookup: the first member named `key`, or nullptr.
+  /// Throws Error on non-objects.
+  const Value* find(const std::string& key) const;
+  /// Like find(), but a missing key throws Error naming it.
+  const Value& at(const std::string& key) const;
 
   /// Serializes the document. indent > 0 pretty-prints with that many
   /// spaces per level; indent == 0 emits the compact single-line form.
@@ -78,5 +109,12 @@ class Value {
   std::vector<Value> items_;
   std::vector<std::pair<std::string, Value>> members_;
 };
+
+/// Parses one RFC 8259 document (leading/trailing whitespace allowed,
+/// nothing else after the value). Numbers without '.', 'e' or 'E' parse
+/// as integers (errors if they overflow int64), everything else as
+/// shortest-round-trip doubles, so parse(v.dump()) == v value-for-value.
+/// Throws rchls::Error("json: ... at offset N") on malformed input.
+Value parse(std::string_view text);
 
 }  // namespace rchls::json

@@ -11,6 +11,7 @@
 
 #include "api/cli.hpp"
 #include "parallel/config.hpp"
+#include "temp_dir.hpp"
 #include "util/strings.hpp"
 
 namespace rchls::api {
@@ -37,8 +38,7 @@ class ApiCliTest : public ::testing::Test {
  protected:
   void SetUp() override {
     saved_jobs_ = parallel::global_config().jobs;
-    dir_ = std::filesystem::path("api_cli_test_tmp");
-    std::filesystem::create_directories(dir_);
+    dir_ = rchls::testing::unique_test_dir("api_cli_test_tmp");
   }
   void TearDown() override {
     parallel::global_config().jobs = saved_jobs_;

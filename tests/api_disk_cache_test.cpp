@@ -1,0 +1,337 @@
+// Persistent cache tests (api/disk_cache.hpp): cross-"invocation" warm
+// hits (two Sessions, one directory, zero executions on the second --
+// the PR acceptance criterion), verification (bit-flipped entries are
+// rejected as misses, never aliased), and the `rchls cache` / stderr
+// stats surface.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/cli.hpp"
+#include "api/disk_cache.hpp"
+#include "api/session.hpp"
+#include "api/wire.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "temp_dir.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rchls::api {
+namespace {
+
+class ApiDiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = rchls::testing::unique_test_dir("api_disk_cache_test_tmp");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string cache_dir() const { return (dir_ / "cache").string(); }
+
+  std::filesystem::path write(const std::string& name,
+                              const std::string& text) {
+    std::filesystem::path p = dir_ / name;
+    std::ofstream out(p);
+    out << text;
+    return p;
+  }
+
+  static std::string slurp(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+InjectRequest small_inject() {
+  InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 3;
+  return req;
+}
+
+// ------------------------------------------------------------ store/find
+
+TEST_F(ApiDiskCacheTest, StoreThenFindRoundTripsTheResult) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  InjectResult computed = engine.run(small_inject());
+  CacheKey key = key_of(small_inject());
+
+  cache.store(key, Result(computed));
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  std::optional<Result> hit = cache.find(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(wire::encode(*hit), wire::encode(Result(computed)));
+
+  // The entry lives under the digest-named conventional path.
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(cache_dir()) / (to_hex64(key.digest) + ".json")));
+}
+
+TEST_F(ApiDiskCacheTest, MissingEntryIsAMiss) {
+  DiskCache cache(cache_dir());
+  EXPECT_FALSE(cache.find(key_of(small_inject())).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST_F(ApiDiskCacheTest, DigestCollisionDegradesToAMissNotAnAlias) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  CacheKey key = key_of(small_inject());
+  cache.store(key, Result(engine.run(small_inject())));
+
+  // Forge a key with the same digest (same filename) but a different
+  // canonical encoding -- the full-key comparison must reject it.
+  CacheKey forged = key_of(small_inject());
+  forged.canonical += "tampered";
+  EXPECT_FALSE(cache.find(forged).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+// The satellite acceptance: a bit-flipped cache entry is NEVER served as
+// a different result. Every flip either still decodes to the identical
+// wire bytes (e.g. a whitespace byte) or is rejected as a miss.
+TEST_F(ApiDiskCacheTest, BitFlippedEntriesAreRejectedNeverAliased) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  CacheKey key = key_of(small_inject());
+  Result original = Result(engine.run(small_inject()));
+  cache.store(key, original);
+  const std::string original_wire = wire::encode(original);
+
+  std::filesystem::path entry =
+      std::filesystem::path(cache_dir()) / (to_hex64(key.digest) + ".json");
+  const std::string pristine = slurp(entry);
+  ASSERT_FALSE(pristine.empty());
+
+  std::size_t flips = 0;
+  std::size_t rejected = 0;
+  for (std::size_t pos = 0; pos < pristine.size(); pos += 7) {
+    for (int bit : {0, 3, 7}) {
+      std::string corrupted = pristine;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+      if (corrupted == pristine) continue;
+      {
+        std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+        out << corrupted;
+      }
+      ++flips;
+      std::optional<Result> hit = cache.find(key);
+      if (hit.has_value()) {
+        // Served -- then it must be the exact original result.
+        EXPECT_EQ(wire::encode(*hit), original_wire)
+            << "aliased at byte " << pos << " bit " << bit;
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(flips, 100u);
+  EXPECT_GT(rejected, 0u) << "corruption was never detected?";
+}
+
+TEST_F(ApiDiskCacheTest, TruncatedAndGarbageEntriesAreMisses) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  CacheKey key = key_of(small_inject());
+  cache.store(key, Result(engine.run(small_inject())));
+  std::filesystem::path entry =
+      std::filesystem::path(cache_dir()) / (to_hex64(key.digest) + ".json");
+
+  std::string pristine = slurp(entry);
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << pristine.substr(0, pristine.size() / 2);
+  }
+  EXPECT_FALSE(cache.find(key).has_value());
+
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << "not json";
+  }
+  EXPECT_FALSE(cache.find(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+
+  // And a fresh store heals the entry.
+  cache.store(key, Result(engine.run(small_inject())));
+  EXPECT_TRUE(cache.find(key).has_value());
+}
+
+// Persisting is an optimization: an unwritable directory fails the
+// store (counted), never the caller's run.
+TEST_F(ApiDiskCacheTest, FailedStoresAreCountedNotThrown) {
+  DiskCache cache(cache_dir());
+  std::filesystem::remove_all(cache_dir());
+  write("cache", "now a regular file, not a directory");
+
+  LocalExecutor engine;
+  InjectResult computed = engine.run(small_inject());
+  EXPECT_FALSE(cache.store(key_of(small_inject()), Result(computed)));
+  EXPECT_EQ(cache.stats().store_failures, 1u);
+  EXPECT_EQ(cache.stats().stores, 0u);
+
+  // And the same failure through a Session still returns the result.
+  SessionOptions opts;
+  opts.cache_dir = cache_dir();
+  std::filesystem::remove(cache_dir());  // recreated by the Session...
+  Session session(opts);
+  std::filesystem::remove_all(cache_dir());
+  write("cache", "unwritable again");     // ...then yanked away
+  InjectResult r = session.run(small_inject());
+  EXPECT_EQ(r.result.trials, computed.result.trials);
+  EXPECT_EQ(session.disk_stats().store_failures, 1u);
+}
+
+TEST_F(ApiDiskCacheTest, UsageAndClear) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  cache.store(key_of(small_inject()), Result(engine.run(small_inject())));
+  InjectRequest other = small_inject();
+  other.seed = 4;
+  cache.store(key_of(other), Result(engine.run(other)));
+
+  DiskCacheUsage u = cache.usage();
+  EXPECT_EQ(u.entries, 2u);
+  EXPECT_GT(u.bytes, 0u);
+
+  EXPECT_EQ(cache.clear(), 2u);
+  EXPECT_EQ(cache.usage().entries, 0u);
+  EXPECT_FALSE(cache.find(key_of(other)).has_value());
+}
+
+// ----------------------------------------------- session layering
+
+// The PR acceptance criterion, in-process: a SECOND Session (fresh
+// memory cache, same directory -- exactly what a second CLI invocation
+// constructs) serves every action from disk and executes nothing.
+TEST_F(ApiDiskCacheTest, SecondSessionExecutesNothingAndRendersIdentically) {
+  const std::string text =
+      "scenario warm\n"
+      "graph fig4_example\n"
+      "find_design latency=6 area=8\n"
+      "sweep area 6,8,10 latency=6\n"
+      "inject ripple_carry_adder width=4 trials=128\n";
+  scenario::Scenario scn = scenario::parse_string(text);
+
+  SessionOptions opts;
+  opts.cache_dir = cache_dir();
+
+  Session cold(opts);
+  std::string cold_json = scenario::report::to_json(scenario::run(scn, cold));
+  EXPECT_EQ(cold.executions(), 3u);
+  EXPECT_EQ(cold.disk_stats().stores, 3u);
+
+  Session warm(opts);
+  std::string warm_json = scenario::report::to_json(scenario::run(scn, warm));
+  EXPECT_EQ(warm.executions(), 0u) << "warm run must not execute engines";
+  EXPECT_EQ(warm.disk_stats().hits, 3u);
+  EXPECT_EQ(warm.disk_stats().misses, 0u);
+  EXPECT_EQ(warm_json, cold_json) << "disk-served report must be identical";
+
+  // Inside one session the memory layer still answers first: a repeat
+  // run touches the disk zero further times.
+  scenario::run(scn, warm);
+  EXPECT_EQ(warm.disk_stats().hits, 3u);
+  EXPECT_EQ(warm.cache_stats().hits, 3u);
+}
+
+TEST_F(ApiDiskCacheTest, DisabledCacheBypassesTheDiskToo) {
+  SessionOptions opts;
+  opts.enable_cache = false;
+  opts.cache_dir = cache_dir();
+  Session session(opts);
+  session.run(small_inject());
+  session.run(small_inject());
+  EXPECT_EQ(session.executions(), 2u);
+  EXPECT_EQ(session.disk_stats().stores, 0u);
+}
+
+// ------------------------------------------------------------ CLI surface
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliRun r;
+  r.code = cli_main(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST_F(ApiDiskCacheTest, SecondCliInvocationIsAllDiskHits) {
+  auto scn = write("two_pass.scn",
+                   "scenario two_pass\n"
+                   "graph fig4_example\n"
+                   "find_design latency=6 area=8\n"
+                   "inject ripple_carry_adder width=4 trials=128\n");
+
+  CliRun first = cli({"run", scn.string(), "--format", "json",
+                      "--cache-dir", cache_dir()});
+  ASSERT_EQ(first.code, 0) << first.err;
+  EXPECT_NE(first.err.find("disk_misses=2"), std::string::npos) << first.err;
+  EXPECT_NE(first.err.find("stores=2"), std::string::npos);
+
+  CliRun second = cli({"run", scn.string(), "--format", "json",
+                       "--cache-dir", cache_dir()});
+  ASSERT_EQ(second.code, 0) << second.err;
+  EXPECT_EQ(second.out, first.out) << "reports must be byte-identical";
+  EXPECT_NE(second.err.find("disk_hits=2"), std::string::npos) << second.err;
+  EXPECT_NE(second.err.find("disk_misses=0"), std::string::npos);
+  EXPECT_NE(second.err.find("executed=0"), std::string::npos)
+      << "second invocation must not execute engines";
+}
+
+TEST_F(ApiDiskCacheTest, CacheStatsAndClearSubcommands) {
+  auto scn = write("fill.scn",
+                   "scenario fill\n"
+                   "inject ripple_carry_adder width=4 trials=128\n");
+  ASSERT_EQ(cli({"run", scn.string(), "--cache-dir", cache_dir()}).code, 0);
+
+  CliRun stats = cli({"cache", "stats", "--cache-dir", cache_dir()});
+  EXPECT_EQ(stats.code, 0);
+  EXPECT_NE(stats.out.find("entries: 1"), std::string::npos) << stats.out;
+
+  CliRun clear = cli({"cache", "clear", "--cache-dir", cache_dir()});
+  EXPECT_EQ(clear.code, 0);
+  EXPECT_NE(clear.out.find("removed: 1"), std::string::npos) << clear.out;
+
+  stats = cli({"cache", "stats", "--cache-dir", cache_dir()});
+  EXPECT_NE(stats.out.find("entries: 0"), std::string::npos) << stats.out;
+
+  CliRun bad = cli({"cache", "wipe", "--cache-dir", cache_dir()});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("error: cache expects"), std::string::npos);
+}
+
+TEST_F(ApiDiskCacheTest, VerifyCacheReportsStatsInItsOutput) {
+  auto scn = write("verify.scn",
+                   "scenario verify\n"
+                   "inject ripple_carry_adder width=4 trials=128\n");
+  CliRun r = cli({"run", scn.string(), "--verify-cache"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("cache: verified 1 actions"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("(hits=1 misses=1 entries=1)"), std::string::npos)
+      << r.err;
+}
+
+}  // namespace
+}  // namespace rchls::api

@@ -1,0 +1,245 @@
+// Executor-seam tests (api/executor.hpp, api/subprocess.hpp): the
+// byte-identity acceptance criterion -- a sweep/grid executed via
+// SubprocessExecutor at shards 1/2/4 renders byte-identical to
+// LocalExecutor at jobs 1/2/8 -- plus sharding observability and worker
+// failure behavior.
+//
+// The in-process spawn hook routes each worker through cli_main's
+// exec-request mode (real wire files on disk, real decode/execute/
+// encode), so everything but the fork() is the production path; the
+// fork() itself is covered by the real-binary test below and CI's shard
+// smoke job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "api/cli.hpp"
+#include "api/session.hpp"
+#include "api/subprocess.hpp"
+#include "benchmarks/suite.hpp"
+#include "parallel/config.hpp"
+#include "scenario/report.hpp"
+#include "util/error.hpp"
+
+namespace rchls::api {
+namespace {
+
+class JobsGuard {
+ public:
+  JobsGuard() : saved_(parallel::global_config().jobs) {}
+  ~JobsGuard() { parallel::global_config().jobs = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+// Runs `rchls exec-request` in-process. cli_main is not re-entrant-safe
+// under TSan-visible concurrency (the engines share one global pool),
+// so the hook serializes workers; SubprocessExecutor's sharding and
+// index-ordered merge are exercised regardless.
+SubprocessOptions hooked_options(int shards) {
+  SubprocessOptions so;
+  so.shards = shards;
+  so.work_dir = "api_executor_test_tmp";
+  so.spawn = [](const std::vector<std::string>& argv,
+                const std::filesystem::path& stderr_file) {
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream out;
+    std::ofstream err(stderr_file);
+    return cli_main(std::vector<std::string>(argv.begin() + 1, argv.end()),
+                    out, err);
+  };
+  return so;
+}
+
+SweepRequest sweep_request() {
+  SweepRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.axis = SweepAxis::kArea;
+  req.latency_bounds = {6};
+  req.area_bounds = {6.0, 7.0, 8.0, 10.0, 12.0};
+  return req;
+}
+
+GridRequest grid_request() {
+  GridRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.latency_bounds = {6, 7};
+  req.area_bounds = {8.0, 10.0, 12.0};
+  return req;
+}
+
+// Renders a result the way every front-end does, so "byte-identical"
+// means through the report writers, not just field equality.
+template <typename ResultT>
+std::string rendered(ResultT r) {
+  scenario::RunReport report;
+  report.scenario_name = "executor";
+  report.graph = benchmarks::by_name("fig4_example");
+  report.library = library::paper_library();
+  report.actions.push_back({"action", 0, std::move(r)});
+  return scenario::report::to_json(report);
+}
+
+// -------------------------------------------------- byte-identity matrix
+
+// The PR acceptance criterion: shards 1/2/4 x jobs 1/2/8, all
+// byte-identical to the single-process, single-job rendering.
+TEST(ApiExecutor, ShardedSweepIsByteIdenticalToLocalAtAnyJobsAndShards) {
+  JobsGuard guard;
+  parallel::set_global_jobs(1);
+  LocalExecutor local;
+  const std::string reference = rendered(local.run(sweep_request()));
+
+  for (int shards : {1, 2, 4}) {
+    for (std::size_t jobs : {1u, 2u, 8u}) {
+      parallel::set_global_jobs(jobs);
+      SubprocessExecutor sub(hooked_options(shards));
+      EXPECT_EQ(rendered(sub.run(sweep_request())), reference)
+          << "shards=" << shards << " jobs=" << jobs;
+      EXPECT_EQ(sub.workers_launched(), 5u) << "one worker per cell";
+    }
+  }
+}
+
+TEST(ApiExecutor, ShardedGridIsByteIdenticalIncludingAverages) {
+  JobsGuard guard;
+  parallel::set_global_jobs(2);
+  LocalExecutor local;
+  const std::string reference = rendered(local.run(grid_request()));
+
+  for (int shards : {2, 4}) {
+    SubprocessExecutor sub(hooked_options(shards));
+    EXPECT_EQ(rendered(sub.run(grid_request())), reference)
+        << "shards=" << shards;
+    EXPECT_EQ(sub.workers_launched(), 6u) << "one worker per grid cell";
+  }
+}
+
+TEST(ApiExecutor, SingleRequestKindsGoOverTheWireToo) {
+  InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 3;
+
+  LocalExecutor local;
+  SubprocessExecutor sub(hooked_options(2));
+  EXPECT_EQ(rendered(sub.run(req)), rendered(local.run(req)));
+  EXPECT_EQ(sub.workers_launched(), 1u);
+}
+
+// --------------------------------------------------- session integration
+
+TEST(ApiExecutor, SessionCachesShardedResultsLikeLocalOnes) {
+  SessionOptions opts;
+  opts.executor = std::make_shared<SubprocessExecutor>(hooked_options(2));
+  Session session(opts);
+
+  SweepResult cold = session.run(sweep_request());
+  SweepResult warm = session.run(sweep_request());
+  EXPECT_EQ(session.cache_stats().hits, 1u);
+  EXPECT_EQ(session.executions(), 1u);
+  EXPECT_EQ(rendered(std::move(cold)), rendered(std::move(warm)));
+}
+
+// The user's --jobs cap must reach the workers: N shards each running
+// hardware-concurrency threads would oversubscribe the host.
+TEST(ApiExecutor, ForwardsJobsAndCacheDirToWorkers) {
+  JobsGuard guard;
+  SubprocessOptions so = hooked_options(2);
+  so.jobs = 3;
+  so.cache_dir = "api_executor_test_tmp/jobs_cache";
+  std::vector<std::string> seen;
+  auto inner = so.spawn;
+  so.spawn = [&, inner](const std::vector<std::string>& argv,
+                        const std::filesystem::path& stderr_file) {
+    static std::mutex mu;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seen = argv;
+    }
+    return inner(argv, stderr_file);
+  };
+
+  SubprocessExecutor sub(so);
+  InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  sub.run(req);
+
+  auto has = [&](const std::string& s) {
+    return std::find(seen.begin(), seen.end(), s) != seen.end();
+  };
+  EXPECT_TRUE(has("--jobs")) << "jobs cap not forwarded";
+  EXPECT_TRUE(has("3"));
+  EXPECT_TRUE(has("--cache-dir"));
+  std::filesystem::remove_all("api_executor_test_tmp/jobs_cache");
+}
+
+// ----------------------------------------------------------- failure path
+
+TEST(ApiExecutor, FailingWorkerFailsTheWholeRequestWithItsStderr) {
+  SubprocessOptions so;
+  so.shards = 2;
+  so.work_dir = "api_executor_test_tmp";
+  so.spawn = [](const std::vector<std::string>&,
+                const std::filesystem::path& stderr_file) {
+    std::ofstream err(stderr_file);
+    err << "error: worker exploded\n";
+    return 1;
+  };
+  SubprocessExecutor sub(so);
+  try {
+    sub.run(sweep_request());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shard cell 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker exploded"), std::string::npos) << msg;
+  }
+}
+
+TEST(ApiExecutor, RejectsNonPositiveShardCounts) {
+  SubprocessOptions so;
+  so.shards = 0;
+  EXPECT_THROW(SubprocessExecutor{so}, Error);
+}
+
+// ------------------------------------------------------- real subprocess
+
+// End-to-end across a REAL process boundary: spawns the built rchls
+// binary (sibling of this test executable under the build tree). Skipped
+// when the binary is not there (e.g. a tests-only build).
+TEST(ApiExecutor, RealWorkerProcessesProduceIdenticalBytes) {
+#ifndef RCHLS_BINARY_DIR
+  GTEST_SKIP() << "RCHLS_BINARY_DIR not configured";
+#else
+  std::filesystem::path binary =
+      std::filesystem::path(RCHLS_BINARY_DIR) / "rchls";
+  if (!std::filesystem::exists(binary)) {
+    GTEST_SKIP() << "rchls binary not built at " << binary;
+  }
+  JobsGuard guard;
+  parallel::set_global_jobs(2);
+  LocalExecutor local;
+  SubprocessOptions so;
+  so.shards = 4;
+  so.work_dir = "api_executor_test_tmp";
+  so.worker_command = {binary.string(), "exec-request"};
+  SubprocessExecutor sub(so);
+  EXPECT_EQ(rendered(sub.run(sweep_request())),
+            rendered(local.run(sweep_request())));
+#endif
+}
+
+}  // namespace
+}  // namespace rchls::api

@@ -1,0 +1,345 @@
+// Wire-protocol tests (api/wire.hpp): the randomized fixed-point
+// property -- encode -> decode -> encode is byte-identical for every
+// request and result kind -- plus envelope strictness (version checks,
+// kind checks, malformed documents).
+#include <gtest/gtest.h>
+
+#include "api/cache.hpp"
+#include "api/wire.hpp"
+#include "benchmarks/suite.hpp"
+#include "dfg/generate.hpp"
+#include "dfg/io.hpp"
+#include "library/io.hpp"
+#include "library/resource.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rchls::api {
+namespace {
+
+// ----------------------------------------------------- random generators
+//
+// Every generator draws from one seeded Rng, so a failure reproduces
+// from the test's seed; values cover the awkward corners on purpose
+// (unset optionals, empty strings, shortest-round-trip-hostile doubles,
+// full-range 64-bit seeds).
+
+double random_double(Rng& rng) {
+  double sign = rng.next_bool(0.25) ? -1.0 : 1.0;  // negatives included
+  switch (rng.next_below(5)) {
+    case 0: return sign * static_cast<double>(rng.next_below(100));
+    case 1: return sign * rng.next_double() * 100.0;
+    case 2: return sign * rng.next_double() * 1e-9;  // exponent form
+    case 3: return -0.0;  // renders as "-0": must stay a double
+    default: return sign * (0.78943 + rng.next_double());
+  }
+}
+
+std::string random_name(Rng& rng, const char* prefix) {
+  std::string s = prefix;
+  // Exercise JSON escaping: names sometimes carry quotes or spaces
+  // (requests embed graph/library text, which frames freely).
+  if (rng.next_bool(0.3)) s += " \"q\"";
+  s += std::to_string(rng.next_below(1000));
+  return s;
+}
+
+library::ResourceLibrary random_library(Rng& rng) {
+  library::ResourceLibrary lib;
+  int adders = 1 + static_cast<int>(rng.next_below(3));
+  int mults = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < adders; ++i) {
+    lib.add({"add_" + std::to_string(i), library::ResourceClass::kAdder,
+             0.5 + rng.next_double() * 3, 1 + static_cast<int>(rng.next_below(3)),
+             0.9 + rng.next_double() * 0.0999});
+  }
+  for (int i = 0; i < mults; ++i) {
+    lib.add({"mul_" + std::to_string(i), library::ResourceClass::kMultiplier,
+             1.0 + rng.next_double() * 5, 1 + static_cast<int>(rng.next_below(4)),
+             0.9 + rng.next_double() * 0.0999});
+  }
+  return lib;
+}
+
+dfg::Graph random_graph(Rng& rng) {
+  dfg::GeneratorConfig cfg;
+  cfg.num_nodes = 4 + rng.next_below(12);
+  cfg.seed = rng.next_u64();
+  return dfg::generate_random(cfg);
+}
+
+hls::FindDesignOptions random_options(Rng& rng) {
+  hls::FindDesignOptions o;
+  o.scheduler = rng.next_bool(0.5) ? hls::SchedulerKind::kDensity
+                                   : hls::SchedulerKind::kForceDirected;
+  o.enable_consolidation = rng.next_bool(0.5);
+  o.enable_polish = rng.next_bool(0.5);
+  o.explore_tighter_latency = static_cast<int>(rng.next_below(3));
+  o.max_iterations = 1 + static_cast<int>(rng.next_below(1000000));
+  return o;
+}
+
+std::optional<std::pair<std::string, std::string>> random_baseline(Rng& rng) {
+  if (rng.next_bool(0.5)) return std::nullopt;
+  return std::make_pair(random_name(rng, "a"), random_name(rng, "m"));
+}
+
+Request random_request(Rng& rng, std::size_t kind) {
+  switch (kind % 5) {
+    case 0: {
+      FindDesignRequest r;
+      r.graph = random_graph(rng);
+      r.library = random_library(rng);
+      r.latency_bound = static_cast<int>(rng.next_below(40));
+      r.area_bound = random_double(rng);
+      r.engine = rng.next_bool(0.5) ? "centric" : "baseline";
+      r.options = random_options(rng);
+      r.baseline_versions = random_baseline(rng);
+      return r;
+    }
+    case 1: {
+      SweepRequest r;
+      r.graph = random_graph(rng);
+      r.library = random_library(rng);
+      r.axis = rng.next_bool(0.5) ? SweepAxis::kLatency : SweepAxis::kArea;
+      for (std::size_t i = 0; i <= rng.next_below(5); ++i) {
+        r.latency_bounds.push_back(static_cast<int>(rng.next_below(40)));
+        r.area_bounds.push_back(random_double(rng));
+      }
+      r.options = random_options(rng);
+      return r;
+    }
+    case 2: {
+      GridRequest r;
+      r.graph = random_graph(rng);
+      r.library = random_library(rng);
+      for (std::size_t i = 0; i <= rng.next_below(4); ++i) {
+        r.latency_bounds.push_back(static_cast<int>(rng.next_below(40)));
+        r.area_bounds.push_back(random_double(rng));
+      }
+      r.options = random_options(rng);
+      r.baseline_versions = random_baseline(rng);
+      return r;
+    }
+    case 3: {
+      InjectRequest r;
+      r.component = random_name(rng, "comp");
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      r.trials = rng.next_below(1 << 20);
+      r.seed = rng.next_u64();  // full range, incl. values > int64 max
+      if (rng.next_bool(0.5)) {
+        r.gate = static_cast<std::uint32_t>(rng.next_below(1000));
+      }
+      return r;
+    }
+    default: {
+      RankGatesRequest r;
+      r.component = random_name(rng, "comp");
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      r.trials = rng.next_below(1 << 20);
+      r.seed = rng.next_u64();
+      r.top = static_cast<int>(rng.next_below(20));
+      return r;
+    }
+  }
+}
+
+ser::InjectionResult random_injection(Rng& rng) {
+  ser::InjectionResult r;
+  r.trials = rng.next_below(1 << 20);
+  r.propagated = rng.next_below(r.trials + 1);
+  r.logical_sensitivity = rng.next_double();
+  r.susceptibility = rng.next_double() * 0.08;
+  r.half_width_95 = rng.next_double() * 0.01;
+  return r;
+}
+
+std::optional<double> random_opt(Rng& rng) {
+  if (rng.next_bool(0.3)) return std::nullopt;
+  return random_double(rng);
+}
+
+hls::Design random_design(Rng& rng) {
+  hls::Design d;
+  std::size_t nodes = 1 + rng.next_below(10);
+  std::size_t instances = 1 + rng.next_below(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    d.version_of.push_back(static_cast<std::uint32_t>(rng.next_below(5)));
+    d.schedule.start.push_back(static_cast<int>(rng.next_below(20)));
+    d.binding.instance_of.push_back(
+        static_cast<std::uint32_t>(rng.next_below(instances)));
+  }
+  d.schedule.latency = static_cast<int>(rng.next_below(30));
+  for (std::size_t i = 0; i < instances; ++i) {
+    bind::Instance inst;
+    inst.version = static_cast<std::uint32_t>(rng.next_below(5));
+    for (std::size_t k = 0; k <= rng.next_below(3); ++k) {
+      inst.ops.push_back(static_cast<std::uint32_t>(rng.next_below(nodes)));
+    }
+    d.binding.instances.push_back(std::move(inst));
+    d.copies.push_back(rng.next_bool(0.8) ? 1 : 3);
+  }
+  d.latency = static_cast<int>(rng.next_below(30));
+  d.area = random_double(rng);
+  d.reliability = rng.next_double();
+  return d;
+}
+
+Result random_result(Rng& rng, std::size_t kind) {
+  switch (kind % 5) {
+    case 0: {
+      FindDesignResult r;
+      r.engine = rng.next_bool(0.5) ? "centric" : "combined";
+      r.latency_bound = static_cast<int>(rng.next_below(40));
+      r.area_bound = random_double(rng);
+      r.solved = rng.next_bool(0.7);
+      if (r.solved) {
+        r.design = random_design(rng);
+      } else {
+        r.no_solution_reason = "bounds (" + std::to_string(r.latency_bound) +
+                               ") infeasible:\n\ttoo tight";
+      }
+      return r;
+    }
+    case 1: {
+      SweepResult r;
+      r.axis = rng.next_bool(0.5) ? SweepAxis::kLatency : SweepAxis::kArea;
+      for (std::size_t i = 0; i <= rng.next_below(6); ++i) {
+        hls::SweepPoint p;
+        p.latency_bound = static_cast<int>(rng.next_below(40));
+        p.area_bound = random_double(rng);
+        p.reliability = random_opt(rng);
+        p.area = random_opt(rng);
+        if (rng.next_bool(0.7)) {
+          p.latency = static_cast<int>(rng.next_below(40));
+        }
+        r.points.push_back(p);
+      }
+      return r;
+    }
+    case 2: {
+      GridResult r;
+      for (std::size_t i = 0; i <= rng.next_below(6); ++i) {
+        hls::ComparisonRow row;
+        row.latency_bound = static_cast<int>(rng.next_below(40));
+        row.area_bound = random_double(rng);
+        row.baseline = random_opt(rng);
+        row.ours = random_opt(rng);
+        row.combined = random_opt(rng);
+        row.improvement_ours = random_opt(rng);
+        row.improvement_combined = random_opt(rng);
+        r.rows.push_back(row);
+      }
+      r.averages.baseline = rng.next_double();
+      r.averages.ours = rng.next_double();
+      r.averages.combined = rng.next_double();
+      r.averages.solved_cells = static_cast<int>(rng.next_below(10));
+      r.averages.total_cells = static_cast<int>(10 + rng.next_below(10));
+      return r;
+    }
+    case 3: {
+      InjectResult r;
+      r.component = random_name(rng, "comp");
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      r.gate_count = rng.next_below(4000);
+      r.logic_gates = rng.next_below(r.gate_count + 1);
+      if (rng.next_bool(0.4)) {
+        r.gate = static_cast<std::uint32_t>(rng.next_below(4000));
+      }
+      r.result = random_injection(rng);
+      return r;
+    }
+    default: {
+      RankGatesResult r;
+      r.component = random_name(rng, "comp");
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      for (std::size_t i = 0; i <= rng.next_below(8); ++i) {
+        ser::GateSensitivity g;
+        g.gate = static_cast<std::uint32_t>(rng.next_below(4000));
+        g.result = random_injection(rng);
+        r.gates.push_back(g);
+        r.kinds.push_back(rng.next_bool(0.5) ? "xor" : "and");
+      }
+      return r;
+    }
+  }
+}
+
+// ------------------------------------------------------------ fixed point
+
+// The property the disk cache's checksum verification and the
+// subprocess merge both rest on: encoding is canonical, so
+// encode(decode(encode(x))) == encode(x), for every kind, under
+// randomized field values.
+TEST(ApiWire, RequestEncodeDecodeEncodeIsAFixedPoint) {
+  Rng rng(20260731);
+  for (std::size_t i = 0; i < 60; ++i) {
+    Request original = random_request(rng, i);
+    std::string once = wire::encode(original);
+    Request decoded = wire::decode_request(once);
+    EXPECT_EQ(wire::encode(decoded), once)
+        << "kind " << wire::kind_of(original) << ", iteration " << i;
+  }
+}
+
+TEST(ApiWire, ResultEncodeDecodeEncodeIsAFixedPoint) {
+  Rng rng(987654321);
+  for (std::size_t i = 0; i < 60; ++i) {
+    Result original = random_result(rng, i);
+    std::string once = wire::encode(original);
+    Result decoded = wire::decode_result(once);
+    EXPECT_EQ(wire::encode(decoded), once)
+        << "kind " << wire::kind_of(original) << ", iteration " << i;
+  }
+}
+
+// A request's graph and library must survive the trip exactly: the
+// child's cache key (and thus its digest) has to equal the one the
+// parent would compute.
+TEST(ApiWire, EmbeddedGraphAndLibraryRoundTripExactly) {
+  FindDesignRequest r;
+  r.graph = benchmarks::by_name("fir16");
+  r.library = library::paper_library();
+  r.latency_bound = 11;
+  r.area_bound = 11.0;
+
+  Request decoded = wire::decode_request(wire::encode(Request(r)));
+  const auto& d = std::get<FindDesignRequest>(decoded);
+  EXPECT_EQ(dfg::to_text(d.graph), dfg::to_text(r.graph));
+  EXPECT_EQ(library::to_text(d.library), library::to_text(r.library));
+  EXPECT_EQ(key_of(d).canonical, key_of(r).canonical);
+}
+
+// ------------------------------------------------------------- strictness
+
+TEST(ApiWire, DecodersRejectWrongVersionsAndKinds) {
+  std::string good = wire::encode(Request(InjectRequest{}));
+
+  std::string wrong_version = good;
+  auto pos = wrong_version.find("rchls.wire.v1");
+  ASSERT_NE(pos, std::string::npos);
+  wrong_version.replace(pos, 13, "rchls.wire.v9");
+  EXPECT_THROW(wire::decode_request(wrong_version), Error);
+
+  // A request envelope is not a result envelope.
+  EXPECT_THROW(wire::decode_result(good), Error);
+
+  std::string wrong_kind = good;
+  pos = wrong_kind.find("\"inject\"");
+  ASSERT_NE(pos, std::string::npos);
+  wrong_kind.replace(pos, 8, "\"quantum\"");
+  EXPECT_THROW(wire::decode_request(wrong_kind), Error);
+
+  EXPECT_THROW(wire::decode_request("not json at all"), Error);
+  EXPECT_THROW(wire::decode_request("{}"), Error);
+}
+
+TEST(ApiWire, SeedsRoundTripTheFullUint64Range) {
+  InjectRequest r;
+  r.seed = 18446744073709551615ull;  // uint64 max
+  Request decoded = wire::decode_request(wire::encode(Request(r)));
+  EXPECT_EQ(std::get<InjectRequest>(decoded).seed, r.seed);
+}
+
+}  // namespace
+}  // namespace rchls::api

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "scenario/parse.hpp"
+#include "temp_dir.hpp"
 #include "util/error.hpp"
 
 namespace rchls::scenario {
@@ -13,8 +14,7 @@ namespace {
 class ScenarioIncludeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path("scenario_parse_test_tmp");
-    std::filesystem::create_directories(dir_);
+    dir_ = rchls::testing::unique_test_dir("scenario_parse_test_tmp");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
@@ -326,6 +326,112 @@ TEST_F(ScenarioIncludeTest, DuplicateDeclarationsApplyAcrossIncludes) {
     std::string msg = e.what();
     EXPECT_NE(msg.find("main.scn:3:"), std::string::npos) << msg;
     EXPECT_NE(msg.find("duplicate library"), std::string::npos) << msg;
+  }
+}
+
+// ------------------------------------------------- parameter substitution
+
+TEST(ScenarioParams, SetAndExpandInActionsAndBounds) {
+  Scenario s = parse_string(
+      "scenario params\n"
+      "graph fig4_example\n"
+      "set ld 6\n"
+      "set trials 256\n"
+      "bounds tight ${ld} 8\n"
+      "find_design tight\n"
+      "inject ripple_carry_adder width=4 trials=${trials}\n"
+      "sweep area 6,8,${ld} latency=${ld}\n");
+  ASSERT_EQ(s.actions.size(), 3u);
+  const auto& fd = std::get<FindDesignAction>(s.actions[0].op);
+  EXPECT_EQ(fd.latency_bound, 6);
+  const auto& in = std::get<InjectAction>(s.actions[1].op);
+  EXPECT_EQ(in.trials, 256u);
+  const auto& sw = std::get<SweepAction>(s.actions[2].op);
+  EXPECT_EQ(sw.area_bounds, (std::vector<double>{6.0, 8.0, 6.0}));
+  EXPECT_EQ(sw.latency_bounds, std::vector<int>{6});
+}
+
+TEST(ScenarioParams, LastSetWinsAtUseTime) {
+  Scenario s = parse_string(
+      "set w 16\n"
+      "set w 4\n"
+      "inject ripple_carry_adder width=${w}\n"
+      "set w 8\n"
+      "inject ripple_carry_adder width=${w}\n");
+  EXPECT_EQ(std::get<InjectAction>(s.actions[0].op).width, 4);
+  EXPECT_EQ(std::get<InjectAction>(s.actions[1].op).width, 8);
+}
+
+TEST(ScenarioParams, MultiTokenValuesExpandToMultipleTokens) {
+  // A variable may hold several tokens -- e.g. a whole option cluster.
+  Scenario s = parse_string(
+      "set campaign width=4 trials=128 seed=9\n"
+      "inject ripple_carry_adder ${campaign}\n");
+  const auto& in = std::get<InjectAction>(s.actions[0].op);
+  EXPECT_EQ(in.width, 4);
+  EXPECT_EQ(in.trials, 128u);
+  EXPECT_EQ(in.seed, 9u);
+}
+
+TEST(ScenarioParams, UndefinedVariableFailsWithLineNumber) {
+  std::string msg = error_of(
+      "scenario params\n"
+      "graph fig4_example\n"
+      "find_design latency=${nope} area=8\n");
+  EXPECT_NE(msg.find("<string>:3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undefined variable '${nope}'"), std::string::npos)
+      << msg;
+}
+
+TEST(ScenarioParams, MalformedReferencesAndSetsFail) {
+  EXPECT_NE(error_of("inject ripple_carry_adder width=${w\n")
+                .find("unterminated ${...}"),
+            std::string::npos);
+  EXPECT_NE(error_of("inject ripple_carry_adder width=${}\n")
+                .find("empty ${}"),
+            std::string::npos);
+  EXPECT_NE(error_of("set w\n").find("expected: set <name> <value>"),
+            std::string::npos);
+}
+
+TEST(ScenarioParams, VariablesInCommentsAreIgnored) {
+  Scenario s = parse_string(
+      "scenario c\n"
+      "# ${undefined} in a comment is fine\n"
+      "inject ripple_carry_adder width=4  # and here ${too}\n");
+  EXPECT_EQ(s.actions.size(), 1u);
+}
+
+TEST_F(ScenarioIncludeTest, VariablesParameterizeIncludedFragments) {
+  // The paper_common.inc pattern: the fragment reads ${...} values the
+  // including scenario `set` beforehand, and provides overridable
+  // defaults of its own.
+  write("fragment.inc",
+        "set trials 512\n"
+        "inject ripple_carry_adder width=${w} trials=${trials}\n");
+  write("main.scn",
+        "scenario fam\n"
+        "set w 4\n"
+        "include fragment.inc\n"
+        "inject kogge_stone_adder width=${w} trials=${trials}\n");
+  Scenario s = parse_file(dir_ / "main.scn");
+  ASSERT_EQ(s.actions.size(), 2u);
+  EXPECT_EQ(std::get<InjectAction>(s.actions[0].op).width, 4);
+  EXPECT_EQ(std::get<InjectAction>(s.actions[0].op).trials, 512u);
+  // The fragment's `set trials` stays visible after the include.
+  EXPECT_EQ(std::get<InjectAction>(s.actions[1].op).trials, 512u);
+}
+
+TEST_F(ScenarioIncludeTest, UndefinedVariableInFragmentPointsAtFragment) {
+  write("fragment.inc", "inject ripple_carry_adder width=${w}\n");
+  write("main.scn", "scenario fam\ninclude fragment.inc\n");
+  try {
+    parse_file(dir_ / "main.scn");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("fragment.inc:1:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("undefined variable"), std::string::npos) << msg;
   }
 }
 

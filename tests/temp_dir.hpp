@@ -1,0 +1,28 @@
+// Per-test scratch directories for gtest fixtures.
+//
+// ctest (via gtest_discover_tests) runs every TEST of a binary as its
+// own concurrent process in ONE working directory, so a fixture using a
+// fixed scratch-dir name races itself: one test's TearDown remove_all
+// deletes another running test's files. unique_test_dir() suffixes the
+// current test's name, which is unique within a suite by construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace rchls::testing {
+
+/// A fresh (removed + recreated) directory named
+/// `<prefix>_<current test name>` under the working directory.
+inline std::filesystem::path unique_test_dir(const std::string& prefix) {
+  std::filesystem::path dir =
+      prefix + "_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace rchls::testing

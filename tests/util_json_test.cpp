@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "util/error.hpp"
@@ -66,6 +67,101 @@ TEST(Json, SetAndPushRejectWrongKinds) {
   EXPECT_THROW(obj.push(1), Error);
   auto arr = Value::array();
   EXPECT_THROW(arr.set("k", 1), Error);
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-3").as_int(), -3);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse("  7 \n").as_int(), 7);  // surrounding whitespace ok
+}
+
+TEST(JsonParse, NumbersWithoutFloatMarkersAreIntegers) {
+  EXPECT_TRUE(parse("8").is_int());
+  EXPECT_TRUE(parse("8.0").is_double());
+  EXPECT_TRUE(parse("8e0").is_double());
+  EXPECT_EQ(parse("8.0").as_double(), 8.0);
+  // as_double accepts integers: JSON does not distinguish 8 from 8.0.
+  EXPECT_EQ(parse("8").as_double(), 8.0);
+}
+
+TEST(JsonParse, NegativeZeroStaysADouble) {
+  // dump(-0.0) == "-0"; reading that back as int 0 would re-encode as
+  // "0" and break the encode/decode fixed point the wire relies on.
+  EXPECT_TRUE(parse("-0").is_double());
+  EXPECT_TRUE(std::signbit(parse("-0").as_double()));
+  EXPECT_EQ(parse(Value(-0.0).dump()).dump(), "-0");
+  EXPECT_TRUE(parse("0").is_int());  // positive zero is a plain int
+}
+
+TEST(JsonParse, DoublesRoundTripBitForBit) {
+  for (double d : {0.1, 0.5, 1e21, 0.78943, 2.2250738585072014e-308,
+                   123456.789e-7, -0.0,
+                   // Renders in FIXED notation ("12345678901234567168"):
+                   // overflows int64, must fall back to the double path.
+                   1.2345678901234567e19, -9.87654321e18}) {
+    EXPECT_EQ(parse(Value(d).dump()).as_double(), d);
+    EXPECT_EQ(parse(Value(d).dump()).dump(), Value(d).dump());
+  }
+  EXPECT_EQ(parse("1e+21").as_double(), 1e21);
+}
+
+TEST(JsonParse, StringsUnescape) {
+  EXPECT_EQ(parse("\"a\\\"b\\\\c\"").as_string(), "a\"b\\c");
+  EXPECT_EQ(parse("\"line\\nbreak\\ttab\"").as_string(), "line\nbreak\ttab");
+  EXPECT_EQ(parse("\"\\u0001\"").as_string(), std::string("\x01", 1));
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");    // é as UTF-8
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").as_string(),          // surrogate pair
+            "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parse("\"\\/\"").as_string(), "/");
+}
+
+TEST(JsonParse, AggregatesPreserveOrder) {
+  Value v = parse("{\"b\": [1, 2, {\"x\": null}], \"a\": 3}");
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.at("a").as_int(), 3);
+  ASSERT_EQ(v.at("b").items().size(), 3u);
+  EXPECT_TRUE(v.at("b").items()[2].at("x").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+}
+
+TEST(JsonParse, DumpParseDumpIsAFixedPoint) {
+  auto inner = Value::array();
+  inner.push(1).push(0.25).push("s\n").push(Value());
+  auto v = Value::object();
+  v.set("xs", std::move(inner)).set("flag", true).set("n", -7);
+  for (int indent : {0, 2, 4}) {
+    EXPECT_EQ(parse(v.dump(indent)).dump(indent), v.dump(indent));
+  }
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "nul", "\"unterminated",
+        "01x", "1 2", "[1,]", "{\"a\":1,}", "\"\\q\"", "\"\\ud800\"",
+        "{\"a\":1} trailing", "\"raw\ncontrol\""}) {
+    EXPECT_THROW(parse(bad), Error) << "input: " << bad;
+  }
+  try {
+    parse("[1, x]");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, DeepNestingIsBoundedNotFatal) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(parse(deep), Error);
 }
 
 }  // namespace
