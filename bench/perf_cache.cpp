@@ -13,14 +13,18 @@
 // live in the build directory). Timings are wall-clock and
 // machine-dependent -- the *ratios* are the interesting part: the
 // disk-warm run pays only JSON decode + verification, so it should sit
-// 2-3 orders of magnitude under the cold run; sharded sweeps pay
-// process spawn + wire I/O per cell against engines that already
-// parallelize in-process, so on a single host they bound the
-// distribution overhead a multi-host runner would amortize.
+// 2-3 orders of magnitude under the cold run; sharded sweeps now ship
+// BATCHED slice requests (one worker per slice, not per cell), so the
+// remaining gap to local is spawn + wire I/O per SLICE. The JSON
+// records hardware_concurrency because it bounds what sharding can do:
+// on a single-core host the floor is local + spawn (nothing to win,
+// local is already serial); with more cores each worker's own pool
+// closes in on -- and across hosts would pass -- the local time.
 #include <chrono>
 #include <filesystem>
 #include <functional>
 #include <iostream>
+#include <thread>
 
 #include "api/session.hpp"
 #include "api/subprocess.hpp"
@@ -117,6 +121,7 @@ int main(int argc, char** argv) {
   auto doc = rchls::json::Value::object();
   doc.set("bench", "perf_cache")
       .set("jobs", rchls::parallel::global_config().jobs)
+      .set("hardware_concurrency", std::thread::hardware_concurrency())
       .set("scenario_actions", scn.actions.size());
   auto scenario_runs = rchls::json::Value::object();
   scenario_runs.set("cold_s", t_cold)

@@ -1,0 +1,184 @@
+// perf_serve: loopback throughput of the `rchls serve` daemon -- the
+// PR-6 acceptance benchmark.
+//
+// Runs an in-process serve::Server on a unix-domain socket and drives
+// it with 1..8 concurrent serve::Clients over REAL sockets (framing,
+// queueing and reply sequencing are all on the measured path; only the
+// process boundary is elided). At every concurrency level it measures
+// two passes over the same per-client workload:
+//
+//   cold: requests the daemon has never seen -> every one executes
+//         (executions serialize inside SharedSession, so cold
+//         throughput is engine-bound and roughly flat across clients);
+//   warm: the identical requests again -> every one is a memory-cache
+//         hit. The acceptance criterion is executed=0 on this pass --
+//         the JSON records the daemon's execution delta so the claim
+//         is checkable, not vibes -- and hit throughput scaling with
+//         clients (hits take the shared lock only).
+//
+// Standalone harness (like perf_cache): prints one JSON document to
+// stdout; the checked-in BENCH_serve.json is a captured run. Usage:
+//
+//   ./build/perf_serve [--smoke]
+//
+// --smoke shrinks the per-client request count so CI can run the full
+// harness -- every level, both passes, the executed=0 assertion -- in
+// seconds. Absolute numbers are machine-dependent; the cold/warm ratio
+// and the warm scaling curve are the interesting part.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile_ms(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+// Cheap but real engine work: a 4-bit ripple-carry fault-injection
+// campaign takes ~a millisecond, so cold passes finish quickly while
+// warm passes still measure the full socket round-trip. Distinct seeds
+// make distinct cache keys, so every (level, client, index) triple is
+// cold exactly once across the whole run.
+rchls::api::Request workload_request(int level, int client, int index) {
+  rchls::api::InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 256;
+  req.seed = static_cast<std::uint64_t>(level) * 1000000 +
+             static_cast<std::uint64_t>(client) * 1000 +
+             static_cast<std::uint64_t>(index) + 1;
+  return rchls::api::Request(req);
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  double requests_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t executed = 0;  // daemon-side execution delta
+};
+
+// One timed pass: `clients` threads, each its own connection, each
+// sending its slice of the level's workload synchronously. Per-request
+// latencies aggregate into the percentiles; wall time covers
+// connect + all round-trips (the daemon is resident, so connects are
+// the cheap part -- and real clients pay them too).
+PassResult run_pass(rchls::serve::Server& server, int level, int clients,
+                    int per_client, bool warm) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::uint64_t executed_before = server.executions();
+  auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      rchls::serve::Client client =
+          rchls::serve::Client::connect_unix(server.socket_path());
+      latencies[c].reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        auto r0 = Clock::now();
+        client.call(workload_request(level, c, i));
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - r0)
+                .count());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  PassResult pass;
+  pass.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  pass.executed = server.executions() - executed_before;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  pass.requests = all.size();
+  pass.requests_per_s =
+      pass.seconds > 0 ? static_cast<double>(all.size()) / pass.seconds : 0;
+  pass.p50_ms = percentile_ms(all, 0.50);
+  pass.p95_ms = percentile_ms(all, 0.95);
+  return pass;
+}
+
+rchls::json::Value to_json(const PassResult& pass) {
+  auto doc = rchls::json::Value::object();
+  doc.set("requests", pass.requests)
+      .set("seconds", pass.seconds)
+      .set("requests_per_s", pass.requests_per_s)
+      .set("p50_ms", pass.p50_ms)
+      .set("p95_ms", pass.p95_ms)
+      .set("executed", pass.executed);
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: perf_serve [--smoke]\n";
+      return 1;
+    }
+  }
+  const int per_client = smoke ? 4 : 32;
+
+  rchls::serve::ServerOptions so;
+  so.socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("rchls-perf-serve-" + std::to_string(rchls::current_pid()) + ".sock"))
+          .string();
+  so.workers = 8;  // enough to keep 8 clients' cache hits concurrent
+  rchls::serve::Server server(std::move(so));
+
+  auto doc = rchls::json::Value::object();
+  doc.set("bench", "perf_serve")
+      .set("smoke", smoke)
+      .set("workers", 8)
+      .set("requests_per_client", per_client);
+
+  bool warm_executed_clean = true;
+  auto levels = rchls::json::Value::array();
+  for (int clients : {1, 2, 4, 8}) {
+    PassResult cold = run_pass(server, clients, clients, per_client, false);
+    PassResult warm = run_pass(server, clients, clients, per_client, true);
+    warm_executed_clean = warm_executed_clean && warm.executed == 0;
+    auto level = rchls::json::Value::object();
+    level.set("clients", clients)
+        .set("cold", to_json(cold))
+        .set("warm", to_json(warm));
+    levels.push(std::move(level));
+    std::cerr << "perf_serve: clients=" << clients
+              << " cold_rps=" << cold.requests_per_s
+              << " warm_rps=" << warm.requests_per_s
+              << " warm_executed=" << warm.executed << "\n";
+  }
+  doc.set("levels", std::move(levels));
+  // The acceptance bit: every warm pass replayed its level's exact cold
+  // workload, so a single execution here is a cache defect.
+  doc.set("warm_executed_total_is_zero", warm_executed_clean);
+
+  server.stop();
+  std::cout << doc.dump(2) << "\n";
+  return warm_executed_clean ? 0 : 1;
+}

@@ -12,11 +12,19 @@
 #include <ostream>
 #include <sstream>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
 #include "api/disk_cache.hpp"
 #include "api/session.hpp"
 #include "api/subprocess.hpp"
 #include "api/wire.hpp"
 #include "benchmarks/suite.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "dfg/io.hpp"
 #include "rtl/datapath.hpp"
 #include "scenario/parse.hpp"
@@ -41,6 +49,14 @@ constexpr const char* kUsage =
     "  rchls inject <component> [--width W] [--trials N] [--seed S]\n"
     "               [--gate G] [--top K]\n"
     "  rchls cache stats|clear   (inspect / empty the persistent cache)\n"
+    "  rchls cache prune --max-bytes N\n"
+    "              (LRU-evict oldest entries until the cache fits)\n"
+    "  rchls serve --socket PATH [--port N] [--max-queue K] [--workers W]\n"
+    "              (resident request daemon; serves wire envelopes over\n"
+    "               the socket until SIGINT/SIGTERM, see docs/serving.md)\n"
+    "  rchls request <request.json> --socket PATH | --port N\n"
+    "              (send one wire request to a daemon, print the result\n"
+    "               envelope; make request files with --emit-request)\n"
     "  rchls exec-request <request.json> <result.json>\n"
     "              (execute one wire request; the worker mode behind\n"
     "               --shards, see docs/wire-protocol.md)\n"
@@ -58,6 +74,9 @@ constexpr const char* kUsage =
     "                            .rchls-cache)\n"
     "  --shards N                run via N exec-request worker processes\n"
     "                            (run and sweep)\n"
+    "  --emit-request FILE       write the wire request envelope to FILE\n"
+    "                            instead of executing (synth, sweep,\n"
+    "                            inject)\n"
     "exit codes: 0 success; 1 usage, parse or I/O error; 2 no solution\n"
     "  within bounds (synth only)\n"
     "scenario format reference: docs/scenario-format.md\n";
@@ -84,6 +103,12 @@ struct Args {
   std::string cache_dir;  // empty = $RCHLS_CACHE_DIR, then none
   std::string format;    // empty = per-command default
   std::string out;
+  std::string emit_request;  // write the wire request here, don't run
+  std::string socket_path;   // serve/request: unix-domain socket
+  std::optional<int> port;   // serve/request: 127.0.0.1 TCP port
+  std::size_t max_queue = 64;
+  std::size_t workers = 2;
+  std::optional<std::uint64_t> max_bytes;  // cache prune budget
 };
 
 // One diagnostic convention for every failure path (tested by
@@ -146,12 +171,20 @@ flag_commands() {
           {"--gate", {"inject"}},
           {"--top", {"inject"}},
           {"--verify-cache", {"run"}},
-          {"--jobs", {"run", "synth", "sweep", "inject", "exec-request"}},
+          {"--jobs",
+           {"run", "synth", "sweep", "inject", "exec-request", "serve"}},
           {"--format", {"run", "synth", "sweep", "inject"}},
-          {"--out", {"run", "synth", "sweep", "inject"}},
+          {"--out", {"run", "synth", "sweep", "inject", "request"}},
           {"--cache-dir",
-           {"run", "synth", "sweep", "inject", "cache", "exec-request"}},
+           {"run", "synth", "sweep", "inject", "cache", "exec-request",
+            "serve"}},
           {"--shards", {"run", "sweep"}},
+          {"--emit-request", {"synth", "sweep", "inject"}},
+          {"--socket", {"serve", "request"}},
+          {"--port", {"serve", "request"}},
+          {"--max-queue", {"serve"}},
+          {"--workers", {"serve"}},
+          {"--max-bytes", {"cache"}},
       };
   return table;
 }
@@ -163,7 +196,7 @@ Args parse_args(const std::vector<std::string>& args) {
   Args a;
   a.command = args.front();
   std::size_t i = 1;
-  if (a.command != "bench") {
+  if (a.command != "bench" && a.command != "serve") {
     if (args.size() < 2 || starts_with(args[1], "--")) {
       throw Error("'" + a.command + "' needs a positional argument");
     }
@@ -243,6 +276,32 @@ Args parse_args(const std::vector<std::string>& args) {
       a.format = v;
     } else if (flag == "--out") {
       a.out = next();
+    } else if (flag == "--emit-request") {
+      a.emit_request = next();
+      if (a.emit_request.empty()) {
+        throw Error("--emit-request needs a non-empty file path");
+      }
+    } else if (flag == "--socket") {
+      a.socket_path = next();
+      if (a.socket_path.empty()) {
+        throw Error("--socket needs a non-empty path");
+      }
+    } else if (flag == "--port") {
+      int port = to_int(flag, next());
+      if (port < 0 || port > 65535) {
+        throw Error("--port must be in [0, 65535] (0 = ephemeral)");
+      }
+      a.port = port;
+    } else if (flag == "--max-queue") {
+      int q = to_int(flag, next());
+      if (q < 1) throw Error("--max-queue needs a positive count");
+      a.max_queue = static_cast<std::size_t>(q);
+    } else if (flag == "--workers") {
+      int w = to_int(flag, next());
+      if (w < 1) throw Error("--workers needs a positive count");
+      a.workers = static_cast<std::size_t>(w);
+    } else if (flag == "--max-bytes") {
+      a.max_bytes = to_uint64(flag, next());
     } else if (flag == "--polish") {
       a.polish = true;
     } else if (flag == "--datapath") {
@@ -291,6 +350,17 @@ int emit(const std::string& rendered, const Args& a, std::ostream& out) {
   return 0;
 }
 
+// --emit-request: the wire envelope is the product; nothing executes.
+// Composes with `rchls request` / `rchls exec-request`, which consume
+// these files.
+bool emit_request_file(const Args& a, const Request& req) {
+  if (a.emit_request.empty()) return false;
+  if (!write_file(a.emit_request, wire::encode(req))) {
+    throw Error("cannot write request file '" + a.emit_request + "'");
+  }
+  return true;
+}
+
 hls::FindDesignOptions engine_options(const Args& a) {
   hls::FindDesignOptions fd;
   fd.enable_polish = a.polish;
@@ -331,6 +401,7 @@ int run_synth(const Args& a, Session& session, std::ostream& out,
   req.area_bound = *a.area;
   req.engine = a.engine;
   req.options = engine_options(a);
+  if (emit_request_file(a, Request(req))) return 0;
 
   FindDesignResult r = session.run(req);
   if (!r.solved) {
@@ -361,6 +432,7 @@ int run_sweep(const Args& a, Session& session, std::ostream& out) {
   req.latency_bounds = {*a.latency};
   req.area_bounds = a.areas;
   req.options = engine_options(a);
+  if (emit_request_file(a, Request(req))) return 0;
 
   SweepResult r = session.run(req);
   scenario::RunReport report =
@@ -378,6 +450,10 @@ int run_inject(const Args& a, Session& session, std::ostream& out) {
   req.trials = a.trials;
   req.seed = a.seed;
   req.gate = a.gate;
+  if (!a.emit_request.empty() && a.top > 0) {
+    throw Error("--emit-request emits one request; drop --top");
+  }
+  if (emit_request_file(a, Request(req))) return 0;
 
   // A graphless report defaults to the paper library, exactly like a
   // campaign-only scenario file.
@@ -470,7 +546,91 @@ int run_cache(const Args& a, std::ostream& out) {
         << "removed: " << removed << "\n";
     return 0;
   }
-  throw Error("cache expects 'stats' or 'clear' (got '" + a.target + "')");
+  if (a.target == "prune") {
+    if (!a.max_bytes) throw Error("cache prune needs --max-bytes");
+    DiskCache::PruneReport r;
+    if (std::filesystem::is_directory(dir)) {
+      r = DiskCache(dir).prune(*a.max_bytes);
+    }
+    out << "cache directory: " << dir << "\n"
+        << "removed: " << r.removed_entries << " (" << r.removed_bytes
+        << " bytes)\n"
+        << "kept: " << r.kept_entries << " (" << r.kept_bytes
+        << " bytes)\n";
+    return 0;
+  }
+  throw Error("cache expects 'stats', 'clear' or 'prune' (got '" + a.target +
+              "')");
+}
+
+// Signal-driven daemon lifetime: the handler only flips a flag; the
+// main loop notices and runs the orderly Server::stop(). sig_atomic_t
+// is the only thing a signal handler may touch portably.
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+extern "C" void serve_signal_handler(int) { g_serve_signal = 1; }
+
+int run_serve(const Args& a, std::ostream& err) {
+  if (a.socket_path.empty() && !a.port) {
+    throw Error("serve needs --socket PATH and/or --port N");
+  }
+  serve::ServerOptions so;
+  so.socket_path = a.socket_path;
+  so.tcp_port = a.port ? *a.port : -1;
+  so.max_queue = a.max_queue;
+  so.workers = a.workers;
+  so.session.jobs = a.jobs;
+  so.session.cache_dir = resolved_cache_dir(a);
+  so.log = &err;
+  serve::Server server(std::move(so));
+
+  err << "serve: listening";
+  if (!server.socket_path().empty()) {
+    err << " unix:" << server.socket_path();
+  }
+  if (server.tcp_port() != 0) err << " tcp:127.0.0.1:" << server.tcp_port();
+  err << " workers=" << a.workers << " max-queue=" << a.max_queue;
+  if (!resolved_cache_dir(a).empty()) {
+    err << " cache-dir=" << resolved_cache_dir(a);
+  }
+  err << "\n" << std::flush;
+
+  g_serve_signal = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (g_serve_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.stop();
+
+  serve::ServeStats s = server.stats();
+  api::SharedSessionStats ss = server.session_stats();
+  err << "serve: stopped connections=" << s.connections
+      << " requests=" << s.requests << " errors=" << s.errors
+      << " overflows=" << s.overflows << " hits=" << ss.hits
+      << " disk_hits=" << ss.disk_hits << " executed=" << ss.executions
+      << "\n";
+  return 0;
+}
+
+// `rchls request`: the thin client. Reads a wire request file (made
+// with --emit-request or by hand), round-trips it through a daemon,
+// and emits the raw reply envelope -- result or error -- verbatim, so
+// the output composes with anything that reads wire files.
+int run_request(const Args& a, std::ostream& out, std::ostream& err) {
+  if (a.socket_path.empty() == !a.port) {
+    throw Error("request needs exactly one of --socket or --port");
+  }
+  std::string payload = read_file(a.target);
+  serve::Client client = a.socket_path.empty()
+                             ? serve::Client::connect_tcp(*a.port)
+                             : serve::Client::connect_unix(a.socket_path);
+  std::string reply = client.call_raw(payload);
+  serve::Reply decoded = serve::decode_reply(reply);
+  if (!decoded.ok()) return fail(err, "serve: " + decoded.error);
+  return emit(reply, a, out);
 }
 
 // The worker mode behind SubprocessExecutor: one wire request in, one
@@ -493,7 +653,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args.front();
   if (command != "run" && command != "synth" && command != "sweep" &&
       command != "inject" && command != "bench" && command != "cache" &&
-      command != "exec-request") {
+      command != "exec-request" && command != "serve" &&
+      command != "request") {
     return fail_usage(err, "unknown command '" + command + "'");
   }
 
@@ -507,6 +668,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   try {
     if (a.command == "bench") return run_bench(out);
     if (a.command == "cache") return run_cache(a, out);
+    if (a.command == "serve") return run_serve(a, err);
+    if (a.command == "request") return run_request(a, out, err);
 
     SessionOptions opts;
     opts.jobs = a.jobs;

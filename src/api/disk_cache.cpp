@@ -1,5 +1,6 @@
 #include "api/disk_cache.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -63,6 +64,11 @@ std::optional<Result> DiskCache::find(const CacheKey& key) {
       throw Error("payload checksum mismatch");
     }
     ++stats_.hits;
+    // Touch the entry so prune()'s oldest-mtime ordering approximates
+    // least-recently-USED, not least-recently-written. Best effort: a
+    // read-only cache directory still serves hits.
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     return result;
   } catch (const Error&) {
     ++stats_.misses;
@@ -138,6 +144,52 @@ std::uint64_t DiskCache::clear() {
     std::filesystem::remove(p, ec);
   }
   return removed;
+}
+
+DiskCache::PruneReport DiskCache::prune(std::uint64_t max_bytes) {
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::error_code ec;
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  for (const auto& it : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!it.is_regular_file() || it.path().extension() != ".json") continue;
+    Entry e;
+    e.path = it.path();
+    e.mtime = it.last_write_time(ec);
+    if (ec) continue;  // vanished mid-scan (concurrent clear)
+    std::uintmax_t size = it.file_size(ec);
+    if (ec) continue;
+    e.bytes = size;
+    total += e.bytes;
+    entries.push_back(std::move(e));
+  }
+
+  PruneReport report;
+  if (total > max_bytes) {
+    // Oldest first; path is the tiebreaker so equal-mtime batches (one
+    // warm run stores many entries within a clock tick) prune
+    // deterministically.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    for (const Entry& e : entries) {
+      if (total <= max_bytes) break;
+      if (!std::filesystem::remove(e.path, ec) || ec) continue;  // raced away
+      total -= e.bytes;
+      ++report.removed_entries;
+      report.removed_bytes += e.bytes;
+    }
+  }
+  report.kept_entries =
+      entries.size() - report.removed_entries;
+  report.kept_bytes = total;
+  return report;
 }
 
 }  // namespace rchls::api

@@ -89,6 +89,22 @@ class DiskCache {
   /// number of entries removed. The directory itself is kept.
   std::uint64_t clear();
 
+  /// LRU eviction for long-lived caches (`rchls cache prune`): removes
+  /// oldest-mtime entries until the remaining `*.json` bytes fit in
+  /// `max_bytes`. Correctness-safe by construction -- every read is
+  /// verified against the full canonical key, so evicting an entry can
+  /// only ever cost a future miss, never a wrong hit. mtime is the
+  /// recency signal (find() touches entries it serves), which is
+  /// approximate on noatime-style setups but only skews WHICH entries
+  /// go first, never whether pruning is safe.
+  struct PruneReport {
+    std::uint64_t removed_entries = 0;
+    std::uint64_t removed_bytes = 0;
+    std::uint64_t kept_entries = 0;
+    std::uint64_t kept_bytes = 0;
+  };
+  PruneReport prune(std::uint64_t max_bytes);
+
  private:
   std::filesystem::path entry_path(const CacheKey& key) const;
 

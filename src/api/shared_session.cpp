@@ -1,0 +1,107 @@
+#include "api/shared_session.hpp"
+
+#include "api/cache.hpp"
+#include "parallel/config.hpp"
+
+namespace rchls::api {
+
+namespace {
+
+CacheKey key_of_request(const Request& req) {
+  return std::visit([](const auto& r) { return key_of(r); }, req);
+}
+
+}  // namespace
+
+SharedSession::SharedSession(SessionOptions options)
+    : options_(std::move(options)) {
+  if (options_.jobs != 0) parallel::set_global_jobs(options_.jobs);
+  if (!options_.cache_dir.empty()) {
+    disk_ = std::make_unique<DiskCache>(options_.cache_dir);
+  }
+  executor_ = options_.executor ? options_.executor
+                                : std::make_shared<LocalExecutor>();
+}
+
+Result SharedSession::run(const Request& req, RunSource* source) {
+  if (!options_.enable_cache) {
+    std::lock_guard<std::mutex> exec(exec_mu_);
+    executions_.fetch_add(1, std::memory_order_relaxed);
+    if (source) *source = RunSource::kExecuted;
+    return executor_->run(req);
+  }
+
+  CacheKey key = key_of_request(req);
+
+  // Fast path: concurrent readers, no exclusive lock anywhere.
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = entries_.find(key.canonical);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (source) *source = RunSource::kMemoryCache;
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  if (disk_) {
+    std::optional<Result> hit;
+    {
+      std::lock_guard<std::mutex> lock(disk_mu_);
+      hit = disk_->find(key);
+    }
+    if (hit) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::unique_lock<std::shared_mutex> lock(cache_mu_);
+        entries_.emplace(key.canonical, *hit);
+      }
+      if (source) *source = RunSource::kDiskCache;
+      return std::move(*hit);
+    }
+  }
+
+  // Execution is serialized; once we hold the executor, re-check the
+  // memory layer -- a thread that raced us here may have stored the
+  // result already (in-flight deduplication; provenance stays
+  // kExecuted-free for us: it is a late memory hit).
+  std::lock_guard<std::mutex> exec(exec_mu_);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = entries_.find(key.canonical);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (source) *source = RunSource::kMemoryCache;
+      return it->second;
+    }
+  }
+
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  Result r = executor_->run(req);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    entries_.emplace(key.canonical, r);
+  }
+  if (disk_) {
+    std::lock_guard<std::mutex> lock(disk_mu_);
+    disk_->store(key, r);
+  }
+  if (source) *source = RunSource::kExecuted;
+  return r;
+}
+
+SharedSessionStats SharedSession::stats() const {
+  SharedSessionStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.executions = executions_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    s.entries = entries_.size();
+  }
+  return s;
+}
+
+}  // namespace rchls::api

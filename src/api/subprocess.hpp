@@ -3,18 +3,26 @@
 //
 // Sweep and Grid requests are embarrassingly cell-parallel (every point
 // of hls::latency_sweep / area_sweep / comparison_grid is independent),
-// so this executor shards them into one self-contained child request
-// per cell, writes each as a wire file, runs up to `shards` concurrent
-// `rchls exec-request <request.json> <result.json>` worker processes,
-// and merges the per-cell results back in cell order. The other three
+// so this executor shards them into min(shards, cells) BATCHED child
+// requests -- balanced contiguous slices of the swept bounds (grid
+// slices never cross a row boundary) -- writes each as a wire file,
+// runs the `rchls exec-request <request.json> <result.json>` worker
+// processes concurrently, and merges the slice results back in slice
+// order. Batching is what makes single-host sharding pay: one process
+// per CELL was spawn-bound (~1.8x slower than local on 12-cell
+// sweeps); one process per SLICE amortizes spawn + wire I/O over
+// cells/shards cells, and each worker parallelizes across its slice
+// with its own pool (the --jobs cap rides along). The other three
 // request kinds ship as a single child request -- everything the
 // executor runs goes over the wire, nothing executes in-process.
 //
-// Determinism: sharding is by index and merging is by index, so the
-// merged result -- and every report rendered from it -- is byte-identical
-// to LocalExecutor's at any shard count (tests assert shards 1/2/4
-// against jobs 1/2/8). Grid averages are recomputed from the merged rows
-// with hls::grid_averages, the same pure function the local path uses.
+// Determinism: slicing is by index, contiguous, and merged in slice
+// order, and every cell is computed independently of its neighbors, so
+// the merged result -- and every report rendered from it -- is
+// byte-identical to LocalExecutor's at any shard count (tests assert
+// shards 1/2/4 against jobs 1/2/8). Grid averages are recomputed from
+// the merged rows with hls::grid_averages, the same pure function the
+// local path uses.
 //
 // Failure: a worker that exits non-zero, writes no result, or writes a
 // result of the wrong kind fails the whole request with rchls::Error
@@ -48,8 +56,11 @@ struct SubprocessOptions {
   /// it (and removed on destruction). Empty = the system temp directory.
   std::filesystem::path work_dir;
   /// When set, workers share this persistent result cache: each child
-  /// request is content-addressed on its own, so re-sharded or repeated
-  /// cells become disk hits. Forwarded as --cache-dir.
+  /// slice request is content-addressed on its own, so repeating a run
+  /// at the SAME shard count turns every slice into a disk hit (a
+  /// different shard count slices differently and re-executes -- the
+  /// parent-level Session cache still catches the whole request).
+  /// Forwarded as --cache-dir.
   std::string cache_dir;
   /// Worker count WITHIN each worker process, forwarded as --jobs
   /// (0 = leave the workers at their hardware-concurrency default).

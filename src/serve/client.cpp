@@ -1,0 +1,35 @@
+#include "serve/client.hpp"
+
+#include "api/wire.hpp"
+#include "util/error.hpp"
+
+namespace rchls::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::connect_unix(path));
+}
+
+Client Client::connect_tcp(int port) {
+  return Client(util::connect_tcp_loopback(port));
+}
+
+std::string Client::call_raw(const std::string& payload) {
+  util::send_frame(sock_, payload);
+  std::optional<std::string> reply = util::recv_frame(sock_);
+  if (!reply) {
+    throw Error("socket: server closed the connection without replying");
+  }
+  return *reply;
+}
+
+Reply Client::call_reply(const api::Request& req) {
+  return decode_reply(call_raw(api::wire::encode(req)));
+}
+
+api::Result Client::call(const api::Request& req) {
+  Reply reply = call_reply(req);
+  if (!reply.ok()) throw Error("serve: " + reply.error);
+  return std::move(*reply.result);
+}
+
+}  // namespace rchls::serve

@@ -1,0 +1,61 @@
+// serve::Client -- the library-side counterpart of serve::Server: one
+// connection speaking the framed wire protocol (serve/protocol.hpp).
+//
+// This is what `rchls request` is built on, and what tests and
+// bench/perf_serve use to drive an in-process daemon over real sockets.
+// One Client is one connection with synchronous call semantics: each
+// call sends one frame and blocks for its one reply frame (the server
+// guarantees request-ordered replies, so pipelining is possible over
+// raw sockets, but this class keeps the simple one-outstanding model --
+// open more Clients for concurrency, they are cheap).
+//
+// Error surfaces, separated by kind:
+//  * transport problems (cannot connect, server gone, mid-reply
+//    disconnect) throw rchls::Error("socket: ...");
+//  * server-answered errors (malformed request, structural engine
+//    error, queue overflow) come back as Reply::error from call_reply,
+//    and call() re-raises them as rchls::Error("serve: ...") for
+//    callers that treat them as exceptional.
+//
+// Not thread-safe: one Client per thread (like Session).
+#pragma once
+
+#include <string>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace rchls::serve {
+
+class Client {
+ public:
+  /// Connect to a daemon's unix socket / 127.0.0.1 TCP port. Throw
+  /// rchls::Error when nothing is listening.
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(int port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Round-trips one request; throws rchls::Error("serve: ...") when
+  /// the server answered an error envelope.
+  api::Result call(const api::Request& req);
+
+  /// Like call(), but server-side errors are returned as Reply::error
+  /// instead of thrown.
+  Reply call_reply(const api::Request& req);
+
+  /// Lowest level: sends `payload` as one frame verbatim (it need not
+  /// be a valid envelope -- tests probe the server's error paths with
+  /// this) and returns the raw reply payload.
+  std::string call_raw(const std::string& payload);
+
+ private:
+  explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
+
+  util::Socket sock_;
+};
+
+}  // namespace rchls::serve

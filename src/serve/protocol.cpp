@@ -1,0 +1,33 @@
+#include "serve/protocol.hpp"
+
+#include "api/wire.hpp"
+#include "util/json.hpp"
+
+namespace rchls::serve {
+
+std::string encode_error(const std::string& message) {
+  auto doc = json::Value::object();
+  doc.set("format_version", api::wire::kFormatVersion).set("kind", "error");
+  auto err = json::Value::object();
+  err.set("message", message);
+  doc.set("error", std::move(err));
+  return doc.dump(2) + "\n";
+}
+
+Reply decode_reply(const std::string& payload) {
+  // Cheap pre-test so result decoding keeps its own (better) error
+  // messages: only payloads that parse as an object with kind "error"
+  // take the error path.
+  json::Value doc = json::parse(payload);
+  const json::Value* kind = doc.is_object() ? doc.find("kind") : nullptr;
+  if (kind != nullptr && kind->is_string() && kind->as_string() == "error") {
+    Reply r;
+    r.error = doc.at("error").at("message").as_string();
+    return r;
+  }
+  Reply r;
+  r.result = api::wire::decode_result(payload);
+  return r;
+}
+
+}  // namespace rchls::serve

@@ -1,0 +1,57 @@
+// The serve request/reply protocol, one layer above util/socket's
+// framing and one layer above api/wire's envelopes.
+//
+// A client sends one frame per request; the payload is a standard
+// `rchls.wire.v1` REQUEST envelope (api/wire.hpp). The server answers
+// every frame with exactly one frame whose payload is either
+//
+//   * a `rchls.wire.v1` RESULT envelope -- the success path, byte-
+//     identical to what a local Session would have produced; or
+//
+//   * an ERROR envelope, the one envelope kind that exists only on the
+//     serve channel (it is never cached and never written to disk):
+//
+//       { "format_version": "rchls.wire.v1",
+//         "kind": "error",
+//         "error": { "message": "..." } }
+//
+// Errors are DATA here, not exceptions: a malformed request, a
+// structural engine error (unknown component, missing library version)
+// or queue overflow must reach the client as a well-formed reply so the
+// connection -- and the daemon -- outlive any single bad request.
+// decode_reply() folds both payload shapes into one Reply value;
+// serve::Client::call() re-raises Reply::error as rchls::Error for
+// callers that prefer exceptions.
+//
+// Requests on one connection are answered in request order (the worker
+// pool may compute them out of order; the per-connection reply lock in
+// the server keeps the frames themselves ordered). Full lifecycle and
+// backpressure contract: docs/serving.md.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "api/result.hpp"
+
+namespace rchls::serve {
+
+/// Canonical error envelope (trailing newline, like every wire
+/// encoding). `message` is escaped as a JSON string; any text is safe.
+std::string encode_error(const std::string& message);
+
+/// One decoded server reply: exactly one of `result` / `error` is set.
+struct Reply {
+  std::optional<api::Result> result;
+  std::string error;  ///< non-empty iff the server answered an error
+
+  bool ok() const { return result.has_value(); }
+};
+
+/// Parses a reply frame: an error envelope becomes Reply::error, any
+/// other payload goes through wire::decode_result. Throws rchls::Error
+/// only when the payload is neither (a malformed frame from something
+/// that is not an rchls server).
+Reply decode_reply(const std::string& payload);
+
+}  // namespace rchls::serve

@@ -1,0 +1,321 @@
+#include "util/socket.hpp"
+
+#include "util/error.hpp"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <filesystem>
+
+namespace rchls::util {
+
+#ifdef _WIN32
+
+// The serve subsystem is POSIX-only (see the header). Fail loudly
+// instead of shipping a silently broken transport.
+namespace {
+[[noreturn]] void unsupported() {
+  throw Error("socket: unsupported on this platform");
+}
+}  // namespace
+
+Socket::~Socket() = default;
+Socket::Socket(Socket&& other) noexcept { std::swap(fd_, other.fd_); }
+Socket& Socket::operator=(Socket&& other) noexcept {
+  std::swap(fd_, other.fd_);
+  return *this;
+}
+void Socket::shutdown_both() {}
+void Socket::close() {}
+Listener::~Listener() = default;
+Listener::Listener(Listener&& other) noexcept {
+  std::swap(fd_, other.fd_);
+  std::swap(port_, other.port_);
+  std::swap(path_, other.path_);
+}
+Listener& Listener::operator=(Listener&& other) noexcept {
+  std::swap(fd_, other.fd_);
+  std::swap(port_, other.port_);
+  std::swap(path_, other.path_);
+  return *this;
+}
+Socket Listener::accept() { unsupported(); }
+void Listener::shutdown() {}
+Listener listen_unix(const std::string&, int) { unsupported(); }
+Listener listen_tcp_loopback(int, int) { unsupported(); }
+Socket connect_unix(const std::string&) { unsupported(); }
+Socket connect_tcp_loopback(int) { unsupported(); }
+void send_frame(const Socket&, const std::string&) { unsupported(); }
+std::optional<std::string> recv_frame(const Socket&, std::uint32_t) {
+  unsupported();
+}
+
+#else  // POSIX
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error("socket: " + what + ": " + std::strerror(errno));
+}
+
+// Full-buffer write, retrying partial writes and EINTR. MSG_NOSIGNAL
+// turns a dead peer into EPIPE instead of a process-killing SIGPIPE --
+// essential for a daemon whose clients may vanish mid-reply.
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send failed");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Full-buffer read. Returns the byte count actually read, which is
+// short only at end-of-stream.
+std::size_t read_all(int fd, char* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv failed");
+    }
+    if (n == 0) break;  // peer closed
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept { std::swap(fd_, other.fd_); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    std::swap(fd_, other.fd_);
+  }
+  return *this;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept {
+  std::swap(fd_, other.fd_);
+  std::swap(port_, other.port_);
+  std::swap(path_, other.path_);
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Listener tmp(std::move(*this));  // release our resources
+    std::swap(fd_, other.fd_);
+    std::swap(port_, other.port_);
+    std::swap(path_, other.path_);
+  }
+  return *this;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // A shut-down listener reports EINVAL (or EBADF if already closed):
+    // the orderly-stop signal, not an error.
+    if (errno == EINVAL || errno == EBADF) return Socket();
+    fail_errno("accept failed");
+  }
+}
+
+void Listener::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Listener listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket: unix path '" + path + "' is empty or too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create unix socket");
+  // A previous daemon that crashed leaves its socket file behind; bind
+  // would fail with EADDRINUSE forever. Remove it -- a LIVE daemon on
+  // the path is the operator's error either way, and this matches what
+  // every long-lived unix-socket server does.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot bind unix socket '" + path + "'");
+  }
+  if (::listen(fd, backlog) < 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    fail_errno("cannot listen on '" + path + "'");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.path_ = path;
+  return l;
+}
+
+Listener listen_tcp_loopback(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    throw Error("socket: TCP port " + std::to_string(port) +
+                " is out of range");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create TCP socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot resolve bound port");
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket: unix path '" + path + "' is empty or too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot connect to '" + path + "'");
+  }
+  return Socket(fd);
+}
+
+Socket connect_tcp_loopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("cannot create TCP socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+  return Socket(fd);
+}
+
+void send_frame(const Socket& sock, const std::string& payload) {
+  if (!sock.valid()) throw Error("socket: send on an invalid socket");
+  if (payload.size() > kMaxFrameBytes) {
+    throw Error("socket: frame of " + std::to_string(payload.size()) +
+                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                "-byte limit");
+  }
+  auto n = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>((n >> 24) & 0xff),
+      static_cast<unsigned char>((n >> 16) & 0xff),
+      static_cast<unsigned char>((n >> 8) & 0xff),
+      static_cast<unsigned char>(n & 0xff),
+  };
+  write_all(sock.fd(), reinterpret_cast<const char*>(header),
+            sizeof(header));
+  write_all(sock.fd(), payload.data(), payload.size());
+}
+
+std::optional<std::string> recv_frame(const Socket& sock,
+                                      std::uint32_t max_bytes) {
+  if (!sock.valid()) throw Error("socket: recv on an invalid socket");
+  unsigned char header[4];
+  std::size_t got =
+      read_all(sock.fd(), reinterpret_cast<char*>(header), sizeof(header));
+  if (got == 0) return std::nullopt;  // clean end-of-stream
+  if (got < sizeof(header)) {
+    throw Error("socket: peer closed mid-frame (partial length prefix)");
+  }
+  std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |
+                    (static_cast<std::uint32_t>(header[1]) << 16) |
+                    (static_cast<std::uint32_t>(header[2]) << 8) |
+                    static_cast<std::uint32_t>(header[3]);
+  std::uint32_t cap = std::min(max_bytes, kMaxFrameBytes);
+  if (n > cap) {
+    throw Error("socket: incoming frame of " + std::to_string(n) +
+                " bytes exceeds the " + std::to_string(cap) + "-byte limit");
+  }
+  std::string payload(n, '\0');
+  if (read_all(sock.fd(), payload.data(), n) < n) {
+    throw Error("socket: peer closed mid-frame (incomplete payload)");
+  }
+  return payload;
+}
+
+#endif  // POSIX
+
+}  // namespace rchls::util

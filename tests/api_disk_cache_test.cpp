@@ -5,9 +5,11 @@
 // stats surface.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "api/cli.hpp"
 #include "api/disk_cache.hpp"
@@ -210,6 +212,94 @@ TEST_F(ApiDiskCacheTest, UsageAndClear) {
   EXPECT_EQ(cache.clear(), 2u);
   EXPECT_EQ(cache.usage().entries, 0u);
   EXPECT_FALSE(cache.find(key_of(other)).has_value());
+}
+
+// ------------------------------------------------------------ prune
+
+// Pins an entry's mtime so the LRU order is deterministic regardless of
+// filesystem timestamp granularity.
+void set_age(const std::filesystem::path& entry, int seconds_ago) {
+  std::filesystem::last_write_time(
+      entry, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::seconds(seconds_ago));
+}
+
+TEST_F(ApiDiskCacheTest, PruneEvictsOldestFirstUntilUnderBudget) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  std::vector<CacheKey> keys;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    InjectRequest req = small_inject();
+    req.seed = seed;
+    CacheKey key = key_of(req);
+    cache.store(key, Result(engine.run(req)));
+    keys.push_back(key);
+    // seed 1 oldest, seed 3 newest.
+    set_age(std::filesystem::path(cache_dir()) /
+                (to_hex64(key.digest) + ".json"),
+            100 - static_cast<int>(seed) * 10);
+  }
+  DiskCacheUsage before = cache.usage();
+  ASSERT_EQ(before.entries, 3u);
+
+  // A budget that fits exactly the two newest entries (entry sizes vary
+  // by a few bytes, so measure, don't average): the oldest -- and only
+  // the oldest -- must go.
+  auto entry_bytes = [&](const CacheKey& key) {
+    return static_cast<std::uint64_t>(std::filesystem::file_size(
+        std::filesystem::path(cache_dir()) /
+        (to_hex64(key.digest) + ".json")));
+  };
+  std::uint64_t budget = entry_bytes(keys[1]) + entry_bytes(keys[2]);
+  DiskCache::PruneReport r = cache.prune(budget);
+  EXPECT_EQ(r.removed_entries, 1u);
+  EXPECT_EQ(r.kept_entries, 2u);
+  EXPECT_EQ(r.removed_bytes + r.kept_bytes, before.bytes);
+  EXPECT_LE(r.kept_bytes, budget);
+
+  EXPECT_FALSE(cache.find(keys[0]).has_value()) << "oldest must be evicted";
+  EXPECT_TRUE(cache.find(keys[1]).has_value());
+  EXPECT_TRUE(cache.find(keys[2]).has_value());
+}
+
+TEST_F(ApiDiskCacheTest, PruneWithinBudgetRemovesNothing) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  cache.store(key_of(small_inject()), Result(engine.run(small_inject())));
+  DiskCache::PruneReport r = cache.prune(cache.usage().bytes);
+  EXPECT_EQ(r.removed_entries, 0u);
+  EXPECT_EQ(r.kept_entries, 1u);
+  EXPECT_TRUE(cache.find(key_of(small_inject())).has_value());
+}
+
+// Hits refresh an entry's mtime, so "oldest" means least-recently-USED:
+// an entry written long ago but read today survives a prune that evicts
+// a younger-but-unread one.
+TEST_F(ApiDiskCacheTest, PruneSparesRecentlyUsedEntries) {
+  DiskCache cache(cache_dir());
+  LocalExecutor engine;
+  InjectRequest used = small_inject();
+  InjectRequest unused = small_inject();
+  unused.seed = 99;
+  cache.store(key_of(used), Result(engine.run(used)));
+  cache.store(key_of(unused), Result(engine.run(unused)));
+  set_age(std::filesystem::path(cache_dir()) /
+              (to_hex64(key_of(used).digest) + ".json"),
+          3600);
+  set_age(std::filesystem::path(cache_dir()) /
+              (to_hex64(key_of(unused).digest) + ".json"),
+          60);
+
+  ASSERT_TRUE(cache.find(key_of(used)).has_value());  // touches mtime
+
+  // A budget that fits exactly the touched entry.
+  DiskCache::PruneReport r = cache.prune(std::filesystem::file_size(
+      std::filesystem::path(cache_dir()) /
+      (to_hex64(key_of(used).digest) + ".json")));
+  EXPECT_EQ(r.removed_entries, 1u);
+  EXPECT_TRUE(cache.find(key_of(used)).has_value())
+      << "the entry read after the stores must survive";
+  EXPECT_FALSE(cache.find(key_of(unused)).has_value());
 }
 
 // ----------------------------------------------- session layering

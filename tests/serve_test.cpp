@@ -1,0 +1,374 @@
+// Serve subsystem tests (src/serve/): the daemon acceptance criteria.
+// Concurrent clients get byte-identical results to a local Session; a
+// second wave executes nothing; malformed frames, oversized frames,
+// queue overflow and mid-request disconnects produce clean error
+// envelopes (or cost only the offending connection) -- never a daemon
+// crash; and a daemon restarted over the same cache directory serves
+// from disk.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cli.hpp"
+#include "api/request.hpp"
+#include "api/session.hpp"
+#include "api/wire.hpp"
+#include "benchmarks/suite.hpp"
+#include "library/resource.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "temp_dir.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace rchls::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = rchls::testing::unique_test_dir("serve_test_tmp");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string sock_path() const { return (dir_ / "d.sock").string(); }
+  std::string cache_dir() const { return (dir_ / "cache").string(); }
+
+  ServerOptions options() {
+    ServerOptions so;
+    so.socket_path = sock_path();
+    so.log = &log_;
+    return so;
+  }
+
+  std::ostringstream log_;
+  std::filesystem::path dir_;
+};
+
+api::Request inject_request(std::uint64_t seed) {
+  api::InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = seed;
+  return api::Request(req);
+}
+
+api::Request find_design_request() {
+  api::FindDesignRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.latency_bound = 6;
+  req.area_bound = 8.0;
+  return api::Request(req);
+}
+
+api::Request sweep_request() {
+  api::SweepRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.axis = api::SweepAxis::kArea;
+  req.latency_bounds = {6};
+  req.area_bounds = {6.0, 8.0, 10.0};
+  return api::Request(req);
+}
+
+// A workload covering three request kinds; every test's reference is
+// the same requests through a plain single-threaded Session.
+std::vector<api::Request> workload() {
+  std::vector<api::Request> reqs;
+  reqs.push_back(find_design_request());
+  reqs.push_back(sweep_request());
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    reqs.push_back(inject_request(seed));
+  }
+  return reqs;
+}
+
+// ------------------------------------------------- bounded queue contract
+
+TEST(ServeQueue, RefusesWhenFullAndDrainsAfterStop) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)) << "overflow must refuse, not block";
+  EXPECT_EQ(q.size(), 2u);
+
+  q.stop();
+  EXPECT_FALSE(q.try_push(4)) << "stopped queues admit nothing";
+  // Admitted work still drains after stop -- the daemon's "finish what
+  // you accepted" shutdown contract.
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// ------------------------------------------------------ result identity
+
+TEST_F(ServeTest, ConcurrentClientsAreByteIdenticalToALocalSession) {
+  std::vector<api::Request> reqs = workload();
+  api::Session local((api::SessionOptions()));
+  std::vector<std::string> reference;
+  for (const auto& r : reqs) reference.push_back(api::wire::encode(local.run(r)));
+
+  ServerOptions so = options();
+  so.workers = 4;
+  Server server(std::move(so));
+
+  auto wave = [&] {
+    constexpr int kClients = 3;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        Client client = Client::connect_unix(server.socket_path());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          EXPECT_EQ(api::wire::encode(client.call(reqs[i])), reference[i])
+              << "request " << i;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  };
+
+  wave();
+  // Three clients raced over six distinct requests: each request
+  // executed exactly once (concurrent duplicates dedup into late cache
+  // hits), never per-client.
+  EXPECT_EQ(server.executions(), reqs.size());
+
+  wave();  // the warm wave -- the acceptance criterion
+  EXPECT_EQ(server.executions(), reqs.size())
+      << "a warm daemon must serve entirely from cache";
+  EXPECT_NE(log_.str().find("executed=0"), std::string::npos);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 6u);
+  EXPECT_EQ(stats.requests, 6 * reqs.size());
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServeTest, TcpLoopbackServesTheSameBytes) {
+  api::Session local((api::SessionOptions()));
+  std::string reference = api::wire::encode(local.run(inject_request(7)));
+
+  ServerOptions so = options();
+  so.socket_path.clear();
+  so.tcp_port = 0;  // ephemeral
+  Server server(std::move(so));
+  ASSERT_GT(server.tcp_port(), 0);
+
+  Client client = Client::connect_tcp(server.tcp_port());
+  EXPECT_EQ(api::wire::encode(client.call(inject_request(7))), reference);
+}
+
+// A daemon restarted over the same --cache-dir is warm from request
+// one: the disk layer, through the serve path.
+TEST_F(ServeTest, RestartedDaemonServesFromDiskWithoutExecuting) {
+  {
+    ServerOptions so = options();
+    so.session.cache_dir = cache_dir();
+    Server first(std::move(so));
+    Client client = Client::connect_unix(first.socket_path());
+    client.call(inject_request(1));
+    EXPECT_EQ(first.executions(), 1u);
+  }  // orderly destructor stop
+
+  ServerOptions so = options();
+  so.session.cache_dir = cache_dir();
+  Server second(std::move(so));
+  Client client = Client::connect_unix(second.socket_path());
+  client.call(inject_request(1));
+  EXPECT_EQ(second.executions(), 0u);
+  EXPECT_NE(log_.str().find("source=disk executed=0"), std::string::npos)
+      << log_.str();
+}
+
+// ----------------------------------------------------------- error paths
+
+TEST_F(ServeTest, MalformedPayloadGetsAnErrorEnvelopeNotACrash) {
+  Server server(options());
+  Client client = Client::connect_unix(server.socket_path());
+
+  for (const char* garbage : {"this is not json", "{}", "[1,2,3]",
+                              "{\"format_version\":\"rchls.wire.v1\"}"}) {
+    Reply reply = decode_reply(client.call_raw(garbage));
+    EXPECT_FALSE(reply.ok()) << garbage;
+    EXPECT_FALSE(reply.error.empty());
+  }
+  // The same connection still serves real requests afterwards.
+  EXPECT_NO_THROW(client.call(inject_request(1)));
+  EXPECT_EQ(server.stats().errors, 4u);
+}
+
+TEST_F(ServeTest, ClientCallRaisesServerErrorsAsServePrefixedErrors) {
+  Server server(options());
+  Client client = Client::connect_unix(server.socket_path());
+  api::InjectRequest bad;
+  bad.component = "no_such_component";
+  bad.width = 4;
+  bad.trials = 8;
+  try {
+    client.call(api::Request(bad));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("serve: "), std::string::npos);
+  }
+}
+
+TEST_F(ServeTest, OversizedFrameCostsOnlyTheOffendingConnection) {
+  ServerOptions so = options();
+  so.max_frame_bytes = 1024;
+  Server server(std::move(so));
+
+  Client offender = Client::connect_unix(server.socket_path());
+  std::string huge(4096, 'x');
+  // The server answers with an error envelope (best effort), then drops
+  // the connection -- an oversized prefix cannot be re-synchronized.
+  Reply reply = decode_reply(offender.call_raw(huge));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_NE(reply.error.find("frame"), std::string::npos) << reply.error;
+
+  // The daemon itself is unharmed: fresh connections serve normally.
+  Client fresh = Client::connect_unix(server.socket_path());
+  EXPECT_NO_THROW(fresh.call(inject_request(1)));
+  EXPECT_GE(server.stats().errors, 1u);
+}
+
+TEST_F(ServeTest, MidFrameDisconnectLeavesTheDaemonServing) {
+  Server server(options());
+  {
+    util::Socket raw = util::connect_unix(server.socket_path());
+    // Two bytes of a four-byte length prefix, then death.
+    const char partial[2] = {0, 0};
+    ASSERT_EQ(::send(raw.fd(), partial, 2, 0), 2);
+  }
+  Client client = Client::connect_unix(server.socket_path());
+  EXPECT_NO_THROW(client.call(inject_request(1)));
+}
+
+TEST_F(ServeTest, OverflowRefusesWithAnErrorEnvelopePerRefusedFrame) {
+  ServerOptions so = options();
+  so.workers = 1;
+  so.max_queue = 1;
+  Server server(std::move(so));
+
+  // One expensive request parks the single worker; the pipelined cheap
+  // frames behind it can occupy at most one queue slot, so most are
+  // refused -- immediately, with an envelope each, in request order.
+  api::InjectRequest slow;
+  slow.component = "carry_save_multiplier";
+  slow.width = 16;
+  slow.trials = 65536;
+  slow.seed = 42;
+
+  util::Socket raw = util::connect_unix(server.socket_path());
+  util::send_frame(raw, api::wire::encode(api::Request(slow)));
+  constexpr int kFlood = 7;
+  for (int i = 0; i < kFlood; ++i) {
+    util::send_frame(raw, api::wire::encode(inject_request(100 + i)));
+  }
+
+  int ok = 0;
+  int refused = 0;
+  for (int i = 0; i < kFlood + 1; ++i) {
+    auto frame = util::recv_frame(raw);
+    ASSERT_TRUE(frame.has_value()) << "every frame must be answered";
+    Reply reply = decode_reply(*frame);
+    if (reply.ok()) {
+      ++ok;
+    } else {
+      ++refused;
+      EXPECT_NE(reply.error.find("capacity"), std::string::npos)
+          << reply.error;
+    }
+  }
+  EXPECT_GE(ok, 1) << "the admitted requests must still be served";
+  EXPECT_GE(refused, 1) << "the flood must hit backpressure";
+  EXPECT_EQ(server.stats().overflows, static_cast<std::uint64_t>(refused));
+
+  // Refusal is not a ban: once the queue drains, the same connection is
+  // served again.
+  util::send_frame(raw, api::wire::encode(inject_request(1)));
+  auto frame = util::recv_frame(raw);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(decode_reply(*frame).ok());
+}
+
+// ------------------------------------------------------------ CLI client
+
+// The documented loopback workflow end to end, minus the blocking
+// daemon loop: `--emit-request` writes the wire file, `rchls request`
+// round-trips it through a live server and prints the reply envelope.
+TEST_F(ServeTest, EmitRequestThenRequestCommandRoundTrips) {
+  std::string req_file = (dir_ / "req.json").string();
+  std::ostringstream out, err;
+  ASSERT_EQ(api::cli_main({"inject", "ripple_carry_adder", "--width", "4",
+                           "--trials", "128", "--emit-request", req_file},
+                          out, err),
+            0)
+      << err.str();
+  EXPECT_TRUE(out.str().empty()) << "--emit-request must not run or report";
+  ASSERT_TRUE(std::filesystem::exists(req_file));
+
+  Server server(options());
+  std::ostringstream reply_out, reply_err;
+  ASSERT_EQ(api::cli_main({"request", req_file, "--socket", sock_path()},
+                          reply_out, reply_err),
+            0)
+      << reply_err.str();
+  Reply reply = decode_reply(reply_out.str());
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(server.executions(), 1u);
+
+  // Server-side errors surface as exit 1 + "error: serve: ..." -- the
+  // CLI's one diagnostic convention.
+  std::string bad = (dir_ / "bad.json").string();
+  { std::ofstream f(bad); f << "not a wire envelope"; }
+  std::ostringstream bad_out, bad_err;
+  EXPECT_EQ(api::cli_main({"request", bad, "--socket", sock_path()},
+                          bad_out, bad_err),
+            1);
+  EXPECT_NE(bad_err.str().find("error: serve: "), std::string::npos)
+      << bad_err.str();
+
+  // And exactly one of --socket / --port is required.
+  std::ostringstream no_out, no_err;
+  EXPECT_EQ(api::cli_main({"request", req_file}, no_out, no_err), 1);
+  EXPECT_NE(no_err.str().find("exactly one of"), std::string::npos);
+}
+
+// ------------------------------------------------------------- lifecycle
+
+TEST_F(ServeTest, StopIsIdempotentAndDisconnectsLiveClients) {
+  Server server(options());
+  Client client = Client::connect_unix(server.socket_path());
+  EXPECT_NO_THROW(client.call(inject_request(1)));
+
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_THROW(client.call(inject_request(2)), Error);
+  EXPECT_FALSE(std::filesystem::exists(sock_path()))
+      << "the socket file must be removed on shutdown";
+}
+
+TEST_F(ServeTest, RejectsOptionsWithoutAnyListener) {
+  ServerOptions so;  // no socket path, no TCP port
+  EXPECT_THROW(Server{std::move(so)}, Error);
+}
+
+TEST_F(ServeTest, ConnectToADeadDaemonThrows) {
+  { Server server(options()); }  // binds, then fully stops
+  EXPECT_THROW(Client::connect_unix(sock_path()), Error);
+}
+
+}  // namespace
+}  // namespace rchls::serve

@@ -1,0 +1,187 @@
+// Framed socket transport tests (util/socket.hpp): round-trips over
+// real unix-domain and loopback-TCP sockets, the framing contracts
+// (clean EOF vs mid-frame death, length cap), and the shutdown
+// semantics serve::Server's threading leans on.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "temp_dir.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace rchls::util {
+namespace {
+
+class UtilSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = rchls::testing::unique_test_dir("util_socket_test_tmp");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string sock_path() const { return (dir_ / "s.sock").string(); }
+
+  std::filesystem::path dir_;
+};
+
+// One echo exchange over an accepted connection, shared by the unix and
+// TCP cases below.
+void echo_once(Listener& listener, const Socket& client) {
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+    auto frame = recv_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    send_frame(conn, "echo:" + *frame);
+  });
+  send_frame(client, "hello frames");
+  auto reply = recv_frame(client);
+  server.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:hello frames");
+}
+
+TEST_F(UtilSocketTest, UnixRoundTrip) {
+  Listener listener = listen_unix(sock_path());
+  EXPECT_TRUE(std::filesystem::exists(sock_path()));
+  Socket client = connect_unix(sock_path());
+  echo_once(listener, client);
+}
+
+TEST_F(UtilSocketTest, TcpLoopbackRoundTripOnEphemeralPort) {
+  Listener listener = listen_tcp_loopback(0);
+  ASSERT_GT(listener.port(), 0) << "port 0 must resolve to a real port";
+  Socket client = connect_tcp_loopback(listener.port());
+  echo_once(listener, client);
+}
+
+TEST_F(UtilSocketTest, FramesCarryArbitraryBytesIncludingNuls) {
+  Listener listener = listen_unix(sock_path());
+  Socket client = connect_unix(sock_path());
+  std::string payload = "a\0b\xff\ncd";
+  payload += std::string(70000, 'x');  // spans several reads/writes
+  std::string received;
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    received = *recv_frame(conn);
+    send_frame(conn, "");  // empty frames are legal too
+  });
+  send_frame(client, payload);
+  auto reply = recv_frame(client);
+  server.join();
+  EXPECT_EQ(received, payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->empty());
+}
+
+TEST_F(UtilSocketTest, CleanDisconnectBetweenFramesIsNulloptNotError) {
+  Listener listener = listen_unix(sock_path());
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    EXPECT_FALSE(recv_frame(conn).has_value());
+  });
+  {
+    Socket client = connect_unix(sock_path());
+  }  // closed without sending anything
+  server.join();
+}
+
+TEST_F(UtilSocketTest, MidFrameDisconnectThrows) {
+  Listener listener = listen_unix(sock_path());
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    EXPECT_THROW(recv_frame(conn), Error);
+  });
+  {
+    Socket client = connect_unix(sock_path());
+    // A length prefix promising 1000 bytes, then death.
+    const unsigned char header[4] = {0, 0, 3, 0xe8};
+    ASSERT_EQ(::send(client.fd(), header, 4, 0), 4);
+  }
+  server.join();
+}
+
+TEST_F(UtilSocketTest, OversizedLengthPrefixIsRejectedBeforeAllocating) {
+  Listener listener = listen_unix(sock_path());
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    // Caller cap of 1 KiB: the 16 MiB prefix must be refused up front.
+    try {
+      recv_frame(conn, 1024);
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("frame"), std::string::npos);
+    }
+  });
+  Socket client = connect_unix(sock_path());
+  const unsigned char header[4] = {0x01, 0, 0, 0};  // 16 MiB
+  ASSERT_EQ(::send(client.fd(), header, 4, 0), 4);
+  server.join();
+}
+
+TEST_F(UtilSocketTest, SendFrameRefusesPayloadsOverTheWireCap) {
+  Listener listener = listen_unix(sock_path());
+  Socket client = connect_unix(sock_path());
+  std::string too_big(static_cast<std::size_t>(kMaxFrameBytes) + 1, 'x');
+  EXPECT_THROW(send_frame(client, too_big), Error);
+}
+
+TEST_F(UtilSocketTest, ShutdownUnblocksABlockedAccept) {
+  Listener listener = listen_unix(sock_path());
+  std::thread blocked([&] {
+    Socket conn = listener.accept();
+    EXPECT_FALSE(conn.valid()) << "shutdown accept must return invalid";
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.shutdown();
+  blocked.join();
+}
+
+TEST_F(UtilSocketTest, ShutdownBothUnblocksABlockedReader) {
+  Listener listener = listen_unix(sock_path());
+  Socket client = connect_unix(sock_path());
+  Socket conn = listener.accept();
+  std::thread reader([&] {
+    // The peer is still open, so this would block forever without the
+    // cross-thread shutdown; EOF-at-frame-start is the clean nullopt.
+    EXPECT_FALSE(recv_frame(conn).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  conn.shutdown_both();
+  reader.join();
+}
+
+TEST_F(UtilSocketTest, ListenerUnlinksItsPathOnDestruction) {
+  {
+    Listener listener = listen_unix(sock_path());
+    ASSERT_TRUE(std::filesystem::exists(sock_path()));
+  }
+  EXPECT_FALSE(std::filesystem::exists(sock_path()));
+}
+
+TEST_F(UtilSocketTest, StaleSocketFileIsReplacedAtBind) {
+  // A crashed daemon's leftover: some file squatting on the path. bind()
+  // alone would fail with EADDRINUSE forever; listen_unix removes it.
+  {
+    std::ofstream stale(sock_path());
+    stale << "leftover";
+  }
+  Listener listener = listen_unix(sock_path());
+  Socket client = connect_unix(sock_path());
+  EXPECT_TRUE(client.valid());
+}
+
+TEST_F(UtilSocketTest, ConnectToNothingThrows) {
+  EXPECT_THROW(connect_unix((dir_ / "absent.sock").string()), Error);
+  EXPECT_THROW(connect_tcp_loopback(1), Error);  // reserved, nothing there
+}
+
+}  // namespace
+}  // namespace rchls::util
