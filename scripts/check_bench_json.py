@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a perf_pool JSON document (bench/perf_pool.cpp).
+
+Usage: check_bench_json.py BENCH_pool.json [more.json ...]
+
+CI runs this twice: against the fresh `perf_pool --smoke` output (the
+harness cannot silently rot) and against the checked-in BENCH_pool.json
+capture (the committed numbers keep the shape scripts depend on). Checks
+structure, not absolute performance: required keys present, counts
+positive, rates finite -- machine-independent by construction.
+"""
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(path, obj, key, types):
+    if key not in obj:
+        fail(path, f"missing key '{key}' in {sorted(obj)}")
+    if not isinstance(obj[key], types):
+        fail(path, f"key '{key}' has type {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_rate_row(path, row, what):
+    tasks = require(path, row, "tasks", int)
+    if tasks <= 0:
+        fail(path, f"{what}: tasks must be positive, got {tasks}")
+    require(path, row, "seconds", (int, float))
+    rate = require(path, row, "tasks_per_s", (int, float))
+    if not math.isfinite(rate) or rate <= 0:
+        fail(path, f"{what}: tasks_per_s must be finite and positive")
+
+
+def check_pool_doc(path, doc):
+    if require(path, doc, "bench", str) != "perf_pool":
+        fail(path, f"bench is '{doc['bench']}', expected 'perf_pool'")
+    require(path, doc, "smoke", bool)
+    hw = require(path, doc, "hardware_concurrency", int)
+    if hw < 1:
+        fail(path, "hardware_concurrency must be >= 1")
+    require(path, doc, "block_size", int)
+
+    fifo = require(path, doc, "fifo", dict)
+    for mode in ("fill", "empty"):
+        check_rate_row(path, require(path, fifo, mode, dict), f"fifo.{mode}")
+    prodcon = require(path, fifo, "prodcon", list)
+    if not prodcon:
+        fail(path, "fifo.prodcon is empty")
+    for row in prodcon:
+        require(path, row, "threads_each_side", int)
+        check_rate_row(path, row, "fifo.prodcon")
+
+    pool = require(path, doc, "pool", list)
+    if not pool:
+        fail(path, "pool is empty")
+    grains = set()
+    for row in pool:
+        workers = require(path, row, "workers", int)
+        if workers < 1:
+            fail(path, "pool row: workers must be >= 1")
+        grains.add(require(path, row, "grain", str))
+        check_rate_row(path, row, "pool row")
+        stats = require(path, row, "pool_stats", dict)
+        for key in ("tasks_executed", "steals", "overflow_pushes",
+                    "overflow_pops", "block_handoffs", "idle_wakeups",
+                    "full_retries"):
+            require(path, stats, key, int)
+        # Every externally submitted task crosses the overflow FIFO;
+        # what went in must have come out.
+        if stats["overflow_pops"] != stats["overflow_pushes"]:
+            fail(path, "pool row: overflow_pops != overflow_pushes")
+        if stats["tasks_executed"] < row["tasks"]:
+            fail(path, "pool row: executed fewer tasks than submitted")
+    if grains != {"empty", "spin", "cell"}:
+        fail(path, f"pool grains are {sorted(grains)}, expected "
+                   "['cell', 'empty', 'spin']")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, f"not readable valid JSON: {e}")
+        check_pool_doc(path, doc)
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -612,6 +612,11 @@ int run_serve(const Args& a, std::ostream& err) {
       << " overflows=" << s.overflows << " hits=" << ss.hits
       << " disk_hits=" << ss.disk_hits << " executed=" << ss.executions
       << "\n";
+  err << "serve: pool tasks=" << ss.pool.tasks_executed
+      << " steals=" << ss.pool.steals
+      << " overflow=" << ss.pool.overflow_pushes
+      << " blocks=" << ss.pool.block_handoffs
+      << " wakeups=" << ss.pool.idle_wakeups << "\n";
   return 0;
 }
 

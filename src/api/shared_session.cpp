@@ -101,6 +101,7 @@ SharedSessionStats SharedSession::stats() const {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     s.entries = entries_.size();
   }
+  s.pool = parallel::pool_stats();
   return s;
 }
 

@@ -44,6 +44,7 @@
 #include "api/request.hpp"
 #include "api/result.hpp"
 #include "api/session.hpp"
+#include "parallel/config.hpp"
 
 namespace rchls::api {
 
@@ -59,6 +60,10 @@ struct SharedSessionStats {
   std::uint64_t disk_hits = 0;
   std::uint64_t executions = 0;  ///< requests that reached the executor
   std::uint64_t entries = 0;     ///< memory-layer population
+  /// Engine-pool counters (parallel::pool_stats(); process-global, so
+  /// they cover every execution this session triggered -- the serve
+  /// daemon prints them in its stats line and shutdown summary).
+  parallel::PoolStats pool;
 };
 
 class SharedSession {

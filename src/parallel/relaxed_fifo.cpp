@@ -1,0 +1,165 @@
+#include "parallel/relaxed_fifo.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace rchls::parallel {
+
+namespace {
+
+/// Bounded spin before yielding the core: the only waits in the queue
+/// are for another thread's single pending store, so they are short
+/// unless that thread was preempted -- then yield instead of burning
+/// the core it needs.
+class Backoff {
+ public:
+  void pause() {
+    if (++spins_ > 64) std::this_thread::yield();
+  }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RelaxedFifo::RelaxedFifo(std::size_t blocks) {
+  ring_size_ = round_up_pow2(blocks < 2 ? 2 : blocks);
+  mask_ = ring_size_ - 1;
+  ring_ = std::make_unique<Block[]>(ring_size_);
+  // Arm ring slot i for block id i (epoch 0 of every slot).
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    ring_[i].reserve.store(pack(i), std::memory_order_relaxed);
+  }
+  tail_.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+}
+
+bool RelaxedFifo::try_push(Task& task) {
+  for (;;) {
+    std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    Block& b = block(tail);
+    std::uint64_t r = b.reserve.load(std::memory_order_acquire);
+    if (id_of(r) == tail && !sealed(r) && cursor_of(r) < kBlockSize) {
+      // Reserve one slot with a CAS on the block's own cursor word.
+      if (!b.reserve.compare_exchange_weak(r, r + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        continue;  // raced another producer on this block; retry
+      }
+      Slot& slot = b.slots[cursor_of(r)];
+      slot.task = std::move(task);
+      slot.seq.store(tail + 1, std::memory_order_release);
+      return true;
+    }
+    // Block is full, sealed by a consumer, or already recycled past us
+    // (its id moved on): open the next block or report the ring full.
+    if (!advance_tail(tail)) return false;
+  }
+}
+
+bool RelaxedFifo::advance_tail(std::uint64_t tail) {
+  std::uint64_t next = tail + 1;
+  std::uint64_t r = block(next).reserve.load(std::memory_order_acquire);
+  if (id_of(r) != next) {
+    // The successor ring slot still belongs to epoch `next - ring_size_`
+    // (its consumer has not recycled it): the ring is full -- unless
+    // tail_ already moved under us, in which case the caller retries.
+    return tail_.load(std::memory_order_acquire) != tail;
+  }
+  // One winner advances; losers observe the new tail and proceed.
+  tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel,
+                                std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t RelaxedFifo::pop_block(std::deque<Task>& out) {
+  Backoff backoff;
+  for (;;) {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    Block& b = block(head);
+    std::uint64_t r = b.reserve.load(std::memory_order_acquire);
+    if (id_of(r) != head) {
+      // head_ advanced under us (a racing consumer claimed and recycled
+      // this block); reload and retry.
+      continue;
+    }
+
+    std::uint64_t count;
+    if (tail > head) {
+      // Producers only advance tail past a block that is full or
+      // sealed, and both states are terminal within an epoch -- so wait
+      // until that final cursor value is visible to us (a transiently
+      // stale read must not undercount and strand tasks).
+      if (!sealed(r) && cursor_of(r) < kBlockSize) {
+        backoff.pause();
+        continue;
+      }
+      count = cursor_of(r);
+    } else if (tail < head) {
+      // Tail lags a sealed claim (it catches up lazily, moved by the
+      // next producer). Nothing can be written into blocks >= head
+      // until it does, so the queue holds no readable tasks right now.
+      return 0;
+    } else {
+      // head == tail: only the open tail block may hold tasks. Seal it
+      // -- freezing the cursor against further producers -- before
+      // claiming, so `count` is exact and no task is left behind.
+      if (cursor_of(r) == 0) return 0;  // observed empty
+      if (!sealed(r)) {
+        if (!b.reserve.compare_exchange_weak(r, r | kSealedBit,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+          continue;  // cursor moved or another consumer sealed; retry
+        }
+        r |= kSealedBit;
+      }
+      count = cursor_of(r);
+    }
+    if (count > kBlockSize) count = kBlockSize;
+
+    // Claim the whole block: exactly one consumer wins head -> head+1.
+    if (!head_.compare_exchange_strong(head, head + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      continue;
+    }
+
+    // Drain the claimed slots. A slot whose producer is still between
+    // its reserve CAS and its publish store is waited out here -- the
+    // only per-slot wait in the queue, and it is for one pending store.
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Slot& slot = b.slots[i];
+      Backoff slot_backoff;
+      while (slot.seq.load(std::memory_order_acquire) != head + 1) {
+        slot_backoff.pause();
+      }
+      out.push_back(std::move(slot.task));
+      slot.task = nullptr;  // drop captured state now, not next epoch
+    }
+
+    // Recycle the ring slot for its next epoch. The release store
+    // orders our slot reads before any producer's writes into the new
+    // epoch (producers acquire this word before touching slots).
+    b.reserve.store(pack(head + ring_size_), std::memory_order_release);
+    return static_cast<std::size_t>(count);
+  }
+}
+
+bool RelaxedFifo::empty() const {
+  std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (tail > head) return false;
+  if (tail < head) return true;  // tail lags a sealed claim: nothing readable
+  std::uint64_t r = block(head).reserve.load(std::memory_order_acquire);
+  return id_of(r) == head && cursor_of(r) == 0;
+}
+
+}  // namespace rchls::parallel

@@ -1,0 +1,137 @@
+// Relaxed MPMC block FIFO -- the lock-free overflow queue behind the
+// thread pool (task_pool.hpp), after the block_based_queue exemplar.
+//
+// The PR-1 overflow queue was a std::deque<Block> behind one mutex:
+// every producer and every consumer serialized on the same lock, once
+// per push and once per block. This replaces it with a bounded ring of
+// fixed-size blocks and three kinds of atomic state:
+//
+//   * `tail_` / `head_` -- monotonically increasing *block ids*. The
+//     ring slot of block id B is B % ring size; the id doubles as the
+//     block's epoch, so a recycled slot can never be confused with its
+//     previous life. Producers move `tail_` once per kBlockSize tasks;
+//     consumers move `head_` once per claimed block. This is the whole
+//     point: the *global* shared words are touched once per block, not
+//     once per task.
+//   * per-block `reserve` word, packing {id | sealed | cursor}: the
+//     multi-producer write cursor. Producers reserve a slot with one
+//     CAS on their block's own word -- contention is spread across
+//     blocks instead of funneled through a queue-wide lock.
+//   * per-slot `seq` -- publishes one task (release store of the
+//     block id + 1; a reader matching it has acquire-visibility of the
+//     task). Slot sequencing is what lets a consumer claim a block
+//     whose last producer is still mid-write: it spins per slot only
+//     until that producer's single pending store lands.
+//
+// Ordering contract: FIFO at *block* granularity only. Tasks within a
+// block come out in push order, but concurrent producers interleave
+// arbitrarily into blocks and each consumer drains its claimed block
+// privately, so there is no global per-element order -- exactly the
+// relaxation the pool can afford, because parallel_for/parallel_map
+// assign results to pre-indexed slots and never depend on completion
+// order (task_pool.hpp spells out the determinism split).
+//
+// Boundedness: capacity() = blocks * kBlockSize is a hard bound;
+// try_push returns false when the ring is full (the pool spins/yields,
+// which doubles as backpressure). Loss-freedom -- every successfully
+// pushed task is popped exactly once -- is pinned by
+// tests/parallel_fifo_test.cpp under TSan.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+namespace rchls::parallel {
+
+using Task = std::function<void()>;
+
+class RelaxedFifo {
+ public:
+  /// Tasks per block: the contention-amortization factor. 16 keeps a
+  /// block within a few cache lines of Task headers while making the
+  /// global head/tail words ~16x colder than a per-task queue.
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// `blocks` is rounded up to a power of two, minimum 2. Capacity is
+  /// fixed at construction; the queue never allocates afterwards.
+  explicit RelaxedFifo(std::size_t blocks = 256);
+
+  RelaxedFifo(const RelaxedFifo&) = delete;
+  RelaxedFifo& operator=(const RelaxedFifo&) = delete;
+
+  /// Multi-producer push. False when the ring is full (the task is
+  /// handed back untouched in that case -- safe to retry).
+  bool try_push(Task& task);
+
+  /// Claims the head block and appends its tasks to `out` in
+  /// within-block push order. Returns the number of tasks taken, 0 when
+  /// the queue was observed empty. Claims whole blocks: a partially
+  /// filled tail block is sealed (frozen against further producers)
+  /// and taken as-is, so no task can linger behind the seal.
+  std::size_t pop_block(std::deque<Task>& out);
+
+  /// Racy snapshot: true only when head == tail and the open block has
+  /// nothing reserved. A false return may be stale either way; callers
+  /// needing liveness must rely on their own task accounting (the pool
+  /// uses its queued-task counter).
+  bool empty() const;
+
+  /// Hard bound on buffered tasks (sealed partial blocks waste the
+  /// remainder of their block, so the practical bound can be lower).
+  std::size_t capacity() const { return ring_size_ * kBlockSize; }
+  std::size_t block_count() const { return ring_size_; }
+
+ private:
+  // reserve word layout: [ id : 47 | sealed : 1 | cursor : 16 ].
+  static constexpr std::uint64_t kCursorBits = 16;
+  static constexpr std::uint64_t kCursorMask = (1ull << kCursorBits) - 1;
+  static constexpr std::uint64_t kSealedBit = 1ull << kCursorBits;
+  static constexpr unsigned kIdShift = kCursorBits + 1;
+
+  static constexpr std::uint64_t pack(std::uint64_t id) {
+    return id << kIdShift;
+  }
+  static constexpr std::uint64_t id_of(std::uint64_t r) {
+    return r >> kIdShift;
+  }
+  static constexpr std::uint64_t cursor_of(std::uint64_t r) {
+    return r & kCursorMask;
+  }
+  static constexpr bool sealed(std::uint64_t r) {
+    return (r & kSealedBit) != 0;
+  }
+
+  struct Slot {
+    /// block id + 1 once `task` is fully written for that epoch.
+    /// Distinct epochs publish distinct values, so a stale sequence
+    /// from a previous life of the slot can never false-positive.
+    std::atomic<std::uint64_t> seq{0};
+    Task task;
+  };
+
+  struct alignas(64) Block {
+    std::atomic<std::uint64_t> reserve{0};
+    std::array<Slot, kBlockSize> slots;
+  };
+
+  Block& block(std::uint64_t id) { return ring_[id & mask_]; }
+  const Block& block(std::uint64_t id) const { return ring_[id & mask_]; }
+
+  /// Moves tail_ past `tail` once its successor slot has been recycled.
+  /// False = ring full (successor still owned by its previous epoch).
+  bool advance_tail(std::uint64_t tail);
+
+  std::unique_ptr<Block[]> ring_;
+  std::size_t ring_size_ = 0;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< open write block id
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next block id to claim
+};
+
+}  // namespace rchls::parallel

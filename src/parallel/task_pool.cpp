@@ -2,33 +2,22 @@
 
 #include <utility>
 
+#include "parallel/config.hpp"
+
 namespace rchls::parallel {
 
 namespace {
-thread_local bool t_on_worker_thread = false;
+
+/// Which pool (if any) the current thread belongs to, and as which
+/// worker -- O(1) local-deque routing in submit() instead of a scan
+/// over worker thread ids.
+struct WorkerRef {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerRef t_worker;
+
 }  // namespace
-
-void BlockQueue::push(Task task) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (blocks_.empty() || blocks_.back().tasks.size() >= kBlockSize) {
-    blocks_.emplace_back();
-    blocks_.back().tasks.reserve(kBlockSize);
-  }
-  blocks_.back().tasks.push_back(std::move(task));
-}
-
-bool BlockQueue::pop_block(std::deque<Task>& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (blocks_.empty()) return false;
-  for (Task& t : blocks_.front().tasks) out.push_back(std::move(t));
-  blocks_.pop_front();
-  return true;
-}
-
-bool BlockQueue::empty() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return blocks_.empty();
-}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = 1;
@@ -53,40 +42,43 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
-  // Count the task before making it visible so a worker can never finish it
-  // and drive the counters below zero.
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++unfinished_;
-    ++queued_;
-  }
-  bool queued_locally = false;
-  if (t_on_worker_thread) {
-    // Identify which worker (if any) of *this* pool is submitting.
-    std::thread::id self = std::this_thread::get_id();
-    for (auto& w : workers_) {
-      if (w->thread.get_id() == self) {
-        std::lock_guard<std::mutex> lock(w->mutex);
-        w->deque.push_back(std::move(task));
-        queued_locally = true;
-        break;
-      }
+  // Count the task before making it visible so a worker can never finish
+  // it and drive the counters below zero -- and so a worker deciding to
+  // sleep is guaranteed to see either the count or the notify (the
+  // eventcount analysis in the header relies on this seq_cst increment
+  // preceding publication).
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+
+  if (t_worker.pool == this) {
+    Worker& me = *workers_[t_worker.index];
+    std::lock_guard<std::mutex> lock(me.mutex);
+    me.deque.push_back(std::move(task));
+  } else {
+    detail::PoolCounters& c = detail::pool_counters();
+    c.overflow_pushes.fetch_add(1, std::memory_order_relaxed);
+    // A full ring is backpressure, not failure: workers are draining it
+    // (the task is already counted in queued_, so none of them can go
+    // to sleep for good), so yield until a block frees up.
+    while (!overflow_.try_push(task)) {
+      c.full_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
     }
   }
-  if (!queued_locally) overflow_.push(std::move(task));
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    work_ready_.notify_one();
-  }
+  wake_one();
 }
 
-void ThreadPool::note_dequeued() {
+void ThreadPool::wake_one() {
+  // Uncontended fast path: nobody is asleep, nothing to notify. The
+  // seq_cst load pairs with the sleeper's registration (see header).
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   std::lock_guard<std::mutex> lock(state_mutex_);
-  --queued_;
+  work_ready_.notify_one();
 }
 
 bool ThreadPool::try_acquire(std::size_t self, Task& task) {
   Worker& me = *workers_[self];
+  detail::PoolCounters& c = detail::pool_counters();
   {
     std::lock_guard<std::mutex> lock(me.mutex);
     if (!me.deque.empty()) {
@@ -95,19 +87,23 @@ bool ThreadPool::try_acquire(std::size_t self, Task& task) {
     }
   }
   if (task) {
-    note_dequeued();
+    queued_.fetch_sub(1, std::memory_order_seq_cst);
     return true;
   }
-  // Refill from the shared overflow queue, a whole block at a time.
-  {
-    std::lock_guard<std::mutex> lock(me.mutex);
-    if (overflow_.pop_block(me.deque) && !me.deque.empty()) {
-      task = std::move(me.deque.back());
-      me.deque.pop_back();
+  // Refill from the shared overflow FIFO, a whole block at a time. The
+  // claim happens outside my own mutex (pop_block may briefly wait on a
+  // mid-publish producer; thieves should not be blocked meanwhile).
+  std::deque<Task> grabbed;
+  if (std::size_t n = overflow_.pop_block(grabbed)) {
+    c.block_handoffs.fetch_add(1, std::memory_order_relaxed);
+    c.overflow_pops.fetch_add(n, std::memory_order_relaxed);
+    task = std::move(grabbed.back());
+    grabbed.pop_back();
+    if (!grabbed.empty()) {
+      std::lock_guard<std::mutex> lock(me.mutex);
+      for (Task& t : grabbed) me.deque.push_back(std::move(t));
     }
-  }
-  if (task) {
-    note_dequeued();
+    queued_.fetch_sub(1, std::memory_order_seq_cst);
     return true;
   }
   // Steal the oldest task of the first non-empty victim.
@@ -121,7 +117,8 @@ bool ThreadPool::try_acquire(std::size_t self, Task& task) {
       }
     }
     if (task) {
-      note_dequeued();
+      c.steals.fetch_add(1, std::memory_order_relaxed);
+      queued_.fetch_sub(1, std::memory_order_seq_cst);
       return true;
     }
   }
@@ -129,32 +126,43 @@ bool ThreadPool::try_acquire(std::size_t self, Task& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
-  t_on_worker_thread = true;
+  t_worker = {this, self};
+  detail::PoolCounters& c = detail::pool_counters();
   for (;;) {
     Task task;
     if (try_acquire(self, task)) {
       task();
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (--unfinished_ == 0) idle_.notify_all();
+      c.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+      if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        idle_.notify_all();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(state_mutex_);
-    if (stopping_ && queued_ == 0) break;
-    // No lost wakeup: submit() publishes the task before notifying under
-    // this mutex, and the predicate re-checks `queued_` under it. A wake
-    // with `queued_ > 0` can still lose the race to another worker; the
-    // loop then simply comes back here.
-    work_ready_.wait(lock, [&] { return stopping_ || queued_ > 0; });
-    if (stopping_ && queued_ == 0) break;
+    if (stopping_ && queued_.load(std::memory_order_seq_cst) == 0) break;
+    // Register as a sleeper BEFORE the final emptiness check inside
+    // wait(): a submitter either sees sleepers_ > 0 and notifies under
+    // this mutex, or its queued_ increment is seen here -- the seq_cst
+    // total order over {queued_, sleepers_} rules out losing both.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    work_ready_.wait(lock, [&] {
+      return stopping_ || queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    c.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
+    if (stopping_ && queued_.load(std::memory_order_seq_cst) == 0) break;
   }
-  t_on_worker_thread = false;
+  t_worker = {};
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(state_mutex_);
-  idle_.wait(lock, [&] { return unfinished_ == 0; });
+  idle_.wait(lock, [&] {
+    return unfinished_.load(std::memory_order_seq_cst) == 0;
+  });
 }
 
-bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+bool ThreadPool::on_worker_thread() { return t_worker.pool != nullptr; }
 
 }  // namespace rchls::parallel

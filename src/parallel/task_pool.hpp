@@ -1,60 +1,52 @@
-// Work-stealing thread pool.
+// Work-stealing thread pool over the relaxed block FIFO.
 //
 // Topology (after the Galois runtime and the block-based relaxed FIFO):
 //
 //   * one LIFO deque per worker -- owners push/pop at the back for cache
 //     locality, thieves steal from the front so they grab the oldest
 //     (typically largest-remaining) task;
-//   * a shared overflow queue for tasks submitted from outside the pool,
-//     organized as fixed-size *blocks* of tasks. Consumers take a whole
-//     block at a time into their local deque, so the shared lock is touched
-//     once per kBlockSize tasks rather than once per task -- the
-//     contention-amortizing idea of the block-based FIFO, which relaxes
-//     per-element FIFO order to block granularity (harmless here: tasks are
-//     independent and results are collected by index, never by completion
-//     order).
+//   * a shared overflow queue for tasks submitted from outside the pool:
+//     RelaxedFifo (relaxed_fifo.hpp), a lock-free bounded ring of
+//     fixed-size blocks. Producers publish through per-block atomic
+//     write cursors and consumers claim whole blocks, so the global
+//     shared words (head/tail block ids) are touched once per
+//     kBlockSize tasks rather than once per task, and there is NO
+//     mutex anywhere on the overflow path. When the ring is full,
+//     submit() spins/yields until a worker drains a block --
+//     boundedness doubles as backpressure.
 //
-// The pool makes no fairness or ordering promises. Determinism is the
-// *callers'* responsibility and is achieved by partitioning work identically
-// at every worker count (partitioner.hpp) and writing results into
-// pre-assigned slots (parallel_for.hpp).
+// Sleep/wake is an eventcount: submitters bump an atomic queued-task
+// counter (seq_cst) before publishing and only take the state mutex to
+// notify when a worker has registered itself asleep; workers register
+// under the mutex and re-check the counter before blocking, so a
+// wakeup can never be lost while the overflow hot path stays
+// mutex-free.
+//
+// The pool makes no fairness or ordering promises -- the FIFO itself
+// relaxes order to block granularity. Determinism is the *callers'*
+// responsibility and is achieved by partitioning work identically at
+// every worker count (partitioner.hpp) and writing results into
+// pre-assigned slots (parallel_for.hpp); that split is why the
+// relaxation is harmless and outputs stay byte-identical at any
+// worker count.
+//
+// Every pool feeds the process-wide relaxed counters in
+// parallel/config.hpp (tasks executed, steals, overflow traffic, block
+// handoffs, idle wakeups) -- the serve daemon and bench/perf_pool read
+// them back.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "parallel/relaxed_fifo.hpp"
+
 namespace rchls::parallel {
-
-using Task = std::function<void()>;
-
-/// Multi-producer overflow queue handing out tasks one block at a time.
-class BlockQueue {
- public:
-  static constexpr std::size_t kBlockSize = 16;
-
-  /// Appends to the tail block, opening a new block when it is full.
-  void push(Task task);
-
-  /// Detaches the whole head block into `out` (appended at the back).
-  /// Returns false when the queue is empty.
-  bool pop_block(std::deque<Task>& out);
-
-  bool empty() const;
-
- private:
-  struct Block {
-    std::vector<Task> tasks;  // at most kBlockSize entries
-  };
-
-  mutable std::mutex mutex_;
-  std::deque<Block> blocks_;
-};
 
 class ThreadPool {
  public:
@@ -69,7 +61,7 @@ class ThreadPool {
 
   /// Schedules a task. Calls from a worker thread of *this pool* go to that
   /// worker's own deque (stealable by the others); external calls go to the
-  /// shared overflow queue.
+  /// shared overflow FIFO (spinning while it is full).
   void submit(Task task);
 
   /// Blocks until every submitted task has finished executing. Tasks may
@@ -92,17 +84,21 @@ class ThreadPool {
 
   void worker_loop(std::size_t self);
   bool try_acquire(std::size_t self, Task& task);
-  void note_dequeued();
+  void wake_one();
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  BlockQueue overflow_;
+  RelaxedFifo overflow_;
+
+  // Task accounting is atomic (hot path); the mutex + condvars exist
+  // only for blocking waits (idle workers, wait_idle callers).
+  std::atomic<std::size_t> unfinished_{0};  // submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};      // submitted, not yet started
+  std::atomic<std::size_t> sleepers_{0};    // workers blocked in the wait
 
   std::mutex state_mutex_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
-  std::size_t unfinished_ = 0;  // submitted but not yet finished tasks
-  std::size_t queued_ = 0;      // submitted but not yet started tasks
-  bool stopping_ = false;
+  bool stopping_ = false;  // written under state_mutex_
 };
 
 }  // namespace rchls::parallel

@@ -23,6 +23,7 @@
 #include "benchmarks/suite.hpp"
 #include "parallel/config.hpp"
 #include "scenario/report.hpp"
+#include "temp_dir.hpp"
 #include "util/error.hpp"
 
 namespace rchls::api {
@@ -37,14 +38,33 @@ class JobsGuard {
   std::size_t saved_;
 };
 
+// Every test gets its own scratch work_dir (gtest_discover_tests runs
+// each TEST as a concurrent process in one CWD, so a shared name would
+// race) and removes it on exit -- no `api_executor_test_tmp/` litter
+// left in the source tree after a test run.
+class ScopedWorkDir {
+ public:
+  ScopedWorkDir()
+      : dir_(rchls::testing::unique_test_dir("api_executor_test_tmp")) {}
+  ~ScopedWorkDir() {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(dir_, ec);
+  }
+  const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
 // Runs `rchls exec-request` in-process. cli_main is not re-entrant-safe
 // under TSan-visible concurrency (the engines share one global pool),
 // so the hook serializes workers; SubprocessExecutor's sharding and
 // index-ordered merge are exercised regardless.
-SubprocessOptions hooked_options(int shards) {
+SubprocessOptions hooked_options(int shards,
+                                 const std::filesystem::path& work_dir) {
   SubprocessOptions so;
   so.shards = shards;
-  so.work_dir = "api_executor_test_tmp";
+  so.work_dir = work_dir.string();
   so.spawn = [](const std::vector<std::string>& argv,
                 const std::filesystem::path& stderr_file) {
     static std::mutex mu;
@@ -94,6 +114,7 @@ std::string rendered(ResultT r) {
 // byte-identical to the single-process, single-job rendering.
 TEST(ApiExecutor, ShardedSweepIsByteIdenticalToLocalAtAnyJobsAndShards) {
   JobsGuard guard;
+  ScopedWorkDir wd;
   parallel::set_global_jobs(1);
   LocalExecutor local;
   const std::string reference = rendered(local.run(sweep_request()));
@@ -101,7 +122,7 @@ TEST(ApiExecutor, ShardedSweepIsByteIdenticalToLocalAtAnyJobsAndShards) {
   for (int shards : {1, 2, 4}) {
     for (std::size_t jobs : {1u, 2u, 8u}) {
       parallel::set_global_jobs(jobs);
-      SubprocessExecutor sub(hooked_options(shards));
+      SubprocessExecutor sub(hooked_options(shards, wd.path()));
       EXPECT_EQ(rendered(sub.run(sweep_request())), reference)
           << "shards=" << shards << " jobs=" << jobs;
       EXPECT_EQ(sub.workers_launched(),
@@ -114,12 +135,13 @@ TEST(ApiExecutor, ShardedSweepIsByteIdenticalToLocalAtAnyJobsAndShards) {
 
 TEST(ApiExecutor, ShardedGridIsByteIdenticalIncludingAverages) {
   JobsGuard guard;
+  ScopedWorkDir wd;
   parallel::set_global_jobs(2);
   LocalExecutor local;
   const std::string reference = rendered(local.run(grid_request()));
 
   for (int shards : {2, 4}) {
-    SubprocessExecutor sub(hooked_options(shards));
+    SubprocessExecutor sub(hooked_options(shards, wd.path()));
     EXPECT_EQ(rendered(sub.run(grid_request())), reference)
         << "shards=" << shards;
     // 2x3 grid: balanced row-respecting slices give exactly `shards`
@@ -135,8 +157,9 @@ TEST(ApiExecutor, SingleRequestKindsGoOverTheWireToo) {
   req.trials = 128;
   req.seed = 3;
 
+  ScopedWorkDir wd;
   LocalExecutor local;
-  SubprocessExecutor sub(hooked_options(2));
+  SubprocessExecutor sub(hooked_options(2, wd.path()));
   EXPECT_EQ(rendered(sub.run(req)), rendered(local.run(req)));
   EXPECT_EQ(sub.workers_launched(), 1u);
 }
@@ -144,8 +167,10 @@ TEST(ApiExecutor, SingleRequestKindsGoOverTheWireToo) {
 // --------------------------------------------------- session integration
 
 TEST(ApiExecutor, SessionCachesShardedResultsLikeLocalOnes) {
+  ScopedWorkDir wd;
   SessionOptions opts;
-  opts.executor = std::make_shared<SubprocessExecutor>(hooked_options(2));
+  opts.executor =
+      std::make_shared<SubprocessExecutor>(hooked_options(2, wd.path()));
   Session session(opts);
 
   SweepResult cold = session.run(sweep_request());
@@ -159,9 +184,10 @@ TEST(ApiExecutor, SessionCachesShardedResultsLikeLocalOnes) {
 // hardware-concurrency threads would oversubscribe the host.
 TEST(ApiExecutor, ForwardsJobsAndCacheDirToWorkers) {
   JobsGuard guard;
-  SubprocessOptions so = hooked_options(2);
+  ScopedWorkDir wd;
+  SubprocessOptions so = hooked_options(2, wd.path());
   so.jobs = 3;
-  so.cache_dir = "api_executor_test_tmp/jobs_cache";
+  so.cache_dir = (wd.path() / "jobs_cache").string();
   std::vector<std::string> seen;
   auto inner = so.spawn;
   so.spawn = [&, inner](const std::vector<std::string>& argv,
@@ -187,15 +213,15 @@ TEST(ApiExecutor, ForwardsJobsAndCacheDirToWorkers) {
   EXPECT_TRUE(has("--jobs")) << "jobs cap not forwarded";
   EXPECT_TRUE(has("3"));
   EXPECT_TRUE(has("--cache-dir"));
-  std::filesystem::remove_all("api_executor_test_tmp/jobs_cache");
 }
 
 // ----------------------------------------------------------- failure path
 
 TEST(ApiExecutor, FailingWorkerFailsTheWholeRequestWithItsStderr) {
+  ScopedWorkDir wd;
   SubprocessOptions so;
   so.shards = 2;
-  so.work_dir = "api_executor_test_tmp";
+  so.work_dir = wd.path().string();
   so.spawn = [](const std::vector<std::string>&,
                 const std::filesystem::path& stderr_file) {
     std::ofstream err(stderr_file);
@@ -234,11 +260,12 @@ TEST(ApiExecutor, RealWorkerProcessesProduceIdenticalBytes) {
     GTEST_SKIP() << "rchls binary not built at " << binary;
   }
   JobsGuard guard;
+  ScopedWorkDir wd;
   parallel::set_global_jobs(2);
   LocalExecutor local;
   SubprocessOptions so;
   so.shards = 4;
-  so.work_dir = "api_executor_test_tmp";
+  so.work_dir = wd.path().string();
   so.worker_command = {binary.string(), "exec-request"};
   SubprocessExecutor sub(so);
   EXPECT_EQ(rendered(sub.run(sweep_request())),

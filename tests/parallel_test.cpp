@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <random>
 #include <set>
 #include <thread>
 #include <vector>
@@ -141,19 +143,74 @@ TEST(ThreadPool, SaturatedPoolWithUnevenTasksFinishesEverything) {
   EXPECT_EQ(done.load(), 500u + 10u * 20u);
 }
 
-TEST(ThreadPool, BlockQueueHandsOutWholeBlocksInOrder) {
-  BlockQueue q;
+TEST(ThreadPool, OverflowFifoHandsOutWholeBlocks) {
+  RelaxedFifo q(4);
   for (int i = 0; i < 40; ++i) {
-    q.push([] {});
+    Task t = [] {};
+    ASSERT_TRUE(q.try_push(t));
   }
   std::deque<Task> out;
-  ASSERT_TRUE(q.pop_block(out));
   // One block at a time, kBlockSize tasks per full block.
-  EXPECT_EQ(out.size(), BlockQueue::kBlockSize);
-  while (q.pop_block(out)) {
+  EXPECT_EQ(q.pop_block(out), RelaxedFifo::kBlockSize);
+  EXPECT_EQ(out.size(), RelaxedFifo::kBlockSize);
+  while (q.pop_block(out) != 0) {
   }
   EXPECT_EQ(out.size(), 40u);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(ThreadPool, CountersObserveOverflowTrafficAndExecution) {
+  reset_pool_stats();
+  {
+    ThreadPool pool(4);
+    std::atomic<std::size_t> done{0};
+    for (std::size_t i = 0; i < 200; ++i) {
+      pool.submit([&] { ++done; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 200u);
+  }
+  PoolStats s = pool_stats();
+  EXPECT_EQ(s.tasks_executed, 200u);
+  // Every externally submitted task crosses the overflow FIFO exactly
+  // once, in whole-block handoffs.
+  EXPECT_EQ(s.overflow_pushes, 200u);
+  EXPECT_EQ(s.overflow_pops, 200u);
+  EXPECT_GE(s.block_handoffs, 200u / RelaxedFifo::kBlockSize);
+  EXPECT_LE(s.block_handoffs, 200u);
+}
+
+TEST(ThreadPool, RandomizedSubmissionBurstsLoseNothing) {
+  // Randomized stress for the relaxed overflow path: bursts of external
+  // submissions (sized to wrap the ring several times) interleaved with
+  // worker-side child tasks; every task must run exactly once.
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool pool(1 + static_cast<std::size_t>(rng() % 8));
+    std::vector<std::atomic<int>> hits(2000);
+    for (auto& h : hits) h = 0;
+    std::size_t submitted = 0;
+    while (submitted < hits.size()) {
+      std::size_t burst =
+          std::min<std::size_t>(1 + rng() % 97, hits.size() - submitted);
+      for (std::size_t k = 0; k < burst; ++k) {
+        std::size_t i = submitted + k;
+        if (i % 31 == 0 && i + 1 < hits.size()) continue;  // child submits it
+        pool.submit([&, i] {
+          ++hits[i];
+          if (i % 31 == 1 && i >= 1) {
+            pool.submit([&, j = i - 1] { ++hits[j]; });
+          }
+        });
+      }
+      submitted += burst;
+      if (rng() % 3 == 0) std::this_thread::yield();
+    }
+    pool.wait_idle();
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " round " << round;
+    }
+  }
 }
 
 // ------------------------------------------------- determinism end-to-end
