@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Validate a perf_pool JSON document (bench/perf_pool.cpp).
+"""Validate bench harness JSON documents (perf_pool, perf_scale).
 
-Usage: check_bench_json.py BENCH_pool.json [more.json ...]
+Usage: check_bench_json.py BENCH_pool.json [BENCH_scale.json ...]
 
-CI runs this twice: against the fresh `perf_pool --smoke` output (the
-harness cannot silently rot) and against the checked-in BENCH_pool.json
-capture (the committed numbers keep the shape scripts depend on). Checks
-structure, not absolute performance: required keys present, counts
-positive, rates finite -- machine-independent by construction.
+Dispatches on each document's "bench" tag. CI runs this twice per
+harness: against the fresh `--smoke` output (the harness cannot silently
+rot) and against the checked-in BENCH_*.json capture (the committed
+numbers keep the shape scripts depend on). Checks structure, not
+absolute performance: required keys present, counts positive, rates
+finite, size axes strictly increasing -- machine-independent by
+construction.
 """
 import json
 import math
@@ -82,6 +84,63 @@ def check_pool_doc(path, doc):
                    "['cell', 'empty', 'spin']")
 
 
+def check_seconds(path, row, what):
+    secs = require(path, row, "seconds", (int, float))
+    if not math.isfinite(secs) or secs <= 0:
+        fail(path, f"{what}: seconds must be finite and positive")
+
+
+def check_increasing(path, values, what):
+    if not values:
+        fail(path, f"{what}: no rows")
+    if any(b <= a for a, b in zip(values, values[1:])):
+        fail(path, f"{what} must be strictly increasing, got {values}")
+
+
+def check_scale_doc(path, doc):
+    require(path, doc, "smoke", bool)
+    seed = require(path, doc, "seed", str)
+    if not seed.isdigit():
+        fail(path, f"seed must be a decimal string, got '{seed}'")
+    if require(path, doc, "hardware_concurrency", int) < 1:
+        fail(path, "hardware_concurrency must be >= 1")
+
+    fd = require(path, doc, "find_design", list)
+    for row in fd:
+        for key in ("nodes", "edges", "depth", "latency_bound"):
+            if require(path, row, key, int) < 1:
+                fail(path, f"find_design row: {key} must be >= 1")
+        require(path, row, "area_bound", (int, float))
+        require(path, row, "solved", bool)
+        check_seconds(path, row, "find_design row")
+    check_increasing(path, [r["nodes"] for r in fd], "find_design nodes")
+
+    sweep = require(path, doc, "sweep", list)
+    for row in sweep:
+        if require(path, row, "points", int) < 1:
+            fail(path, "sweep row: points must be >= 1")
+        check_seconds(path, row, "sweep row")
+        spp = require(path, row, "seconds_per_point", (int, float))
+        if not math.isfinite(spp) or spp <= 0:
+            fail(path, "sweep row: seconds_per_point must be positive")
+    check_increasing(path, [r["nodes"] for r in sweep], "sweep nodes")
+
+    inject = require(path, doc, "inject", list)
+    for row in inject:
+        require(path, row, "component", str)
+        for key in ("width", "logic_gates", "trials"):
+            if require(path, row, key, int) < 1:
+                fail(path, f"inject row: {key} must be >= 1")
+        check_seconds(path, row, "inject row")
+        rate = require(path, row, "trials_per_s", (int, float))
+        if not math.isfinite(rate) or rate <= 0:
+            fail(path, "inject row: trials_per_s must be positive")
+    check_increasing(path, [r["width"] for r in inject], "inject widths")
+
+
+CHECKERS = {"perf_pool": check_pool_doc, "perf_scale": check_scale_doc}
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
@@ -92,7 +151,11 @@ def main(argv):
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
             fail(path, f"not readable valid JSON: {e}")
-        check_pool_doc(path, doc)
+        bench = require(path, doc, "bench", str)
+        if bench not in CHECKERS:
+            fail(path, f"unknown bench '{bench}', "
+                       f"expected one of {sorted(CHECKERS)}")
+        CHECKERS[bench](path, doc)
         print(f"{path}: ok")
     return 0
 

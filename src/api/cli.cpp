@@ -33,6 +33,7 @@
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 #include "util/strings.hpp"
+#include "workload/corpus.hpp"
 
 namespace rchls::api {
 
@@ -48,6 +49,9 @@ constexpr const char* kUsage =
     "              [--polish] [--scheduler density|fds]\n"
     "  rchls inject <component> [--width W] [--trials N] [--seed S]\n"
     "               [--gate G] [--top K]\n"
+    "  rchls gen <dir> [--seed S] [--count N]\n"
+    "              (write a seeded workload corpus: generated .dfg/.scn\n"
+    "               cases + manifest.json, see docs/workloads.md)\n"
     "  rchls cache stats|clear   (inspect / empty the persistent cache)\n"
     "  rchls cache prune --max-bytes N\n"
     "              (LRU-evict oldest entries until the cache fits)\n"
@@ -96,6 +100,7 @@ struct Args {
   int width = 16;
   std::size_t trials = 64 * 256;
   std::uint64_t seed = 1;
+  std::size_t count = 100;  // gen: corpus case count
   std::optional<std::uint32_t> gate;
   int top = 0;
   std::size_t jobs = 0;  // 0 = hardware concurrency
@@ -167,7 +172,8 @@ flag_commands() {
           {"--datapath", {"synth"}},
           {"--width", {"inject"}},
           {"--trials", {"inject"}},
-          {"--seed", {"inject"}},
+          {"--seed", {"inject", "gen"}},
+          {"--count", {"gen"}},
           {"--gate", {"inject"}},
           {"--top", {"inject"}},
           {"--verify-cache", {"run"}},
@@ -250,6 +256,10 @@ Args parse_args(const std::vector<std::string>& args) {
       a.trials = static_cast<std::size_t>(t);
     } else if (flag == "--seed") {
       a.seed = to_uint64(flag, next());
+    } else if (flag == "--count") {
+      std::uint64_t n = to_uint64(flag, next());
+      if (n < 1) throw Error("--count needs a positive case count");
+      a.count = static_cast<std::size_t>(n);
     } else if (flag == "--gate") {
       std::uint64_t g = to_uint64(flag, next());
       if (g > std::numeric_limits<std::uint32_t>::max()) {
@@ -507,6 +517,19 @@ int run_scenario(const Args& a, Session& session, std::ostream& out,
   return emit(render(report, a.format), a, out);
 }
 
+// `rchls gen`: the workload corpus as a subcommand. Deterministic by
+// the generate_corpus contract (workload/corpus.hpp): re-running with
+// the same --seed/--count overwrites every file with identical bytes.
+int run_gen(const Args& a, std::ostream& out) {
+  workload::CorpusConfig cfg;
+  cfg.seed = a.seed;
+  cfg.count = a.count;
+  std::size_t files = workload::write_corpus(cfg, a.target);
+  out << "gen: wrote " << files << " files (" << cfg.count
+      << " cases) to " << a.target << " (seed=" << cfg.seed << ")\n";
+  return 0;
+}
+
 int run_bench(std::ostream& out) {
   for (const auto& name : benchmarks::all_names()) {
     auto g = benchmarks::by_name(name);
@@ -659,7 +682,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   if (command != "run" && command != "synth" && command != "sweep" &&
       command != "inject" && command != "bench" && command != "cache" &&
       command != "exec-request" && command != "serve" &&
-      command != "request") {
+      command != "request" && command != "gen") {
     return fail_usage(err, "unknown command '" + command + "'");
   }
 
@@ -672,6 +695,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
 
   try {
     if (a.command == "bench") return run_bench(out);
+    if (a.command == "gen") return run_gen(a, out);
     if (a.command == "cache") return run_cache(a, out);
     if (a.command == "serve") return run_serve(a, err);
     if (a.command == "request") return run_request(a, out, err);

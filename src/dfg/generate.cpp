@@ -1,21 +1,28 @@
 #include "dfg/generate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rchls::dfg {
 
-Graph generate_random(const GeneratorConfig& config) {
-  if (config.num_nodes == 0) throw Error("generate_random: need >= 1 node");
-  if (config.layer_width < 1.0) {
-    throw Error("generate_random: layer_width must be >= 1");
-  }
-  if (config.mul_fraction < 0.0 || config.mul_fraction > 1.0) {
-    throw Error("generate_random: mul_fraction must lie in [0, 1]");
-  }
+namespace {
 
+// The shared op draw: mul with probability mul_fraction, then sub for a
+// quarter of the rest. One Rng stream per graph keeps every shape a pure
+// function of its config.
+OpType draw_op(Rng& rng, double mul_fraction) {
+  return rng.next_bool(mul_fraction)
+             ? OpType::kMul
+             : (rng.next_bool(0.25) ? OpType::kSub : OpType::kAdd);
+}
+
+// The original layered generator (the kLayered shape). The max_fanout ==
+// 0 path is byte-for-byte the pre-shape generator: existing seeds keep
+// producing the exact same graphs.
+Graph generate_layered(const GeneratorConfig& config) {
   Rng rng(config.seed);
   Graph g("random_" + std::to_string(config.num_nodes));
 
@@ -23,10 +30,8 @@ Graph generate_random(const GeneratorConfig& config) {
   std::vector<std::vector<NodeId>> layers;
   std::vector<NodeId> current;
   for (std::size_t i = 0; i < config.num_nodes; ++i) {
-    OpType op = rng.next_bool(config.mul_fraction)
-                    ? OpType::kMul
-                    : (rng.next_bool(0.25) ? OpType::kSub : OpType::kAdd);
-    NodeId id = g.add_node("n" + std::to_string(i), op);
+    NodeId id = g.add_node("n" + std::to_string(i),
+                           draw_op(rng, config.mul_fraction));
     current.push_back(id);
     // Close the layer probabilistically so widths average layer_width.
     if (rng.next_bool(1.0 / config.layer_width) ||
@@ -46,6 +51,25 @@ Graph generate_random(const GeneratorConfig& config) {
             rng.next_bool(0.75) ? l - 1 : rng.next_below(l);
         const auto& pool = layers[src_layer];
         NodeId src = pool[rng.next_below(pool.size())];
+        // Fan-out control: while the pick is at the cap, redraw (layer
+        // and candidate, same 75/25 bias) a bounded number of times and
+        // keep the least-loaded candidate seen. Best effort -- a hard
+        // cap could strand late nodes without predecessors when every
+        // reachable source is saturated -- but it dissolves the
+        // single-node-layer hubs the unbounded generator produces.
+        if (config.max_fanout > 0) {
+          for (int attempt = 0;
+               attempt < 8 && g.successors(src).size() >= config.max_fanout;
+               ++attempt) {
+            std::size_t retry_layer =
+                rng.next_bool(0.75) ? l - 1 : rng.next_below(l);
+            const auto& retry_pool = layers[retry_layer];
+            NodeId other = retry_pool[rng.next_below(retry_pool.size())];
+            if (g.successors(other).size() < g.successors(src).size()) {
+              src = other;
+            }
+          }
+        }
         // Duplicate edges are possible with two picks; skip quietly.
         const auto& succs = g.successors(src);
         if (std::find(succs.begin(), succs.end(), id) == succs.end()) {
@@ -53,6 +77,118 @@ Graph generate_random(const GeneratorConfig& config) {
         }
       }
     }
+  }
+  return g;
+}
+
+Graph generate_chain(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Graph g("chain_" + std::to_string(config.num_nodes));
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    NodeId id = g.add_node("n" + std::to_string(i),
+                           draw_op(rng, config.mul_fraction));
+    if (i > 0) g.add_edge(id - 1, id);
+  }
+  return g;
+}
+
+Graph generate_fanout_tree(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Graph g("fanout_tree_" + std::to_string(config.num_nodes));
+  std::size_t arity = config.max_fanout > 0 ? config.max_fanout : 2;
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    NodeId id = g.add_node("n" + std::to_string(i),
+                           draw_op(rng, config.mul_fraction));
+    if (i > 0) g.add_edge(static_cast<NodeId>((i - 1) / arity), id);
+  }
+  return g;
+}
+
+Graph generate_butterfly(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Graph g("butterfly_" + std::to_string(config.num_nodes));
+  std::size_t width = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(config.layer_width)));
+
+  // Stage-major construction; the last stage may be partial.
+  std::vector<std::vector<NodeId>> stages;
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    if (stages.empty() || stages.back().size() == width) {
+      stages.emplace_back();
+    }
+    stages.back().push_back(g.add_node("n" + std::to_string(i),
+                                       draw_op(rng, config.mul_fraction)));
+  }
+  // Each stage-s node i reads its same-index predecessor and a
+  // stride-offset partner; the stride cycles 1, 2, ... like an FFT's
+  // butterfly distances.
+  for (std::size_t s = 1; s < stages.size(); ++s) {
+    const auto& prev = stages[s - 1];
+    std::size_t stride = ((s - 1) % (width - 1)) + 1;
+    for (std::size_t i = 0; i < stages[s].size(); ++i) {
+      NodeId id = stages[s][i];
+      NodeId straight = prev[i % prev.size()];
+      NodeId partner = prev[(i + stride) % prev.size()];
+      g.add_edge(straight, id);
+      if (partner != straight) g.add_edge(partner, id);
+    }
+  }
+  return g;
+}
+
+// The fir16 template at arbitrary tap counts: t pre-adder sources, t
+// coefficient multiplies, a (t-1)-adder accumulation chain (3t-1 nodes).
+Graph generate_filter(const GeneratorConfig& config) {
+  std::size_t taps = std::max<std::size_t>(
+      2, (config.num_nodes + 1) / 3);
+  Graph g("filter_" + std::to_string(3 * taps - 1));
+  std::vector<NodeId> pre(taps), mul(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    pre[i] = g.add_node("pre" + std::to_string(i), OpType::kAdd);
+  }
+  for (std::size_t i = 0; i < taps; ++i) {
+    mul[i] = g.add_node("mul" + std::to_string(i), OpType::kMul);
+    g.add_edge(pre[i], mul[i]);
+  }
+  NodeId acc = 0;
+  for (std::size_t i = 0; i + 1 < taps; ++i) {
+    NodeId next = g.add_node("acc" + std::to_string(i), OpType::kAdd);
+    g.add_edge(i == 0 ? mul[0] : acc, next);
+    g.add_edge(mul[i + 1], next);
+    acc = next;
+  }
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(GraphShape shape) {
+  switch (shape) {
+    case GraphShape::kLayered: return "layered";
+    case GraphShape::kChain: return "chain";
+    case GraphShape::kFanoutTree: return "fanout_tree";
+    case GraphShape::kButterfly: return "butterfly";
+    case GraphShape::kFilter: return "filter";
+  }
+  throw Error("to_string: unknown GraphShape");
+}
+
+Graph generate_random(const GeneratorConfig& config) {
+  if (config.num_nodes == 0) throw Error("generate_random: need >= 1 node");
+  if (config.layer_width < 1.0) {
+    throw Error("generate_random: layer_width must be >= 1");
+  }
+  if (config.mul_fraction < 0.0 || config.mul_fraction > 1.0) {
+    throw Error("generate_random: mul_fraction must lie in [0, 1]");
+  }
+
+  Graph g("dfg");
+  switch (config.shape) {
+    case GraphShape::kLayered: g = generate_layered(config); break;
+    case GraphShape::kChain: g = generate_chain(config); break;
+    case GraphShape::kFanoutTree: g = generate_fanout_tree(config); break;
+    case GraphShape::kButterfly: g = generate_butterfly(config); break;
+    case GraphShape::kFilter: g = generate_filter(config); break;
   }
   g.validate();
   return g;

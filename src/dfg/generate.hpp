@@ -1,6 +1,16 @@
-// Random layered-DAG generation for property tests and scalability
-// benchmarks: produces graphs with the fan-in/fan-out character of HLS
-// data-flow graphs (binary operations, mostly short dependence edges).
+// Random DAG generation for property tests, the workload corpus
+// (workload/corpus.hpp) and scalability benchmarks: produces graphs with
+// the fan-in/fan-out character of HLS data-flow graphs (binary
+// operations, mostly short dependence edges) in several structural
+// families.
+//
+// Determinism contract: generate_random is a pure function of its
+// GeneratorConfig. The same config produces the same graph -- node ids,
+// names, ops and adjacency -- on every platform, in every process,
+// forever (the corpus reproducibility story of docs/workloads.md depends
+// on it, and tests/dfg_generate_test.cpp pins golden dfg::to_text
+// captures per shape). Changing the meaning of an existing (shape, seed)
+// pair is a breaking change; add a new shape instead.
 #pragma once
 
 #include <cstdint>
@@ -9,18 +19,55 @@
 
 namespace rchls::dfg {
 
+/// Structural family of a generated graph.
+enum class GraphShape : std::uint8_t {
+  /// Random layered DAG (the original generator): nodes grouped into
+  /// layers of ~layer_width, each non-first-layer node wired to one or
+  /// two earlier nodes, biased to the previous layer.
+  kLayered,
+  /// A single dependence chain n0 -> n1 -> ... -> n_{k-1}: no
+  /// parallelism at all, the worst case for list scheduling and the
+  /// best case for consolidation.
+  kChain,
+  /// A rooted fan-out tree of arity max_fanout (default 2): maximal
+  /// result reuse pressure, every non-root node has exactly one
+  /// predecessor.
+  kFanoutTree,
+  /// Diamond/butterfly stages of fixed width ~layer_width: each node
+  /// feeds its same-index successor and a stride-offset partner in the
+  /// next stage (FFT dependence structure, dense cross-stage traffic).
+  kButterfly,
+  /// Paper-like filter: t pre-add sources, t coefficient multiplies,
+  /// and a (t-1)-adder accumulation chain -- the fir16 template at
+  /// arbitrary tap counts (num_nodes is rounded to the nearest 3t-1).
+  kFilter,
+};
+
+/// "layered" / "chain" / "fanout_tree" / "butterfly" / "filter" (the
+/// spelling the corpus manifest and perf_scale JSON record).
+const char* to_string(GraphShape shape);
+
 struct GeneratorConfig {
   std::size_t num_nodes = 32;
   /// Approximate fraction of multiply nodes (the rest are adds/subs).
+  /// kFilter ignores it: the template fixes the op mix.
   double mul_fraction = 0.3;
-  /// Average number of nodes per topological layer; controls parallelism.
+  /// Average number of nodes per topological layer (kLayered) or the
+  /// stage width (kButterfly); controls parallelism.
   double layer_width = 4.0;
   std::uint64_t seed = 42;
+  GraphShape shape = GraphShape::kLayered;
+  /// Fan-out control. kLayered: when > 0, predecessor picks avoid
+  /// sources that already have this many successors (best effort, the
+  /// bias keeps edge counts deterministic). kFanoutTree: the tree arity
+  /// (0 means 2). Other shapes ignore it.
+  std::size_t max_fanout = 0;
 };
 
-/// Generates a connected-ish random DAG: every non-first-layer node gets
-/// one or two predecessors drawn from earlier layers (biased to the
-/// immediately preceding layer).
+/// Generates a graph of the configured shape. Every shape is a valid
+/// connected-ish DAG (validate() passes by construction). Throws Error
+/// on nonsensical configs (0 nodes, layer_width < 1, mul_fraction
+/// outside [0, 1]).
 Graph generate_random(const GeneratorConfig& config);
 
 }  // namespace rchls::dfg

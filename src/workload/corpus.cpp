@@ -1,0 +1,270 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuits/components.hpp"
+#include "dfg/generate.hpp"
+#include "dfg/io.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace rchls::workload {
+
+namespace {
+
+// Longest dependence path in nodes. With the paper library's delay-1
+// versions this is the latency floor, so bound tiers derive from it.
+std::size_t depth_of(const dfg::Graph& g) {
+  std::vector<std::size_t> depth(g.node_count(), 1);
+  std::size_t best = 1;
+  for (dfg::NodeId id : g.topological_order()) {
+    for (dfg::NodeId p : g.predecessors(id)) {
+      depth[id] = std::max(depth[id], depth[p] + 1);
+    }
+    best = std::max(best, depth[id]);
+  }
+  return best;
+}
+
+// Half-unit rounding keeps emitted areas at clean shortest renderings
+// ("18", "18.5") while still exercising fractional bounds.
+double half_units(double v) { return std::round(v * 2.0) / 2.0; }
+
+// Area that comfortably fits ceil(ops/L) delay-1 units per class
+// (adder_2 area 2, mult_2 area 4 in the paper library) plus margin.
+double comfortable_area(std::size_t adds, std::size_t muls, std::size_t lat) {
+  auto units = [lat](std::size_t ops) {
+    return ops == 0 ? 0.0
+                    : std::ceil(static_cast<double>(ops) /
+                                static_cast<double>(lat));
+  };
+  return half_units(2.0 * units(adds) + 4.0 * units(muls) + 2.0);
+}
+
+struct CaseBuilder {
+  Rng rng;
+  std::string scn;  // accumulated scenario text
+
+  void line(const std::string& s) { scn += s + "\n"; }
+
+  std::string pick(const std::vector<std::string>& options) {
+    return options[rng.next_below(options.size())];
+  }
+};
+
+const char* kActionRotation[] = {"find_design", "sweep", "grid", "inject",
+                                 "rank_gates"};
+const dfg::GraphShape kShapeRotation[] = {
+    dfg::GraphShape::kLayered, dfg::GraphShape::kChain,
+    dfg::GraphShape::kFanoutTree, dfg::GraphShape::kButterfly,
+    dfg::GraphShape::kFilter};
+
+// The engine-option suffix shared by the synthesis actions: sometimes a
+// non-default scheduler, polish, or exploration budget.
+std::string engine_option_tokens(CaseBuilder& b) {
+  std::string out;
+  if (b.rng.next_bool(0.25)) out += " scheduler=fds";
+  if (b.rng.next_bool(0.3)) out += " polish=on";
+  if (b.rng.next_bool(0.2)) {
+    out += " explore=" + std::to_string(1 + b.rng.next_below(2));
+  }
+  return out;
+}
+
+CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
+                      int name_width, const CorpusConfig& config) {
+  CorpusCase c;
+  c.case_seed = case_seed;
+  c.action = kActionRotation[index % 5];
+
+  std::string num = std::to_string(index);
+  while (static_cast<int>(num.size()) < name_width) num.insert(0, "0");
+  c.name = "case_" + num;
+  c.scn_filename = c.name + ".scn";
+
+  CaseBuilder b{Rng(case_seed), ""};
+  bool graphless = c.action == "inject" || c.action == "rank_gates";
+
+  b.line("# generated workload corpus case -- do not edit; regenerate:");
+  b.line("#   rchls gen <dir> --seed " + std::to_string(config.seed) +
+         " --count " + std::to_string(config.count));
+
+  if (graphless) {
+    // Campaign case: component, width and trial count from the case
+    // stream. Widths stay small so hundreds of cases replay in seconds.
+    auto components = circuits::component_names();
+    std::string component = components[(index / 5) % components.size()];
+    b.line("# case=" + c.name + " action=" + c.action +
+           " case_seed=" + std::to_string(case_seed));
+    b.line("scenario " + c.name + "_" + c.action);
+    b.line("");
+    std::string tokens = c.action + " " + component;
+    if (c.action == "inject") {
+      tokens += " width=" + std::to_string(4 + 2 * b.rng.next_below(7));
+      tokens += " trials=" +
+                std::to_string(64 * (4 + b.rng.next_below(12)));
+    } else {
+      tokens += " width=" + std::to_string(4 + 2 * b.rng.next_below(3));
+      tokens += " trials=" + std::to_string(64 * (2 + b.rng.next_below(6)));
+      tokens += " top=" + b.pick({"0", "3", "5", "10"});
+    }
+    tokens += " seed=" + std::to_string(b.rng.next_u64());
+    tokens += " label=" + c.action;
+    b.line(tokens);
+    c.scn_text = std::move(b.scn);
+    return c;
+  }
+
+  // Synthesis case: a generated graph of the rotation's shape plus
+  // bounds derived from its measured depth and op mix.
+  dfg::GeneratorConfig gc;
+  gc.shape = kShapeRotation[(index / 5) % 5];
+  gc.seed = case_seed;
+  gc.num_nodes = 8 + b.rng.next_below(33);
+  gc.layer_width = static_cast<double>(2 + b.rng.next_below(4));
+  gc.mul_fraction = 0.15 + 0.1 * static_cast<double>(b.rng.next_below(4));
+  if (gc.shape == dfg::GraphShape::kFanoutTree) {
+    gc.max_fanout = 2 + b.rng.next_below(3);
+  } else if (gc.shape == dfg::GraphShape::kLayered && b.rng.next_bool(0.3)) {
+    gc.max_fanout = 2 + b.rng.next_below(3);
+  }
+  dfg::Graph g = dfg::generate_random(gc);
+
+  c.shape = dfg::to_string(gc.shape);
+  c.nodes = g.node_count();
+  c.dfg_filename = c.name + ".dfg";
+  c.dfg_text = dfg::to_text(g);
+
+  std::size_t depth = depth_of(g);
+  std::size_t muls = g.count_ops(dfg::OpType::kMul);
+  std::size_t adds = g.node_count() - muls;
+  std::size_t lat = 2 * depth + 2;
+  double area = comfortable_area(adds, muls, lat);
+
+  b.line("# case=" + c.name + " action=" + c.action + " shape=" + c.shape +
+         " nodes=" + std::to_string(c.nodes) +
+         " case_seed=" + std::to_string(case_seed));
+  b.line("scenario " + c.name + "_" + c.action + "_" + c.shape);
+  b.line("graph @" + c.dfg_filename);
+  b.line("library paper");
+  b.line("");
+
+  if (c.action == "find_design") {
+    // A quarter of the cases get deliberately tight bounds: unsolved
+    // results are results too, and they must replay byte-identically.
+    bool tight = b.rng.next_bool(0.25);
+    std::string engine = b.pick({"centric", "centric", "baseline",
+                                 "combined"});
+    std::string tokens = "find_design latency=" +
+                         std::to_string(tight ? depth : lat) + " area=" +
+                         format_shortest(tight ? half_units(area / 3.0)
+                                               : area) +
+                         " engine=" + engine;
+    if (engine != "baseline") tokens += engine_option_tokens(b);
+    tokens += " label=find_design";
+    b.line(tokens);
+  } else if (c.action == "sweep") {
+    if (b.rng.next_bool(0.5)) {
+      std::string lats = std::to_string(depth) + "," +
+                         std::to_string(depth + 2) + "," +
+                         std::to_string(lat);
+      b.line("sweep latency " + lats + " area=" + format_shortest(area) +
+             engine_option_tokens(b) + " label=sweep");
+    } else {
+      std::string areas = format_shortest(half_units(area / 2.0)) + "," +
+                          format_shortest(half_units(area * 0.75)) + "," +
+                          format_shortest(area);
+      b.line("sweep area " + areas + " latency=" + std::to_string(lat) +
+             engine_option_tokens(b) + " label=sweep");
+    }
+  } else {  // grid
+    std::string tokens = "grid latencies=" + std::to_string(depth + 1) +
+                         "," + std::to_string(lat) + " areas=" +
+                         format_shortest(half_units(area * 0.6)) + "," +
+                         format_shortest(area);
+    if (b.rng.next_bool(0.3)) {
+      tokens += " baseline_adder=adder_2 baseline_mult=mult_2";
+    }
+    tokens += engine_option_tokens(b) + " label=grid";
+    b.line(tokens);
+  }
+  c.scn_text = std::move(b.scn);
+  return c;
+}
+
+}  // namespace
+
+std::vector<CorpusCase> generate_corpus(const CorpusConfig& config) {
+  if (config.count == 0) throw Error("generate_corpus: need count >= 1");
+  int name_width = std::max<int>(
+      3, static_cast<int>(std::to_string(config.count - 1).size()));
+
+  // One master stream hands every case its private seed, so case i's
+  // content is a pure function of (master seed, i) regardless of how
+  // many cases are generated after it.
+  Rng master(config.seed);
+  std::vector<std::uint64_t> seeds(config.count);
+  for (auto& s : seeds) s = master.next_u64();
+
+  std::vector<CorpusCase> cases;
+  cases.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    cases.push_back(build_case(i, seeds[i], name_width, config));
+  }
+  return cases;
+}
+
+std::string manifest_json(const CorpusConfig& config,
+                          const std::vector<CorpusCase>& cases) {
+  auto doc = json::Value::object();
+  doc.set("format_version", "rchls.corpus.v1")
+      .set("seed", std::to_string(config.seed))  // uint64: decimal string
+      .set("count", static_cast<std::uint64_t>(config.count));
+  auto list = json::Value::array();
+  for (const auto& c : cases) {
+    auto entry = json::Value::object();
+    entry.set("name", c.name)
+        .set("action", c.action)
+        .set("case_seed", std::to_string(c.case_seed));
+    if (!c.dfg_filename.empty()) {
+      entry.set("shape", c.shape)
+          .set("nodes", static_cast<std::uint64_t>(c.nodes))
+          .set("dfg", c.dfg_filename);
+    }
+    entry.set("scn", c.scn_filename);
+    list.push(std::move(entry));
+  }
+  doc.set("cases", std::move(list));
+  return doc.dump(2) + "\n";
+}
+
+std::size_t write_corpus(const CorpusConfig& config,
+                         const std::filesystem::path& dir) {
+  std::vector<CorpusCase> cases = generate_corpus(config);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw Error("cannot create corpus directory '" + dir.string() +
+                "': " + ec.message());
+  }
+  std::size_t written = 0;
+  auto write_one = [&](const std::string& name, const std::string& text) {
+    if (!write_file(dir / name, text)) {
+      throw Error("cannot write corpus file '" + (dir / name).string() +
+                  "'");
+    }
+    ++written;
+  };
+  for (const auto& c : cases) {
+    if (!c.dfg_filename.empty()) write_one(c.dfg_filename, c.dfg_text);
+    write_one(c.scn_filename, c.scn_text);
+  }
+  write_one("manifest.json", manifest_json(config, cases));
+  return written;
+}
+
+}  // namespace rchls::workload

@@ -1,0 +1,75 @@
+// Seeded workload-corpus generation -- scenario diversity as data.
+//
+// Everything the system executes flows through `.scn` scenarios and the
+// typed api requests behind them, so new workloads are pure data: this
+// module turns ONE master seed into hundreds of (graph, scenario) cases
+// spanning every structural family dfg::generate_random knows (chains,
+// fan-out trees, butterflies, paper-like filters, random layered DAGs)
+// and every action kind the api executes (find_design, sweep, grid,
+// inject, rank_gates), with deliberately mixed engines, schedulers,
+// bound tightness, widths and trial counts.
+//
+// Reproducibility contract (docs/workloads.md): generate_corpus is a
+// pure function of its CorpusConfig. The same (seed, count) produces the
+// same case names, the same graph bytes and the same scenario bytes on
+// every platform, in every process, forever -- corpus identifiers are
+// stable coordinates. That rests on dfg::generate_random's own pinned
+// determinism (tests/dfg_generate_test.cpp golden captures) and on
+// every number in the emitted text being rendered with
+// shortest-round-trip formatting. tests/workload_corpus_test.cpp pins a
+// golden case and CI regenerates a corpus from a fixed seed per run.
+//
+// Consumers:
+//  * `rchls gen <dir>` (api/cli.cpp) writes a corpus to disk;
+//  * the corpus regression test replays a sample through
+//    scenario::Runner at --jobs 1 vs 8 and asserts byte-identical
+//    reports plus zero warm-cache executions;
+//  * bench/perf_scale sizes the same generator families 10-100x up.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rchls::workload {
+
+struct CorpusConfig {
+  std::uint64_t seed = 1;
+  std::size_t count = 100;
+};
+
+/// One generated case: a scenario file plus (for the synthesis actions)
+/// the graph file it references. `dfg_filename`/`dfg_text` are empty for
+/// the graphless campaign actions (inject, rank_gates).
+struct CorpusCase {
+  std::string name;      ///< "case_042" -- the stable corpus coordinate
+  std::string shape;     ///< dfg::to_string(GraphShape), "" when graphless
+  std::string action;    ///< "find_design" ... "rank_gates"
+  std::uint64_t case_seed = 0;  ///< this case's private generator seed
+  std::size_t nodes = 0;        ///< graph size, 0 when graphless
+  std::string dfg_filename;     ///< "case_042.dfg" or ""
+  std::string dfg_text;
+  std::string scn_filename;     ///< "case_042.scn"
+  std::string scn_text;
+};
+
+/// Generates the corpus deterministically (see the contract above).
+/// Throws Error for count == 0.
+std::vector<CorpusCase> generate_corpus(const CorpusConfig& config);
+
+/// The corpus manifest: one canonical JSON document (util/json rules:
+/// fixed key order, shortest-round-trip numbers, trailing newline)
+/// recording the config and every case's coordinates -- the index a
+/// replay tool or CI sample step reads instead of globbing.
+std::string manifest_json(const CorpusConfig& config,
+                          const std::vector<CorpusCase>& cases);
+
+/// Writes every case file plus "manifest.json" under `dir` (created if
+/// missing; existing files are overwritten -- regeneration is the
+/// point). Returns the number of files written. Throws Error when a
+/// file cannot be written.
+std::size_t write_corpus(const CorpusConfig& config,
+                         const std::filesystem::path& dir);
+
+}  // namespace rchls::workload

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include "dfg/generate.hpp"
+#include "dfg/io.hpp"
 #include "util/error.hpp"
 
 namespace rchls::dfg {
 namespace {
+
+constexpr GraphShape kAllShapes[] = {
+    GraphShape::kLayered, GraphShape::kChain, GraphShape::kFanoutTree,
+    GraphShape::kButterfly, GraphShape::kFilter};
 
 TEST(Generate, ProducesRequestedNodeCount) {
   GeneratorConfig cfg;
@@ -71,6 +76,134 @@ TEST(Generate, EveryNonSourceHasAPredecessor) {
   auto sources = g.sources();
   EXPECT_FALSE(sources.empty());
   EXPECT_LT(sources.size(), g.node_count());
+}
+
+// Every shape is a pure function of its config: two calls agree byte
+// for byte through dfg::to_text. (The cross-process half of the pin is
+// the golden capture below, which was produced by a separate process.)
+TEST(Generate, EveryShapeToTextDeterministic) {
+  for (GraphShape shape : kAllShapes) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = 37;
+    cfg.seed = 11;
+    cfg.layer_width = 3.0;
+    cfg.shape = shape;
+    EXPECT_EQ(to_text(generate_random(cfg)), to_text(generate_random(cfg)))
+        << to_string(shape);
+  }
+}
+
+// Golden captures pin the generator's output for one config per shape
+// FOREVER: the workload corpus (docs/workloads.md) addresses cases by
+// (shape, seed), so changing what an existing seed produces silently
+// invalidates every recorded corpus. If this test fails, do not update
+// the strings -- add a new shape or config field instead.
+TEST(Generate, GoldenCapturePerShape) {
+  auto text_of = [](GraphShape shape) {
+    GeneratorConfig cfg;
+    cfg.num_nodes = 11;
+    cfg.seed = 7;
+    cfg.layer_width = 3.0;
+    cfg.shape = shape;
+    return to_text(generate_random(cfg));
+  };
+  EXPECT_EQ(text_of(GraphShape::kLayered),
+            "dfg random_11\n"
+            "node n0 add\nnode n1 add\nnode n2 mul\nnode n3 sub\n"
+            "node n4 add\nnode n5 add\nnode n6 sub\nnode n7 mul\n"
+            "node n8 add\nnode n9 mul\nnode n10 sub\n"
+            "edge n0 n4\nedge n0 n5\nedge n0 n9\nedge n1 n3\n"
+            "edge n1 n5\nedge n1 n10\nedge n2 n3\nedge n2 n6\n"
+            "edge n2 n8\nedge n3 n8\nedge n3 n9\nedge n6 n7\n"
+            "edge n8 n10\n");
+  EXPECT_EQ(text_of(GraphShape::kChain),
+            "dfg chain_11\n"
+            "node n0 add\nnode n1 add\nnode n2 add\nnode n3 mul\n"
+            "node n4 mul\nnode n5 sub\nnode n6 add\nnode n7 add\n"
+            "node n8 add\nnode n9 mul\nnode n10 sub\n"
+            "edge n0 n1\nedge n1 n2\nedge n2 n3\nedge n3 n4\n"
+            "edge n4 n5\nedge n5 n6\nedge n6 n7\nedge n7 n8\n"
+            "edge n8 n9\nedge n9 n10\n");
+  EXPECT_EQ(text_of(GraphShape::kFanoutTree),
+            "dfg fanout_tree_11\n"
+            "node n0 add\nnode n1 add\nnode n2 add\nnode n3 mul\n"
+            "node n4 mul\nnode n5 sub\nnode n6 add\nnode n7 add\n"
+            "node n8 add\nnode n9 mul\nnode n10 sub\n"
+            "edge n0 n1\nedge n0 n2\nedge n1 n3\nedge n1 n4\n"
+            "edge n2 n5\nedge n2 n6\nedge n3 n7\nedge n3 n8\n"
+            "edge n4 n9\nedge n4 n10\n");
+  EXPECT_EQ(text_of(GraphShape::kButterfly),
+            "dfg butterfly_11\n"
+            "node n0 add\nnode n1 add\nnode n2 add\nnode n3 mul\n"
+            "node n4 mul\nnode n5 sub\nnode n6 add\nnode n7 add\n"
+            "node n8 add\nnode n9 mul\nnode n10 sub\n"
+            "edge n0 n3\nedge n0 n5\nedge n1 n3\nedge n1 n4\n"
+            "edge n2 n4\nedge n2 n5\nedge n3 n6\nedge n3 n7\n"
+            "edge n4 n7\nedge n4 n8\nedge n5 n6\nedge n5 n8\n"
+            "edge n6 n9\nedge n7 n9\nedge n7 n10\nedge n8 n10\n");
+  EXPECT_EQ(text_of(GraphShape::kFilter),
+            "dfg filter_11\n"
+            "node pre0 add\nnode pre1 add\nnode pre2 add\nnode pre3 add\n"
+            "node mul0 mul\nnode mul1 mul\nnode mul2 mul\nnode mul3 mul\n"
+            "node acc0 add\nnode acc1 add\nnode acc2 add\n"
+            "edge pre0 mul0\nedge pre1 mul1\nedge pre2 mul2\n"
+            "edge pre3 mul3\nedge mul0 acc0\nedge mul1 acc0\n"
+            "edge mul2 acc1\nedge mul3 acc2\nedge acc0 acc1\n"
+            "edge acc1 acc2\n");
+}
+
+TEST(Generate, ChainIsASingleDependenceChain) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 25;
+  cfg.shape = GraphShape::kChain;
+  Graph g = generate_random(cfg);
+  EXPECT_EQ(g.edge_count(), 24u);
+  for (NodeId id = 0; id + 1 < g.node_count(); ++id) {
+    ASSERT_EQ(g.successors(id).size(), 1u);
+    EXPECT_EQ(g.successors(id)[0], id + 1);
+  }
+}
+
+TEST(Generate, FanoutTreeRespectsArity) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.shape = GraphShape::kFanoutTree;
+  cfg.max_fanout = 3;
+  Graph g = generate_random(cfg);
+  EXPECT_EQ(g.edge_count(), 39u);  // a tree: every non-root has one parent
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    EXPECT_LE(g.successors(id).size(), 3u);
+    EXPECT_LE(g.predecessors(id).size(), 1u);
+  }
+}
+
+TEST(Generate, FilterShapeMatchesTemplate) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 23;  // t = 8: the fir16 tap count
+  cfg.shape = GraphShape::kFilter;
+  Graph g = generate_random(cfg);
+  EXPECT_EQ(g.node_count(), 23u);
+  EXPECT_EQ(g.count_ops(OpType::kMul), 8u);
+  EXPECT_EQ(g.sources().size(), 8u);  // the pre-adders
+  EXPECT_EQ(g.sinks().size(), 1u);    // the accumulation tail
+}
+
+TEST(Generate, LayeredMaxFanoutBiasesHubsDown) {
+  GeneratorConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.seed = 3;
+  auto max_fanout_of = [](const Graph& g) {
+    std::size_t m = 0;
+    for (NodeId id = 0; id < g.node_count(); ++id) {
+      m = std::max(m, g.successors(id).size());
+    }
+    return m;
+  };
+  Graph unbounded = generate_random(cfg);
+  cfg.max_fanout = 2;
+  Graph capped = generate_random(cfg);
+  EXPECT_LT(max_fanout_of(capped), max_fanout_of(unbounded));
+  capped.validate();
 }
 
 TEST(Generate, RejectsBadConfig) {

@@ -1,0 +1,141 @@
+// Shared machinery for the differential fuzz suites (fuzz_wire_test.cpp,
+// fuzz_scenario_test.cpp): a seeded byte-level mutator, a raw random
+// input generator, iteration-count scaling via RCHLS_FUZZ_ITERS, and the
+// curated seed corpus under tests/data/fuzz_seed/.
+//
+// The harness is differential, not coverage-guided: every input -- a
+// mutated valid document or raw noise -- must either be accepted and
+// round-trip to the canonical byte fixed point, or be rejected with a
+// clean rchls::Error. Crashes, hangs and foreign exception types are the
+// bugs being hunted; mutations are pure functions of the test seed, so a
+// failing iteration replays exactly from its (seed, index) pair.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rchls::testing::fuzz {
+
+/// Iteration count for a fuzz loop: RCHLS_FUZZ_ITERS (a positive
+/// decimal) when set, otherwise `fallback`. CI's bounded smoke job sets
+/// the env var; a local soak can crank it to millions.
+inline std::size_t iterations(std::size_t fallback) {
+  if (const char* env = std::getenv("RCHLS_FUZZ_ITERS")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return fallback;
+}
+
+/// Raw random input: length up to `max_len`, bytes over the full 0-255
+/// range (NULs and non-UTF-8 included -- decoders see untrusted sockets
+/// and cache files, not just text editors).
+inline std::string random_bytes(Rng& rng, std::size_t max_len) {
+  std::string s(rng.next_below(max_len + 1), '\0');
+  for (char& c : s) {
+    c = static_cast<char>(static_cast<unsigned char>(rng.next_below(256)));
+  }
+  return s;
+}
+
+/// One seeded mutation pass: 1-4 byte-level edits drawn from flips,
+/// insertions, deletions, chunk duplication/removal, truncation, swaps
+/// and dictionary splices (structural JSON/scenario tokens, so mutants
+/// reach past the first parse error). Output length is capped to keep a
+/// duplication chain from going exponential across iterations.
+inline std::string mutate(Rng& rng, const std::string& input) {
+  static const char* kDictionary[] = {
+      "{",       "}",     "[",       "]",      "\"",       ":",
+      ",",       "\\",    "\n",      " ",      "-",        ".",
+      "0",       "9e99",  "1e-999",  "null",   "true",     "false",
+      "@",       "=",     "#",       "kind",   "format_version",
+      "request", "result", "scenario", "graph", "node",    "edge",
+      "include", "set",   "label",   "latency", "18446744073709551615"};
+  constexpr std::size_t kMaxLen = 1 << 16;
+
+  std::string s = input;
+  std::size_t edits = 1 + rng.next_below(4);
+  for (std::size_t e = 0; e < edits; ++e) {
+    std::size_t pos = s.empty() ? 0 : rng.next_below(s.size());
+    switch (rng.next_below(8)) {
+      case 0:  // flip one byte
+        if (!s.empty()) {
+          s[pos] = static_cast<char>(
+              static_cast<unsigned char>(rng.next_below(256)));
+        }
+        break;
+      case 1:  // insert one random byte
+        s.insert(s.begin() + static_cast<std::ptrdiff_t>(pos),
+                 static_cast<char>(
+                     static_cast<unsigned char>(rng.next_below(256))));
+        break;
+      case 2:  // delete one byte
+        if (!s.empty()) s.erase(pos, 1);
+        break;
+      case 3: {  // duplicate a chunk in place
+        if (!s.empty()) {
+          std::size_t len = 1 + rng.next_below(std::min<std::size_t>(
+                                    64, s.size() - pos));
+          s.insert(pos, s.substr(pos, len));
+        }
+        break;
+      }
+      case 4: {  // remove a chunk
+        if (!s.empty()) {
+          std::size_t len = 1 + rng.next_below(std::min<std::size_t>(
+                                    64, s.size() - pos));
+          s.erase(pos, len);
+        }
+        break;
+      }
+      case 5:  // splice a dictionary token
+        s.insert(pos, kDictionary[rng.next_below(std::size(kDictionary))]);
+        break;
+      case 6:  // truncate
+        s.erase(pos);
+        break;
+      default:  // swap two bytes
+        if (s.size() >= 2) {
+          std::swap(s[pos], s[rng.next_below(s.size())]);
+        }
+        break;
+    }
+  }
+  if (s.size() > kMaxLen) s.resize(kMaxLen);
+  return s;
+}
+
+/// The curated seed corpus: every tests/data/fuzz_seed/*`extension` file
+/// as (filename, content), sorted by name for deterministic order. The
+/// naming convention is load-bearing: "valid_*" must be accepted,
+/// "invalid_*" must be rejected with rchls::Error -- the fuzz suites
+/// replay these before any mutation runs.
+inline std::vector<std::pair<std::string, std::string>> seed_corpus(
+    const std::string& extension) {
+  std::filesystem::path dir =
+      std::filesystem::path(RCHLS_SOURCE_DIR) / "tests" / "data" /
+      "fuzz_seed";
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != extension) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    out.emplace_back(entry.path().filename().string(), os.str());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rchls::testing::fuzz

@@ -1,0 +1,94 @@
+// Differential fuzzing of the scenario parser (scenario/parse.hpp).
+// `.scn` files are the user-facing input language, so the parser's
+// contract under arbitrary bytes is total: parse_string either returns
+// a Scenario or throws a clean rchls::Error -- for syntax problems a
+// ParseError anchored at "<source>:<line>:" -- and never crashes,
+// hangs, or leaks a foreign exception type.
+//
+// Same three layers as fuzz_wire_test.cpp: curated seed replay
+// (valid_*/invalid_* under tests/data/fuzz_seed/), seeded mutation of
+// valid scenarios, and raw random bytes. `@file` references resolve
+// against an empty scratch directory so a mutant can only ever hit a
+// clean cannot-open error, never a file from the repo.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fuzz_common.hpp"
+#include "scenario/parse.hpp"
+#include "temp_dir.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace rchls::scenario {
+namespace {
+
+using testing::fuzz::iterations;
+using testing::fuzz::mutate;
+using testing::fuzz::random_bytes;
+using testing::fuzz::seed_corpus;
+
+// The differential oracle: a Scenario, or a clean anchored error.
+// Returns true when the input parsed.
+bool check_scenario(const std::string& text,
+                    const std::filesystem::path& base_dir) {
+  try {
+    Scenario scn = parse_string(text, base_dir);
+    (void)scn;
+    return true;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("<string>:", 0), 0u)
+        << "ParseError lost its source:line anchor: " << e.what();
+    return false;
+  } catch (const Error&) {
+    return false;  // non-syntax rejection (e.g. graph validation)
+  }
+}
+
+TEST(FuzzScenario, SeedCorpusReplaysAsSpecified) {
+  auto dir = testing::unique_test_dir("fuzz_scn_seed");
+  auto corpus = seed_corpus(".scn");
+  ASSERT_GE(corpus.size(), 6u) << "fuzz_seed corpus went missing";
+  for (const auto& [name, text] : corpus) {
+    if (name.rfind("valid_", 0) == 0) {
+      EXPECT_TRUE(check_scenario(text, dir)) << name << " should parse";
+    } else {
+      EXPECT_FALSE(check_scenario(text, dir))
+          << name << " should be rejected";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzScenario, MutatedScenariosNeverCrash) {
+  auto dir = testing::unique_test_dir("fuzz_scn_mut");
+  std::vector<std::string> bases;
+  for (const auto& [name, text] : seed_corpus(".scn")) {
+    if (name.rfind("valid_", 0) == 0) bases.push_back(text);
+  }
+  bases.push_back(read_file(std::filesystem::path(RCHLS_SOURCE_DIR) /
+                            "tests" / "data" / "golden.scn"));
+  ASSERT_GE(bases.size(), 3u);
+
+  Rng rng(0x5CE9A210);
+  std::size_t iters = iterations(2000);
+  for (std::size_t i = 0; i < iters; ++i) {
+    check_scenario(mutate(rng, bases[i % bases.size()]), dir);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzScenario, RawRandomBytesNeverCrash) {
+  auto dir = testing::unique_test_dir("fuzz_scn_raw");
+  Rng rng(0xBADC0DE5);
+  std::size_t iters = iterations(2000);
+  for (std::size_t i = 0; i < iters; ++i) {
+    check_scenario(random_bytes(rng, 512), dir);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rchls::scenario
