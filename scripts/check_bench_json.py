@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate bench harness JSON documents (perf_pool, perf_scale).
+"""Validate bench harness JSON documents (perf_pool, perf_scale,
+perf_remote).
 
 Usage: check_bench_json.py BENCH_pool.json [BENCH_scale.json ...]
 
@@ -138,7 +139,61 @@ def check_scale_doc(path, doc):
     check_increasing(path, [r["width"] for r in inject], "inject widths")
 
 
-CHECKERS = {"perf_pool": check_pool_doc, "perf_scale": check_scale_doc}
+def check_remote_pass(path, row, what):
+    if require(path, row, "requests", int) < 1:
+        fail(path, f"{what}: requests must be >= 1")
+    check_seconds(path, row, what)
+    rate = require(path, row, "requests_per_s", (int, float))
+    if not math.isfinite(rate) or rate <= 0:
+        fail(path, f"{what}: requests_per_s must be finite and positive")
+    for key in ("p50_ms", "p95_ms"):
+        v = require(path, row, key, (int, float))
+        if not math.isfinite(v) or v < 0:
+            fail(path, f"{what}: {key} must be finite and non-negative")
+    sweep = require(path, row, "sweep", dict)
+    if require(path, sweep, "cells", int) < 1:
+        fail(path, f"{what}: sweep.cells must be >= 1")
+    slices = require(path, sweep, "slices", int)
+    if slices < 1 or slices > sweep["cells"]:
+        fail(path, f"{what}: sweep.slices must be in 1..cells")
+    check_seconds(path, sweep, f"{what}.sweep")
+    require(path, sweep, "slice_latency_avg_ms", (int, float))
+    if require(path, row, "executed", int) < 0:
+        fail(path, f"{what}: executed must be >= 0")
+
+
+def check_remote_doc(path, doc):
+    require(path, doc, "smoke", bool)
+    if require(path, doc, "requests_per_client", int) < 1:
+        fail(path, "requests_per_client must be >= 1")
+    if require(path, doc, "clients_per_endpoint", int) < 1:
+        fail(path, "clients_per_endpoint must be >= 1")
+
+    levels = require(path, doc, "levels", list)
+    for row in levels:
+        endpoints = require(path, row, "endpoints", int)
+        clients = require(path, row, "clients", int)
+        if clients != doc["clients_per_endpoint"] * endpoints:
+            fail(path, "level: clients != clients_per_endpoint * endpoints")
+        cold = require(path, row, "cold", dict)
+        warm = require(path, row, "warm", dict)
+        check_remote_pass(path, cold, f"endpoints={endpoints} cold")
+        check_remote_pass(path, warm, f"endpoints={endpoints} warm")
+        # The fleet shares one cache directory per level: the cold pass
+        # must have executed, the warm replay must not have.
+        if cold["executed"] < 1:
+            fail(path, f"endpoints={endpoints}: cold pass executed nothing")
+        if warm["executed"] != 0:
+            fail(path, f"endpoints={endpoints}: warm pass executed "
+                       f"{warm['executed']} requests, expected 0")
+    check_increasing(path, [r["endpoints"] for r in levels],
+                     "remote endpoints")
+    if require(path, doc, "warm_executed_total_is_zero", bool) is not True:
+        fail(path, "warm_executed_total_is_zero must be true")
+
+
+CHECKERS = {"perf_pool": check_pool_doc, "perf_scale": check_scale_doc,
+            "perf_remote": check_remote_doc}
 
 
 def main(argv):

@@ -1,6 +1,7 @@
 #include "api/cache.hpp"
 
 #include <sstream>
+#include <variant>
 
 #include "dfg/io.hpp"
 #include "library/io.hpp"
@@ -140,6 +141,10 @@ CacheKey key_of(const RankGatesRequest& req) {
   os << "width " << req.width << "\ntrials " << req.trials << "\nseed "
      << req.seed << "\ntop " << req.top << "\n";
   return seal(os);
+}
+
+CacheKey key_of(const Request& req) {
+  return std::visit([](const auto& r) { return key_of(r); }, req);
 }
 
 const Result* ResultCache::find(const CacheKey& key) {

@@ -48,6 +48,9 @@ CacheKey key_of(const SweepRequest& req);
 CacheKey key_of(const GridRequest& req);
 CacheKey key_of(const InjectRequest& req);
 CacheKey key_of(const RankGatesRequest& req);
+/// Variant dispatch over the five overloads (the batch/wire entry
+/// point).
+CacheKey key_of(const Request& req);
 
 /// Hit/miss counters plus the current population. `hits + misses` is the
 /// total number of lookups since construction (clear() resets all

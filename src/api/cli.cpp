@@ -21,6 +21,7 @@
 #include "api/session.hpp"
 #include "api/subprocess.hpp"
 #include "api/wire.hpp"
+#include "remote/executor.hpp"
 #include "benchmarks/suite.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -56,11 +57,16 @@ constexpr const char* kUsage =
     "  rchls cache prune --max-bytes N\n"
     "              (LRU-evict oldest entries until the cache fits)\n"
     "  rchls serve --socket PATH [--port N] [--max-queue K] [--workers W]\n"
+    "              [--max-connections N] [--idle-timeout-s S]\n"
     "              (resident request daemon; serves wire envelopes over\n"
     "               the socket until SIGINT/SIGTERM, see docs/serving.md)\n"
     "  rchls request <request.json> --socket PATH | --port N\n"
+    "              [--timeout-ms MS] [--retries N]\n"
     "              (send one wire request to a daemon, print the result\n"
     "               envelope; make request files with --emit-request)\n"
+    "  rchls fleet status --endpoints EP1,EP2,...\n"
+    "              (per-endpoint daemon counters; an endpoint is a unix\n"
+    "               socket path or host:port, see docs/remote.md)\n"
     "  rchls exec-request <request.json> <result.json>\n"
     "              (execute one wire request; the worker mode behind\n"
     "               --shards, see docs/wire-protocol.md)\n"
@@ -78,6 +84,13 @@ constexpr const char* kUsage =
     "                            .rchls-cache)\n"
     "  --shards N                run via N exec-request worker processes\n"
     "                            (run and sweep)\n"
+    "  --endpoints EP1,EP2,...   run via a fleet of rchls serve daemons\n"
+    "                            (run and sweep; excludes --shards)\n"
+    "  --timeout-ms MS           per-request reply deadline over sockets\n"
+    "                            (request and --endpoints; 0 = forever)\n"
+    "  --retries N               socket retry budget (request: same\n"
+    "                            connection; --endpoints: re-dispatch to\n"
+    "                            another endpoint; default 0 / 3)\n"
     "  --emit-request FILE       write the wire request envelope to FILE\n"
     "                            instead of executing (synth, sweep,\n"
     "                            inject)\n"
@@ -113,6 +126,11 @@ struct Args {
   std::optional<int> port;   // serve/request: 127.0.0.1 TCP port
   std::size_t max_queue = 64;
   std::size_t workers = 2;
+  std::size_t max_connections = 0;  // serve: 0 = unlimited
+  int idle_timeout_s = 0;           // serve: 0 = never reap
+  std::string endpoints;            // run/sweep/fleet: daemon fleet
+  int timeout_ms = 0;               // request/fleet deadline, 0 = forever
+  int retries = -1;                 // -1 = per-command default (0 / 3)
   std::optional<std::uint64_t> max_bytes;  // cache prune budget
 };
 
@@ -190,6 +208,11 @@ flag_commands() {
           {"--port", {"serve", "request"}},
           {"--max-queue", {"serve"}},
           {"--workers", {"serve"}},
+          {"--max-connections", {"serve"}},
+          {"--idle-timeout-s", {"serve"}},
+          {"--endpoints", {"run", "sweep", "fleet"}},
+          {"--timeout-ms", {"request", "run", "sweep", "fleet"}},
+          {"--retries", {"request", "run", "sweep", "fleet"}},
           {"--max-bytes", {"cache"}},
       };
   return table;
@@ -306,6 +329,26 @@ Args parse_args(const std::vector<std::string>& args) {
       int q = to_int(flag, next());
       if (q < 1) throw Error("--max-queue needs a positive count");
       a.max_queue = static_cast<std::size_t>(q);
+    } else if (flag == "--max-connections") {
+      int c = to_int(flag, next());
+      if (c < 1) throw Error("--max-connections needs a positive count");
+      a.max_connections = static_cast<std::size_t>(c);
+    } else if (flag == "--idle-timeout-s") {
+      a.idle_timeout_s = to_int(flag, next());
+      if (a.idle_timeout_s < 1) {
+        throw Error("--idle-timeout-s needs a positive second count");
+      }
+    } else if (flag == "--endpoints") {
+      a.endpoints = next();
+      if (a.endpoints.empty()) {
+        throw Error("--endpoints needs a comma-separated endpoint list");
+      }
+    } else if (flag == "--timeout-ms") {
+      a.timeout_ms = to_int(flag, next());
+      if (a.timeout_ms < 0) throw Error("--timeout-ms cannot be negative");
+    } else if (flag == "--retries") {
+      a.retries = to_int(flag, next());
+      if (a.retries < 0) throw Error("--retries cannot be negative");
     } else if (flag == "--workers") {
       int w = to_int(flag, next());
       if (w < 1) throw Error("--workers needs a positive count");
@@ -323,6 +366,10 @@ Args parse_args(const std::vector<std::string>& args) {
   if (a.format.empty()) a.format = a.command == "sweep" ? "csv" : "table";
   if (a.datapath && a.format != "table") {
     throw Error("--datapath requires --format table");
+  }
+  if (a.shards > 0 && !a.endpoints.empty()) {
+    throw Error("--shards and --endpoints are different executors; "
+                "choose one");
   }
   return a;
 }
@@ -602,6 +649,8 @@ int run_serve(const Args& a, std::ostream& err) {
   so.tcp_port = a.port ? *a.port : -1;
   so.max_queue = a.max_queue;
   so.workers = a.workers;
+  so.max_connections = a.max_connections;
+  so.idle_timeout_s = a.idle_timeout_s;
   so.session.jobs = a.jobs;
   so.session.cache_dir = resolved_cache_dir(a);
   so.log = &err;
@@ -613,6 +662,8 @@ int run_serve(const Args& a, std::ostream& err) {
   }
   if (server.tcp_port() != 0) err << " tcp:127.0.0.1:" << server.tcp_port();
   err << " workers=" << a.workers << " max-queue=" << a.max_queue;
+  if (a.max_connections > 0) err << " max-connections=" << a.max_connections;
+  if (a.idle_timeout_s > 0) err << " idle-timeout-s=" << a.idle_timeout_s;
   if (!resolved_cache_dir(a).empty()) {
     err << " cache-dir=" << resolved_cache_dir(a);
   }
@@ -631,6 +682,8 @@ int run_serve(const Args& a, std::ostream& err) {
   serve::ServeStats s = server.stats();
   api::SharedSessionStats ss = server.session_stats();
   err << "serve: stopped connections=" << s.connections
+      << " refused=" << s.refused_connections
+      << " idle_reaped=" << s.idle_reaped
       << " requests=" << s.requests << " errors=" << s.errors
       << " overflows=" << s.overflows << " hits=" << ss.hits
       << " disk_hits=" << ss.disk_hits << " executed=" << ss.executions
@@ -652,13 +705,57 @@ int run_request(const Args& a, std::ostream& out, std::ostream& err) {
     throw Error("request needs exactly one of --socket or --port");
   }
   std::string payload = read_file(a.target);
-  serve::Client client = a.socket_path.empty()
-                             ? serve::Client::connect_tcp(*a.port)
-                             : serve::Client::connect_unix(a.socket_path);
+  serve::ClientOptions copts;
+  copts.timeout_ms = a.timeout_ms;
+  copts.retries = a.retries >= 0 ? a.retries : 0;
+  serve::Client client =
+      a.socket_path.empty()
+          ? serve::Client::connect_tcp(*a.port, copts)
+          : serve::Client::connect_unix(a.socket_path, copts);
   std::string reply = client.call_raw(payload);
   serve::Reply decoded = serve::decode_reply(reply);
   if (!decoded.ok()) return fail(err, "serve: " + decoded.error);
   return emit(reply, a, out);
+}
+
+// `rchls fleet status`: one line of daemon counters per endpoint, over
+// fresh connections (kind:"stats" envelope). Exit 0 as long as the
+// endpoints could be PARSED -- a down endpoint prints as down; scripts
+// that care grep for it.
+int run_fleet(const Args& a, std::ostream& out) {
+  if (a.target != "status") {
+    throw Error("fleet expects 'status' (got '" + a.target + "')");
+  }
+  if (a.endpoints.empty()) {
+    throw Error("fleet status needs --endpoints EP1,EP2,...");
+  }
+  remote::FleetOptions fo;
+  fo.endpoints = remote::parse_endpoints(a.endpoints);
+  fo.timeout_ms = a.timeout_ms;
+  fo.retries = 0;  // status probes answer for exactly one endpoint each
+  remote::Fleet fleet(std::move(fo));
+
+  std::vector<std::optional<serve::DaemonStats>> stats =
+      fleet.probe_stats();
+  std::vector<remote::EndpointStats> specs = fleet.stats();
+  out << "fleet: " << stats.size() << " endpoints\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const std::string& spec = specs[i].spec;
+    if (!stats[i]) {
+      out << "endpoint " << spec << ": down\n";
+      continue;
+    }
+    const serve::DaemonStats& d = *stats[i];
+    out << "endpoint " << spec << ": up requests=" << d.requests
+        << " errors=" << d.errors << " overflows=" << d.overflows
+        << " connections=" << d.connections
+        << " active=" << d.active_connections
+        << " refused=" << d.refused_connections
+        << " idle_reaped=" << d.idle_reaped << " hits=" << d.hits
+        << " disk_hits=" << d.disk_hits << " executed=" << d.executions
+        << " entries=" << d.entries << "\n";
+  }
+  return 0;
 }
 
 // The worker mode behind SubprocessExecutor: one wire request in, one
@@ -682,7 +779,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   if (command != "run" && command != "synth" && command != "sweep" &&
       command != "inject" && command != "bench" && command != "cache" &&
       command != "exec-request" && command != "serve" &&
-      command != "request" && command != "gen") {
+      command != "request" && command != "gen" && command != "fleet") {
     return fail_usage(err, "unknown command '" + command + "'");
   }
 
@@ -699,16 +796,25 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (a.command == "cache") return run_cache(a, out);
     if (a.command == "serve") return run_serve(a, err);
     if (a.command == "request") return run_request(a, out, err);
+    if (a.command == "fleet") return run_fleet(a, out);
 
     SessionOptions opts;
     opts.jobs = a.jobs;
     opts.cache_dir = resolved_cache_dir(a);
+    std::shared_ptr<remote::RemoteExecutor> remote_exec;
     if (a.shards > 0) {
       SubprocessOptions so;
       so.shards = a.shards;
       so.cache_dir = opts.cache_dir;
       so.jobs = a.jobs;  // workers inherit the user's --jobs cap
       opts.executor = std::make_shared<SubprocessExecutor>(so);
+    } else if (!a.endpoints.empty()) {
+      remote::RemoteOptions ro;
+      ro.fleet.endpoints = remote::parse_endpoints(a.endpoints);
+      ro.fleet.timeout_ms = a.timeout_ms;
+      ro.fleet.retries = a.retries >= 0 ? a.retries : 3;
+      remote_exec = std::make_shared<remote::RemoteExecutor>(std::move(ro));
+      opts.executor = remote_exec;
     }
     Session session(opts);
 
@@ -732,6 +838,21 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
       err << "cache: dir=" << opts.cache_dir << " disk_hits=" << ds.hits
           << " disk_misses=" << ds.misses << " stores=" << ds.stores
           << " executed=" << session.executions() << "\n";
+    }
+    if (remote_exec) {
+      // Per-endpoint dispatch accounting, same stderr-summary idiom as
+      // the cache and serve lines (CI greps fallbacks=0 on the healthy
+      // multi-daemon job).
+      for (const auto& es : remote_exec->fleet().stats()) {
+        err << "fleet: endpoint " << es.spec
+            << " dispatched=" << es.dispatched
+            << " completed=" << es.completed << " failed=" << es.failed
+            << " quarantined=" << (es.quarantined ? 1 : 0)
+            << " latency_ms=" << static_cast<std::uint64_t>(es.latency_ms)
+            << "\n";
+      }
+      err << "fleet: local_fallbacks=" << remote_exec->local_fallbacks()
+          << "\n";
     }
     return code;
   } catch (const Error& e) {

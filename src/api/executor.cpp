@@ -15,6 +15,19 @@ Result Executor::run(const Request& req) {
   return std::visit([this](const auto& r) -> Result { return run(r); }, req);
 }
 
+std::vector<Result> Executor::run_batch(const std::vector<Request>& reqs) {
+  std::vector<Result> out;
+  out.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      out.push_back(run(reqs[i]));
+    } catch (const Error& e) {
+      throw BatchItemError(i, e.what());
+    }
+  }
+  return out;
+}
+
 FindDesignResult LocalExecutor::run(const FindDesignRequest& req) {
   FindDesignResult r;
   r.engine = req.engine;

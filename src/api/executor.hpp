@@ -23,10 +23,29 @@
 // Executors are single-caller: confine each instance to one thread.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "api/request.hpp"
 #include "api/result.hpp"
+#include "util/error.hpp"
 
 namespace rchls::api {
+
+/// run_batch's error carrier: which item of the batch failed, so a
+/// caller that built the batch from labeled work (scenario actions) can
+/// attribute the failure to the right label. what() is the underlying
+/// error's message unchanged.
+class BatchItemError : public Error {
+ public:
+  BatchItemError(std::size_t index, const std::string& what)
+      : Error(what), index_(index) {}
+  /// Position in the `reqs` vector passed to run_batch.
+  std::size_t index() const { return index_; }
+
+ private:
+  std::size_t index_;
+};
 
 class Executor {
  public:
@@ -40,6 +59,20 @@ class Executor {
 
   /// Variant dispatch over the five overloads (the wire entry point).
   Result run(const Request& req);
+
+  /// True when run_batch does better than a serial loop (a sharding
+  /// executor dispatches the whole batch at once). Session only routes
+  /// batches to executors that opt in, so the default serial semantics
+  /// -- item i fully finishes before item i+1 starts -- are preserved
+  /// everywhere else.
+  virtual bool supports_batching() const { return false; }
+
+  /// Runs every request, results index-aligned with `reqs`. The default
+  /// is the serial loop (in order, stops at the first failure); a
+  /// failure is rethrown as BatchItemError carrying the failing index.
+  /// Overrides may execute items concurrently but must keep the
+  /// index-aligned results and first-failing-index error contract.
+  virtual std::vector<Result> run_batch(const std::vector<Request>& reqs);
 };
 
 /// The in-process engine wiring (the only executor that computes).

@@ -74,4 +74,70 @@ Result Session::run(const Request& req) {
   return std::visit([this](const auto& r) -> Result { return run(r); }, req);
 }
 
+std::vector<Result> Session::run_batch(const std::vector<Request>& reqs) {
+  std::vector<Result> out(reqs.size());
+  if (!executor_->supports_batching()) {
+    // Exactly the run() path, item by item: same caching, same stats
+    // (one cache consult per item), same partial-progress behavior.
+    // Duplicate requests hit the entry their first occurrence stored.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      try {
+        out[i] = run(reqs[i]);
+      } catch (const Error& e) {
+        throw BatchItemError(i, e.what());
+      }
+    }
+    return out;
+  }
+
+  // Batching executor: consult the cache layers once per item, then
+  // hand every miss to the executor in one call.
+  std::vector<std::size_t> missed;  // original indices, in order
+  std::vector<CacheKey> keys(reqs.size());
+  if (options_.enable_cache) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      keys[i] = key_of(reqs[i]);
+      if (const Result* hit = cache_.find(keys[i])) {
+        out[i] = *hit;
+        continue;
+      }
+      if (disk_) {
+        if (std::optional<Result> hit = disk_->find(keys[i])) {
+          cache_.store(keys[i], *hit);
+          out[i] = std::move(*hit);
+          continue;
+        }
+      }
+      missed.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < reqs.size(); ++i) missed.push_back(i);
+  }
+  if (missed.empty()) return out;
+
+  std::vector<Request> pending;
+  pending.reserve(missed.size());
+  for (std::size_t i : missed) pending.push_back(reqs[i]);
+  executions_ += pending.size();
+  std::vector<Result> results;
+  try {
+    results = executor_->run_batch(pending);
+  } catch (const BatchItemError& e) {
+    // Re-map the executor's miss-relative index onto `reqs`.
+    throw BatchItemError(missed[e.index()], e.what());
+  } catch (const Error& e) {
+    // A whole-batch failure has no better index than the first miss.
+    throw BatchItemError(missed.front(), e.what());
+  }
+  for (std::size_t j = 0; j < missed.size(); ++j) {
+    const std::size_t i = missed[j];
+    if (options_.enable_cache) {
+      cache_.store(keys[i], results[j]);
+      if (disk_) disk_->store(keys[i], results[j]);
+    }
+    out[i] = std::move(results[j]);
+  }
+  return out;
+}
+
 }  // namespace rchls::api

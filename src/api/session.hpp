@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/cache.hpp"
 #include "api/disk_cache.hpp"
@@ -84,6 +85,20 @@ class Session {
   /// Variant overload for wire-decoded requests (used by
   /// `rchls exec-request`); same caching and error behavior.
   Result run(const Request& req);
+
+  /// Runs a whole batch (a scenario's actions), results index-aligned
+  /// with `reqs`. When the executor advertises supports_batching(),
+  /// the cache layers are consulted once per item and every miss is
+  /// dispatched in ONE executor run_batch call (a remote executor
+  /// spreads them across its fleet); otherwise each item goes through
+  /// the plain serial run() path, preserving its exact semantics and
+  /// stats. Results are byte-identical either way (every request is a
+  /// pure function). A failure is thrown as BatchItemError carrying
+  /// the failing index in `reqs`; on the batched path the other items'
+  /// work is discarded uncached, on the serial path items before the
+  /// failure are already cached (the same partial-progress behavior a
+  /// caller's own run() loop would leave).
+  std::vector<Result> run_batch(const std::vector<Request>& reqs);
 
   /// Lookup/population counters of the in-memory layer -- the
   /// observable cache behavior tests and `rchls run --verify-cache`

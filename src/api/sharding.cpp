@@ -1,0 +1,106 @@
+#include "api/sharding.hpp"
+
+#include <algorithm>
+
+#include "hls/explore.hpp"
+#include "util/error.hpp"
+
+namespace rchls::api {
+
+namespace {
+
+// Copies the shared context of a sharded parent onto one child cell.
+template <typename RequestT>
+RequestT cell_base(const RequestT& parent) {
+  RequestT cell;
+  cell.graph = parent.graph;
+  cell.library = parent.library;
+  cell.options = parent.options;
+  return cell;
+}
+
+}  // namespace
+
+std::vector<Request> shard_sweep(const SweepRequest& req, std::size_t k) {
+  if (req.latency_bounds.empty() || req.area_bounds.empty()) {
+    throw Error("sweep request needs at least one bound on each axis");
+  }
+  const std::size_t n = req.axis == SweepAxis::kLatency
+                            ? req.latency_bounds.size()
+                            : req.area_bounds.size();
+  k = std::clamp<std::size_t>(k, 1, n);
+  std::vector<Request> chunks;
+  chunks.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * n / k;
+    const std::size_t end = (i + 1) * n / k;
+    SweepRequest chunk = cell_base(req);
+    chunk.axis = req.axis;
+    if (req.axis == SweepAxis::kLatency) {
+      chunk.latency_bounds.assign(req.latency_bounds.begin() + begin,
+                                  req.latency_bounds.begin() + end);
+      chunk.area_bounds = {req.area_bounds.front()};
+    } else {
+      chunk.latency_bounds = {req.latency_bounds.front()};
+      chunk.area_bounds.assign(req.area_bounds.begin() + begin,
+                               req.area_bounds.begin() + end);
+    }
+    chunks.emplace_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+std::vector<Request> shard_grid(const GridRequest& req, std::size_t k) {
+  const std::size_t per_row = req.area_bounds.size();
+  const std::size_t total = req.latency_bounds.size() * per_row;
+  k = std::clamp<std::size_t>(k, 1, std::max<std::size_t>(total, 1));
+  std::vector<Request> chunks;
+  for (std::size_t row = 0; row < req.latency_bounds.size(); ++row) {
+    const std::size_t offset = row * per_row;
+    std::size_t begin = 0;
+    while (begin < per_row) {
+      // Cut at the next balanced boundary j*total/k inside this row.
+      std::size_t end = per_row;
+      for (std::size_t j = 1; j < k; ++j) {
+        const std::size_t cut = j * total / k;
+        if (cut > offset + begin && cut < offset + per_row) {
+          end = std::min(end, cut - offset);
+        }
+      }
+      GridRequest chunk = cell_base(req);
+      chunk.latency_bounds = {req.latency_bounds[row]};
+      chunk.area_bounds.assign(req.area_bounds.begin() + begin,
+                               req.area_bounds.begin() + end);
+      chunk.baseline_versions = req.baseline_versions;
+      chunks.emplace_back(std::move(chunk));
+      begin = end;
+    }
+  }
+  return chunks;
+}
+
+SweepResult merge_sweep(const SweepRequest& req, std::vector<Result>& parts) {
+  SweepResult merged;
+  merged.axis = req.axis;
+  for (Result& r : parts) {
+    auto& part = std::get<SweepResult>(r);
+    merged.points.insert(merged.points.end(), part.points.begin(),
+                         part.points.end());
+  }
+  return merged;
+}
+
+GridResult merge_grid(const GridRequest&, std::vector<Result>& parts) {
+  GridResult merged;
+  for (Result& r : parts) {
+    auto& part = std::get<GridResult>(r);
+    merged.rows.insert(merged.rows.end(), part.rows.begin(),
+                       part.rows.end());
+  }
+  // Averages are over common cells of the WHOLE grid; recompute from the
+  // merged rows with the same pure function the local path uses.
+  merged.averages = hls::grid_averages(merged.rows);
+  return merged;
+}
+
+}  // namespace rchls::api

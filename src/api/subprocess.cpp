@@ -5,8 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "api/sharding.hpp"
 #include "api/wire.hpp"
-#include "hls/explore.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 
@@ -73,16 +73,6 @@ std::string tail_of(const std::filesystem::path& p) {
   if (text.size() > kTail) text.erase(0, text.size() - kTail);
   while (!text.empty() && text.back() == '\n') text.pop_back();
   return text;
-}
-
-// Copies the shared context of a sharded parent onto one child cell.
-template <typename RequestT>
-RequestT cell_base(const RequestT& parent) {
-  RequestT cell;
-  cell.graph = parent.graph;
-  cell.library = parent.library;
-  cell.options = parent.options;
-  return cell;
 }
 
 std::atomic<std::uint64_t> g_instance_counter{0};
@@ -214,93 +204,25 @@ FindDesignResult SubprocessExecutor::run(const FindDesignRequest& req) {
 }
 
 SweepResult SubprocessExecutor::run(const SweepRequest& req) {
-  if (req.latency_bounds.empty() || req.area_bounds.empty()) {
-    throw Error("sweep request needs at least one bound on each axis");
-  }
-  // BATCHED sharding: min(shards, points) child requests, each a
-  // contiguous slice of the swept axis, so one worker process amortizes
-  // its spawn + wire I/O over ~points/shards cells and parallelizes
-  // across them with its own pool (--jobs rides along). One child per
-  // cell made 12-cell sweeps ~1.8x SLOWER than local -- spawn-bound.
-  const std::size_t n = req.axis == SweepAxis::kLatency
-                            ? req.latency_bounds.size()
-                            : req.area_bounds.size();
-  const std::size_t k =
-      std::min(static_cast<std::size_t>(options_.shards), n);
-  std::vector<Request> chunks;
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t begin = i * n / k;
-    const std::size_t end = (i + 1) * n / k;
-    SweepRequest chunk = cell_base(req);
-    chunk.axis = req.axis;
-    if (req.axis == SweepAxis::kLatency) {
-      chunk.latency_bounds.assign(req.latency_bounds.begin() + begin,
-                                  req.latency_bounds.begin() + end);
-      chunk.area_bounds = {req.area_bounds.front()};
-    } else {
-      chunk.latency_bounds = {req.latency_bounds.front()};
-      chunk.area_bounds.assign(req.area_bounds.begin() + begin,
-                               req.area_bounds.begin() + end);
-    }
-    chunks.emplace_back(std::move(chunk));
-  }
-
-  // Slices are contiguous and merged in slice order, and every sweep
-  // point is computed independently of its neighbors, so the merged
-  // point list is byte-identical to the unsharded one.
-  SweepResult merged;
-  merged.axis = req.axis;
-  for (Result& r : run_cells(chunks)) {
-    auto& part = std::get<SweepResult>(r);
-    merged.points.insert(merged.points.end(), part.points.begin(),
-                         part.points.end());
-  }
-  return merged;
+  // BATCHED sharding (api/sharding.hpp): min(shards, points) child
+  // requests, each a contiguous slice of the swept axis, so one worker
+  // process amortizes its spawn + wire I/O over ~points/shards cells
+  // and parallelizes across them with its own pool (--jobs rides
+  // along). One child per cell made 12-cell sweeps ~1.8x SLOWER than
+  // local -- spawn-bound.
+  std::vector<Request> chunks =
+      shard_sweep(req, static_cast<std::size_t>(options_.shards));
+  std::vector<Result> parts = run_cells(chunks);
+  return merge_sweep(req, parts);
 }
 
 GridResult SubprocessExecutor::run(const GridRequest& req) {
-  // Batched like the sweep: balanced contiguous runs of the row-major
-  // (latency-outer) cell order. A run never crosses a row boundary --
-  // each child is a one-latency GridRequest over a slice of the areas --
-  // so the merged row order is exactly the local path's.
-  const std::size_t per_row = req.area_bounds.size();
-  const std::size_t total = req.latency_bounds.size() * per_row;
-  const std::size_t k =
-      std::min<std::size_t>(static_cast<std::size_t>(options_.shards),
-                            std::max<std::size_t>(total, 1));
-  std::vector<Request> chunks;
-  for (std::size_t row = 0; row < req.latency_bounds.size(); ++row) {
-    const std::size_t offset = row * per_row;
-    std::size_t begin = 0;
-    while (begin < per_row) {
-      // Cut at the next balanced boundary j*total/k inside this row.
-      std::size_t end = per_row;
-      for (std::size_t j = 1; j < k; ++j) {
-        const std::size_t cut = j * total / k;
-        if (cut > offset + begin && cut < offset + per_row) {
-          end = std::min(end, cut - offset);
-        }
-      }
-      GridRequest chunk = cell_base(req);
-      chunk.latency_bounds = {req.latency_bounds[row]};
-      chunk.area_bounds.assign(req.area_bounds.begin() + begin,
-                               req.area_bounds.begin() + end);
-      chunk.baseline_versions = req.baseline_versions;
-      chunks.emplace_back(std::move(chunk));
-      begin = end;
-    }
-  }
-
-  GridResult merged;
-  for (Result& r : run_cells(chunks)) {
-    auto& part = std::get<GridResult>(r);
-    merged.rows.insert(merged.rows.end(), part.rows.begin(),
-                       part.rows.end());
-  }
-  // Averages are over common cells of the WHOLE grid; recompute from the
-  // merged rows with the same pure function the local path uses.
-  merged.averages = hls::grid_averages(merged.rows);
-  return merged;
+  // Batched like the sweep: balanced contiguous row-bounded runs of the
+  // row-major cell order, merged in slice order (api/sharding.hpp).
+  std::vector<Request> chunks =
+      shard_grid(req, static_cast<std::size_t>(options_.shards));
+  std::vector<Result> parts = run_cells(chunks);
+  return merge_grid(req, parts);
 }
 
 InjectResult SubprocessExecutor::run(const InjectRequest& req) {

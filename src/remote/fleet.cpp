@@ -1,0 +1,255 @@
+#include "remote/fleet.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <utility>
+
+#include "api/wire.hpp"
+
+namespace rchls::remote {
+
+Endpoint parse_endpoint(const std::string& spec) {
+  if (spec.empty()) throw Error("remote: empty endpoint spec");
+  Endpoint ep;
+  ep.spec = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && spec.find('/') == std::string::npos) {
+    const std::string host = spec.substr(0, colon);
+    const std::string port_text = spec.substr(colon + 1);
+    int port = -1;
+    auto [end, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (host.empty() || ec != std::errc{} ||
+        end != port_text.data() + port_text.size() || port < 0 ||
+        port > 65535) {
+      throw Error("remote: endpoint '" + spec +
+                  "' is not host:port (port must be 0..65535)");
+    }
+    ep.host = host;
+    ep.port = port;
+  } else {
+    ep.unix_path = spec;
+  }
+  return ep;
+}
+
+std::vector<Endpoint> parse_endpoints(const std::string& list) {
+  std::vector<Endpoint> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) comma = list.size();
+    std::string spec = list.substr(begin, comma - begin);
+    if (!spec.empty()) out.push_back(parse_endpoint(spec));
+    begin = comma + 1;
+  }
+  if (out.empty()) {
+    throw Error("remote: --endpoints needs at least one endpoint");
+  }
+  return out;
+}
+
+Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {
+  if (options_.endpoints.empty()) {
+    throw Error("remote: a fleet needs at least one endpoint");
+  }
+  if (options_.retries < 0) {
+    throw Error("remote: --retries cannot be negative");
+  }
+  if (options_.quarantine_after < 1) {
+    throw Error("remote: quarantine_after must be at least 1");
+  }
+  states_.resize(options_.endpoints.size());
+  for (std::size_t i = 0; i < options_.endpoints.size(); ++i) {
+    states_[i].ep = options_.endpoints[i];
+  }
+}
+
+serve::Client Fleet::connect(const Endpoint& ep) const {
+  serve::ClientOptions copts;
+  copts.timeout_ms = options_.timeout_ms;
+  copts.retries = 0;  // the fleet owns retry -- across endpoints
+  if (!ep.unix_path.empty()) {
+    return serve::Client::connect_unix(ep.unix_path, copts);
+  }
+  return serve::Client::connect_host(ep.host, ep.port, copts);
+}
+
+int Fleet::pick_endpoint(int avoid) {
+  // Least outstanding wins; ties resolve round-robin so equal endpoints
+  // alternate instead of hammering index 0. `avoid` (the endpoint that
+  // just failed this request) only loses ties it would otherwise win --
+  // when it is the lone healthy endpoint it is still picked.
+  int best = -1;
+  for (std::size_t off = 0; off < states_.size(); ++off) {
+    const std::size_t i = (rr_ + off) % states_.size();
+    if (states_[i].quarantined) continue;
+    if (best < 0 ||
+        states_[i].outstanding <
+            states_[static_cast<std::size_t>(best)].outstanding ||
+        (states_[i].outstanding ==
+             states_[static_cast<std::size_t>(best)].outstanding &&
+         best == avoid && static_cast<int>(i) != avoid)) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) rr_ = static_cast<std::uint64_t>(best) + 1;
+  return best;
+}
+
+api::Result Fleet::call(const api::Request& req) {
+  const std::string payload = api::wire::encode(req);
+  const int attempts = options_.retries + 1;
+  std::string last_error;
+  int last_idx = -1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    int idx;
+    std::uint64_t dispatch_no;
+    std::optional<serve::Client> client;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idx = pick_endpoint(last_idx);
+      if (idx < 0) {
+        throw FleetDownError(
+            "remote: every endpoint is quarantined" +
+            (last_error.empty() ? std::string() : " (last: " + last_error +
+                                                      ")"));
+      }
+      EndpointState& st = states_[static_cast<std::size_t>(idx)];
+      ++st.outstanding;
+      ++st.dispatched;
+      dispatch_no = dispatch_counter_++;
+      if (!st.idle.empty()) {
+        client.emplace(std::move(st.idle.back()));
+        st.idle.pop_back();
+      }
+    }
+    last_idx = idx;
+    if (options_.before_send) {
+      options_.before_send(static_cast<std::size_t>(idx), dispatch_no);
+    }
+    EndpointState& st = states_[static_cast<std::size_t>(idx)];
+
+    // Classify the attempt OUTSIDE the try block so a deterministic
+    // server-answered error cannot be mistaken for a transport failure
+    // (and wastefully retried elsewhere -- it would fail identically).
+    std::optional<api::Result> result;
+    std::string server_error;  // non-retryable, daemon is healthy
+    std::string transport_error;
+    bool capacity_refusal = false;
+    double ms = 0.0;
+    try {
+      if (!client) client.emplace(connect(st.ep));
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::string raw = client->call_raw(payload);
+      ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+      serve::Reply reply = serve::decode_reply(raw);
+      if (reply.ok()) {
+        if (std::string(api::wire::kind_of(*reply.result)) !=
+            api::wire::kind_of(req)) {
+          // A daemon answering the wrong kind is unhealthy; retry
+          // elsewhere like any transport failure.
+          transport_error = std::string("answered kind '") +
+                            api::wire::kind_of(*reply.result) + "' for a '" +
+                            api::wire::kind_of(req) + "' request";
+        } else {
+          result = std::move(reply.result);
+        }
+      } else if (reply.error.find("retry later") != std::string::npos) {
+        // Capacity refusal (queue overflow / connection cap): the
+        // daemon is healthy but full; another endpoint may have room.
+        capacity_refusal = true;
+        last_error = "endpoint '" + st.ep.spec + "': " + reply.error;
+      } else {
+        server_error = reply.error;
+      }
+    } catch (const Error& e) {
+      transport_error = e.what();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --st.outstanding;
+      if (!transport_error.empty()) {
+        // Burn the connection (a timed-out stream may still deliver a
+        // stale reply) and mark the endpoint.
+        ++st.failed;
+        st.last_error = transport_error;
+        last_error = "endpoint '" + st.ep.spec + "': " + transport_error;
+        if (++st.consecutive_failures >= options_.quarantine_after &&
+            !st.quarantined) {
+          st.quarantined = true;
+          st.idle.clear();
+        }
+      } else {
+        // A real answer of any shape: the daemon is alive, keep its
+        // connection warm. Capacity refusals do not count as completed
+        // work (and do not reset another failure streak either way --
+        // the daemon answered, so reset is right).
+        st.consecutive_failures = 0;
+        st.idle.push_back(std::move(*client));
+        if (!capacity_refusal) {
+          ++st.completed;
+          st.latency_ms += ms;
+        }
+      }
+    }
+
+    if (result) return std::move(*result);
+    if (!server_error.empty()) throw Error("serve: " + server_error);
+    // Transport failure or capacity refusal: next attempt.
+  }
+  {
+    // The last attempt's failure may have quarantined the last healthy
+    // endpoint; that is still "the whole fleet is down", and the caller
+    // must get the degrade-to-local signal rather than a hard failure.
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool any_healthy =
+        std::any_of(states_.begin(), states_.end(),
+                    [](const EndpointState& st) { return !st.quarantined; });
+    if (!any_healthy) {
+      throw FleetDownError("remote: every endpoint is quarantined (last: " +
+                           last_error + ")");
+    }
+  }
+  throw Error("remote: request failed after " + std::to_string(attempts) +
+              " attempts: " + last_error);
+}
+
+std::vector<EndpointStats> Fleet::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EndpointStats> out;
+  out.reserve(states_.size());
+  for (const EndpointState& st : states_) {
+    EndpointStats s;
+    s.spec = st.ep.spec;
+    s.dispatched = st.dispatched;
+    s.completed = st.completed;
+    s.failed = st.failed;
+    s.outstanding = st.outstanding;
+    s.quarantined = st.quarantined;
+    s.latency_ms = st.latency_ms;
+    s.last_error = st.last_error;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::optional<serve::DaemonStats>> Fleet::probe_stats() const {
+  std::vector<std::optional<serve::DaemonStats>> out;
+  out.reserve(options_.endpoints.size());
+  for (const Endpoint& ep : options_.endpoints) {
+    try {
+      serve::Client client = connect(ep);
+      out.push_back(client.call_stats());
+    } catch (const Error&) {
+      out.push_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+}  // namespace rchls::remote

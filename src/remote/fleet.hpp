@@ -1,0 +1,163 @@
+// remote::Fleet -- a connection-pooling multi-endpoint client over the
+// serve wire protocol: the dispatch half of the remote executor
+// (remote/executor.hpp), usable on its own by anything that wants
+// "send this request to whichever daemon answers fastest".
+//
+// A Fleet is configured with N endpoints -- `rchls serve` daemons
+// reachable over a unix socket path or a host:port TCP address -- and
+// routes each call() to one of them:
+//
+//  * selection is LEAST-OUTSTANDING (the endpoint with the fewest
+//    requests currently in flight), ties broken round-robin, so a slow
+//    or busy daemon organically receives less work than a fast one;
+//  * each endpoint keeps a pool of idle connections that calls check
+//    out and return, so a sweep's slices reuse warm sockets instead of
+//    reconnecting per slice;
+//  * every attempt runs under the per-request deadline
+//    (FleetOptions::timeout_ms); a transport failure -- connect
+//    refused, timeout, mid-reply disconnect -- burns the connection,
+//    marks the endpoint, and RE-DISPATCHES the request to another
+//    healthy endpoint (avoiding the one that just failed when any
+//    alternative exists), up to FleetOptions::retries times;
+//  * an endpoint that fails quarantine_after consecutive times is
+//    QUARANTINED: taken out of selection for the Fleet's lifetime
+//    (fleets live for one run; a recovered daemon is picked up by the
+//    next run). A success resets the endpoint's consecutive count.
+//
+// When every endpoint is quarantined or refusing, call() throws
+// FleetDownError -- the signal remote::RemoteExecutor uses to degrade
+// gracefully to local execution. Server-ANSWERED error envelopes are
+// different: the daemon is alive and has spoken, so they re-raise as
+// plain Error without burning retries -- except capacity refusals
+// (queue overflow / connection cap, marked "retry later" on the wire),
+// which are retried like transport failures since another endpoint may
+// have room.
+//
+// Determinism: a Fleet never changes WHAT is computed, only WHERE. The
+// wire protocol's results are byte-identical across daemons (same
+// engines, same encoder), so routing -- and failover mid-run -- is
+// invisible in the output. Tests assert byte-identity at endpoints
+// 1/2/4 including a mid-run daemon kill.
+//
+// Thread-safe: slices dispatch call() concurrently from many threads.
+// The lock guards bookkeeping only; socket I/O happens outside it, so
+// calls overlap across (and within) endpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+namespace rchls::remote {
+
+/// Thrown by Fleet::call when no endpoint is selectable (all
+/// quarantined) -- the "degrade to local" signal, distinct from a
+/// single request exhausting its retries (plain Error).
+class FleetDownError : public Error {
+ public:
+  explicit FleetDownError(const std::string& what) : Error(what) {}
+};
+
+/// One parsed endpoint spec. The CLI grammar (--endpoints a,b,c): a
+/// spec containing ':' but no '/' is host:port TCP; anything else is a
+/// unix socket path ("./sock" names a path with a colon-free basename;
+/// "localhost:7070" names a port).
+struct Endpoint {
+  std::string spec;       ///< the original text, for display
+  std::string unix_path;  ///< non-empty for unix endpoints
+  std::string host;       ///< non-empty for TCP endpoints
+  int port = -1;
+};
+
+/// Parses one spec (see Endpoint). Throws rchls::Error on an empty
+/// spec or an unparseable/out-of-range port.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Splits a comma-separated --endpoints value and parses every entry.
+std::vector<Endpoint> parse_endpoints(const std::string& list);
+
+struct FleetOptions {
+  std::vector<Endpoint> endpoints;  ///< at least one
+  /// Per-attempt reply deadline; 0 = wait forever (then only
+  /// connection failures trigger failover).
+  int timeout_ms = 0;
+  /// Re-dispatch budget per request after a transport failure.
+  int retries = 3;
+  /// Consecutive transport failures that quarantine an endpoint.
+  int quarantine_after = 2;
+  /// Test seam: runs just before attempt dispatch as
+  /// (endpoint index, fleet-wide dispatch counter). The failover test
+  /// kills a daemon from inside this hook to pin down WHEN it dies.
+  std::function<void(std::size_t, std::uint64_t)> before_send;
+};
+
+/// Per-endpoint lifetime counters (sampled atomically under the fleet
+/// lock; `latency_ms` accumulates successful round-trip time).
+struct EndpointStats {
+  std::string spec;
+  std::uint64_t dispatched = 0;  ///< attempts routed here
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< transport failures
+  std::uint64_t outstanding = 0;
+  bool quarantined = false;
+  double latency_ms = 0.0;
+  std::string last_error;  ///< most recent transport failure text
+};
+
+class Fleet {
+ public:
+  /// Validates the options; does NOT connect (connections are opened
+  /// lazily per call, so a dead endpoint costs its first dispatch, not
+  /// construction).
+  explicit Fleet(FleetOptions options);
+
+  /// Round-trips one request through the fleet (see the header for the
+  /// selection/retry/quarantine walk). Throws FleetDownError when no
+  /// endpoint is selectable, plain rchls::Error when the request
+  /// exhausted its retries or the server answered a non-capacity error.
+  api::Result call(const api::Request& req);
+
+  std::size_t endpoint_count() const { return options_.endpoints.size(); }
+  std::vector<EndpointStats> stats() const;
+
+  /// `rchls fleet status`: asks every endpoint for its daemon counters
+  /// over a fresh connection (nullopt for endpoints that do not
+  /// answer). Does not touch quarantine state.
+  std::vector<std::optional<serve::DaemonStats>> probe_stats() const;
+
+ private:
+  struct EndpointState {
+    Endpoint ep;
+    std::vector<serve::Client> idle;  ///< pooled warm connections
+    std::uint64_t outstanding = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    int consecutive_failures = 0;
+    bool quarantined = false;
+    double latency_ms = 0.0;
+    std::string last_error;
+  };
+
+  /// Selects the least-outstanding healthy endpoint (ties round-robin),
+  /// preferring one different from `avoid` when possible; -1 = none.
+  int pick_endpoint(int avoid);
+  serve::Client connect(const Endpoint& ep) const;
+
+  FleetOptions options_;
+  mutable std::mutex mu_;  ///< guards states_ bookkeeping + rr_
+  std::vector<EndpointState> states_;
+  std::uint64_t rr_ = 0;
+  std::uint64_t dispatch_counter_ = 0;
+};
+
+}  // namespace rchls::remote

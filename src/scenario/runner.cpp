@@ -76,10 +76,15 @@ RunReport run(const Scenario& scn, api::Session& session) {
   report.graph = scn.graph;
   report.library = scn.library;
 
+  // Map every action to its request up front, then hand the whole
+  // scenario to the session as ONE batch: against a batching executor
+  // (remote/executor.hpp) independent actions spread across the fleet
+  // in one dispatch, against everything else the session falls back to
+  // the serial per-action loop this function used to be. Results come
+  // back index-aligned with the actions either way.
+  std::vector<api::Request> requests;
+  requests.reserve(scn.actions.size());
   for (const auto& action : scn.actions) {
-    ActionResult out;
-    out.label = action.label;
-    out.line = action.line;
     // The parser enforces this for .scn files; guard hand-built Scenarios.
     bool needs_graph = !std::holds_alternative<InjectAction>(action.op) &&
                        !std::holds_alternative<RankGatesAction>(action.op);
@@ -87,23 +92,35 @@ RunReport run(const Scenario& scn, api::Session& session) {
       throw Error("action '" + action.label +
                   "' needs a graph, but the scenario has none");
     }
-    try {
-      if (const auto* fd = std::get_if<FindDesignAction>(&action.op)) {
-        out.data = session.run(to_request(*fd, *scn.graph, scn.library));
-      } else if (const auto* sw = std::get_if<SweepAction>(&action.op)) {
-        out.data = session.run(to_request(*sw, *scn.graph, scn.library));
-      } else if (const auto* gr = std::get_if<GridAction>(&action.op)) {
-        out.data = session.run(to_request(*gr, *scn.graph, scn.library));
-      } else if (const auto* in = std::get_if<InjectAction>(&action.op)) {
-        out.data = session.run(to_request(*in));
-      } else {
-        out.data =
-            session.run(to_request(std::get<RankGatesAction>(action.op)));
-      }
-    } catch (const Error& e) {
-      throw Error("action '" + action.label + "' (line " +
-                  std::to_string(action.line) + "): " + e.what());
+    if (const auto* fd = std::get_if<FindDesignAction>(&action.op)) {
+      requests.emplace_back(to_request(*fd, *scn.graph, scn.library));
+    } else if (const auto* sw = std::get_if<SweepAction>(&action.op)) {
+      requests.emplace_back(to_request(*sw, *scn.graph, scn.library));
+    } else if (const auto* gr = std::get_if<GridAction>(&action.op)) {
+      requests.emplace_back(to_request(*gr, *scn.graph, scn.library));
+    } else if (const auto* in = std::get_if<InjectAction>(&action.op)) {
+      requests.emplace_back(to_request(*in));
+    } else {
+      requests.emplace_back(
+          to_request(std::get<RankGatesAction>(action.op)));
     }
+  }
+
+  std::vector<api::Result> results;
+  try {
+    results = session.run_batch(requests);
+  } catch (const api::BatchItemError& e) {
+    const auto& action = scn.actions[e.index()];
+    throw Error("action '" + action.label + "' (line " +
+                std::to_string(action.line) + "): " + e.what());
+  }
+
+  report.actions.reserve(scn.actions.size());
+  for (std::size_t i = 0; i < scn.actions.size(); ++i) {
+    ActionResult out;
+    out.label = scn.actions[i].label;
+    out.line = scn.actions[i].line;
+    out.data = std::move(results[i]);
     report.actions.push_back(std::move(out));
   }
   return report;

@@ -1,25 +1,76 @@
 #include "serve/client.hpp"
 
+#include <chrono>
+#include <thread>
+#include <utility>
+
 #include "api/wire.hpp"
 #include "util/error.hpp"
 
 namespace rchls::serve {
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(util::connect_unix(path));
+Client::Client(util::Socket sock, std::string unix_path, std::string host,
+               int port, ClientOptions options)
+    : sock_(std::move(sock)),
+      unix_path_(std::move(unix_path)),
+      host_(std::move(host)),
+      port_(port),
+      options_(options) {
+  if (sock_.valid() && options_.timeout_ms > 0) {
+    sock_.set_recv_timeout_ms(options_.timeout_ms);
+    sock_.set_send_timeout_ms(options_.timeout_ms);
+  }
 }
 
-Client Client::connect_tcp(int port) {
-  return Client(util::connect_tcp_loopback(port));
+void Client::reconnect() {
+  if (!unix_path_.empty()) {
+    sock_ = util::connect_unix(unix_path_);
+  } else if (!host_.empty()) {
+    sock_ = util::connect_tcp(host_, port_);
+  } else {
+    sock_ = util::connect_tcp_loopback(port_);
+  }
+  if (options_.timeout_ms > 0) {
+    sock_.set_recv_timeout_ms(options_.timeout_ms);
+    sock_.set_send_timeout_ms(options_.timeout_ms);
+  }
+}
+
+Client Client::connect_unix(const std::string& path, ClientOptions options) {
+  return Client(util::connect_unix(path), path, "", -1, options);
+}
+
+Client Client::connect_tcp(int port, ClientOptions options) {
+  return Client(util::connect_tcp_loopback(port), "", "", port, options);
+}
+
+Client Client::connect_host(const std::string& host, int port,
+                            ClientOptions options) {
+  return Client(util::connect_tcp(host, port), "", host, port, options);
 }
 
 std::string Client::call_raw(const std::string& payload) {
-  util::send_frame(sock_, payload);
-  std::optional<std::string> reply = util::recv_frame(sock_);
-  if (!reply) {
-    throw Error("socket: server closed the connection without replying");
+  const int attempts = options_.retries + 1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!sock_.valid()) reconnect();
+      util::send_frame(sock_, payload);
+      std::optional<std::string> reply = util::recv_frame(sock_);
+      if (!reply) {
+        throw Error("socket: server closed the connection without replying");
+      }
+      return *reply;
+    } catch (const Error&) {
+      // Timeout or any transport failure: the stream may still carry a
+      // late reply, so it cannot be reused -- drop it and (maybe)
+      // reconnect fresh. See the retry contract in the header.
+      sock_.close();
+      if (attempt + 1 >= attempts) throw;
+      int backoff = options_.backoff_ms > 0 ? options_.backoff_ms : 1;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff << attempt));
+    }
   }
-  return *reply;
 }
 
 Reply Client::call_reply(const api::Request& req) {
@@ -30,6 +81,19 @@ api::Result Client::call(const api::Request& req) {
   Reply reply = call_reply(req);
   if (!reply.ok()) throw Error("serve: " + reply.error);
   return std::move(*reply.result);
+}
+
+DaemonStats Client::call_stats() {
+  std::string raw = call_raw(encode_stats_request());
+  std::optional<DaemonStats> stats = decode_stats(raw);
+  if (!stats) {
+    Reply reply = decode_reply(raw);
+    throw Error(reply.ok()
+                    ? std::string("serve: stats request answered with a "
+                                  "result envelope")
+                    : "serve: " + reply.error);
+  }
+  return *stats;
 }
 
 }  // namespace rchls::serve

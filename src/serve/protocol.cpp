@@ -1,6 +1,9 @@
 #include "serve/protocol.hpp"
 
+#include <utility>
+
 #include "api/wire.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 
 namespace rchls::serve {
@@ -12,6 +15,84 @@ std::string encode_error(const std::string& message) {
   err.set("message", message);
   doc.set("error", std::move(err));
   return doc.dump(2) + "\n";
+}
+
+namespace {
+
+// The wire names of every DaemonStats counter, in envelope order.
+// Encode and decode iterate the same table so the two can never drift.
+using StatsField = std::uint64_t DaemonStats::*;
+constexpr std::pair<const char*, StatsField> kStatsFields[] = {
+    {"connections", &DaemonStats::connections},
+    {"active_connections", &DaemonStats::active_connections},
+    {"refused_connections", &DaemonStats::refused_connections},
+    {"idle_reaped", &DaemonStats::idle_reaped},
+    {"requests", &DaemonStats::requests},
+    {"errors", &DaemonStats::errors},
+    {"overflows", &DaemonStats::overflows},
+    {"hits", &DaemonStats::hits},
+    {"disk_hits", &DaemonStats::disk_hits},
+    {"executions", &DaemonStats::executions},
+    {"entries", &DaemonStats::entries},
+};
+
+bool has_kind(const json::Value& doc, const char* kind) {
+  if (!doc.is_object()) return false;
+  const json::Value* k = doc.find("kind");
+  return k != nullptr && k->is_string() && k->as_string() == kind;
+}
+
+}  // namespace
+
+std::string encode_stats_request() {
+  auto doc = json::Value::object();
+  doc.set("format_version", api::wire::kFormatVersion).set("kind", "stats");
+  return doc.dump(2) + "\n";
+}
+
+bool is_stats_request(const std::string& payload) {
+  try {
+    json::Value doc = json::parse(payload);
+    // A stats REQUEST is kind "stats" WITHOUT a counters member -- the
+    // member is what distinguishes a reply, so an echoed reply does not
+    // read as a request.
+    return has_kind(doc, "stats") && doc.find("stats") == nullptr;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::string encode_stats(const DaemonStats& stats) {
+  auto doc = json::Value::object();
+  doc.set("format_version", api::wire::kFormatVersion).set("kind", "stats");
+  auto counters = json::Value::object();
+  for (const auto& [name, field] : kStatsFields) {
+    counters.set(name, static_cast<unsigned long long>(stats.*field));
+  }
+  doc.set("stats", std::move(counters));
+  return doc.dump(2) + "\n";
+}
+
+std::optional<DaemonStats> decode_stats(const std::string& payload) {
+  json::Value doc;
+  try {
+    doc = json::parse(payload);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  if (!has_kind(doc, "stats")) return std::nullopt;
+  const json::Value* counters = doc.find("stats");
+  // The counters member is what makes a stats envelope a REPLY; a bare
+  // request (or a mangled reply) is not one.
+  if (counters == nullptr || !counters->is_object()) return std::nullopt;
+  DaemonStats out;
+  for (const auto& [name, field] : kStatsFields) {
+    const json::Value* v = counters->find(name);
+    if (v != nullptr && v->is_int()) {
+      out.*field = static_cast<std::uint64_t>(v->as_int());
+    }
+  }
+  return out;
 }
 
 Reply decode_reply(const std::string& payload) {

@@ -27,8 +27,15 @@
 // pool may compute them out of order; the per-connection reply lock in
 // the server keeps the frames themselves ordered). Full lifecycle and
 // backpressure contract: docs/serving.md.
+//
+// Besides engine requests, the channel carries one ADMIN exchange: a
+// `kind:"stats"` request envelope (no other fields) that the server
+// answers with a `kind:"stats"` reply carrying its lifetime counters.
+// Stats are serve-channel-only, like errors: never cached, never on
+// disk. `rchls fleet status` fans this request out to every endpoint.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -53,5 +60,41 @@ struct Reply {
 /// only when the payload is neither (a malformed frame from something
 /// that is not an rchls server).
 Reply decode_reply(const std::string& payload);
+
+/// One daemon's lifetime counters as carried by the stats envelope --
+/// the serve::ServeStats and api::SharedSessionStats counters flattened
+/// into one wire-stable struct.
+struct DaemonStats {
+  std::uint64_t connections = 0;  ///< admitted connections
+  std::uint64_t active_connections = 0;
+  std::uint64_t refused_connections = 0;  ///< over --max-connections
+  std::uint64_t idle_reaped = 0;          ///< reaped by --idle-timeout-s
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t overflows = 0;
+  std::uint64_t hits = 0;  ///< memory-cache hits
+  std::uint64_t disk_hits = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t entries = 0;  ///< memory-cache population
+};
+
+/// The `kind:"stats"` request envelope.
+std::string encode_stats_request();
+
+/// True iff `payload` is a stats request (kind "stats" with no
+/// counters member) -- the server's pre-decode test (a stats frame
+/// never reaches wire::decode_request). False for a stats REPLY and
+/// for anything unparseable.
+bool is_stats_request(const std::string& payload);
+
+/// The `kind:"stats"` reply envelope.
+std::string encode_stats(const DaemonStats& stats);
+
+/// Parses a stats reply; nullopt when `payload` is not a stats reply
+/// envelope -- including a bare stats request and unparseable input --
+/// so callers can fall through to decode_reply. Unknown
+/// counters decode as 0, extra counters are ignored -- both directions
+/// of version skew stay readable.
+std::optional<DaemonStats> decode_stats(const std::string& payload);
 
 }  // namespace rchls::serve

@@ -88,6 +88,10 @@ void Server::stop() {
 ServeStats Server::stats() const {
   ServeStats s;
   s.connections = connections_.load(std::memory_order_relaxed);
+  s.active_connections = active_connections_.load(std::memory_order_relaxed);
+  s.refused_connections =
+      refused_connections_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.overflows = overflows_.load(std::memory_order_relaxed);
@@ -112,7 +116,30 @@ void Server::accept_loop(util::Listener& listener) {
     }
     if (!sock.valid() || stopping_.load()) return;
 
+    if (options_.max_connections > 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      // Over the cap: one error envelope, then the door. Refusal beats
+      // silently parking the client on a reader thread we said we would
+      // not spend (same philosophy as queue overflow).
+      refused_connections_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      log_line("serve: connection refused (max-connections=" +
+               std::to_string(options_.max_connections) + ")");
+      try {
+        util::send_frame(sock,
+                         encode_error("server is at connection capacity "
+                                      "(max-connections=" +
+                                      std::to_string(options_.max_connections) +
+                                      "); retry later"));
+      } catch (const Error&) {
+        // The refused client hung up first; nothing owed.
+      }
+      continue;
+    }
+
     connections_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Conn>();
     conn->sock = std::move(sock);
     {
@@ -134,6 +161,7 @@ void Server::accept_loop(util::Listener& listener) {
     // no-thread-outlives-the-Server guarantee.
     std::thread([this, conn = std::move(conn)]() mutable {
       serve_connection(std::move(conn));
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(readers_mu_);
       --active_readers_;
       readers_done_.notify_all();
@@ -142,11 +170,27 @@ void Server::accept_loop(util::Listener& listener) {
 }
 
 void Server::serve_connection(ConnPtr conn) {
+  if (options_.idle_timeout_s > 0) {
+    conn->sock.set_recv_timeout_ms(options_.idle_timeout_s * 1000);
+  }
   std::uint64_t seq = 0;
   for (;;) {
     std::optional<std::string> frame;
     try {
       frame = util::recv_frame(conn->sock, options_.max_frame_bytes);
+    } catch (const util::SocketTimeout&) {
+      // Frame-boundary timeout: the stream is still consistent, so this
+      // is a policy decision, not an error. Reap only a connection with
+      // nothing in flight -- a client waiting on a slow request is
+      // silent by design and keeps its connection.
+      if (conn->outstanding.load(std::memory_order_acquire) > 0 ||
+          stopping_.load()) {
+        continue;
+      }
+      idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      log_line("serve: idle connection reaped (idle-timeout-s=" +
+               std::to_string(options_.idle_timeout_s) + ")");
+      break;
     } catch (const Error& e) {
       // Oversized length prefix, mid-frame disconnect, or an I/O error:
       // this connection is unrecoverable (the stream cannot be
@@ -161,6 +205,7 @@ void Server::serve_connection(ConnPtr conn) {
 
     std::uint64_t my_seq = seq++;
     requests_.fetch_add(1, std::memory_order_relaxed);
+    conn->outstanding.fetch_add(1, std::memory_order_release);
     if (!queue_.try_push(Job{std::move(*frame), conn, my_seq})) {
       // Backpressure: refuse loudly and immediately instead of letting
       // the daemon buffer (and eventually die) under flood.
@@ -172,6 +217,7 @@ void Server::serve_connection(ConnPtr conn) {
                   encode_error("server is at capacity (max-queue=" +
                                std::to_string(queue_.capacity()) +
                                "); retry later"));
+      conn->outstanding.fetch_sub(1, std::memory_order_release);
     }
   }
   conn->sock.shutdown_both();
@@ -182,6 +228,16 @@ void Server::worker_loop() {
     std::string reply;
     std::string line;
     try {
+      if (is_stats_request(job->payload)) {
+        // Admin exchange: counters only, never touches the session or
+        // the engines (a stats probe must stay cheap on a busy daemon).
+        reply = encode_stats(daemon_stats());
+        line = "serve: stats";
+        log_line(line);
+        write_reply(*job->conn, job->seq, reply);
+        job->conn->outstanding.fetch_sub(1, std::memory_order_release);
+        continue;
+      }
       api::Request req = api::wire::decode_request(job->payload);
       api::RunSource source{};
       api::Result res = session_.run(req, &source);
@@ -212,7 +268,26 @@ void Server::worker_loop() {
     // the request's log line having been written already.
     log_line(line);
     write_reply(*job->conn, job->seq, reply);
+    job->conn->outstanding.fetch_sub(1, std::memory_order_release);
   }
+}
+
+DaemonStats Server::daemon_stats() const {
+  ServeStats serve = stats();
+  api::SharedSessionStats session = session_.stats();
+  DaemonStats d;
+  d.connections = serve.connections;
+  d.active_connections = serve.active_connections;
+  d.refused_connections = serve.refused_connections;
+  d.idle_reaped = serve.idle_reaped;
+  d.requests = serve.requests;
+  d.errors = serve.errors;
+  d.overflows = serve.overflows;
+  d.hits = session.hits;
+  d.disk_hits = session.disk_hits;
+  d.executions = session.executions;
+  d.entries = session.entries;
+  return d;
 }
 
 void Server::write_reply(Conn& conn, std::uint64_t seq,

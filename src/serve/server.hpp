@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "api/shared_session.hpp"
+#include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "util/socket.hpp"
 
@@ -67,6 +68,16 @@ struct ServerOptions {
   std::size_t workers = 2;
   /// Per-frame payload cap (clamped to util::kMaxFrameBytes).
   std::uint32_t max_frame_bytes = util::kMaxFrameBytes;
+  /// Concurrent-connection cap; 0 = unlimited. A connection accepted
+  /// over the cap is answered one error envelope and closed immediately
+  /// (refusal over silent queueing, like the frame backpressure).
+  std::size_t max_connections = 0;
+  /// Reap a connection after this many seconds without a frame; 0 =
+  /// never. A connection with requests still in flight is NOT reaped --
+  /// a client blocked on a long computation sends nothing and is not
+  /// idle. Dead clients that vanished without a FIN stop pinning reader
+  /// threads forever.
+  int idle_timeout_s = 0;
   /// The resident session's knobs: cache_dir shares a persistent cache
   /// across daemon restarts, jobs caps the engine pool.
   api::SessionOptions session;
@@ -79,7 +90,10 @@ struct ServerOptions {
 /// sampled; `errors` counts error replies of every cause, `overflows`
 /// the subset refused by backpressure).
 struct ServeStats {
-  std::uint64_t connections = 0;
+  std::uint64_t connections = 0;  ///< admitted (refused ones excluded)
+  std::uint64_t active_connections = 0;
+  std::uint64_t refused_connections = 0;  ///< over max_connections
+  std::uint64_t idle_reaped = 0;          ///< reaped by idle_timeout_s
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t overflows = 0;
@@ -106,6 +120,9 @@ class Server {
 
   ServeStats stats() const;
   api::SharedSessionStats session_stats() const { return session_.stats(); }
+  /// The serve + session counters flattened into the stats-envelope
+  /// shape -- what a `kind:"stats"` request is answered with.
+  DaemonStats daemon_stats() const;
   /// Engine executions since startup -- the "warm daemon executes
   /// nothing" acceptance counter.
   std::uint64_t executions() const { return session_.executions(); }
@@ -119,6 +136,9 @@ class Server {
     std::mutex reply_mu;
     std::condition_variable reply_cv;
     std::uint64_t next_reply = 0;
+    // Admitted-but-unanswered frames; the idle reaper only fires at 0
+    // (a client waiting on a long computation is silent, not idle).
+    std::atomic<std::uint64_t> outstanding{0};
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -157,6 +177,9 @@ class Server {
   std::once_flag stop_once_;
 
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> active_connections_{0};
+  std::atomic<std::uint64_t> refused_connections_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> overflows_{0};

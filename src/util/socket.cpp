@@ -6,8 +6,10 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -34,6 +36,8 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 void Socket::shutdown_both() {}
+void Socket::set_recv_timeout_ms(int) {}
+void Socket::set_send_timeout_ms(int) {}
 void Socket::close() {}
 Listener::~Listener() = default;
 Listener::Listener(Listener&& other) noexcept {
@@ -53,6 +57,7 @@ Listener listen_unix(const std::string&, int) { unsupported(); }
 Listener listen_tcp_loopback(int, int) { unsupported(); }
 Socket connect_unix(const std::string&) { unsupported(); }
 Socket connect_tcp_loopback(int) { unsupported(); }
+Socket connect_tcp(const std::string&, int) { unsupported(); }
 void send_frame(const Socket&, const std::string&) { unsupported(); }
 std::optional<std::string> recv_frame(const Socket&, std::uint32_t) {
   unsupported();
@@ -66,16 +71,36 @@ namespace {
   throw Error("socket: " + what + ": " + std::strerror(errno));
 }
 
+// A socket deadline (SO_RCVTIMEO/SO_SNDTIMEO) surfaces as EAGAIN /
+// EWOULDBLOCK. Whether that is a clean SocketTimeout or a fatal Error
+// depends on whether the frame had started when it fired (see
+// SocketTimeout in the header): `at_frame_boundary` says no byte of the
+// current frame moved before this I/O call.
+[[noreturn]] void fail_timeout(bool at_frame_boundary, const char* dir) {
+  if (at_frame_boundary) {
+    throw SocketTimeout(std::string("socket: ") + dir +
+                        " timed out waiting for a frame");
+  }
+  throw Error(std::string("socket: ") + dir +
+              " timed out mid-frame (stream unrecoverable)");
+}
+
 // Full-buffer write, retrying partial writes and EINTR. MSG_NOSIGNAL
 // turns a dead peer into EPIPE instead of a process-killing SIGPIPE --
 // essential for a daemon whose clients may vanish mid-reply.
-void write_all(int fd, const char* data, std::size_t len) {
+void write_all(int fd, const char* data, std::size_t len,
+               bool at_frame_boundary = false) {
+  bool wrote_any = false;
   while (len > 0) {
     ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        fail_timeout(at_frame_boundary && !wrote_any, "send");
+      }
       fail_errno("send failed");
     }
+    wrote_any = wrote_any || n > 0;
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -83,18 +108,31 @@ void write_all(int fd, const char* data, std::size_t len) {
 
 // Full-buffer read. Returns the byte count actually read, which is
 // short only at end-of-stream.
-std::size_t read_all(int fd, char* data, std::size_t len) {
+std::size_t read_all(int fd, char* data, std::size_t len,
+                     bool at_frame_boundary = false) {
   std::size_t got = 0;
   while (got < len) {
     ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        fail_timeout(at_frame_boundary && got == 0, "receive");
+      }
       fail_errno("recv failed");
     }
     if (n == 0) break;  // peer closed
     got += static_cast<std::size_t>(n);
   }
   return got;
+}
+
+void set_deadline(int fd, int opt, int ms) {
+  if (fd < 0) return;
+  if (ms < 0) ms = 0;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -113,6 +151,14 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  set_deadline(fd_, SO_RCVTIMEO, ms);
+}
+
+void Socket::set_send_timeout_ms(int ms) {
+  set_deadline(fd_, SO_SNDTIMEO, ms);
 }
 
 void Socket::close() {
@@ -271,6 +317,41 @@ Socket connect_tcp_loopback(int port) {
   return Socket(fd);
 }
 
+Socket connect_tcp(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    throw Error("socket: TCP port " + std::to_string(port) +
+                " is out of range");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &results);
+  if (rc != 0) {
+    throw Error("socket: cannot resolve '" + host + "': " +
+                ::gai_strerror(rc));
+  }
+  int last_errno = 0;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      return Socket(fd);
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  throw Error("socket: cannot connect to " + host + ":" +
+              std::to_string(port) + ": " +
+              (last_errno ? std::strerror(last_errno) : "no usable address"));
+}
+
 void send_frame(const Socket& sock, const std::string& payload) {
   if (!sock.valid()) throw Error("socket: send on an invalid socket");
   if (payload.size() > kMaxFrameBytes) {
@@ -285,8 +366,8 @@ void send_frame(const Socket& sock, const std::string& payload) {
       static_cast<unsigned char>((n >> 8) & 0xff),
       static_cast<unsigned char>(n & 0xff),
   };
-  write_all(sock.fd(), reinterpret_cast<const char*>(header),
-            sizeof(header));
+  write_all(sock.fd(), reinterpret_cast<const char*>(header), sizeof(header),
+            /*at_frame_boundary=*/true);
   write_all(sock.fd(), payload.data(), payload.size());
 }
 
@@ -295,7 +376,8 @@ std::optional<std::string> recv_frame(const Socket& sock,
   if (!sock.valid()) throw Error("socket: recv on an invalid socket");
   unsigned char header[4];
   std::size_t got =
-      read_all(sock.fd(), reinterpret_cast<char*>(header), sizeof(header));
+      read_all(sock.fd(), reinterpret_cast<char*>(header), sizeof(header),
+               /*at_frame_boundary=*/true);
   if (got == 0) return std::nullopt;  // clean end-of-stream
   if (got < sizeof(header)) {
     throw Error("socket: peer closed mid-frame (partial length prefix)");

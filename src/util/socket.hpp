@@ -33,11 +33,26 @@
 #include <optional>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace rchls::util {
 
 /// Hard ceiling for a frame payload (64 MiB). Callers may pass a
 /// smaller cap to recv_frame; larger caps are clamped to this.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// Thrown when a socket with a receive/send deadline (set_recv_timeout_ms
+/// / set_send_timeout_ms) times out at a FRAME BOUNDARY -- i.e. recv_frame
+/// waited out the deadline before the first byte of a frame arrived, or
+/// send_frame could not start writing. A deadline expiring MID-frame
+/// throws plain Error instead: a half-transferred frame cannot be
+/// re-synchronized, so that connection is unrecoverable, while a
+/// boundary timeout is a policy event (an idle client to reap, a slow
+/// server to retry elsewhere) on a still-consistent stream.
+class SocketTimeout : public Error {
+ public:
+  explicit SocketTimeout(const std::string& what) : Error(what) {}
+};
 
 /// A connected (or accepted) socket descriptor. Move-only; closes on
 /// destruction.
@@ -59,6 +74,13 @@ class Socket {
   /// without racing the descriptor's lifetime the way close() would.
   /// Safe on an already-shut-down or invalid socket.
   void shutdown_both();
+
+  /// Receive/send deadlines (SO_RCVTIMEO / SO_SNDTIMEO). 0 restores the
+  /// default block-forever behavior. With a deadline set, recv_frame /
+  /// send_frame throw SocketTimeout at a frame boundary and plain Error
+  /// mid-frame (see SocketTimeout). No-ops on an invalid socket.
+  void set_recv_timeout_ms(int ms);
+  void set_send_timeout_ms(int ms);
 
   void close();
 
@@ -112,6 +134,12 @@ Listener listen_tcp_loopback(int port, int backlog = 64);
 /// Connects to a Unix-domain / loopback-TCP listener.
 Socket connect_unix(const std::string& path);
 Socket connect_tcp_loopback(int port);
+
+/// Connects to `host`:`port` (IPv4/IPv6, names resolved via the system
+/// resolver). This is the fleet-client side of a `host:port` endpoint
+/// spec; the serve daemon itself still binds loopback only, so remote
+/// hosts are reached through a forwarded port or tunnel.
+Socket connect_tcp(const std::string& host, int port);
 
 /// Writes one length-prefixed frame. Throws on any short write or a
 /// payload over kMaxFrameBytes (the peer could never legally read it).

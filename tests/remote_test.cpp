@@ -1,0 +1,452 @@
+// Remote subsystem tests (src/remote/): the fleet acceptance criteria.
+// A sweep/grid/scenario dispatched over 1/2/4 `rchls serve` daemons at
+// jobs 1/8 renders byte-identical to a local Session; a daemon killed
+// mid-sweep fails over (byte-identical output, quarantine visible in
+// the fleet stats); a fleet with every endpoint dead degrades to local
+// execution instead of failing; endpoint spec parsing follows the
+// documented unix-path vs host:port grammar; and Session::run_batch
+// keeps its cache/index contracts on both the serial and the batched
+// executor path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/request.hpp"
+#include "api/session.hpp"
+#include "api/wire.hpp"
+#include "benchmarks/suite.hpp"
+#include "library/resource.hpp"
+#include "parallel/config.hpp"
+#include "remote/executor.hpp"
+#include "remote/fleet.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "serve/server.hpp"
+#include "temp_dir.hpp"
+#include "util/error.hpp"
+
+namespace rchls::remote {
+namespace {
+
+class JobsGuard {
+ public:
+  JobsGuard() : saved_(parallel::global_config().jobs) {}
+  ~JobsGuard() { parallel::global_config().jobs = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+// One in-process daemon with its own log stream (Server locks its own
+// log writes, but two Servers sharing one stream would race).
+struct Daemon {
+  std::ostringstream log;
+  std::unique_ptr<serve::Server> server;
+};
+
+class RemoteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = rchls::testing::unique_test_dir("remote_test_tmp");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string sock_path(std::size_t i) const {
+    return (dir_ / ("d" + std::to_string(i) + ".sock")).string();
+  }
+
+  /// Starts `n` daemons on unix sockets and returns them with a
+  /// FleetOptions naming all of them.
+  std::vector<std::unique_ptr<Daemon>> start_daemons(std::size_t n) {
+    std::vector<std::unique_ptr<Daemon>> daemons;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto d = std::make_unique<Daemon>();
+      serve::ServerOptions so;
+      so.socket_path = sock_path(i);
+      so.workers = 2;
+      so.log = &d->log;
+      d->server = std::make_unique<serve::Server>(std::move(so));
+      daemons.push_back(std::move(d));
+    }
+    return daemons;
+  }
+
+  FleetOptions fleet_options(std::size_t n) const {
+    FleetOptions fo;
+    for (std::size_t i = 0; i < n; ++i) {
+      fo.endpoints.push_back(parse_endpoint(sock_path(i)));
+    }
+    return fo;
+  }
+
+  std::filesystem::path dir_;
+};
+
+api::Request inject_request(std::uint64_t seed) {
+  api::InjectRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = seed;
+  return api::Request(req);
+}
+
+api::Request sweep_request() {
+  api::SweepRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.axis = api::SweepAxis::kArea;
+  req.latency_bounds = {6};
+  req.area_bounds = {5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0};
+  return api::Request(req);
+}
+
+api::Request grid_request() {
+  api::GridRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.latency_bounds = {6, 7};
+  req.area_bounds = {8.0, 10.0, 12.0};
+  return api::Request(req);
+}
+
+// ------------------------------------------------------ endpoint grammar
+
+TEST(RemoteParse, ColonWithoutSlashIsTcpAnythingElseIsUnix) {
+  Endpoint tcp = parse_endpoint("localhost:7070");
+  EXPECT_EQ(tcp.host, "localhost");
+  EXPECT_EQ(tcp.port, 7070);
+  EXPECT_TRUE(tcp.unix_path.empty());
+
+  // A '/' anywhere forces a unix path, even with colons in the name.
+  Endpoint colon_path = parse_endpoint("./run/a:b.sock");
+  EXPECT_EQ(colon_path.unix_path, "./run/a:b.sock");
+  EXPECT_TRUE(colon_path.host.empty());
+
+  Endpoint bare = parse_endpoint("d.sock");
+  EXPECT_EQ(bare.unix_path, "d.sock");
+
+  EXPECT_THROW(parse_endpoint(""), Error);
+  EXPECT_THROW(parse_endpoint("host:99999"), Error);
+  EXPECT_THROW(parse_endpoint("host:-1"), Error);
+  EXPECT_THROW(parse_endpoint("host:port"), Error);
+  EXPECT_THROW(parse_endpoint(":7070"), Error) << "empty host";
+}
+
+TEST(RemoteParse, EndpointListSplitsOnCommasAndSkipsEmpties) {
+  std::vector<Endpoint> eps =
+      parse_endpoints("a.sock,localhost:1,,./b/c.sock,");
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].unix_path, "a.sock");
+  EXPECT_EQ(eps[1].port, 1);
+  EXPECT_EQ(eps[2].unix_path, "./b/c.sock");
+
+  EXPECT_THROW(parse_endpoints(""), Error);
+  EXPECT_THROW(parse_endpoints(",,"), Error);
+}
+
+TEST(RemoteParse, FleetRejectsBadOptions) {
+  FleetOptions none;
+  EXPECT_THROW(Fleet{none}, Error);
+
+  FleetOptions bad_retries;
+  bad_retries.endpoints.push_back(parse_endpoint("a.sock"));
+  bad_retries.retries = -1;
+  EXPECT_THROW(Fleet{bad_retries}, Error);
+
+  FleetOptions bad_quarantine;
+  bad_quarantine.endpoints.push_back(parse_endpoint("a.sock"));
+  bad_quarantine.quarantine_after = 0;
+  EXPECT_THROW(Fleet{bad_quarantine}, Error);
+}
+
+// ------------------------------------------------- byte-identity matrix
+
+// The PR acceptance criterion: endpoints 1/2/4 x jobs 1/8, sweep and
+// grid, all byte-identical to the single-process jobs=1 rendering.
+TEST_F(RemoteTest, SweepAndGridAreByteIdenticalAcrossEndpointsAndJobs) {
+  JobsGuard guard;
+  parallel::set_global_jobs(1);
+  api::LocalExecutor local;
+  api::Executor& local_base = local;
+  const std::string sweep_ref = api::wire::encode(local_base.run(sweep_request()));
+  const std::string grid_ref = api::wire::encode(local_base.run(grid_request()));
+
+  for (std::size_t endpoints : {1u, 2u, 4u}) {
+    for (std::size_t jobs : {1u, 8u}) {
+      parallel::set_global_jobs(jobs);
+      auto daemons = start_daemons(endpoints);
+      RemoteOptions ro;
+      ro.fleet = fleet_options(endpoints);
+      RemoteExecutor remote(ro);
+      api::Executor& ex = remote;
+
+      EXPECT_EQ(api::wire::encode(ex.run(sweep_request())), sweep_ref)
+          << "sweep endpoints=" << endpoints << " jobs=" << jobs;
+      EXPECT_EQ(api::wire::encode(ex.run(grid_request())), grid_ref)
+          << "grid endpoints=" << endpoints << " jobs=" << jobs;
+      EXPECT_EQ(remote.local_fallbacks(), 0u);
+
+      // Least-outstanding + round-robin ties: a healthy fleet never
+      // starves an endpoint (ties rotate, so every daemon sees work).
+      std::uint64_t total = 0;
+      for (const EndpointStats& s : remote.fleet().stats()) {
+        EXPECT_GE(s.dispatched, 1u) << s.spec;
+        EXPECT_EQ(s.failed, 0u) << s.spec;
+        EXPECT_FALSE(s.quarantined) << s.spec;
+        total += s.dispatched;
+      }
+      // 8-cell sweep + 6-cell grid at 2 slices/endpoint, both clamped
+      // to the cell count.
+      const std::uint64_t slices = 2 * endpoints;
+      EXPECT_EQ(total, std::min<std::uint64_t>(slices, 8) +
+                           std::min<std::uint64_t>(slices, 6));
+    }
+  }
+}
+
+TEST_F(RemoteTest, MixedUnixAndTcpEndpointsServeOneSweep) {
+  api::LocalExecutor local;
+  api::Executor& local_base = local;
+  const std::string reference =
+      api::wire::encode(local_base.run(sweep_request()));
+
+  // Daemon 0 on a unix socket, daemon 1 on ephemeral loopback TCP.
+  auto daemons = start_daemons(1);
+  Daemon tcp;
+  serve::ServerOptions so;
+  so.tcp_port = 0;
+  so.log = &tcp.log;
+  tcp.server = std::make_unique<serve::Server>(std::move(so));
+
+  RemoteOptions ro;
+  ro.fleet = fleet_options(1);
+  ro.fleet.endpoints.push_back(
+      parse_endpoint("127.0.0.1:" + std::to_string(tcp.server->tcp_port())));
+  RemoteExecutor remote(ro);
+  api::Executor& ex = remote;
+
+  EXPECT_EQ(api::wire::encode(ex.run(sweep_request())), reference);
+  for (const EndpointStats& s : remote.fleet().stats()) {
+    EXPECT_GE(s.dispatched, 1u) << s.spec;
+    EXPECT_EQ(s.failed, 0u) << s.spec;
+  }
+}
+
+// ------------------------------------------------------------- failover
+
+// The killed-daemon acceptance case: two daemons serve a sweep, one is
+// stopped just before its second dispatch. The sweep's output must be
+// byte-identical anyway (failed slices re-dispatch to the survivor)
+// and the fleet stats must show the dead endpoint quarantined.
+TEST_F(RemoteTest, DaemonKilledMidSweepFailsOverByteIdentically) {
+  api::LocalExecutor local;
+  api::Executor& local_base = local;
+  const std::string reference =
+      api::wire::encode(local_base.run(sweep_request()));
+
+  auto daemons = start_daemons(2);
+  std::atomic<int> victim_dispatches{0};
+  RemoteOptions ro;
+  ro.fleet = fleet_options(2);
+  ro.fleet.quarantine_after = 1;
+  ro.fleet.before_send = [&](std::size_t endpoint, std::uint64_t) {
+    // Kill daemon 1 between its first and second dispatch: the first
+    // may be mid-flight (or already answered), the second dies on the
+    // wire -- exactly the mid-run failure the fleet must absorb.
+    if (endpoint == 1 && ++victim_dispatches == 2) {
+      daemons[1]->server->stop();
+    }
+  };
+  ro.slices = 8;  // one slice per sweep cell: plenty of re-dispatches
+  RemoteExecutor remote(ro);
+  api::Executor& ex = remote;
+
+  EXPECT_EQ(api::wire::encode(ex.run(sweep_request())), reference)
+      << "failover must not change a single byte";
+  EXPECT_EQ(remote.local_fallbacks(), 0u)
+      << "one healthy endpoint remained; no local degradation";
+
+  std::vector<EndpointStats> stats = remote.fleet().stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].quarantined);
+  EXPECT_EQ(stats[0].failed, 0u);
+  EXPECT_TRUE(stats[1].quarantined) << "the killed daemon must be benched";
+  EXPECT_GE(stats[1].failed, 1u);
+  EXPECT_FALSE(stats[1].last_error.empty());
+  // Every slice still completed somewhere.
+  EXPECT_GE(stats[0].completed + stats[1].completed, 8u);
+}
+
+// With EVERY endpoint dead the executor degrades to in-process
+// execution -- the sweep still finishes, byte-identically.
+TEST_F(RemoteTest, WholeFleetDownDegradesToLocalExecution) {
+  api::LocalExecutor local;
+  api::Executor& local_base = local;
+  const std::string reference =
+      api::wire::encode(local_base.run(sweep_request()));
+
+  RemoteOptions ro;
+  // Nothing listens on these paths.
+  ro.fleet.endpoints.push_back(parse_endpoint(sock_path(0)));
+  ro.fleet.endpoints.push_back(parse_endpoint(sock_path(1)));
+  ro.fleet.quarantine_after = 1;
+  ro.fleet.retries = 1;
+  ro.slices = 4;
+  RemoteExecutor remote(ro);
+  api::Executor& ex = remote;
+
+  EXPECT_EQ(api::wire::encode(ex.run(sweep_request())), reference);
+  EXPECT_EQ(remote.local_fallbacks(), 4u)
+      << "every slice must have fallen back";
+  for (const EndpointStats& s : remote.fleet().stats()) {
+    EXPECT_TRUE(s.quarantined) << s.spec;
+  }
+}
+
+TEST_F(RemoteTest, ServerAnsweredErrorsAreNotRetried) {
+  auto daemons = start_daemons(2);
+  FleetOptions fo = fleet_options(2);
+  fo.retries = 3;
+  Fleet fleet(fo);
+
+  api::InjectRequest bad;
+  bad.component = "no_such_component";
+  bad.width = 4;
+  bad.trials = 8;
+  try {
+    fleet.call(api::Request(bad));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("serve: "), std::string::npos)
+        << e.what();
+  }
+
+  // The daemon answered deterministically: exactly one dispatch total,
+  // no retry burned, nobody quarantined.
+  std::uint64_t dispatched = 0;
+  for (const EndpointStats& s : fleet.stats()) {
+    dispatched += s.dispatched;
+    EXPECT_EQ(s.failed, 0u) << s.spec;
+    EXPECT_FALSE(s.quarantined) << s.spec;
+  }
+  EXPECT_EQ(dispatched, 1u);
+}
+
+// ------------------------------------------------------ scenario batches
+
+// Whole scenarios route through Session::run_batch: with a remote
+// executor the actions fan out across the fleet, and the report is
+// byte-identical to the local run. A second run through the same
+// session is pure memory-cache.
+TEST_F(RemoteTest, ScenarioActionsBatchAcrossTheFleetByteIdentically) {
+  scenario::Scenario scn = scenario::parse_string(
+      "graph fig4_example\n"
+      "find_design latency=6 area=8 label=base\n"
+      "sweep area 6,8,10 latency=6 label=s\n"
+      "inject ripple_carry_adder width=4 trials=128 seed=1 label=i1\n"
+      "inject ripple_carry_adder width=4 trials=128 seed=2 label=i2\n");
+
+  api::Session local((api::SessionOptions()));
+  const std::string reference =
+      scenario::report::to_json(scenario::run(scn, local));
+
+  auto daemons = start_daemons(2);
+  api::SessionOptions so;
+  auto remote = [&] {
+    RemoteOptions ro;
+    ro.fleet = fleet_options(2);
+    return std::make_shared<RemoteExecutor>(ro);
+  }();
+  so.executor = remote;
+  api::Session session(so);
+
+  EXPECT_EQ(scenario::report::to_json(scenario::run(scn, session)), reference);
+  EXPECT_EQ(session.executions(), 4u);
+  std::uint64_t daemon_execs = 0;
+  for (const auto& d : daemons) daemon_execs += d->server->executions();
+  EXPECT_EQ(daemon_execs, 4u) << "each action executed on exactly one daemon";
+  for (const EndpointStats& s : remote->fleet().stats()) {
+    EXPECT_GE(s.dispatched, 1u) << s.spec;
+  }
+
+  // Warm re-run: the session's own cache answers everything.
+  EXPECT_EQ(scenario::report::to_json(scenario::run(scn, session)), reference);
+  EXPECT_EQ(session.executions(), 4u);
+}
+
+// ------------------------------------------------- Session::run_batch
+
+TEST(SessionRunBatch, MixesCacheHitsAndMissesIndexAligned) {
+  api::Session session((api::SessionOptions()));
+  // Prime one of the three.
+  const std::string warm = api::wire::encode(session.run(inject_request(2)));
+  EXPECT_EQ(session.executions(), 1u);
+
+  std::vector<api::Request> batch = {inject_request(1), inject_request(2),
+                                     inject_request(3)};
+  std::vector<api::Result> results = session.run_batch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(session.executions(), 3u) << "only the two misses executed";
+  EXPECT_EQ(api::wire::encode(results[1]), warm);
+  // Index alignment: each slot answers its own request.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    api::Session fresh((api::SessionOptions()));
+    EXPECT_EQ(api::wire::encode(results[i]),
+              api::wire::encode(fresh.run(batch[i])))
+        << "index " << i;
+  }
+}
+
+TEST(SessionRunBatch, FailureCarriesTheOriginalBatchIndex) {
+  api::Session session((api::SessionOptions()));
+  api::InjectRequest bad;
+  bad.component = "no_such_component";
+  bad.width = 4;
+  bad.trials = 8;
+  std::vector<api::Request> batch = {inject_request(1), api::Request(bad),
+                                     inject_request(2)};
+  try {
+    session.run_batch(batch);
+    FAIL() << "expected BatchItemError";
+  } catch (const api::BatchItemError& e) {
+    EXPECT_EQ(e.index(), 1u);
+  }
+}
+
+// The batched executor path must remap a failing miss back to its
+// position in the ORIGINAL batch, not its position among the misses.
+TEST_F(RemoteTest, BatchedPathRemapsFailingIndexThroughCacheHits) {
+  auto daemons = start_daemons(2);
+  api::SessionOptions so;
+  {
+    RemoteOptions ro;
+    ro.fleet = fleet_options(2);
+    so.executor = std::make_shared<RemoteExecutor>(ro);
+  }
+  api::Session session(so);
+  session.run(inject_request(1));  // index 0 will be a memory hit
+
+  api::InjectRequest bad;
+  bad.component = "no_such_component";
+  bad.width = 4;
+  bad.trials = 8;
+  std::vector<api::Request> batch = {inject_request(1), inject_request(2),
+                                     api::Request(bad)};
+  try {
+    session.run_batch(batch);
+    FAIL() << "expected BatchItemError";
+  } catch (const api::BatchItemError& e) {
+    EXPECT_EQ(e.index(), 2u) << "miss-relative index must be remapped";
+  }
+}
+
+}  // namespace
+}  // namespace rchls::remote

@@ -9,8 +9,13 @@
 
 #include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -301,6 +306,188 @@ TEST_F(ServeTest, OverflowRefusesWithAnErrorEnvelopePerRefusedFrame) {
   auto frame = util::recv_frame(raw);
   ASSERT_TRUE(frame.has_value());
   EXPECT_TRUE(decode_reply(*frame).ok());
+}
+
+// ------------------------------- hardening: caps, reaping, stats, deadlines
+
+TEST(ServeProtocol, StatsEnvelopeRoundTripsEveryCounter) {
+  DaemonStats in;
+  in.connections = 1;
+  in.active_connections = 2;
+  in.refused_connections = 3;
+  in.idle_reaped = 4;
+  in.requests = 5;
+  in.errors = 6;
+  in.overflows = 7;
+  in.hits = 8;
+  in.disk_hits = 9;
+  in.executions = 10;
+  in.entries = 11;
+
+  std::optional<DaemonStats> out = decode_stats(encode_stats(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->connections, 1u);
+  EXPECT_EQ(out->active_connections, 2u);
+  EXPECT_EQ(out->refused_connections, 3u);
+  EXPECT_EQ(out->idle_reaped, 4u);
+  EXPECT_EQ(out->requests, 5u);
+  EXPECT_EQ(out->errors, 6u);
+  EXPECT_EQ(out->overflows, 7u);
+  EXPECT_EQ(out->hits, 8u);
+  EXPECT_EQ(out->disk_hits, 9u);
+  EXPECT_EQ(out->executions, 10u);
+  EXPECT_EQ(out->entries, 11u);
+
+  EXPECT_TRUE(is_stats_request(encode_stats_request()));
+  EXPECT_FALSE(is_stats_request("not json"));
+  EXPECT_FALSE(is_stats_request(encode_stats(in)))
+      << "a stats REPLY is not a stats request";
+  EXPECT_FALSE(decode_stats("not json").has_value());
+  EXPECT_FALSE(decode_stats(encode_stats_request()).has_value())
+      << "a stats request carries no counters";
+}
+
+TEST_F(ServeTest, StatsRequestAnswersLiveDaemonCounters) {
+  Server server(options());
+  Client client = Client::connect_unix(server.socket_path());
+  client.call(inject_request(1));
+  client.call(inject_request(1));  // memory-cache hit
+
+  DaemonStats ds = client.call_stats();
+  EXPECT_EQ(ds.connections, 1u);
+  EXPECT_EQ(ds.active_connections, 1u);
+  EXPECT_GE(ds.requests, 2u);
+  EXPECT_EQ(ds.executions, 1u);
+  EXPECT_GE(ds.hits, 1u);
+  EXPECT_EQ(ds.entries, 1u);
+  EXPECT_EQ(ds.errors, 0u);
+  EXPECT_NE(log_.str().find("serve: stats"), std::string::npos);
+}
+
+TEST_F(ServeTest, ConnectionCapRefusesWithAnEnvelopeAndRecovers) {
+  ServerOptions so = options();
+  so.max_connections = 1;
+  Server server(std::move(so));
+
+  auto first = std::make_unique<Client>(Client::connect_unix(sock_path()));
+  first->call(inject_request(1));  // guarantees the slot is taken
+
+  // The over-cap connection is answered one refusal envelope unprompted
+  // and closed -- read it straight off a raw socket.
+  {
+    util::Socket raw = util::connect_unix(sock_path());
+    auto frame = util::recv_frame(raw);
+    ASSERT_TRUE(frame.has_value());
+    Reply reply = decode_reply(*frame);
+    EXPECT_FALSE(reply.ok());
+    EXPECT_NE(reply.error.find("connection capacity"), std::string::npos)
+        << reply.error;
+    EXPECT_NE(reply.error.find("retry later"), std::string::npos)
+        << "capacity refusals must be marked retryable for fleet clients";
+    EXPECT_FALSE(util::recv_frame(raw).has_value())
+        << "the refused connection must be closed";
+  }
+  EXPECT_EQ(server.stats().refused_connections, 1u);
+  EXPECT_EQ(server.stats().connections, 1u)
+      << "a refused connection is not an admitted one";
+
+  // Refusal is occupancy, not a ban: once the slot frees, new
+  // connections are admitted (poll -- the server notices the
+  // disconnect asynchronously).
+  first.reset();
+  bool admitted = false;
+  for (int i = 0; i < 100 && !admitted; ++i) {
+    try {
+      Client retry = Client::connect_unix(sock_path());
+      retry.call(inject_request(2));
+      admitted = true;
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST_F(ServeTest, IdleConnectionsAreReapedAndClientsReconnect) {
+  ServerOptions so = options();
+  so.idle_timeout_s = 1;
+  Server server(std::move(so));
+
+  ClientOptions co;
+  co.retries = 1;
+  co.backoff_ms = 10;
+  Client client = Client::connect_unix(sock_path(), co);
+  const std::string reference = api::wire::encode(client.call(inject_request(1)));
+
+  // Say nothing for over a second: the server reaps the connection.
+  for (int i = 0; i < 100 && server.stats().idle_reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(server.stats().idle_reaped, 1u);
+  EXPECT_NE(log_.str().find("idle"), std::string::npos) << log_.str();
+
+  // The client's retry budget covers the dead socket transparently:
+  // the next call reconnects and serves the same bytes (from cache).
+  EXPECT_EQ(api::wire::encode(client.call(inject_request(1))), reference);
+  EXPECT_EQ(server.executions(), 1u);
+}
+
+TEST_F(ServeTest, InFlightRequestsSurviveTheIdleTimeout) {
+  ServerOptions so = options();
+  so.idle_timeout_s = 1;
+  so.workers = 1;
+  Server server(std::move(so));
+
+  // Long enough that the reader sees idle-timeout wakeups while the
+  // worker is still computing; the outstanding-request guard must keep
+  // the connection alive until the reply.
+  api::InjectRequest slow;
+  slow.component = "carry_save_multiplier";
+  slow.width = 16;
+  slow.trials = 16777216;
+  slow.seed = 42;
+
+  util::Socket raw = util::connect_unix(sock_path());
+  util::send_frame(raw, api::wire::encode(api::Request(slow)));
+  auto frame = util::recv_frame(raw);
+  ASSERT_TRUE(frame.has_value())
+      << "a silent client WAITING ON A REPLY is busy, not idle";
+  EXPECT_TRUE(decode_reply(*frame).ok());
+  EXPECT_EQ(server.stats().idle_reaped, 0u);
+}
+
+TEST_F(ServeTest, ClientDeadlineTimesOutAgainstASilentServer) {
+  // A listener that accepts and holds connections open without ever
+  // replying -- the pathological peer the per-call deadline exists for.
+  std::string silent = (dir_ / "silent.sock").string();
+  util::Listener listener = util::listen_unix(silent);
+  std::atomic<int> accepts{0};
+  std::thread sink([&] {
+    std::vector<util::Socket> held;
+    while (true) {
+      util::Socket s = listener.accept();
+      if (!s.valid()) break;
+      ++accepts;
+      held.push_back(std::move(s));
+    }
+  });
+
+  ClientOptions co;
+  co.timeout_ms = 200;
+  co.retries = 1;
+  co.backoff_ms = 10;
+  Client client = Client::connect_unix(silent, co);
+  try {
+    client.call(inject_request(1));
+    FAIL() << "expected a timeout";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  listener.shutdown();
+  sink.join();
+  EXPECT_EQ(accepts.load(), 2)
+      << "each retry must abandon the stale stream and reconnect";
 }
 
 // ------------------------------------------------------------ CLI client
