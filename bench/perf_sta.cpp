@@ -1,0 +1,198 @@
+// perf_sta: static timing analysis cost on elaborated datapaths.
+//
+// The sta subsystem levelizes the gate netlist and runs one forward and
+// one backward propagation pass over it -- cost should be linear in
+// gate count, independent of the trial count that the sensitivity join
+// rides along with. This harness times StaRequest through an
+// api::Session on two axes: generated adders at growing widths (the
+// per-gate cost of the arrival/required/slack passes plus the fault
+// campaign behind the sensitivity join) and generated DFGs at growing
+// node counts elaborated through the version policy (the end-to-end
+// `rchls sta <graph>` path). A final cold-vs-warm pair pins the cache
+// contract: the warm replay must not execute.
+//
+// Standalone harness (like perf_scale / perf_pool): prints one JSON
+// document to stdout; the checked-in BENCH_sta.json is a captured run,
+// validated by scripts/check_bench_json.py (width and node axes
+// strictly increasing, timings positive, warm pass executed nothing).
+// Usage:
+//
+//   ./build/perf_sta [--smoke]
+//
+// --smoke shrinks widths, node counts and trials so CI covers every
+// lane in seconds. The timed lanes run with the session cache disabled
+// so every step is a real engine execution; only the warm lane enables
+// it, because the cache IS what that lane measures.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/result.hpp"
+#include "api/session.hpp"
+#include "dfg/generate.hpp"
+#include "library/resource.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One generator seed for the whole document, recorded in the JSON: the
+// graphs a future run times are byte-identical to this run's.
+constexpr std::uint64_t kSeed = 42;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+rchls::dfg::Graph scale_graph(std::size_t nodes) {
+  rchls::dfg::GeneratorConfig gc;
+  gc.num_nodes = nodes;
+  gc.seed = kSeed;
+  gc.layer_width = 8.0;
+  gc.mul_fraction = 0.25;
+  return rchls::dfg::generate_random(gc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: perf_sta [--smoke]\n";
+      return 1;
+    }
+  }
+
+  const std::vector<int> widths =
+      smoke ? std::vector<int>{4, 8} : std::vector<int>{8, 16, 32, 64};
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16, 32}
+            : std::vector<std::size_t>{16, 32, 64, 128};
+  const std::size_t trials = smoke ? 1024 : 64 * 1024;
+  // Elaborated graphs carry 10-40x the gates of a paper-width adder,
+  // and the per-gate campaign behind the sensitivity join scales with
+  // gates^2 x trials; the graph lane measures elaboration + the
+  // levelized passes, so it runs a far lighter campaign than the
+  // component lane and stops at 128 nodes (~27k gates).
+  const std::size_t graph_trials = smoke ? 256 : 1024;
+
+  rchls::api::SessionOptions opts;
+  opts.enable_cache = false;  // every timed step really executes
+  rchls::api::Session session(opts);
+  rchls::library::ResourceLibrary lib = rchls::library::paper_library();
+
+  auto doc = rchls::json::Value::object();
+  doc.set("bench", "perf_sta")
+      .set("smoke", smoke)
+      .set("seed", std::to_string(kSeed))  // uint64: decimal string
+      .set("hardware_concurrency",
+           static_cast<std::uint64_t>(
+               std::max(1u, std::thread::hardware_concurrency())));
+
+  // component lane: the kogge-stone adder at growing widths -- gate
+  // count grows O(w log w), so gates_per_s exposes any superlinear
+  // term in the levelized passes or the sensitivity join.
+  auto comp_rows = rchls::json::Value::array();
+  for (int w : widths) {
+    rchls::api::StaRequest req;
+    req.component = "kogge_stone_adder";
+    req.width = w;
+    req.trials = trials;
+    req.seed = kSeed;
+    req.top = 10;
+    req.top_paths = 3;
+
+    auto t0 = Clock::now();
+    rchls::api::StaResult res = session.run(req);
+    double secs = seconds_since(t0);
+    std::cerr << "perf_sta: component width=" << w << " gates="
+              << res.gate_count << " seconds=" << secs << "\n";
+
+    auto row = rchls::json::Value::object();
+    row.set("component", req.component)
+        .set("width", static_cast<std::uint64_t>(w))
+        .set("gate_count", static_cast<std::uint64_t>(res.gate_count))
+        .set("levels", static_cast<std::uint64_t>(res.levels))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("seconds", secs)
+        .set("gates_per_s", static_cast<double>(res.gate_count) / secs);
+    comp_rows.push(std::move(row));
+  }
+  doc.set("components", std::move(comp_rows));
+
+  // graph lane: generated DFGs elaborated under the fastest-version
+  // policy -- the full `rchls sta <graph>` path including elaboration.
+  auto graph_rows = rchls::json::Value::array();
+  for (std::size_t n : sizes) {
+    rchls::api::StaRequest req;
+    req.graph = scale_graph(n);
+    req.library = lib;
+    req.versions = "fastest";
+    req.width = smoke ? 4 : 8;
+    req.trials = graph_trials;
+    req.seed = kSeed;
+    req.top = 10;
+    req.top_paths = 3;
+
+    auto t0 = Clock::now();
+    rchls::api::StaResult res = session.run(req);
+    double secs = seconds_since(t0);
+    std::cerr << "perf_sta: graph nodes=" << n << " gates="
+              << res.gate_count << " seconds=" << secs << "\n";
+
+    auto row = rchls::json::Value::object();
+    row.set("nodes", static_cast<std::uint64_t>(n))
+        .set("gate_count", static_cast<std::uint64_t>(res.gate_count))
+        .set("levels", static_cast<std::uint64_t>(res.levels))
+        .set("endpoints", static_cast<std::uint64_t>(res.endpoints))
+        .set("seconds", secs)
+        .set("gates_per_s", static_cast<double>(res.gate_count) / secs);
+    graph_rows.push(std::move(row));
+  }
+  doc.set("graphs", std::move(graph_rows));
+
+  // warm lane: the cache contract under the bench's own load -- a
+  // second identical request through a caching session must be a memo
+  // hit, never a re-execution.
+  {
+    rchls::api::Session caching;
+    rchls::api::StaRequest req;
+    req.component = "kogge_stone_adder";
+    req.width = widths.back();
+    req.trials = trials;
+    req.seed = kSeed;
+    req.top = 10;
+    req.top_paths = 3;
+
+    auto t0 = Clock::now();
+    caching.run(req);
+    double cold = seconds_since(t0);
+    std::uint64_t executed = caching.executions();
+    t0 = Clock::now();
+    caching.run(req);
+    double warm = seconds_since(t0);
+    bool warm_zero = caching.executions() == executed;
+    std::cerr << "perf_sta: warm cold_s=" << cold << " warm_s=" << warm
+              << " warm_executed_zero=" << warm_zero << "\n";
+
+    auto row = rchls::json::Value::object();
+    row.set("seconds_cold", cold)
+        .set("seconds_warm", warm)
+        .set("warm_executed_zero", warm_zero);
+    doc.set("warm", std::move(row));
+  }
+
+  std::cout << doc.dump(2) << "\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "perf_sta: " << e.what() << "\n";
+  return 1;
+}

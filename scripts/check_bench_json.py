@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Validate bench harness JSON documents (perf_pool, perf_scale,
-perf_remote).
+perf_remote, perf_sta).
 
 Usage: check_bench_json.py BENCH_pool.json [BENCH_scale.json ...]
 
@@ -139,6 +139,47 @@ def check_scale_doc(path, doc):
     check_increasing(path, [r["width"] for r in inject], "inject widths")
 
 
+def check_sta_doc(path, doc):
+    require(path, doc, "smoke", bool)
+    seed = require(path, doc, "seed", str)
+    if not seed.isdigit():
+        fail(path, f"seed must be a decimal string, got '{seed}'")
+    if require(path, doc, "hardware_concurrency", int) < 1:
+        fail(path, "hardware_concurrency must be >= 1")
+
+    comps = require(path, doc, "components", list)
+    for row in comps:
+        require(path, row, "component", str)
+        for key in ("width", "gate_count", "levels", "trials"):
+            if require(path, row, key, int) < 1:
+                fail(path, f"components row: {key} must be >= 1")
+        check_seconds(path, row, "components row")
+        rate = require(path, row, "gates_per_s", (int, float))
+        if not math.isfinite(rate) or rate <= 0:
+            fail(path, "components row: gates_per_s must be positive")
+    check_increasing(path, [r["width"] for r in comps],
+                     "components widths")
+
+    graphs = require(path, doc, "graphs", list)
+    for row in graphs:
+        for key in ("nodes", "gate_count", "levels", "endpoints"):
+            if require(path, row, key, int) < 1:
+                fail(path, f"graphs row: {key} must be >= 1")
+        check_seconds(path, row, "graphs row")
+        rate = require(path, row, "gates_per_s", (int, float))
+        if not math.isfinite(rate) or rate <= 0:
+            fail(path, "graphs row: gates_per_s must be positive")
+    check_increasing(path, [r["nodes"] for r in graphs], "graphs nodes")
+
+    warm = require(path, doc, "warm", dict)
+    for key in ("seconds_cold", "seconds_warm"):
+        v = require(path, warm, key, (int, float))
+        if not math.isfinite(v) or v <= 0:
+            fail(path, f"warm: {key} must be finite and positive")
+    if require(path, warm, "warm_executed_zero", bool) is not True:
+        fail(path, "warm.warm_executed_zero must be true")
+
+
 def check_remote_pass(path, row, what):
     if require(path, row, "requests", int) < 1:
         fail(path, f"{what}: requests must be >= 1")
@@ -193,7 +234,7 @@ def check_remote_doc(path, doc):
 
 
 CHECKERS = {"perf_pool": check_pool_doc, "perf_scale": check_scale_doc,
-            "perf_remote": check_remote_doc}
+            "perf_remote": check_remote_doc, "perf_sta": check_sta_doc}
 
 
 def main(argv):

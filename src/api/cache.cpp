@@ -138,8 +138,28 @@ CacheKey key_of(const RankGatesRequest& req) {
   std::ostringstream os;
   put_header(os, "rank_gates");
   put_str(os, "component", req.component);
+  if (req.graph) {
+    // Graph-shaped targets append their context; component-shaped keys
+    // stay byte-identical to the pre-sta encoding.
+    put_context(os, *req.graph, req.library);
+    put_str(os, "versions", req.versions);
+  }
   os << "width " << req.width << "\ntrials " << req.trials << "\nseed "
      << req.seed << "\ntop " << req.top << "\n";
+  return seal(os);
+}
+
+CacheKey key_of(const StaRequest& req) {
+  std::ostringstream os;
+  put_header(os, "sta");
+  put_str(os, "component", req.component);
+  if (req.graph) {
+    put_context(os, *req.graph, req.library);
+    put_str(os, "versions", req.versions);
+  }
+  os << "width " << req.width << "\nclock " << format_shortest(req.clock)
+     << "\ntop_paths " << req.top_paths << "\ntop " << req.top
+     << "\ntrials " << req.trials << "\nseed " << req.seed << "\n";
   return seal(os);
 }
 

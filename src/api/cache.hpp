@@ -48,7 +48,8 @@ CacheKey key_of(const SweepRequest& req);
 CacheKey key_of(const GridRequest& req);
 CacheKey key_of(const InjectRequest& req);
 CacheKey key_of(const RankGatesRequest& req);
-/// Variant dispatch over the five overloads (the batch/wire entry
+CacheKey key_of(const StaRequest& req);
+/// Variant dispatch over the typed overloads (the batch/wire entry
 /// point).
 CacheKey key_of(const Request& req);
 

@@ -23,6 +23,8 @@
 #include "api/wire.hpp"
 #include "remote/executor.hpp"
 #include "benchmarks/suite.hpp"
+#include "circuits/components.hpp"
+#include "library/io.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -48,8 +50,16 @@ constexpr const char* kUsage =
     "              [--scheduler density|fds] [--datapath]\n"
     "  rchls sweep <dfg-file|benchmark> --latency N --areas A1,A2,...\n"
     "              [--polish] [--scheduler density|fds]\n"
-    "  rchls inject <component> [--width W] [--trials N] [--seed S]\n"
-    "               [--gate G] [--top K]\n"
+    "  rchls inject <component|dfg-file|benchmark> [--width W]\n"
+    "               [--trials N] [--seed S] [--gate G] [--top K]\n"
+    "               [--lib FILE] [--versions fastest|most_reliable]\n"
+    "               (graph targets elaborate to gates first and need\n"
+    "               --top; see docs/timing.md)\n"
+    "  rchls sta <component|dfg-file|benchmark> [--width W] [--clock C]\n"
+    "            [--lib FILE] [--versions fastest|most_reliable]\n"
+    "            [--top-paths N] [--top K] [--trials N] [--seed S]\n"
+    "            (static timing report + sensitivity/slack join over the\n"
+    "             elaborated netlist, see docs/timing.md)\n"
     "  rchls gen <dir> [--seed S] [--count N]\n"
     "              (write a seeded workload corpus: generated .dfg/.scn\n"
     "               cases + manifest.json, see docs/workloads.md)\n"
@@ -93,7 +103,7 @@ constexpr const char* kUsage =
     "                            another endpoint; default 0 / 3)\n"
     "  --emit-request FILE       write the wire request envelope to FILE\n"
     "                            instead of executing (synth, sweep,\n"
-    "                            inject)\n"
+    "                            inject, sta)\n"
     "exit codes: 0 success; 1 usage, parse or I/O error; 2 no solution\n"
     "  within bounds (synth only)\n"
     "scenario format reference: docs/scenario-format.md\n";
@@ -116,6 +126,10 @@ struct Args {
   std::size_t count = 100;  // gen: corpus case count
   std::optional<std::uint32_t> gate;
   int top = 0;
+  int top_paths = 3;           // sta: critical paths to trace
+  double clock = 0.0;          // sta: 0 = derived from the longest path
+  std::string versions = "fastest";  // sta/inject graph targets
+  std::string lib;             // sta/inject graph targets: library file
   std::size_t jobs = 0;  // 0 = hardware concurrency
   int shards = 0;        // 0 = in-process LocalExecutor
   std::string cache_dir;  // empty = $RCHLS_CACHE_DIR, then none
@@ -188,31 +202,36 @@ flag_commands() {
           {"--scheduler", {"synth", "sweep"}},
           {"--polish", {"synth", "sweep"}},
           {"--datapath", {"synth"}},
-          {"--width", {"inject"}},
-          {"--trials", {"inject"}},
-          {"--seed", {"inject", "gen"}},
+          {"--width", {"inject", "sta"}},
+          {"--trials", {"inject", "sta"}},
+          {"--seed", {"inject", "sta", "gen"}},
           {"--count", {"gen"}},
           {"--gate", {"inject"}},
-          {"--top", {"inject"}},
+          {"--top", {"inject", "sta"}},
+          {"--top-paths", {"sta"}},
+          {"--clock", {"sta"}},
+          {"--versions", {"inject", "sta"}},
+          {"--lib", {"inject", "sta"}},
           {"--verify-cache", {"run"}},
           {"--jobs",
-           {"run", "synth", "sweep", "inject", "exec-request", "serve"}},
-          {"--format", {"run", "synth", "sweep", "inject"}},
-          {"--out", {"run", "synth", "sweep", "inject", "request"}},
-          {"--cache-dir",
-           {"run", "synth", "sweep", "inject", "cache", "exec-request",
+           {"run", "synth", "sweep", "inject", "sta", "exec-request",
             "serve"}},
-          {"--shards", {"run", "sweep"}},
-          {"--emit-request", {"synth", "sweep", "inject"}},
+          {"--format", {"run", "synth", "sweep", "inject", "sta"}},
+          {"--out", {"run", "synth", "sweep", "inject", "sta", "request"}},
+          {"--cache-dir",
+           {"run", "synth", "sweep", "inject", "sta", "cache",
+            "exec-request", "serve"}},
+          {"--shards", {"run", "sweep", "sta"}},
+          {"--emit-request", {"synth", "sweep", "inject", "sta"}},
           {"--socket", {"serve", "request"}},
           {"--port", {"serve", "request"}},
           {"--max-queue", {"serve"}},
           {"--workers", {"serve"}},
           {"--max-connections", {"serve"}},
           {"--idle-timeout-s", {"serve"}},
-          {"--endpoints", {"run", "sweep", "fleet"}},
-          {"--timeout-ms", {"request", "run", "sweep", "fleet"}},
-          {"--retries", {"request", "run", "sweep", "fleet"}},
+          {"--endpoints", {"run", "sweep", "sta", "fleet"}},
+          {"--timeout-ms", {"request", "run", "sweep", "sta", "fleet"}},
+          {"--retries", {"request", "run", "sweep", "sta", "fleet"}},
           {"--max-bytes", {"cache"}},
       };
   return table;
@@ -292,6 +311,23 @@ Args parse_args(const std::vector<std::string>& args) {
     } else if (flag == "--top") {
       a.top = to_int(flag, next());
       if (a.top < 0) throw Error("--top needs a non-negative count");
+    } else if (flag == "--top-paths") {
+      a.top_paths = to_int(flag, next());
+      if (a.top_paths < 0) {
+        throw Error("--top-paths needs a non-negative count");
+      }
+    } else if (flag == "--clock") {
+      a.clock = to_double(flag, next());
+      if (a.clock < 0) throw Error("--clock cannot be negative");
+    } else if (flag == "--versions") {
+      a.versions = next();
+      if (a.versions != "fastest" && a.versions != "most_reliable") {
+        throw Error("--versions must be fastest or most_reliable (got '" +
+                    a.versions + "')");
+      }
+    } else if (flag == "--lib") {
+      a.lib = next();
+      if (a.lib.empty()) throw Error("--lib needs a non-empty file path");
     } else if (flag == "--shards") {
       a.shards = to_int(flag, next());
       if (a.shards < 1) throw Error("--shards needs a positive count");
@@ -372,6 +408,15 @@ Args parse_args(const std::vector<std::string>& args) {
                 "choose one");
   }
   return a;
+}
+
+// --lib FILE overrides the paper library for graph-shaped sta/inject
+// targets (the file may carry `timing` directives, see docs/timing.md).
+library::ResourceLibrary load_library(const Args& a) {
+  if (a.lib.empty()) return library::paper_library();
+  std::ifstream in(a.lib);
+  if (!in) throw Error("cannot open library file '" + a.lib + "'");
+  return library::parse(in);
 }
 
 dfg::Graph load_graph(const std::string& spec) {
@@ -501,6 +546,32 @@ int run_sweep(const Args& a, Session& session, std::ostream& out) {
 int run_inject(const Args& a, Session& session, std::ostream& out) {
   if (a.width < 1) throw Error("inject needs a positive --width");
 
+  if (!circuits::is_component(a.target)) {
+    // Graph target: elaborate under the version policy and rank its
+    // gates (the whole-campaign InjectRequest stays component-only, so
+    // the ranking IS the report here and --top is required).
+    if (a.top < 1) {
+      throw Error("inject on a graph target needs --top (the elaborated "
+                  "netlist is reported through rank_gates)");
+    }
+    if (a.gate) {
+      throw Error("--gate applies to components, not graph targets");
+    }
+    RankGatesRequest rank;
+    rank.graph = load_graph(a.target);
+    rank.library = load_library(a);
+    rank.versions = a.versions;
+    rank.width = a.width;
+    rank.trials = a.trials;
+    rank.seed = a.seed;
+    rank.top = a.top;
+    if (emit_request_file(a, Request(rank))) return 0;
+    scenario::RunReport report =
+        one_shot_report("inject", rank.graph, rank.library);
+    report.actions.push_back({"rank_gates", 0, session.run(rank)});
+    return emit(render(report, a.format), a, out);
+  }
+
   InjectRequest req;
   req.component = a.target;
   req.width = a.width;
@@ -527,6 +598,35 @@ int run_inject(const Args& a, Session& session, std::ostream& out) {
     rank.top = a.top;
     report.actions.push_back({"rank_gates", 0, session.run(rank)});
   }
+  return emit(render(report, a.format), a, out);
+}
+
+int run_sta(const Args& a, Session& session, std::ostream& out) {
+  if (a.width < 1) throw Error("sta needs a positive --width");
+
+  StaRequest req;
+  if (circuits::is_component(a.target)) {
+    // Component targets carry no context (the request's library stays
+    // empty, matching the wire/cache encoding); the report defaults to
+    // the paper library like any graphless scenario.
+    req.component = a.target;
+  } else {
+    req.graph = load_graph(a.target);
+    req.library = load_library(a);
+    req.versions = a.versions;
+  }
+  req.width = a.width;
+  req.clock = a.clock;
+  req.top_paths = a.top_paths;
+  req.top = a.top;
+  req.trials = a.trials;
+  req.seed = a.seed;
+  if (emit_request_file(a, Request(req))) return 0;
+
+  scenario::RunReport report = one_shot_report(
+      "sta", req.graph,
+      req.graph ? req.library : library::paper_library());
+  report.actions.push_back({"sta", 0, session.run(req)});
   return emit(render(report, a.format), a, out);
 }
 
@@ -777,9 +877,10 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty()) return fail_usage(err, "missing command");
   const std::string& command = args.front();
   if (command != "run" && command != "synth" && command != "sweep" &&
-      command != "inject" && command != "bench" && command != "cache" &&
-      command != "exec-request" && command != "serve" &&
-      command != "request" && command != "gen" && command != "fleet") {
+      command != "inject" && command != "sta" && command != "bench" &&
+      command != "cache" && command != "exec-request" &&
+      command != "serve" && command != "request" && command != "gen" &&
+      command != "fleet") {
     return fail_usage(err, "unknown command '" + command + "'");
   }
 
@@ -827,6 +928,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
       code = run_sweep(a, session, out);
     } else if (a.command == "inject") {
       code = run_inject(a, session, out);
+    } else if (a.command == "sta") {
+      code = run_sta(a, session, out);
     } else {
       return run_exec_request(a, session);
     }

@@ -6,10 +6,40 @@
 #include "hls/explore.hpp"
 #include "hls/find_design.hpp"
 #include "netlist/stats.hpp"
+#include "netlist/topology.hpp"
 #include "ser/characterize.hpp"
+#include "sta/design.hpp"
+#include "sta/sensitivity.hpp"
+#include "sta/timing.hpp"
 #include "util/error.hpp"
 
 namespace rchls::api {
+
+namespace {
+
+/// The dual target shape RankGatesRequest and StaRequest share: a
+/// hand-built circuit component, or a graph elaborated under a version
+/// policy. gate_version is empty for components (unit delay model).
+struct ResolvedDesign {
+  netlist::Netlist netlist;
+  std::vector<library::VersionId> gate_version;
+};
+
+ResolvedDesign resolve_design(const std::string& component,
+                              const std::optional<dfg::Graph>& graph,
+                              const library::ResourceLibrary& lib,
+                              const std::string& versions, int width) {
+  if (graph) {
+    if (!component.empty()) {
+      throw Error("request names both a component and a graph target");
+    }
+    rtl::Elaboration e = sta::elaborate_design(*graph, lib, versions, width);
+    return {std::move(e.netlist), std::move(e.gate_version)};
+  }
+  return {circuits::component_by_name(component, width), {}};
+}
+
+}  // namespace
 
 Result Executor::run(const Request& req) {
   return std::visit([this](const auto& r) -> Result { return run(r); }, req);
@@ -117,14 +147,16 @@ InjectResult LocalExecutor::run(const InjectRequest& req) {
 }
 
 RankGatesResult LocalExecutor::run(const RankGatesRequest& req) {
-  netlist::Netlist nl = circuits::component_by_name(req.component, req.width);
+  ResolvedDesign d = resolve_design(req.component, req.graph, req.library,
+                                    req.versions, req.width);
+  const netlist::Netlist& nl = d.netlist;
 
   ser::InjectionConfig cfg;
   cfg.trials = req.trials;
   cfg.seed = req.seed;
 
   RankGatesResult r;
-  r.component = req.component;
+  r.component = req.graph ? nl.name() : req.component;
   r.width = req.width;
   r.gates = ser::rank_gate_sensitivities(nl, cfg);
   if (req.top > 0 &&
@@ -133,6 +165,66 @@ RankGatesResult LocalExecutor::run(const RankGatesRequest& req) {
   }
   for (const auto& gs : r.gates) {
     r.kinds.emplace_back(netlist::to_string(nl.gate(gs.gate).kind));
+  }
+  return r;
+}
+
+StaResult LocalExecutor::run(const StaRequest& req) {
+  if (req.top_paths < 0 || req.top < 0) {
+    throw Error("sta: top_paths and top must be >= 0");
+  }
+  if (req.clock < 0.0) throw Error("sta: clock must be >= 0");
+  ResolvedDesign d = resolve_design(req.component, req.graph, req.library,
+                                    req.versions, req.width);
+  const netlist::Netlist& nl = d.netlist;
+  netlist::Topology topo(nl);
+
+  sta::DelayModel dm =
+      req.graph ? sta::DelayModel::from_library(nl, d.gate_version,
+                                                req.library)
+                : sta::DelayModel::unit(nl);
+  sta::TimingOptions topt;
+  topt.clock = req.clock;
+  topt.top_paths = static_cast<std::size_t>(req.top_paths);
+  sta::TimingReport tr = sta::analyze(nl, topo, dm, topt);
+
+  ser::InjectionConfig cfg;
+  cfg.trials = req.trials;
+  cfg.seed = req.seed;
+  std::vector<sta::SensitivityRow> rows =
+      sta::join_sensitivity(ser::rank_gate_sensitivities(nl, cfg), tr);
+  if (req.top > 0 && rows.size() > static_cast<std::size_t>(req.top)) {
+    rows.resize(static_cast<std::size_t>(req.top));
+  }
+
+  StaResult r;
+  r.target = req.graph ? nl.name() : req.component;
+  r.width = req.width;
+  r.gate_count = nl.gate_count();
+  r.logic_gates = topo.logic_gates().size();
+  r.levels = tr.levels;
+  r.endpoints = tr.endpoints;
+  r.clock = tr.clock;
+  r.arrival_max = tr.arrival_max;
+  r.wns = tr.wns;
+  r.tns = tr.tns;
+  for (const auto& p : tr.paths) {
+    StaPath path;
+    path.endpoint = p.endpoint;
+    path.arrival = p.arrival;
+    path.slack = p.slack;
+    for (const auto& s : p.steps) {
+      path.steps.push_back(
+          {s.gate, netlist::to_string(nl.gate(s.gate).kind), s.arrival});
+    }
+    r.paths.push_back(std::move(path));
+  }
+  for (const auto& b : tr.histogram) {
+    r.histogram.push_back({b.lo, b.hi, b.count});
+  }
+  for (const auto& row : rows) {
+    r.rows.push_back({row.gate, netlist::to_string(nl.gate(row.gate).kind),
+                      row.sensitivity, row.slack});
   }
   return r;
 }

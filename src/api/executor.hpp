@@ -56,8 +56,9 @@ class Executor {
   virtual GridResult run(const GridRequest& req) = 0;
   virtual InjectResult run(const InjectRequest& req) = 0;
   virtual RankGatesResult run(const RankGatesRequest& req) = 0;
+  virtual StaResult run(const StaRequest& req) = 0;
 
-  /// Variant dispatch over the five overloads (the wire entry point).
+  /// Variant dispatch over the typed overloads (the wire entry point).
   Result run(const Request& req);
 
   /// True when run_batch does better than a serial loop (a sharding
@@ -83,6 +84,7 @@ class LocalExecutor final : public Executor {
   GridResult run(const GridRequest& req) override;
   InjectResult run(const InjectRequest& req) override;
   RankGatesResult run(const RankGatesRequest& req) override;
+  StaResult run(const StaRequest& req) override;
 };
 
 }  // namespace rchls::api

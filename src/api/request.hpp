@@ -86,20 +86,46 @@ struct InjectRequest {
   std::optional<std::uint32_t> gate;  ///< strike only this gate id
 };
 
-/// Per-gate sensitivity characterization of a generated circuit,
-/// reporting the `top` most sensitive logic gates (0 = all).
+/// Per-gate sensitivity characterization, reporting the `top` most
+/// sensitive logic gates (0 = all). Two target shapes:
+///  * a generated circuit component (`component` from
+///    circuits::component_names(), `graph` empty) -- the original form;
+///  * an elaborated datapath (`graph` set, `component` empty): the graph
+///    is elaborated at `width` with the version assignment
+///    sta::versions_for(graph, library, versions) and the ranking runs
+///    on that netlist (the ROADMAP's per-design sensitivity map).
 struct RankGatesRequest {
   std::string component;
+  std::optional<dfg::Graph> graph;
+  library::ResourceLibrary library;  ///< graph targets only
+  std::string versions = "fastest";  ///< "fastest" | "most_reliable"
   int width = 16;
   std::size_t trials = 64 * 64;
   std::uint64_t seed = 1;
   int top = 10;
 };
 
+/// Static timing analysis plus the STA-slack x gate-sensitivity join
+/// (src/sta, docs/timing.md) over one design. Same dual target shape as
+/// RankGatesRequest: a circuit component (unit-delay model) or an
+/// elaborated graph (per-pin library timing via `versions` policy).
+struct StaRequest {
+  std::string component;
+  std::optional<dfg::Graph> graph;
+  library::ResourceLibrary library;  ///< graph targets only
+  std::string versions = "fastest";  ///< "fastest" | "most_reliable"
+  int width = 16;
+  double clock = 0.0;       ///< required time; 0 = derive from max arrival
+  int top_paths = 3;        ///< critical paths to trace
+  int top = 10;             ///< sensitivity-join rows to keep (0 = all)
+  std::size_t trials = 64 * 64;  ///< injection trials for the join
+  std::uint64_t seed = 1;
+};
+
 /// Any engine request -- the closed variant the wire protocol
 /// (api/wire.hpp) ships and an api::Executor dispatches over. The
 /// alternative order matches api::Result's.
 using Request = std::variant<FindDesignRequest, SweepRequest, GridRequest,
-                             InjectRequest, RankGatesRequest>;
+                             InjectRequest, RankGatesRequest, StaRequest>;
 
 }  // namespace rchls::api

@@ -79,9 +79,58 @@ struct RankGatesResult {
   std::vector<std::string> kinds;
 };
 
+/// One traced gate of a critical path, source first.
+struct StaPathStep {
+  std::uint32_t gate = 0;
+  std::string kind;       ///< netlist gate-kind name, e.g. "Xor"
+  double arrival = 0.0;   ///< traced-edge arrival at this gate
+};
+
+/// One critical path: an endpoint's worst-arrival traceback.
+struct StaPath {
+  std::uint32_t endpoint = 0;
+  double arrival = 0.0;
+  double slack = 0.0;
+  std::vector<StaPathStep> steps;
+};
+
+/// One endpoint-slack histogram bin ([lo, hi], fixed bin count).
+struct StaBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// One row of the sensitivity-slack join, ranked by (sensitivity desc,
+/// slack asc, gate asc) -- docs/timing.md's documented order.
+struct StaRow {
+  std::uint32_t gate = 0;
+  std::string kind;
+  double sensitivity = 0.0;
+  double slack = 0.0;
+};
+
+/// Result of one StaRequest: the design-level timing summary, top
+/// critical paths, endpoint slack histogram and the sensitivity join.
+struct StaResult {
+  std::string target;  ///< component name or elaborated netlist name
+  int width = 0;
+  std::size_t gate_count = 0;
+  std::size_t logic_gates = 0;
+  std::size_t levels = 0;     ///< deepest topological level
+  std::size_t endpoints = 0;  ///< primary-output bits
+  double clock = 0.0;         ///< effective clock (given or derived)
+  double arrival_max = 0.0;
+  double wns = 0.0;
+  double tns = 0.0;
+  std::vector<StaPath> paths;
+  std::vector<StaBin> histogram;
+  std::vector<StaRow> rows;
+};
+
 /// Any engine result -- the unit the result cache stores and the
 /// scenario report writers dispatch over.
 using Result = std::variant<FindDesignResult, SweepResult, GridResult,
-                            InjectResult, RankGatesResult>;
+                            InjectResult, RankGatesResult, StaResult>;
 
 }  // namespace rchls::api

@@ -70,6 +70,10 @@ RankGatesResult Session::run(const RankGatesRequest& req) {
   return cached<RankGatesResult>(req);
 }
 
+StaResult Session::run(const StaRequest& req) {
+  return cached<StaResult>(req);
+}
+
 Result Session::run(const Request& req) {
   return std::visit([this](const auto& r) -> Result { return run(r); }, req);
 }

@@ -81,6 +81,7 @@ class Session {
   GridResult run(const GridRequest& req);
   InjectResult run(const InjectRequest& req);
   RankGatesResult run(const RankGatesRequest& req);
+  StaResult run(const StaRequest& req);
 
   /// Variant overload for wire-decoded requests (used by
   /// `rchls exec-request`); same caching and error behavior.

@@ -233,4 +233,8 @@ RankGatesResult SubprocessExecutor::run(const RankGatesRequest& req) {
   return std::get<RankGatesResult>(run_cells({Request(req)}).front());
 }
 
+StaResult SubprocessExecutor::run(const StaRequest& req) {
+  return std::get<StaResult>(run_cells({Request(req)}).front());
+}
+
 }  // namespace rchls::api

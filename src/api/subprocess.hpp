@@ -12,9 +12,9 @@
 // per CELL was spawn-bound (~1.8x slower than local on 12-cell
 // sweeps); one process per SLICE amortizes spawn + wire I/O over
 // cells/shards cells, and each worker parallelizes across its slice
-// with its own pool (the --jobs cap rides along). The other three
-// request kinds ship as a single child request -- everything the
-// executor runs goes over the wire, nothing executes in-process.
+// with its own pool (the --jobs cap rides along). The other request
+// kinds ship as a single child request -- everything the executor runs
+// goes over the wire, nothing executes in-process.
 //
 // Determinism: slicing is by index, contiguous, and merged in slice
 // order, and every cell is computed independently of its neighbors, so
@@ -89,6 +89,7 @@ class SubprocessExecutor final : public Executor {
   GridResult run(const GridRequest& req) override;
   InjectResult run(const InjectRequest& req) override;
   RankGatesResult run(const RankGatesRequest& req) override;
+  StaResult run(const StaRequest& req) override;
 
   /// Total worker processes launched by this executor (observability;
   /// tests assert sharding actually happened).

@@ -198,11 +198,36 @@ json::Value payload(const InjectRequest& r) {
 
 json::Value payload(const RankGatesRequest& r) {
   auto v = json::Value::object();
-  v.set("component", r.component)
-      .set("width", r.width)
+  v.set("component", r.component);
+  if (r.graph) {
+    // Graph-shaped targets carry their context; component-shaped
+    // payloads stay byte-identical to the pre-sta encoding (existing
+    // wire files and fuzz seeds remain canonical fixed points).
+    v.set("graph", dfg::to_text(*r.graph))
+        .set("library", library::to_text(r.library))
+        .set("versions", r.versions);
+  }
+  v.set("width", r.width)
       .set("trials", r.trials)
       .set("seed", seed_to_json(r.seed))
       .set("top", r.top);
+  return v;
+}
+
+json::Value payload(const StaRequest& r) {
+  auto v = json::Value::object();
+  v.set("component", r.component);
+  if (r.graph) {
+    v.set("graph", dfg::to_text(*r.graph))
+        .set("library", library::to_text(r.library))
+        .set("versions", r.versions);
+  }
+  v.set("width", r.width)
+      .set("clock", r.clock)
+      .set("top_paths", r.top_paths)
+      .set("top", r.top)
+      .set("trials", r.trials)
+      .set("seed", seed_to_json(r.seed));
   return v;
 }
 
@@ -254,10 +279,32 @@ InjectRequest inject_request(const json::Value& v) {
 RankGatesRequest rank_gates_request(const json::Value& v) {
   RankGatesRequest r;
   r.component = v.at("component").as_string();
+  if (const json::Value* graph = v.find("graph")) {
+    r.graph = dfg::parse_string(graph->as_string());
+    r.library = library::parse_string(v.at("library").as_string());
+    r.versions = v.at("versions").as_string();
+  }
   r.width = to_int(v.at("width"), "width");
   r.trials = to_size(v.at("trials"), "trials");
   r.seed = seed_from_json(v.at("seed"));
   r.top = to_int(v.at("top"), "top");
+  return r;
+}
+
+StaRequest sta_request(const json::Value& v) {
+  StaRequest r;
+  r.component = v.at("component").as_string();
+  if (const json::Value* graph = v.find("graph")) {
+    r.graph = dfg::parse_string(graph->as_string());
+    r.library = library::parse_string(v.at("library").as_string());
+    r.versions = v.at("versions").as_string();
+  }
+  r.width = to_int(v.at("width"), "width");
+  r.clock = v.at("clock").as_double();
+  r.top_paths = to_int(v.at("top_paths"), "top_paths");
+  r.top = to_int(v.at("top"), "top");
+  r.trials = to_size(v.at("trials"), "trials");
+  r.seed = seed_from_json(v.at("seed"));
   return r;
 }
 
@@ -427,6 +474,54 @@ json::Value payload(const RankGatesResult& r) {
   return v;
 }
 
+json::Value payload(const StaResult& r) {
+  auto v = json::Value::object();
+  v.set("target", r.target)
+      .set("width", r.width)
+      .set("gate_count", r.gate_count)
+      .set("logic_gates", r.logic_gates)
+      .set("levels", r.levels)
+      .set("endpoints", r.endpoints)
+      .set("clock", r.clock)
+      .set("arrival_max", r.arrival_max)
+      .set("wns", r.wns)
+      .set("tns", r.tns);
+  auto paths = json::Value::array();
+  for (const auto& p : r.paths) {
+    auto jp = json::Value::object();
+    auto steps = json::Value::array();
+    for (const auto& s : p.steps) {
+      auto js = json::Value::object();
+      js.set("gate", s.gate).set("kind", s.kind).set("arrival", s.arrival);
+      steps.push(std::move(js));
+    }
+    jp.set("endpoint", p.endpoint)
+        .set("arrival", p.arrival)
+        .set("slack", p.slack)
+        .set("steps", std::move(steps));
+    paths.push(std::move(jp));
+  }
+  v.set("paths", std::move(paths));
+  auto histogram = json::Value::array();
+  for (const auto& b : r.histogram) {
+    auto jb = json::Value::object();
+    jb.set("lo", b.lo).set("hi", b.hi).set("count", b.count);
+    histogram.push(std::move(jb));
+  }
+  v.set("histogram", std::move(histogram));
+  auto rows = json::Value::array();
+  for (const auto& row : r.rows) {
+    auto jr = json::Value::object();
+    jr.set("gate", row.gate)
+        .set("kind", row.kind)
+        .set("sensitivity", row.sensitivity)
+        .set("slack", row.slack);
+    rows.push(std::move(jr));
+  }
+  v.set("rows", std::move(rows));
+  return v;
+}
+
 FindDesignResult find_design_result(const json::Value& v) {
   FindDesignResult r;
   r.engine = v.at("engine").as_string();
@@ -510,6 +605,50 @@ RankGatesResult rank_gates_result(const json::Value& v) {
   return r;
 }
 
+StaResult sta_result(const json::Value& v) {
+  StaResult r;
+  r.target = v.at("target").as_string();
+  r.width = to_int(v.at("width"), "width");
+  r.gate_count = to_size(v.at("gate_count"), "gate_count");
+  r.logic_gates = to_size(v.at("logic_gates"), "logic_gates");
+  r.levels = to_size(v.at("levels"), "levels");
+  r.endpoints = to_size(v.at("endpoints"), "endpoints");
+  r.clock = v.at("clock").as_double();
+  r.arrival_max = v.at("arrival_max").as_double();
+  r.wns = v.at("wns").as_double();
+  r.tns = v.at("tns").as_double();
+  for (const auto& jp : v.at("paths").items()) {
+    StaPath p;
+    p.endpoint = to_u32(jp.at("endpoint"), "endpoint");
+    p.arrival = jp.at("arrival").as_double();
+    p.slack = jp.at("slack").as_double();
+    for (const auto& js : jp.at("steps").items()) {
+      StaPathStep s;
+      s.gate = to_u32(js.at("gate"), "gate");
+      s.kind = js.at("kind").as_string();
+      s.arrival = js.at("arrival").as_double();
+      p.steps.push_back(std::move(s));
+    }
+    r.paths.push_back(std::move(p));
+  }
+  for (const auto& jb : v.at("histogram").items()) {
+    StaBin b;
+    b.lo = jb.at("lo").as_double();
+    b.hi = jb.at("hi").as_double();
+    b.count = to_size(jb.at("count"), "count");
+    r.histogram.push_back(b);
+  }
+  for (const auto& jr : v.at("rows").items()) {
+    StaRow row;
+    row.gate = to_u32(jr.at("gate"), "gate");
+    row.kind = jr.at("kind").as_string();
+    row.sensitivity = jr.at("sensitivity").as_double();
+    row.slack = jr.at("slack").as_double();
+    r.rows.push_back(std::move(row));
+  }
+  return r;
+}
+
 // ----------------------------------------------------------------- envelope
 
 std::string seal(const char* kind, const char* slot, json::Value body) {
@@ -540,6 +679,7 @@ const char* kind_of(const Request& req) {
     const char* operator()(const GridRequest&) { return "grid"; }
     const char* operator()(const InjectRequest&) { return "inject"; }
     const char* operator()(const RankGatesRequest&) { return "rank_gates"; }
+    const char* operator()(const StaRequest&) { return "sta"; }
   };
   return std::visit(Visitor{}, req);
 }
@@ -551,6 +691,7 @@ const char* kind_of(const Result& res) {
     const char* operator()(const GridResult&) { return "grid"; }
     const char* operator()(const InjectResult&) { return "inject"; }
     const char* operator()(const RankGatesResult&) { return "rank_gates"; }
+    const char* operator()(const StaResult&) { return "sta"; }
   };
   return std::visit(Visitor{}, res);
 }
@@ -575,6 +716,7 @@ Request decode_request(const std::string& text) {
   if (kind == "grid") return grid_request(*body);
   if (kind == "inject") return inject_request(*body);
   if (kind == "rank_gates") return rank_gates_request(*body);
+  if (kind == "sta") return sta_request(*body);
   fail("unknown request kind '" + kind + "'");
 }
 
@@ -586,6 +728,7 @@ Result decode_result(const std::string& text) {
   if (kind == "grid") return grid_result(*body);
   if (kind == "inject") return inject_result(*body);
   if (kind == "rank_gates") return rank_gates_result(*body);
+  if (kind == "sta") return sta_result(*body);
   fail("unknown result kind '" + kind + "'");
 }
 

@@ -52,6 +52,21 @@ ResourceVersion parse_resource_tokens(
   return v;
 }
 
+void apply_timing_tokens(ResourceLibrary& lib,
+                         const std::vector<std::string>& tokens) {
+  if (tokens.size() != 6 || tokens[0] != "timing") {
+    throw ParseError(
+        "expected: timing <version> <pin> <rise> <fall> <slope>");
+  }
+  PinTiming arc;
+  arc.pin = tokens[2];
+  arc.rise = to_double(tokens[3], "rise");
+  arc.fall = to_double(tokens[4], "fall");
+  arc.slope = to_double(tokens[5], "slope");
+  // find() rejects unknown version names; add_timing the rest.
+  lib.add_timing(lib.find(tokens[1]), std::move(arc));
+}
+
 ResourceLibrary parse(std::istream& in) {
   ResourceLibrary lib;
   bool named = false;
@@ -80,6 +95,12 @@ ResourceLibrary parse(std::istream& in) {
       } catch (const Error& e) {
         fail(e.what());
       }
+    } else if (directive == "timing") {
+      try {
+        apply_timing_tokens(lib, tokens);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
     } else {
       fail("unknown directive '" + directive + "'");
     }
@@ -98,6 +119,13 @@ std::string to_text(const ResourceLibrary& lib) {
     os << "resource " << v.name << " " << to_string(v.cls) << " "
        << format_shortest(v.area) << " " << v.delay << " "
        << format_shortest(v.reliability) << "\n";
+    // Timing arcs follow their resource line in insertion order, so an
+    // untimed library's text is byte-identical to the pre-timing format.
+    for (const auto& arc : v.timing) {
+      os << "timing " << v.name << " " << arc.pin << " "
+         << format_shortest(arc.rise) << " " << format_shortest(arc.fall)
+         << " " << format_shortest(arc.slope) << "\n";
+    }
   }
   return os.str();
 }

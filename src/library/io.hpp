@@ -6,12 +6,21 @@
 //
 //   library  <name>                                    # optional, once
 //   resource <name> <class> <area> <delay> <reliability>
+//   timing   <version> <pin> <rise> <fall> <slope>     # optional, per pin
 //
 // where <class> is `adder` or `multiplier` (alias `mult`), <area> is in
 // the paper's normalized units (ripple-carry adder == 1, must be > 0),
 // <delay> is in whole clock cycles (>= 1), and <reliability> is the
 // mission reliability in (0, 1]. Version ids are assigned in file order,
 // matching ResourceLibrary::add.
+//
+// `timing` lines are the optional NLDM-flavored per-pin timing model
+// (library/resource.hpp PinTiming, consumed by src/sta): <version> names
+// an already-declared resource, <pin> is `a` (fanin0) or `b` (fanin1),
+// and <rise>/<fall>/<slope> are non-negative delays in abstract units
+// (docs/timing.md). Libraries without timing lines are untimed and
+// re-encode byte-identically through to_text -- the directive is fully
+// backward compatible.
 //
 // See docs/scenario-format.md for how scenario files embed or include
 // libraries.
@@ -44,5 +53,14 @@ ResourceClass class_from_string(const std::string& s);
 /// a wrong token count or malformed class/number tokens; range
 /// validation happens in ResourceLibrary::add.
 ResourceVersion parse_resource_tokens(const std::vector<std::string>& tokens);
+
+/// Parses one tokenized "timing <version> <pin> <rise> <fall> <slope>"
+/// directive and attaches the arc to `lib` -- shared by library files
+/// and scenario files, like parse_resource_tokens. Throws ParseError
+/// (without position information) on a wrong token count or malformed
+/// numbers, and Error for an unknown version name, bad pin, negative
+/// values or a duplicate pin arc.
+void apply_timing_tokens(ResourceLibrary& lib,
+                         const std::vector<std::string>& tokens);
 
 }  // namespace rchls::library

@@ -26,12 +26,36 @@ ResourceClass class_of(dfg::OpType op) {
   throw Error("class_of: unknown op type");
 }
 
+namespace {
+
+void check_timing_arc(const PinTiming& arc,
+                      const std::vector<PinTiming>& existing,
+                      std::size_t existing_count) {
+  if (arc.pin != "a" && arc.pin != "b") {
+    throw Error("timing: unknown pin '" + arc.pin +
+                "' (expected a or b)");
+  }
+  if (arc.rise < 0.0 || arc.fall < 0.0 || arc.slope < 0.0) {
+    throw Error("timing: rise, fall and slope must be >= 0");
+  }
+  for (std::size_t i = 0; i < existing_count; ++i) {
+    if (existing[i].pin == arc.pin) {
+      throw Error("timing: duplicate arc for pin '" + arc.pin + "'");
+    }
+  }
+}
+
+}  // namespace
+
 VersionId ResourceLibrary::add(ResourceVersion v) {
   if (v.name.empty()) throw Error("ResourceLibrary::add: empty name");
   if (!(v.area > 0.0)) throw Error("ResourceLibrary::add: area must be > 0");
   if (v.delay < 1) throw Error("ResourceLibrary::add: delay must be >= 1");
   if (!(v.reliability > 0.0) || !(v.reliability <= 1.0)) {
     throw Error("ResourceLibrary::add: reliability must lie in (0, 1]");
+  }
+  for (std::size_t i = 0; i < v.timing.size(); ++i) {
+    check_timing_arc(v.timing[i], v.timing, i);
   }
   for (const auto& existing : versions_) {
     if (existing.name == v.name) {
@@ -40,6 +64,21 @@ VersionId ResourceLibrary::add(ResourceVersion v) {
   }
   versions_.push_back(std::move(v));
   return static_cast<VersionId>(versions_.size() - 1);
+}
+
+void ResourceLibrary::add_timing(VersionId id, PinTiming arc) {
+  if (id >= versions_.size()) throw Error("add_timing: id out of range");
+  check_timing_arc(arc, versions_[id].timing, versions_[id].timing.size());
+  versions_[id].timing.push_back(std::move(arc));
+}
+
+const PinTiming* ResourceLibrary::timing_of(VersionId id,
+                                            const std::string& pin) const {
+  const ResourceVersion& v = version(id);
+  for (const auto& arc : v.timing) {
+    if (arc.pin == pin) return &arc;
+  }
+  return nullptr;
 }
 
 const ResourceVersion& ResourceLibrary::version(VersionId id) const {

@@ -11,7 +11,8 @@
 // never by pointer or hash order. Failures throw rchls::Error.
 //
 // Libraries can also be written as text ("resource <name> <class> <area>
-// <delay> <reliability>" lines, see library/io.hpp) and embedded in
+// <delay> <reliability>" lines plus optional "timing <version> <pin>
+// <rise> <fall> <slope>" arcs, see library/io.hpp) and embedded in
 // scenario files (docs/scenario-format.md).
 #pragma once
 
@@ -38,6 +39,19 @@ ResourceClass class_of(dfg::OpType op);
 /// order of add() calls (file order for parsed libraries).
 using VersionId = std::uint32_t;
 
+/// One NLDM-flavored timing arc through an input pin of a version's
+/// gates: intrinsic rise/fall delay plus a load-dependent slope. The
+/// sta::TimingEngine evaluates a gate instanced from the version as
+///   delay(pin, edge) = intrinsic(pin, edge) + slope(pin) * fanout
+/// in the same abstract delay units for every library (docs/timing.md).
+/// Pins name primitive-gate fanins: "a" is fanin0, "b" is fanin1.
+struct PinTiming {
+  std::string pin;     ///< "a" (fanin0) or "b" (fanin1)
+  double rise = 0.0;   ///< intrinsic delay to an output rise (>= 0)
+  double fall = 0.0;   ///< intrinsic delay to an output fall (>= 0)
+  double slope = 0.0;  ///< extra delay per fanout load (>= 0)
+};
+
 /// One implementation (version) of a resource class.
 struct ResourceVersion {
   std::string name;
@@ -45,14 +59,27 @@ struct ResourceVersion {
   double area = 0.0;      ///< normalized area units (Table 1 column 2)
   int delay = 1;          ///< clock cycles (Table 1 column 3)
   double reliability = 0; ///< mission reliability (Table 1 column 4)
+  /// Optional timing model, one arc per characterized pin (insertion
+  /// order; at most one arc per pin). Empty = untimed: STA falls back
+  /// to the implicit unit arc {rise 1, fall 1, slope 0}.
+  std::vector<PinTiming> timing;
 };
 
 class ResourceLibrary {
  public:
   /// Adds a version and returns its id. Throws Error unless name is
-  /// non-empty and unique, area > 0, delay >= 1 and reliability lies in
-  /// (0, 1].
+  /// non-empty and unique, area > 0, delay >= 1, reliability lies in
+  /// (0, 1] and every attached timing arc passes the add_timing checks.
   VersionId add(ResourceVersion v);
+
+  /// Attaches a timing arc to an existing version. Throws Error for an
+  /// out-of-range id, a pin other than "a"/"b", a negative rise, fall
+  /// or slope, or a pin the version already characterizes.
+  void add_timing(VersionId id, PinTiming arc);
+
+  /// The version's arc for `pin`, or nullptr when uncharacterized
+  /// (callers substitute the implicit unit arc).
+  const PinTiming* timing_of(VersionId id, const std::string& pin) const;
 
   std::size_t size() const { return versions_.size(); }
   /// Throws Error when `id` is out of range.

@@ -108,6 +108,10 @@ api::RankGatesResult RemoteExecutor::run(const api::RankGatesRequest& req) {
   return std::get<api::RankGatesResult>(dispatch(api::Request(req)));
 }
 
+api::StaResult RemoteExecutor::run(const api::StaRequest& req) {
+  return std::get<api::StaResult>(dispatch(api::Request(req)));
+}
+
 std::vector<api::Result> RemoteExecutor::run_batch(
     const std::vector<api::Request>& reqs) {
   return dispatch_all(reqs);

@@ -60,6 +60,7 @@ class RemoteExecutor final : public api::Executor {
   api::GridResult run(const api::GridRequest& req) override;
   api::InjectResult run(const api::InjectRequest& req) override;
   api::RankGatesResult run(const api::RankGatesRequest& req) override;
+  api::StaResult run(const api::StaRequest& req) override;
 
   bool supports_batching() const override { return true; }
   std::vector<api::Result> run_batch(

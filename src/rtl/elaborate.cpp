@@ -75,7 +75,7 @@ Elaboration elaborate(const dfg::Graph& g,
     throw Error("elaborate: width must be in [2, 32]");
   }
 
-  Elaboration e{Netlist(g.name() + "_elaborated"), {}, {}};
+  Elaboration e{Netlist(g.name() + "_elaborated"), {}, {}, {}};
   Netlist& nl = e.netlist;
 
   std::vector<Word> value(g.node_count());
@@ -102,6 +102,9 @@ Elaboration elaborate(const dfg::Graph& g,
     }
     value[id] =
         instance_op(nl, units, version, g.node(id).op, ops.a, ops.b, width);
+    // Everything created while this operation elaborated -- its unit,
+    // glue logic and inline operand input bits -- belongs to its version.
+    e.gate_version.resize(nl.gate_count(), version_of[id]);
   }
 
   for (dfg::NodeId id : g.sinks()) {

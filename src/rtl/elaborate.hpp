@@ -29,12 +29,25 @@
 
 namespace rchls::rtl {
 
+/// gate_version entry for gates not instanced from a library version
+/// (there are none today -- every gate, including inline operand input
+/// bits and glue logic, is created while some operation elaborates and
+/// inherits that operation's version -- but consumers must not assume
+/// that and should treat kNoVersion as "use the implicit unit arc").
+inline constexpr library::VersionId kNoVersion =
+    static_cast<library::VersionId>(-1);
+
 struct Elaboration {
   netlist::Netlist netlist;
   /// Input bus names in creation order, "<node>_in<k>".
   std::vector<std::string> input_names;
   /// Output bus names, "<node>_out", one per DFG sink.
   std::vector<std::string> output_names;
+  /// Per-gate provenance, size netlist.gate_count(): the library version
+  /// whose instancing created the gate (glue gates -- operand inverters,
+  /// carry-in constants, Lt flag logic -- inherit the operation's
+  /// version), or kNoVersion. Feeds sta::DelayModel::from_library.
+  std::vector<library::VersionId> gate_version;
 };
 
 /// Elaborates the design. Throws Error if a node has more than two

@@ -200,7 +200,7 @@ struct Parser {
 
   void push_action(const Cursor& action_at, Options& opts, const char* kind,
                    std::variant<FindDesignAction, SweepAction, GridAction,
-                                InjectAction, RankGatesAction>
+                                InjectAction, RankGatesAction, StaAction>
                        op) {
     Action a;
     a.line = action_at.line;
@@ -410,6 +410,21 @@ void Parser::handle(const std::vector<std::string>& tokens) {
       at.fail(e.what());
     }
 
+  } else if (directive == "timing") {
+    // Same sharing for the optional per-pin timing model: a timing line
+    // characterizes an already-declared inline resource version.
+    if (library_declared) {
+      at.fail("timing line after a library directive");
+    }
+    if (!inline_library) {
+      at.fail("timing line before any resource line");
+    }
+    try {
+      library::apply_timing_tokens(scn.library, tokens);
+    } catch (const Error& e) {
+      at.fail(e.what());
+    }
+
   } else if (directive == "bounds") {
     if (tokens.size() != 4) {
       at.fail("expected: bounds <label> <latency> <area>");
@@ -537,6 +552,42 @@ void Parser::handle(const std::vector<std::string>& tokens) {
     if (rg.top < 0) at.fail("top must be >= 0");
     push_action(at, opts, "rank_gates", std::move(rg));
 
+  } else if (directive == "sta") {
+    // `sta [component] [options]`: a bare second token (no '=') names a
+    // generated circuit; otherwise the action times the scenario's graph
+    // elaborated under versions=.
+    StaAction st;
+    std::size_t first_option = 1;
+    if (tokens.size() > 1 && tokens[1].find('=') == std::string::npos) {
+      st.component = tokens[1];
+      if (!circuits::is_component(st.component)) {
+        at.fail("unknown component '" + st.component + "'");
+      }
+      first_option = 2;
+    }
+    Options opts(at, tokens, first_option);
+    if (auto v = opts.take("versions")) {
+      if (*v != "fastest" && *v != "most_reliable") {
+        at.fail("unknown versions policy '" + *v +
+                "' (expected fastest or most_reliable)");
+      }
+      if (!st.component.empty()) {
+        at.fail("versions= applies to graph-shaped sta actions only");
+      }
+      st.versions = *v;
+    }
+    opts.take_int("width", st.width);
+    if (st.width < 1) at.fail("width must be >= 1");
+    opts.take_double("clock", st.clock);
+    if (st.clock < 0) at.fail("clock must be >= 0");
+    opts.take_int("top_paths", st.top_paths);
+    if (st.top_paths < 0) at.fail("top_paths must be >= 0");
+    opts.take_int("top", st.top);
+    if (st.top < 0) at.fail("top must be >= 0");
+    opts.take_size("trials", st.trials);
+    opts.take_seed("seed", st.seed);
+    push_action(at, opts, "sta", std::move(st));
+
   } else {
     at.fail("unknown directive '" + directive + "'");
   }
@@ -555,6 +606,9 @@ void Parser::finalize() {
     bool needs_graph = std::holds_alternative<FindDesignAction>(a.op) ||
                        std::holds_alternative<SweepAction>(a.op) ||
                        std::holds_alternative<GridAction>(a.op);
+    if (const auto* st = std::get_if<StaAction>(&a.op)) {
+      needs_graph = st->component.empty();
+    }
     if (needs_graph && !scn.graph) {
       action_at.fail("action needs a graph, but the scenario declares none");
     }

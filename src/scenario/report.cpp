@@ -17,6 +17,7 @@ const char* kind_name(const ActionResult& a) {
   if (std::holds_alternative<SweepResult>(a.data)) return "sweep";
   if (std::holds_alternative<GridResult>(a.data)) return "grid";
   if (std::holds_alternative<InjectResult>(a.data)) return "inject";
+  if (std::holds_alternative<StaResult>(a.data)) return "sta";
   return "rank_gates";
 }
 
@@ -145,6 +146,54 @@ json::Value json_rank_gates(const RankGatesResult& r) {
   return v;
 }
 
+json::Value json_sta(const StaResult& r) {
+  auto v = json::Value::object();
+  v.set("target", r.target)
+      .set("width", r.width)
+      .set("gate_count", r.gate_count)
+      .set("logic_gates", r.logic_gates)
+      .set("levels", r.levels)
+      .set("endpoints", r.endpoints)
+      .set("clock", r.clock)
+      .set("arrival_max", r.arrival_max)
+      .set("wns", r.wns)
+      .set("tns", r.tns);
+  auto paths = json::Value::array();
+  for (const auto& p : r.paths) {
+    auto jp = json::Value::object();
+    auto steps = json::Value::array();
+    for (const auto& s : p.steps) {
+      auto js = json::Value::object();
+      js.set("gate", s.gate).set("kind", s.kind).set("arrival", s.arrival);
+      steps.push(std::move(js));
+    }
+    jp.set("endpoint", p.endpoint)
+        .set("arrival", p.arrival)
+        .set("slack", p.slack)
+        .set("steps", std::move(steps));
+    paths.push(std::move(jp));
+  }
+  v.set("paths", std::move(paths));
+  auto histogram = json::Value::array();
+  for (const auto& b : r.histogram) {
+    auto jb = json::Value::object();
+    jb.set("lo", b.lo).set("hi", b.hi).set("count", b.count);
+    histogram.push(std::move(jb));
+  }
+  v.set("histogram", std::move(histogram));
+  auto rows = json::Value::array();
+  for (const auto& row : r.rows) {
+    auto jr = json::Value::object();
+    jr.set("gate", row.gate)
+        .set("kind", row.kind)
+        .set("sensitivity", row.sensitivity)
+        .set("slack", row.slack);
+    rows.push(std::move(jr));
+  }
+  v.set("rows", std::move(rows));
+  return v;
+}
+
 // ------------------------------------------------------------------- CSV
 
 std::string csv_find_design(const FindDesignResult& r) {
@@ -185,6 +234,29 @@ std::string csv_rank_gates(const RankGatesResult& r) {
        << format_fixed(res.logical_sensitivity, 5) << ","
        << format_fixed(res.half_width_95, 5) << ","
        << format_fixed(res.susceptibility, 5) << "\n";
+  }
+  return os.str();
+}
+
+std::string csv_sta(const StaResult& r) {
+  std::ostringstream os;
+  os << "target,width,gate_count,logic_gates,levels,endpoints,clock,"
+        "arrival_max,wns,tns\n"
+     << r.target << "," << r.width << "," << r.gate_count << ","
+     << r.logic_gates << "," << r.levels << "," << r.endpoints << ","
+     << format_fixed(r.clock, 5) << "," << format_fixed(r.arrival_max, 5)
+     << "," << format_fixed(r.wns, 5) << "," << format_fixed(r.tns, 5)
+     << "\n";
+  return os.str();
+}
+
+std::string csv_sta_rows(const StaResult& r) {
+  std::ostringstream os;
+  os << "gate,kind,sensitivity,slack\n";
+  for (const auto& row : r.rows) {
+    os << row.gate << "," << row.kind << ","
+       << format_fixed(row.sensitivity, 5) << ","
+       << format_fixed(row.slack, 5) << "\n";
   }
   return os.str();
 }
@@ -259,6 +331,48 @@ std::string table_rank_gates(const RankGatesResult& r) {
   return os.str();
 }
 
+std::string table_sta(const StaResult& r) {
+  std::ostringstream os;
+  os << r.target << " (width " << r.width << "): " << r.gate_count
+     << " gates, " << r.logic_gates << " logic, " << r.levels
+     << " levels, " << r.endpoints << " endpoints\n"
+     << "clock:       " << format_fixed(r.clock, 5) << "\n"
+     << "arrival max: " << format_fixed(r.arrival_max, 5) << "\n"
+     << "wns:         " << format_fixed(r.wns, 5) << "\n"
+     << "tns:         " << format_fixed(r.tns, 5) << "\n";
+  if (!r.paths.empty()) {
+    os << "critical paths (worst first):\n";
+    for (const auto& p : r.paths) {
+      os << "  endpoint " << p.endpoint << " arrival "
+         << format_fixed(p.arrival, 5) << " slack "
+         << format_fixed(p.slack, 5) << ":";
+      for (const auto& s : p.steps) {
+        os << " " << s.kind << "#" << s.gate << "@"
+           << format_fixed(s.arrival, 5);
+      }
+      os << "\n";
+    }
+  }
+  if (!r.histogram.empty()) {
+    os << "endpoint slack histogram:\n";
+    for (const auto& b : r.histogram) {
+      os << "  [" << format_fixed(b.lo, 5) << ", " << format_fixed(b.hi, 5)
+         << "): " << b.count << "\n";
+    }
+  }
+  if (!r.rows.empty()) {
+    os << "sensitivity vs slack (most sensitive first):\n";
+    Table t({"gate", "kind", "sensitivity", "slack"});
+    for (const auto& row : r.rows) {
+      t.add_row({std::to_string(row.gate), row.kind,
+                 format_fixed(row.sensitivity, 5),
+                 format_fixed(row.slack, 5)});
+    }
+    os << t.render();
+  }
+  return os.str();
+}
+
 std::string table_find_design(const FindDesignResult& r,
                               const RunReport& report) {
   std::ostringstream os;
@@ -312,6 +426,8 @@ std::string to_json(const RunReport& report) {
       v = json_grid(*gr);
     } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
       v = json_inject(*in);
+    } else if (const auto* st = std::get_if<StaResult>(&a.data)) {
+      v = json_sta(*st);
     } else {
       v = json_rank_gates(std::get<RankGatesResult>(a.data));
     }
@@ -347,6 +463,9 @@ std::string to_csv(const RunReport& report) {
          << "\n";
     } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
       os << csv_inject(*in);
+    } else if (const auto* st = std::get_if<StaResult>(&a.data)) {
+      os << csv_sta(*st);
+      os << "\n# action " << a.label << " rows\n" << csv_sta_rows(*st);
     } else {
       os << csv_rank_gates(std::get<RankGatesResult>(a.data));
     }
@@ -376,6 +495,8 @@ std::string to_table(const RunReport& report) {
       os << table_grid(*gr);
     } else if (const auto* in = std::get_if<InjectResult>(&a.data)) {
       os << table_inject(*in);
+    } else if (const auto* st = std::get_if<StaResult>(&a.data)) {
+      os << table_sta(*st);
     } else {
       os << table_rank_gates(std::get<RankGatesResult>(a.data));
     }

@@ -68,6 +68,26 @@ api::RankGatesRequest to_request(const RankGatesAction& a) {
   return req;
 }
 
+api::StaRequest to_request(const StaAction& a,
+                           const std::optional<dfg::Graph>& g,
+                           const library::ResourceLibrary& lib) {
+  api::StaRequest req;
+  req.component = a.component;
+  if (a.component.empty()) {
+    // Graph-shaped: the caller has checked the scenario declares one.
+    req.graph = g;
+    req.library = lib;
+    req.versions = a.versions;
+  }
+  req.width = a.width;
+  req.clock = a.clock;
+  req.top_paths = a.top_paths;
+  req.top = a.top;
+  req.trials = a.trials;
+  req.seed = a.seed;
+  return req;
+}
+
 }  // namespace
 
 RunReport run(const Scenario& scn, api::Session& session) {
@@ -88,6 +108,9 @@ RunReport run(const Scenario& scn, api::Session& session) {
     // The parser enforces this for .scn files; guard hand-built Scenarios.
     bool needs_graph = !std::holds_alternative<InjectAction>(action.op) &&
                        !std::holds_alternative<RankGatesAction>(action.op);
+    if (const auto* st = std::get_if<StaAction>(&action.op)) {
+      needs_graph = st->component.empty();
+    }
     if (needs_graph && !scn.graph) {
       throw Error("action '" + action.label +
                   "' needs a graph, but the scenario has none");
@@ -100,6 +123,8 @@ RunReport run(const Scenario& scn, api::Session& session) {
       requests.emplace_back(to_request(*gr, *scn.graph, scn.library));
     } else if (const auto* in = std::get_if<InjectAction>(&action.op)) {
       requests.emplace_back(to_request(*in));
+    } else if (const auto* st = std::get_if<StaAction>(&action.op)) {
+      requests.emplace_back(to_request(*st, scn.graph, scn.library));
     } else {
       requests.emplace_back(
           to_request(std::get<RankGatesAction>(action.op)));

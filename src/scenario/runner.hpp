@@ -53,6 +53,7 @@ using SweepResult = api::SweepResult;
 using GridResult = api::GridResult;
 using InjectResult = api::InjectResult;
 using RankGatesResult = api::RankGatesResult;
+using StaResult = api::StaResult;
 
 /// One executed action: the label/line it came from and its payload.
 struct ActionResult {

@@ -86,18 +86,35 @@ struct RankGatesAction {
   int top = 10;
 };
 
+/// One `sta` action: levelized static timing analysis plus the
+/// sensitivity/slack join (docs/timing.md). With a `component`, runs on
+/// the generated circuit under unit delays; without one, runs on the
+/// scenario's graph elaborated under the `versions` policy using the
+/// scenario's library (whose `timing` directives drive the delay model).
+struct StaAction {
+  std::string component;  ///< empty = the scenario's graph
+  std::string versions = "fastest";  ///< "fastest" | "most_reliable"
+  int width = 16;
+  double clock = 0.0;     ///< 0 = derive from the longest path
+  int top_paths = 3;
+  int top = 10;           ///< sensitivity rows to report (0 = all)
+  std::size_t trials = 64 * 64;
+  std::uint64_t seed = 1;
+};
+
 /// A parsed action: the payload plus its report label and the source line
 /// it came from (used in runtime error messages).
 struct Action {
   std::string label;
   int line = 0;
   std::variant<FindDesignAction, SweepAction, GridAction, InjectAction,
-               RankGatesAction>
+               RankGatesAction, StaAction>
       op;
 };
 
 /// A complete parsed scenario. `graph` is empty when the file declares
-/// none (legal as long as every action is inject / rank_gates).
+/// none (legal as long as every action is inject / rank_gates /
+/// component-shaped sta).
 struct Scenario {
   std::string name = "scenario";
   std::optional<dfg::Graph> graph;

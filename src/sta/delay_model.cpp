@@ -1,0 +1,47 @@
+#include "sta/delay_model.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::sta {
+
+DelayModel DelayModel::unit(const netlist::Netlist& nl) {
+  DelayModel m;
+  m.arcs_.assign(nl.gate_count() * 2, PinArc{});
+  return m;
+}
+
+DelayModel DelayModel::from_library(
+    const netlist::Netlist& nl,
+    std::span<const library::VersionId> gate_version,
+    const library::ResourceLibrary& lib) {
+  if (gate_version.size() != nl.gate_count()) {
+    throw Error("DelayModel::from_library: gate_version size mismatch");
+  }
+  DelayModel m;
+  m.arcs_.assign(nl.gate_count() * 2, PinArc{});
+  // Resolve each distinct version's pins once; gates then copy.
+  struct VersionArcs {
+    bool resolved = false;
+    PinArc a, b;
+  };
+  std::vector<VersionArcs> memo(lib.size());
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    library::VersionId v = gate_version[g];
+    if (v >= lib.size()) continue;  // kNoVersion sentinel: unit arcs
+    VersionArcs& va = memo[v];
+    if (!va.resolved) {
+      va.resolved = true;
+      if (const library::PinTiming* t = lib.timing_of(v, "a")) {
+        va.a = PinArc{t->rise, t->fall, t->slope};
+      }
+      if (const library::PinTiming* t = lib.timing_of(v, "b")) {
+        va.b = PinArc{t->rise, t->fall, t->slope};
+      }
+    }
+    m.arcs_[g * 2] = va.a;
+    m.arcs_[g * 2 + 1] = va.b;
+  }
+  return m;
+}
+
+}  // namespace rchls::sta

@@ -1,0 +1,67 @@
+// Per-gate resolved delay arcs -- the bridge between library::PinTiming
+// (per-version, per-pin NLDM-flavored characterization) and the
+// sta::TimingEngine (per-gate levelized propagation).
+//
+// A DelayModel holds, for every gate of one netlist, the rise/fall
+// intrinsic delays and load slope of each input pin ("a" = fanin0,
+// "b" = fanin1). The engine evaluates the delay through pin p of gate g
+// as
+//
+//   delay(g, p, edge) = intrinsic(p, edge) + slope(p) * fanout(g)
+//
+// with fanout(g) the CSR fanout count from netlist::Topology -- the
+// load-dependent term of the NLDM table, collapsed to a single slope.
+//
+// Two constructors cover the two report targets:
+//  * unit(nl): every pin gets the implicit unit arc {rise 1, fall 1,
+//    slope 0}; arrival times then equal topological depth. Hand-built
+//    circuit components (src/circuits) have no library provenance, so
+//    this is their model.
+//  * from_library(nl, gate_version, lib): each gate looks up the
+//    PinTiming arcs of the library version that instanced it
+//    (rtl::Elaboration::gate_version); versions or pins without arcs
+//    fall back to the unit arc. Deterministic: a pure function of its
+//    inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "library/resource.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rchls::sta {
+
+/// One input pin's resolved arc (the implicit unit arc by default).
+struct PinArc {
+  double rise = 1.0;
+  double fall = 1.0;
+  double slope = 0.0;
+};
+
+class DelayModel {
+ public:
+  /// Unit delay for every pin of every gate of `nl`.
+  static DelayModel unit(const netlist::Netlist& nl);
+
+  /// Library-driven arcs: gate g uses the PinTiming of
+  /// lib.version(gate_version[g]); rtl::kNoVersion (or any out-of-range
+  /// sentinel) and uncharacterized pins fall back to the unit arc.
+  /// Throws Error when gate_version.size() != nl.gate_count().
+  static DelayModel from_library(
+      const netlist::Netlist& nl,
+      std::span<const library::VersionId> gate_version,
+      const library::ResourceLibrary& lib);
+
+  /// Arc of pin 0 ("a") / pin 1 ("b") of gate `id`.
+  const PinArc& arc(netlist::GateId id, int pin) const {
+    return arcs_[static_cast<std::size_t>(id) * 2 + pin];
+  }
+
+  std::size_t gate_count() const { return arcs_.size() / 2; }
+
+ private:
+  std::vector<PinArc> arcs_;  ///< two per gate: [2*id] = a, [2*id+1] = b
+};
+
+}  // namespace rchls::sta

@@ -1,0 +1,33 @@
+#include "sta/design.hpp"
+
+#include "util/error.hpp"
+
+namespace rchls::sta {
+
+std::vector<library::VersionId> versions_for(
+    const dfg::Graph& g, const library::ResourceLibrary& lib,
+    const std::string& policy) {
+  bool fastest;
+  if (policy == "fastest") {
+    fastest = true;
+  } else if (policy == "most_reliable") {
+    fastest = false;
+  } else {
+    throw Error("unknown version policy '" + policy +
+                "' (expected fastest or most_reliable)");
+  }
+  std::vector<library::VersionId> out(g.node_count());
+  for (dfg::NodeId id = 0; id < g.node_count(); ++id) {
+    library::ResourceClass cls = library::class_of(g.node(id).op);
+    out[id] = fastest ? lib.fastest(cls) : lib.most_reliable(cls);
+  }
+  return out;
+}
+
+rtl::Elaboration elaborate_design(const dfg::Graph& g,
+                                  const library::ResourceLibrary& lib,
+                                  const std::string& policy, int width) {
+  return rtl::elaborate(g, lib, versions_for(g, lib, policy), width);
+}
+
+}  // namespace rchls::sta

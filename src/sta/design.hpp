@@ -1,0 +1,36 @@
+// Design-level entry helpers shared by the STA and rank_gates executor
+// paths: resolve a whole-graph version assignment from a named policy
+// and elaborate it to the flat netlist the engines analyze.
+//
+// Policies (the spelling api::StaRequest / the CLI's --versions flag
+// carries):
+//   "fastest"        every operation uses its class's fastest version
+//                    (ResourceLibrary::fastest tie-breaks)
+//   "most_reliable"  every operation uses its class's most reliable
+//                    version (the paper's initial allocation)
+//
+// Both are deterministic total functions of (graph, library, width).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "library/resource.hpp"
+#include "rtl/elaborate.hpp"
+
+namespace rchls::sta {
+
+/// Per-node version assignment under `policy`. Throws Error for an
+/// unknown policy name or a library missing a class the graph uses.
+std::vector<library::VersionId> versions_for(
+    const dfg::Graph& g, const library::ResourceLibrary& lib,
+    const std::string& policy);
+
+/// versions_for + rtl::elaborate in one step (the request-level target
+/// resolution for graph-shaped StaRequest / RankGatesRequest).
+rtl::Elaboration elaborate_design(const dfg::Graph& g,
+                                  const library::ResourceLibrary& lib,
+                                  const std::string& policy, int width);
+
+}  // namespace rchls::sta

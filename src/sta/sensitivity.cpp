@@ -1,0 +1,32 @@
+#include "sta/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rchls::sta {
+
+std::vector<SensitivityRow> join_sensitivity(
+    const std::vector<ser::GateSensitivity>& ranking,
+    const TimingReport& report) {
+  std::vector<SensitivityRow> rows;
+  rows.reserve(ranking.size());
+  for (const auto& gs : ranking) {
+    if (gs.gate >= report.slack.size()) {
+      throw Error("join_sensitivity: ranked gate out of range");
+    }
+    rows.push_back({gs.gate, gs.result.logical_sensitivity,
+                    report.slack[gs.gate]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SensitivityRow& a, const SensitivityRow& b) {
+              if (a.sensitivity != b.sensitivity) {
+                return a.sensitivity > b.sensitivity;
+              }
+              if (a.slack != b.slack) return a.slack < b.slack;
+              return a.gate < b.gate;
+            });
+  return rows;
+}
+
+}  // namespace rchls::sta

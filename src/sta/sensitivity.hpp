@@ -1,0 +1,35 @@
+// The per-design sensitivity map: ser::rank_gate_sensitivities joined
+// with STA slack on the same netlist -- the paper's "which gates matter
+// for this design" answer. A gate is dangerous when it is both
+// logically sensitive (strikes propagate to an output) and timing-
+// critical (little slack to absorb a transient), so the join ranks by
+//
+//   logical sensitivity descending,
+//   then slack ascending (tighter = more critical),
+//   then gate id ascending
+//
+// -- a documented total order (docs/timing.md), deterministic because
+// both inputs are.
+#pragma once
+
+#include <vector>
+
+#include "ser/fault_injection.hpp"
+#include "sta/timing.hpp"
+
+namespace rchls::sta {
+
+struct SensitivityRow {
+  netlist::GateId gate = 0;
+  double sensitivity = 0.0;  ///< logical sensitivity (ser)
+  double slack = 0.0;        ///< worse-edge STA slack
+};
+
+/// Joins a ranking (every logic gate, from ser::rank_gate_sensitivities)
+/// with the report's per-gate slack and re-ranks by the order above.
+/// Throws Error when a ranked gate is out of the report's range.
+std::vector<SensitivityRow> join_sensitivity(
+    const std::vector<ser::GateSensitivity>& ranking,
+    const TimingReport& report);
+
+}  // namespace rchls::sta

@@ -1,0 +1,289 @@
+#include "sta/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace rchls::sta {
+
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Unateness { kPositive, kNegative, kNonUnate };
+
+Unateness unateness(GateKind kind) {
+  switch (kind) {
+    case GateKind::kBuf:
+    case GateKind::kAnd:
+    case GateKind::kOr:
+      return Unateness::kPositive;
+    case GateKind::kNot:
+    case GateKind::kNand:
+    case GateKind::kNor:
+      return Unateness::kNegative;
+    default:
+      return Unateness::kNonUnate;  // Xor/Xnor (sources never ask)
+  }
+}
+
+// Arrival candidate at gate `g`'s output for `out_rise`, through input
+// pin `pin` whose driver arrives at (in_rise, in_fall). `load` is g's
+// fanout count (the NLDM load axis, docs/timing.md).
+double edge_candidate(const DelayModel& dm, GateId g, int pin, Unateness u,
+                      bool out_rise, double in_rise, double in_fall,
+                      double load) {
+  const PinArc& arc = dm.arc(g, pin);
+  double intrinsic = (out_rise ? arc.rise : arc.fall) + arc.slope * load;
+  switch (u) {
+    case Unateness::kPositive:
+      return (out_rise ? in_rise : in_fall) + intrinsic;
+    case Unateness::kNegative:
+      return (out_rise ? in_fall : in_rise) + intrinsic;
+    case Unateness::kNonUnate:
+      return std::max(in_rise, in_fall) + intrinsic;
+  }
+  return -kInf;
+}
+
+struct EdgeTimes {
+  std::vector<double> rise;
+  std::vector<double> fall;
+};
+
+// Gates grouped by topological level; the unit of parallel propagation.
+std::vector<std::vector<GateId>> level_buckets(
+    const netlist::Topology& topo) {
+  std::vector<std::vector<GateId>> buckets(topo.max_level() + 1);
+  for (GateId id = 0; id < topo.gate_count(); ++id) {
+    buckets[topo.level(id)].push_back(id);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+TimingReport analyze(const netlist::Netlist& nl,
+                     const netlist::Topology& topo, const DelayModel& dm,
+                     const TimingOptions& options) {
+  const std::size_t n = nl.gate_count();
+  if (dm.gate_count() != n) {
+    throw Error("sta::analyze: DelayModel gate count mismatch");
+  }
+
+  std::vector<std::vector<GateId>> buckets = level_buckets(topo);
+
+  // -- forward arrival, rise/fall separately, level by level ------------
+  EdgeTimes arr{std::vector<double>(n, 0.0), std::vector<double>(n, 0.0)};
+  auto propagate_one = [&](GateId g) {
+    const netlist::Gate& gate = nl.gate(g);
+    int pins = netlist::fanin_count(gate.kind);
+    if (pins == 0) return;  // inputs/constants arrive at 0
+    Unateness u = unateness(gate.kind);
+    double load = static_cast<double>(topo.fanout_count(g));
+    double rise = -kInf;
+    double fall = -kInf;
+    for (int p = 0; p < pins; ++p) {
+      GateId in = p == 0 ? gate.fanin0 : gate.fanin1;
+      rise = std::max(rise, edge_candidate(dm, g, p, u, true, arr.rise[in],
+                                           arr.fall[in], load));
+      fall = std::max(fall, edge_candidate(dm, g, p, u, false, arr.rise[in],
+                                           arr.fall[in], load));
+    }
+    arr.rise[g] = rise;
+    arr.fall[g] = fall;
+  };
+  for (const auto& bucket : buckets) {
+    parallel::parallel_for(bucket.size(),
+                           [&](std::size_t i) { propagate_one(bucket[i]); });
+  }
+
+  // The effective clock: given, or the worst arrival anywhere (arrival
+  // is monotone along fanout, so this equals the worst constraint-
+  // endpoint arrival and the critical endpoint lands at slack 0).
+  double clock = options.clock;
+  if (clock == 0.0) {
+    for (std::size_t g = 0; g < n; ++g) {
+      clock = std::max(clock, std::max(arr.rise[g], arr.fall[g]));
+    }
+  }
+
+  // -- backward required time -------------------------------------------
+  // Constraint endpoints: primary-output bits plus fanout-free gates
+  // (dangling logic would otherwise stay unconstrained).
+  EdgeTimes req{std::vector<double>(n, kInf), std::vector<double>(n, kInf)};
+  for (GateId g = 0; g < n; ++g) {
+    if (topo.is_output_bit(g) || topo.fanout_count(g) == 0) {
+      req.rise[g] = clock;
+      req.fall[g] = clock;
+    }
+  }
+  auto require_one = [&](GateId g) {
+    double need_rise = req.rise[g];
+    double need_fall = req.fall[g];
+    for (const GateId* it = topo.fanout_begin(g); it != topo.fanout_end(g);
+         ++it) {
+      GateId f = *it;
+      const netlist::Gate& gate = nl.gate(f);
+      int pins = netlist::fanin_count(gate.kind);
+      Unateness u = unateness(gate.kind);
+      double load = static_cast<double>(topo.fanout_count(f));
+      for (int p = 0; p < pins; ++p) {
+        if ((p == 0 ? gate.fanin0 : gate.fanin1) != g) continue;
+        const PinArc& arc = dm.arc(f, p);
+        double d_rise = arc.rise + arc.slope * load;
+        double d_fall = arc.fall + arc.slope * load;
+        // An output rise of f at req.rise[f] constrains whichever input
+        // edge causes it (both, for a non-unate gate); likewise fall.
+        switch (u) {
+          case Unateness::kPositive:
+            need_rise = std::min(need_rise, req.rise[f] - d_rise);
+            need_fall = std::min(need_fall, req.fall[f] - d_fall);
+            break;
+          case Unateness::kNegative:
+            need_fall = std::min(need_fall, req.rise[f] - d_rise);
+            need_rise = std::min(need_rise, req.fall[f] - d_fall);
+            break;
+          case Unateness::kNonUnate:
+            need_rise = std::min(
+                need_rise,
+                std::min(req.rise[f] - d_rise, req.fall[f] - d_fall));
+            need_fall = std::min(
+                need_fall,
+                std::min(req.rise[f] - d_rise, req.fall[f] - d_fall));
+            break;
+        }
+      }
+    }
+    req.rise[g] = need_rise;
+    req.fall[g] = need_fall;
+  };
+  for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+    const auto& bucket = *it;
+    parallel::parallel_for(bucket.size(),
+                           [&](std::size_t i) { require_one(bucket[i]); });
+  }
+
+  // -- per-gate slack, endpoint aggregates ------------------------------
+  TimingReport report;
+  report.clock = clock;
+  report.levels = topo.max_level();
+  report.arrival.resize(n);
+  report.slack.resize(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    report.arrival[g] = std::max(arr.rise[g], arr.fall[g]);
+    report.slack[g] =
+        std::min(req.rise[g] - arr.rise[g], req.fall[g] - arr.fall[g]);
+  }
+
+  std::vector<GateId> endpoints;
+  for (GateId g = 0; g < n; ++g) {
+    if (topo.is_output_bit(g)) endpoints.push_back(g);
+  }
+  report.endpoints = endpoints.size();
+  if (!endpoints.empty()) {
+    double wns = kInf;
+    double tns = 0.0;
+    double worst_arrival = -kInf;
+    for (GateId g : endpoints) {
+      wns = std::min(wns, report.slack[g]);
+      if (report.slack[g] < 0.0) tns += report.slack[g];
+      worst_arrival = std::max(worst_arrival, report.arrival[g]);
+    }
+    report.wns = wns;
+    report.tns = tns;
+    report.arrival_max = worst_arrival;
+
+    // Fixed-bin endpoint slack histogram over [min, max].
+    double lo = kInf;
+    double hi = -kInf;
+    for (GateId g : endpoints) {
+      lo = std::min(lo, report.slack[g]);
+      hi = std::max(hi, report.slack[g]);
+    }
+    std::size_t bins = std::max<std::size_t>(1, options.histogram_bins);
+    if (hi == lo) bins = 1;
+    double width = (hi - lo) / static_cast<double>(bins);
+    report.histogram.resize(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      report.histogram[b].lo = lo + width * static_cast<double>(b);
+      report.histogram[b].hi =
+          b + 1 == bins ? hi : lo + width * static_cast<double>(b + 1);
+    }
+    for (GateId g : endpoints) {
+      std::size_t b =
+          width == 0.0
+              ? 0
+              : std::min(bins - 1, static_cast<std::size_t>(
+                                       (report.slack[g] - lo) / width));
+      ++report.histogram[b].count;
+    }
+  }
+
+  // -- critical paths ----------------------------------------------------
+  // Rank endpoints worst slack first, ties by ascending id; trace each
+  // back through its determining pin (smaller pin, then an input rise,
+  // wins ties -- the documented order).
+  std::vector<GateId> ranked = endpoints;
+  std::sort(ranked.begin(), ranked.end(), [&](GateId a, GateId b) {
+    if (report.slack[a] != report.slack[b]) {
+      return report.slack[a] < report.slack[b];
+    }
+    return a < b;
+  });
+  if (ranked.size() > options.top_paths) ranked.resize(options.top_paths);
+  for (GateId endpoint : ranked) {
+    TimingPath path;
+    path.endpoint = endpoint;
+    path.arrival = report.arrival[endpoint];
+    path.slack = report.slack[endpoint];
+    GateId g = endpoint;
+    bool edge_rise = arr.rise[g] >= arr.fall[g];
+    std::vector<PathStep> reversed;
+    for (;;) {
+      reversed.push_back(
+          {g, edge_rise ? arr.rise[g] : arr.fall[g]});
+      const netlist::Gate& gate = nl.gate(g);
+      int pins = netlist::fanin_count(gate.kind);
+      if (pins == 0) break;
+      Unateness u = unateness(gate.kind);
+      double load = static_cast<double>(topo.fanout_count(g));
+      GateId best_in = gate.fanin0;
+      bool best_edge = true;
+      double best = -kInf;
+      for (int p = 0; p < pins; ++p) {
+        GateId in = p == 0 ? gate.fanin0 : gate.fanin1;
+        // Input edges this pin can launch the target output edge with.
+        for (bool in_rise : {true, false}) {
+          bool feasible =
+              u == Unateness::kNonUnate ||
+              (u == Unateness::kPositive ? in_rise == edge_rise
+                                         : in_rise != edge_rise);
+          if (!feasible) continue;
+          double in_arr = in_rise ? arr.rise[in] : arr.fall[in];
+          const PinArc& arc = dm.arc(g, p);
+          double cand =
+              in_arr + (edge_rise ? arc.rise : arc.fall) + arc.slope * load;
+          if (cand > best) {
+            best = cand;
+            best_in = in;
+            best_edge = in_rise;
+          }
+        }
+      }
+      g = best_in;
+      edge_rise = best_edge;
+    }
+    path.steps.assign(reversed.rbegin(), reversed.rend());
+    report.paths.push_back(std::move(path));
+  }
+
+  return report;
+}
+
+}  // namespace rchls::sta

@@ -1,0 +1,88 @@
+// sta::TimingEngine -- levelized static timing analysis over gate-level
+// netlists (the subsystem ISSUE 10 adds; semantics in docs/timing.md).
+//
+// Given a netlist, its Topology and a DelayModel, analyze() runs
+//
+//  1. forward arrival propagation in level order (level 0 = primary
+//     inputs and constants, arrival 0 on both edges), rise/fall tracked
+//     separately with gate unateness: Buf/And/Or are positive unate
+//     (output rise follows input rise), Not/Nand/Nor negative unate
+//     (output rise follows input fall), Xor/Xnor non-unate (either
+//     input edge can cause either output edge, the worst one counts);
+//  2. backward required-time propagation from the timing endpoints --
+//     every primary-output bit plus every fanout-free gate (dangling
+//     logic would otherwise be unconstrained), required = the clock
+//     period on both edges;
+//  3. slack = required - arrival per gate (the worse edge), worst
+//     negative/total negative slack over the primary-output endpoints,
+//     a fixed-bin endpoint slack histogram, and the top-N critical
+//     paths traced back through each level's determining pin.
+//
+// Determinism contract: the per-level loops run under
+// parallel::parallel_for, but every gate writes only its own slot and
+// reads only strictly-lower (forward) or strictly-higher (backward)
+// levels, and every in-gate reduction is a fixed-order max/min over at
+// most two pins -- so the report is byte-identical at every --jobs
+// value. Tie-breaks (documented, relied on by golden tests): path
+// ranking is (slack ascending, endpoint id ascending); traceback
+// prefers the smaller pin index, then an input rise over a fall.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
+#include "sta/delay_model.hpp"
+
+namespace rchls::sta {
+
+struct TimingOptions {
+  /// Required time at every endpoint; 0 = derive the clock as the
+  /// maximum endpoint arrival (the critical endpoint then has slack 0).
+  double clock = 0.0;
+  /// Critical paths to trace (ranked worst slack first).
+  std::size_t top_paths = 3;
+  /// Fixed number of endpoint-slack histogram bins.
+  std::size_t histogram_bins = 8;
+};
+
+struct PathStep {
+  netlist::GateId gate = 0;
+  double arrival = 0.0;  ///< worse-edge arrival at this gate's output
+};
+
+struct TimingPath {
+  netlist::GateId endpoint = 0;
+  double arrival = 0.0;
+  double slack = 0.0;
+  /// Source (input/constant) first, endpoint last.
+  std::vector<PathStep> steps;
+};
+
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct TimingReport {
+  double clock = 0.0;        ///< effective clock (given or derived)
+  double arrival_max = 0.0;  ///< worst endpoint arrival
+  double wns = 0.0;          ///< worst (minimum) endpoint slack
+  double tns = 0.0;          ///< sum of negative endpoint slacks
+  std::size_t levels = 0;    ///< Topology::max_level()
+  std::size_t endpoints = 0; ///< primary-output bits
+  std::vector<double> arrival;  ///< per gate, worse edge
+  std::vector<double> slack;    ///< per gate, worse edge
+  std::vector<TimingPath> paths;
+  std::vector<HistogramBin> histogram;
+};
+
+/// Runs the analysis (see the header comment). `dm` must have been built
+/// for `nl` (same gate count); throws Error otherwise.
+TimingReport analyze(const netlist::Netlist& nl,
+                     const netlist::Topology& topo, const DelayModel& dm,
+                     const TimingOptions& options = {});
+
+}  // namespace rchls::sta

@@ -57,7 +57,7 @@ struct CaseBuilder {
 };
 
 const char* kActionRotation[] = {"find_design", "sweep", "grid", "inject",
-                                 "rank_gates"};
+                                 "rank_gates", "sta"};
 const dfg::GraphShape kShapeRotation[] = {
     dfg::GraphShape::kLayered, dfg::GraphShape::kChain,
     dfg::GraphShape::kFanoutTree, dfg::GraphShape::kButterfly,
@@ -79,7 +79,7 @@ CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
                       int name_width, const CorpusConfig& config) {
   CorpusCase c;
   c.case_seed = case_seed;
-  c.action = kActionRotation[index % 5];
+  c.action = kActionRotation[index % 6];
 
   std::string num = std::to_string(index);
   while (static_cast<int>(num.size()) < name_width) num.insert(0, "0");
@@ -97,7 +97,7 @@ CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
     // Campaign case: component, width and trial count from the case
     // stream. Widths stay small so hundreds of cases replay in seconds.
     auto components = circuits::component_names();
-    std::string component = components[(index / 5) % components.size()];
+    std::string component = components[(index / 6) % components.size()];
     b.line("# case=" + c.name + " action=" + c.action +
            " case_seed=" + std::to_string(case_seed));
     b.line("scenario " + c.name + "_" + c.action);
@@ -122,7 +122,7 @@ CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
   // Synthesis case: a generated graph of the rotation's shape plus
   // bounds derived from its measured depth and op mix.
   dfg::GeneratorConfig gc;
-  gc.shape = kShapeRotation[(index / 5) % 5];
+  gc.shape = kShapeRotation[(index / 6) % 5];
   gc.seed = case_seed;
   gc.num_nodes = 8 + b.rng.next_below(33);
   gc.layer_width = static_cast<double>(2 + b.rng.next_below(4));
@@ -181,7 +181,7 @@ CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
       b.line("sweep area " + areas + " latency=" + std::to_string(lat) +
              engine_option_tokens(b) + " label=sweep");
     }
-  } else {  // grid
+  } else if (c.action == "grid") {
     std::string tokens = "grid latencies=" + std::to_string(depth + 1) +
                          "," + std::to_string(lat) + " areas=" +
                          format_shortest(half_units(area * 0.6)) + "," +
@@ -190,6 +190,16 @@ CorpusCase build_case(std::size_t index, std::uint64_t case_seed,
       tokens += " baseline_adder=adder_2 baseline_mult=mult_2";
     }
     tokens += engine_option_tokens(b) + " label=grid";
+    b.line(tokens);
+  } else {  // sta: timing + sensitivity join over the elaborated graph
+    std::string tokens = "sta width=" +
+                         std::to_string(4 + 2 * b.rng.next_below(3));
+    tokens += " versions=" + b.pick({"fastest", "most_reliable"});
+    tokens += " top_paths=" + b.pick({"1", "2", "3"});
+    tokens += " top=" + b.pick({"0", "3", "5", "10"});
+    tokens += " trials=" + std::to_string(64 * (2 + b.rng.next_below(4)));
+    tokens += " seed=" + std::to_string(b.rng.next_u64());
+    tokens += " label=sta";
     b.line(tokens);
   }
   c.scn_text = std::move(b.scn);
@@ -221,7 +231,7 @@ std::vector<CorpusCase> generate_corpus(const CorpusConfig& config) {
 std::string manifest_json(const CorpusConfig& config,
                           const std::vector<CorpusCase>& cases) {
   auto doc = json::Value::object();
-  doc.set("format_version", "rchls.corpus.v1")
+  doc.set("format_version", "rchls.corpus.v2")
       .set("seed", std::to_string(config.seed))  // uint64: decimal string
       .set("count", static_cast<std::uint64_t>(config.count));
   auto list = json::Value::array();

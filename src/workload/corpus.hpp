@@ -6,8 +6,8 @@
 // spanning every structural family dfg::generate_random knows (chains,
 // fan-out trees, butterflies, paper-like filters, random layered DAGs)
 // and every action kind the api executes (find_design, sweep, grid,
-// inject, rank_gates), with deliberately mixed engines, schedulers,
-// bound tightness, widths and trial counts.
+// inject, rank_gates, sta), with deliberately mixed engines, schedulers,
+// bound tightness, widths, version policies and trial counts.
 //
 // Reproducibility contract (docs/workloads.md): generate_corpus is a
 // pure function of its CorpusConfig. The same (seed, count) produces the
@@ -45,7 +45,7 @@ struct CorpusConfig {
 struct CorpusCase {
   std::string name;      ///< "case_042" -- the stable corpus coordinate
   std::string shape;     ///< dfg::to_string(GraphShape), "" when graphless
-  std::string action;    ///< "find_design" ... "rank_gates"
+  std::string action;    ///< "find_design" ... "rank_gates", "sta"
   std::uint64_t case_seed = 0;  ///< this case's private generator seed
   std::size_t nodes = 0;        ///< graph size, 0 when graphless
   std::string dfg_filename;     ///< "case_042.dfg" or ""

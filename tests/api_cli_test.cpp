@@ -5,12 +5,15 @@
 // one-action scenario.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "api/cli.hpp"
 #include "parallel/config.hpp"
+#include "serve/server.hpp"
 #include "temp_dir.hpp"
 #include "util/strings.hpp"
 
@@ -208,6 +211,136 @@ TEST_F(ApiCliTest, SweepDefaultsToCsv) {
       << r.out;
   EXPECT_NE(r.out.find("latency_bound,area_bound,reliability"),
             std::string::npos);
+}
+
+// ------------------------------------------------------------------- sta
+
+TEST_F(ApiCliTest, StaJsonIsByteIdenticalToEquivalentScenario) {
+  auto scn = write("sta_equiv.scn",
+                   "scenario sta\n"
+                   "sta brent_kung_adder width=4 trials=64 top=3 "
+                   "top_paths=2 label=sta\n");
+  CliRun direct = cli({"sta", "brent_kung_adder", "--width", "4",
+                       "--trials", "64", "--top", "3", "--top-paths",
+                       "2", "--format", "json"});
+  CliRun scenario = cli({"run", scn.string(), "--format", "json"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(scenario.code, 0) << scenario.err;
+  EXPECT_EQ(direct.out, scenario.out);
+}
+
+TEST_F(ApiCliTest, GraphStaJsonIsByteIdenticalToEquivalentScenario) {
+  // Graph targets carry the design context (library + version policy);
+  // the shared-writer guarantee must hold for that shape too.
+  auto scn = write("sta_graph_equiv.scn",
+                   "scenario sta\n"
+                   "graph fig4_example\n"
+                   "library paper\n"
+                   "sta versions=most_reliable width=4 trials=64 "
+                   "clock=20 top=5 top_paths=2 label=sta\n");
+  CliRun direct = cli({"sta", "fig4_example", "--versions",
+                       "most_reliable", "--width", "4", "--trials",
+                       "64", "--clock", "20", "--top", "5",
+                       "--top-paths", "2", "--format", "json"});
+  CliRun scenario = cli({"run", scn.string(), "--format", "json"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(scenario.code, 0) << scenario.err;
+  EXPECT_EQ(direct.out, scenario.out);
+  EXPECT_NE(direct.out.find("\"kind\": \"sta\""), std::string::npos);
+}
+
+TEST_F(ApiCliTest, StaBadArgumentsShareTheErrorPrefix) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"sta"},                                         // missing target
+      {"sta", "not_a_component_or_file"},              // unknown target
+      {"sta", "ripple_carry_adder", "--width", "0"},   // bad width
+      {"sta", "ripple_carry_adder", "--clock", "-1"},  // negative clock
+      {"sta", "ripple_carry_adder", "--top-paths", "-1"},
+      {"sta", "fig4_example", "--versions", "slowest"},
+      {"sta", "ripple_carry_adder", "--latency", "4"},  // synth flag
+  };
+  for (const auto& args : cases) {
+    CliRun r = cli(args);
+    std::string joined;
+    for (const auto& a : args) joined += a + " ";
+    EXPECT_EQ(r.code, 1) << joined;
+    EXPECT_TRUE(starts_with(r.err, "error: ")) << joined << "-> " << r.err;
+  }
+}
+
+// The ISSUE-pinned determinism matrix for `rchls sta`: the JSON report
+// is byte-identical at --jobs 1 vs 8 and over a two-daemon fleet
+// (--endpoints against in-process serve daemons). The --shards leg runs
+// against the real binary in StaReportIsByteIdenticalAcrossShardCounts.
+TEST_F(ApiCliTest, StaReportIsByteIdenticalAcrossJobsAndFleet) {
+  const std::vector<std::string> base = {
+      "sta", "kogge_stone_adder", "--width", "4", "--trials", "64",
+      "--seed", "3", "--top", "5", "--format", "json"};
+  auto with = [&](std::vector<std::string> extra) {
+    std::vector<std::string> v = base;
+    v.insert(v.end(), extra.begin(), extra.end());
+    return v;
+  };
+
+  CliRun ref = cli(with({"--jobs", "1"}));
+  ASSERT_EQ(ref.code, 0) << ref.err;
+  CliRun eight = cli(with({"--jobs", "8"}));
+  ASSERT_EQ(eight.code, 0) << eight.err;
+  EXPECT_EQ(eight.out, ref.out) << "sta differs between jobs 1 and 8";
+
+  // Two daemons, each with its own log stream (shared streams race).
+  std::vector<std::string> socks = {(dir_ / "d0.sock").string(),
+                                    (dir_ / "d1.sock").string()};
+  std::vector<std::unique_ptr<std::ostringstream>> logs;
+  std::vector<std::unique_ptr<serve::Server>> daemons;
+  for (const auto& sock : socks) {
+    logs.push_back(std::make_unique<std::ostringstream>());
+    serve::ServerOptions so;
+    so.socket_path = sock;
+    so.workers = 2;
+    so.log = logs.back().get();
+    daemons.push_back(std::make_unique<serve::Server>(std::move(so)));
+  }
+  CliRun fleet = cli(with({"--endpoints", socks[0] + "," + socks[1]}));
+  ASSERT_EQ(fleet.code, 0) << fleet.err;
+  EXPECT_EQ(fleet.out, ref.out) << "sta differs over a 2-daemon fleet";
+  EXPECT_NE(fleet.err.find("local_fallbacks=0"), std::string::npos)
+      << fleet.err;
+}
+
+// The --shards leg needs a real worker binary: in-process cli_main
+// would re-exec THIS test binary as the exec-request worker. Spawns the
+// built rchls (sibling of the tests under the build tree) instead.
+TEST_F(ApiCliTest, StaReportIsByteIdenticalAcrossShardCounts) {
+#ifndef RCHLS_BINARY_DIR
+  GTEST_SKIP() << "RCHLS_BINARY_DIR not configured";
+#else
+  std::filesystem::path binary =
+      std::filesystem::path(RCHLS_BINARY_DIR) / "rchls";
+  if (!std::filesystem::exists(binary)) {
+    GTEST_SKIP() << "rchls binary not built at " << binary;
+  }
+  CliRun ref = cli({"sta", "kogge_stone_adder", "--width", "4",
+                    "--trials", "64", "--seed", "3", "--top", "5",
+                    "--format", "json"});
+  ASSERT_EQ(ref.code, 0) << ref.err;
+
+  for (int shards : {1, 2}) {
+    std::filesystem::path out_path =
+        dir_ / ("shards_" + std::to_string(shards) + ".json");
+    std::string cmd = "'" + binary.string() +
+                      "' sta kogge_stone_adder --width 4 --trials 64"
+                      " --seed 3 --top 5 --format json --shards " +
+                      std::to_string(shards) + " --out '" +
+                      out_path.string() + "' 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    std::ifstream in(out_path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << out_path;
+    std::ostringstream got;
+    got << in.rdbuf();
+    EXPECT_EQ(got.str(), ref.out) << "sta differs at --shards " << shards;
+  }
+#endif
 }
 
 // ----------------------------------------------------------- verify-cache

@@ -389,6 +389,29 @@ TEST_F(ApiDiskCacheTest, SecondCliInvocationIsAllDiskHits) {
       << "second invocation must not execute engines";
 }
 
+// The ISSUE-pinned sta warm-cache acceptance: a second `rchls sta`
+// invocation against the same cache directory renders byte-identically
+// with disk_misses=0 and executed=0.
+TEST_F(ApiDiskCacheTest, WarmStaInvocationExecutesNothing) {
+  const std::vector<std::string> args = {
+      "sta", "kogge_stone_adder", "--width", "4", "--trials", "64",
+      "--seed", "3", "--top", "5", "--format", "json",
+      "--cache-dir", cache_dir()};
+
+  CliRun cold = cli(args);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("disk_misses=1"), std::string::npos) << cold.err;
+  EXPECT_NE(cold.err.find("stores=1"), std::string::npos);
+
+  CliRun warm = cli(args);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, cold.out) << "sta reports must be byte-identical";
+  EXPECT_NE(warm.err.find("disk_hits=1"), std::string::npos) << warm.err;
+  EXPECT_NE(warm.err.find("disk_misses=0"), std::string::npos);
+  EXPECT_NE(warm.err.find("executed=0"), std::string::npos)
+      << "warm sta invocation must not execute engines";
+}
+
 TEST_F(ApiDiskCacheTest, CacheStatsAndClearSubcommands) {
   auto scn = write("fill.scn",
                    "scenario fill\n"

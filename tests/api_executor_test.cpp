@@ -21,8 +21,15 @@
 #include "api/session.hpp"
 #include "api/subprocess.hpp"
 #include "benchmarks/suite.hpp"
+#include "netlist/topology.hpp"
 #include "parallel/config.hpp"
 #include "scenario/report.hpp"
+#include "ser/characterize.hpp"
+#include "sta/delay_model.hpp"
+#include "sta/design.hpp"
+#include "sta/sensitivity.hpp"
+#include "sta/timing.hpp"
+#include "rtl/elaborate.hpp"
 #include "temp_dir.hpp"
 #include "util/error.hpp"
 
@@ -243,6 +250,117 @@ TEST(ApiExecutor, RejectsNonPositiveShardCounts) {
   SubprocessOptions so;
   so.shards = 0;
   EXPECT_THROW(SubprocessExecutor{so}, Error);
+}
+
+// ----------------------------------------------------------- sta / design
+
+TEST(ApiExecutor, StaRequestsGoOverTheWireByteIdentically) {
+  StaRequest req;
+  req.component = "brent_kung_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 3;
+  req.top = 5;
+
+  ScopedWorkDir wd;
+  LocalExecutor local;
+  SubprocessExecutor sub(hooked_options(2, wd.path()));
+  EXPECT_EQ(rendered(sub.run(req)), rendered(local.run(req)));
+  EXPECT_EQ(sub.workers_launched(), 1u);
+}
+
+// The graph-target seam: a rank_gates request over an elaborated design
+// must reproduce exactly what the engines say when called by hand on
+// sta::elaborate_design's netlist.
+TEST(ApiExecutor, GraphTargetRankGatesMatchesEngineLevelRanking) {
+  RankGatesRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.versions = "most_reliable";
+  req.width = 4;
+  req.trials = 256;
+  req.seed = 5;
+  req.top = 0;  // keep every row
+
+  LocalExecutor local;
+  RankGatesResult got = local.run(req);
+
+  rtl::Elaboration e =
+      sta::elaborate_design(*req.graph, req.library, "most_reliable", 4);
+  ser::InjectionConfig cfg;
+  cfg.trials = 256;
+  cfg.seed = 5;
+  std::vector<ser::GateSensitivity> want =
+      ser::rank_gate_sensitivities(e.netlist, cfg);
+
+  EXPECT_EQ(got.component, e.netlist.name());
+  ASSERT_EQ(got.gates.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.gates[i].gate, want[i].gate) << "row " << i;
+    EXPECT_DOUBLE_EQ(got.gates[i].result.logical_sensitivity,
+                     want[i].result.logical_sensitivity);
+    EXPECT_EQ(got.kinds[i],
+              netlist::to_string(e.netlist.gate(want[i].gate).kind));
+  }
+}
+
+// Likewise for sta: the result rows are join_sensitivity over the same
+// elaborated netlist, timed from the library's arcs.
+TEST(ApiExecutor, GraphTargetStaMatchesEngineLevelJoin) {
+  StaRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.versions = "fastest";
+  req.width = 4;
+  req.trials = 256;
+  req.seed = 5;
+  req.top = 0;
+
+  LocalExecutor local;
+  StaResult got = local.run(req);
+
+  rtl::Elaboration e =
+      sta::elaborate_design(*req.graph, req.library, "fastest", 4);
+  netlist::Topology topo(e.netlist);
+  sta::TimingReport tr = sta::analyze(
+      e.netlist, topo,
+      sta::DelayModel::from_library(e.netlist, e.gate_version, req.library),
+      {0.0, 3, 8});
+  ser::InjectionConfig cfg;
+  cfg.trials = 256;
+  cfg.seed = 5;
+  std::vector<sta::SensitivityRow> want = sta::join_sensitivity(
+      ser::rank_gate_sensitivities(e.netlist, cfg), tr);
+
+  EXPECT_EQ(got.target, e.netlist.name());
+  EXPECT_EQ(got.gate_count, e.netlist.gate_count());
+  EXPECT_DOUBLE_EQ(got.clock, tr.clock);
+  EXPECT_DOUBLE_EQ(got.wns, tr.wns);
+  ASSERT_EQ(got.rows.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got.rows[i].gate, want[i].gate) << "row " << i;
+    EXPECT_DOUBLE_EQ(got.rows[i].sensitivity, want[i].sensitivity);
+    EXPECT_DOUBLE_EQ(got.rows[i].slack, want[i].slack);
+  }
+}
+
+TEST(ApiExecutor, StaRejectsInvalidParameters) {
+  LocalExecutor local;
+  StaRequest negative_clock;
+  negative_clock.component = "ripple_carry_adder";
+  negative_clock.clock = -1.0;
+  EXPECT_THROW(local.run(negative_clock), Error);
+
+  StaRequest negative_top;
+  negative_top.component = "ripple_carry_adder";
+  negative_top.top = -1;
+  EXPECT_THROW(local.run(negative_top), Error);
+
+  StaRequest both_targets;
+  both_targets.component = "ripple_carry_adder";
+  both_targets.graph = benchmarks::by_name("fig4_example");
+  both_targets.library = library::paper_library();
+  EXPECT_THROW(local.run(both_targets), Error);
 }
 
 // ------------------------------------------------------- real subprocess

@@ -129,6 +129,66 @@ TEST(ApiCacheKey, RequestKindsNeverCollide) {
   EXPECT_NE(key_of(in).canonical, key_of(rg).canonical);
 }
 
+StaRequest small_sta() {
+  StaRequest req;
+  req.component = "ripple_carry_adder";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 3;
+  req.top = 5;
+  return req;
+}
+
+TEST(ApiCacheKey, EveryStaFieldChangesTheKey) {
+  const CacheKey base = key_of(small_sta());
+  EXPECT_EQ(key_of(small_sta()).canonical, base.canonical);
+
+  auto differs = [&](auto mutate) {
+    StaRequest r = small_sta();
+    mutate(r);
+    EXPECT_NE(key_of(r).canonical, base.canonical);
+  };
+  differs([](StaRequest& r) { r.component = "brent_kung_adder"; });
+  differs([](StaRequest& r) { r.width = 8; });
+  differs([](StaRequest& r) { r.clock = 12.5; });
+  differs([](StaRequest& r) { r.top_paths = 4; });
+  differs([](StaRequest& r) { r.top = 6; });
+  differs([](StaRequest& r) { r.trials = 256; });
+  differs([](StaRequest& r) { r.seed = 4; });
+}
+
+TEST(ApiCacheKey, StaDoesNotCollideWithRankGates) {
+  StaRequest sta = small_sta();
+  RankGatesRequest rg;
+  rg.component = sta.component;
+  rg.width = sta.width;
+  rg.trials = sta.trials;
+  rg.seed = sta.seed;
+  rg.top = sta.top;
+  EXPECT_NE(key_of(sta).canonical, key_of(rg).canonical);
+}
+
+TEST(ApiCacheKey, ComponentTargetsIgnoreUnusedDesignContext) {
+  // Backward compatibility: a component-shaped request keys exactly as it
+  // did before graph targets existed -- the (empty) graph, library and
+  // policy fields stay out of the encoding.
+  StaRequest plain = small_sta();
+  StaRequest with_context = small_sta();
+  with_context.library = library::paper_library();
+  with_context.versions = "most_reliable";
+  EXPECT_EQ(key_of(with_context).canonical, key_of(plain).canonical);
+
+  // Graph-shaped requests DO key on the policy (it changes the design).
+  StaRequest fast;
+  fast.graph = benchmarks::by_name("fig4_example");
+  fast.library = library::paper_library();
+  fast.width = 4;
+  StaRequest reliable = fast;
+  reliable.versions = "most_reliable";
+  EXPECT_NE(key_of(fast).canonical, key_of(plain).canonical);
+  EXPECT_NE(key_of(reliable).canonical, key_of(fast).canonical);
+}
+
 // ------------------------------------------------------------- hit/miss
 
 TEST(ApiSession, SecondIdenticalRequestIsServedFromCache) {
@@ -148,6 +208,21 @@ TEST(ApiSession, SecondIdenticalRequestIsServedFromCache) {
   EXPECT_EQ(warm.result.logical_sensitivity,
             cold.result.logical_sensitivity);
   EXPECT_EQ(warm.gate_count, cold.gate_count);
+}
+
+TEST(ApiSession, StaResultsAreServedFromCache) {
+  Session session;
+  StaResult cold = session.run(small_sta());
+  StaResult warm = session.run(small_sta());
+  EXPECT_EQ(session.cache_stats().hits, 1u);
+  EXPECT_EQ(session.executions(), 1u);
+  EXPECT_EQ(warm.clock, cold.clock);
+  EXPECT_EQ(warm.wns, cold.wns);
+  ASSERT_EQ(warm.rows.size(), cold.rows.size());
+  for (std::size_t i = 0; i < cold.rows.size(); ++i) {
+    EXPECT_EQ(warm.rows[i].gate, cold.rows[i].gate);
+    EXPECT_EQ(warm.rows[i].sensitivity, cold.rows[i].sensitivity);
+  }
 }
 
 TEST(ApiSession, DifferentOptionsMiss) {

@@ -85,7 +85,7 @@ std::optional<std::pair<std::string, std::string>> random_baseline(Rng& rng) {
 }
 
 Request random_request(Rng& rng, std::size_t kind) {
-  switch (kind % 5) {
+  switch (kind % 6) {
     case 0: {
       FindDesignRequest r;
       r.graph = random_graph(rng);
@@ -132,13 +132,37 @@ Request random_request(Rng& rng, std::size_t kind) {
       }
       return r;
     }
-    default: {
+    case 4: {
       RankGatesRequest r;
-      r.component = random_name(rng, "comp");
+      if (rng.next_bool(0.5)) {
+        // Graph-shaped target: elaborated design instead of a component.
+        r.graph = random_graph(rng);
+        r.library = random_library(rng);
+        r.versions = rng.next_bool(0.5) ? "fastest" : "most_reliable";
+      } else {
+        r.component = random_name(rng, "comp");
+      }
       r.width = 1 + static_cast<int>(rng.next_below(64));
       r.trials = rng.next_below(1 << 20);
       r.seed = rng.next_u64();
       r.top = static_cast<int>(rng.next_below(20));
+      return r;
+    }
+    default: {
+      StaRequest r;
+      if (rng.next_bool(0.5)) {
+        r.graph = random_graph(rng);
+        r.library = random_library(rng);
+        r.versions = rng.next_bool(0.5) ? "fastest" : "most_reliable";
+      } else {
+        r.component = random_name(rng, "comp");
+      }
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      r.clock = rng.next_bool(0.3) ? 0.0 : rng.next_double() * 50.0;
+      r.top_paths = static_cast<int>(rng.next_below(8));
+      r.top = static_cast<int>(rng.next_below(20));
+      r.trials = rng.next_below(1 << 20);
+      r.seed = rng.next_u64();
       return r;
     }
   }
@@ -186,7 +210,7 @@ hls::Design random_design(Rng& rng) {
 }
 
 Result random_result(Rng& rng, std::size_t kind) {
-  switch (kind % 5) {
+  switch (kind % 6) {
     case 0: {
       FindDesignResult r;
       r.engine = rng.next_bool(0.5) ? "centric" : "combined";
@@ -249,7 +273,7 @@ Result random_result(Rng& rng, std::size_t kind) {
       r.result = random_injection(rng);
       return r;
     }
-    default: {
+    case 4: {
       RankGatesResult r;
       r.component = random_name(rng, "comp");
       r.width = 1 + static_cast<int>(rng.next_below(64));
@@ -259,6 +283,41 @@ Result random_result(Rng& rng, std::size_t kind) {
         g.result = random_injection(rng);
         r.gates.push_back(g);
         r.kinds.push_back(rng.next_bool(0.5) ? "xor" : "and");
+      }
+      return r;
+    }
+    default: {
+      StaResult r;
+      r.target = random_name(rng, "design");
+      r.width = 1 + static_cast<int>(rng.next_below(64));
+      r.gate_count = rng.next_below(4000);
+      r.logic_gates = rng.next_below(r.gate_count + 1);
+      r.levels = rng.next_below(60);
+      r.endpoints = rng.next_below(128);
+      r.clock = rng.next_double() * 40.0;
+      r.arrival_max = rng.next_double() * 40.0;
+      r.wns = random_double(rng);
+      r.tns = random_double(rng);
+      for (std::size_t p = 0; p <= rng.next_below(3); ++p) {
+        StaPath path;
+        path.endpoint = static_cast<std::uint32_t>(rng.next_below(4000));
+        path.arrival = rng.next_double() * 40.0;
+        path.slack = random_double(rng);
+        for (std::size_t s = 0; s <= rng.next_below(5); ++s) {
+          path.steps.push_back({static_cast<std::uint32_t>(rng.next_below(4000)),
+                                rng.next_bool(0.5) ? "Xor" : "And",
+                                rng.next_double() * 40.0});
+        }
+        r.paths.push_back(std::move(path));
+      }
+      for (std::size_t b = 0; b <= rng.next_below(8); ++b) {
+        r.histogram.push_back(
+            {random_double(rng), random_double(rng), rng.next_below(128)});
+      }
+      for (std::size_t i = 0; i <= rng.next_below(8); ++i) {
+        r.rows.push_back({static_cast<std::uint32_t>(rng.next_below(4000)),
+                          rng.next_bool(0.5) ? "Nand" : "Or",
+                          rng.next_double(), random_double(rng)});
       }
       return r;
     }

@@ -8,7 +8,7 @@
 // Three layers, cheapest guarantees first:
 //  1. the curated seed corpus (tests/data/fuzz_seed/*.wire) replays as a
 //     spec: valid_* decode canonically, invalid_* reject cleanly;
-//  2. seeded mutation of valid envelopes (all five request kinds plus
+//  2. seeded mutation of valid envelopes (all six request kinds plus
 //     result envelopes) probes the grey zone between those poles;
 //  3. raw random bytes probe the no-structure-at-all floor.
 // Iteration counts scale with RCHLS_FUZZ_ITERS (fuzz_common.hpp); every
@@ -59,7 +59,7 @@ bool check_result(const std::string& text) {
   }
 }
 
-// Valid canonical envelopes covering all five request kinds -- the
+// Valid canonical envelopes covering all six request kinds -- the
 // mutation bases. Deterministic: graphs come from the pinned generator.
 std::vector<std::string> request_envelopes() {
   library::ResourceLibrary lib = library::paper_library();
@@ -101,9 +101,20 @@ std::vector<std::string> request_envelopes() {
   rk.trials = 64;
   rk.top = 3;
 
+  StaRequest st;
+  st.graph = g;
+  st.library = lib;
+  st.versions = "most_reliable";
+  st.width = 4;
+  st.clock = 9.5;
+  st.top_paths = 2;
+  st.top = 5;
+  st.trials = 64;
+  st.seed = 11;
+
   return {wire::encode(Request(fd)), wire::encode(Request(sw)),
           wire::encode(Request(gr)), wire::encode(Request(inj)),
-          wire::encode(Request(rk))};
+          wire::encode(Request(rk)), wire::encode(Request(st))};
 }
 
 // Seed-corpus replay: the curated files are the executable spec of the

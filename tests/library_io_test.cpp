@@ -85,5 +85,70 @@ TEST(LibraryIo, RejectsDuplicateNames) {
       ParseError);
 }
 
+const char* kTimedSample = R"(library timed
+resource fast_add adder 2 1 0.969
+timing fast_add a 0.8 0.9 0.05
+timing fast_add b 1 1.1 0.1
+resource mul_a mult 2.5 2 0.995
+timing mul_a a 1.5 1.5 0.2
+)";
+
+TEST(LibraryIo, ParsesTimingDirectives) {
+  ResourceLibrary lib = parse_string(kTimedSample);
+  const PinTiming* a = lib.timing_of(0, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->rise, 0.8);
+  EXPECT_DOUBLE_EQ(a->fall, 0.9);
+  EXPECT_DOUBLE_EQ(a->slope, 0.05);
+  const PinTiming* b = lib.timing_of(0, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->rise, 1.0);
+  // mul_a has an "a" arc only; "b" falls back to the implicit unit arc.
+  EXPECT_NE(lib.timing_of(1, "a"), nullptr);
+  EXPECT_EQ(lib.timing_of(1, "b"), nullptr);
+}
+
+TEST(LibraryIo, TimedLibraryRoundTripsByteIdentically) {
+  ResourceLibrary lib = parse_string(kTimedSample);
+  std::string text = to_text(lib);
+  // timing lines are emitted right after their resource line, so the
+  // canonical text is a byte fixed point.
+  EXPECT_EQ(to_text(parse_string(text)), text);
+  EXPECT_NE(text.find("timing fast_add a 0.8 0.9 0.05"), std::string::npos);
+  EXPECT_NE(text.find("timing mul_a a 1.5 1.5 0.2"), std::string::npos);
+}
+
+TEST(LibraryIo, LegacyLibrariesStayByteIdentical) {
+  // Backward compatibility: a library with no timing directives renders
+  // exactly as it did before the timing extension existed.
+  ResourceLibrary lib = parse_string(kSample);
+  std::string text = to_text(lib);
+  EXPECT_EQ(text.find("timing"), std::string::npos);
+  EXPECT_EQ(to_text(parse_string(text)), text);
+  std::string paper = to_text(paper_library());
+  EXPECT_EQ(paper.find("timing"), std::string::npos);
+  EXPECT_EQ(to_text(parse_string(paper)), paper);
+}
+
+TEST(LibraryIo, RejectsMalformedTimingDirectives) {
+  const char* prefix = "resource a adder 1 1 0.9\n";
+  // wrong arity
+  EXPECT_THROW(parse_string(std::string(prefix) + "timing a a 1 1\n"),
+               ParseError);
+  // unknown version
+  EXPECT_THROW(parse_string(std::string(prefix) + "timing b a 1 1 0\n"),
+               ParseError);
+  // unknown pin
+  EXPECT_THROW(parse_string(std::string(prefix) + "timing a c 1 1 0\n"),
+               ParseError);
+  // negative delay
+  EXPECT_THROW(parse_string(std::string(prefix) + "timing a a -1 1 0\n"),
+               ParseError);
+  // duplicate pin
+  EXPECT_THROW(parse_string(std::string(prefix) +
+                            "timing a a 1 1 0\ntiming a a 2 2 0\n"),
+               ParseError);
+}
+
 }  // namespace
 }  // namespace rchls::library

@@ -117,6 +117,19 @@ api::Request grid_request() {
   return api::Request(req);
 }
 
+api::Request sta_request() {
+  api::StaRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.versions = "most_reliable";
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 7;
+  req.top_paths = 3;
+  req.top = 5;
+  return api::Request(req);
+}
+
 // ------------------------------------------------------ endpoint grammar
 
 TEST(RemoteParse, ColonWithoutSlashIsTcpAnythingElseIsUnix) {
@@ -208,6 +221,46 @@ TEST_F(RemoteTest, SweepAndGridAreByteIdenticalAcrossEndpointsAndJobs) {
       const std::uint64_t slices = 2 * endpoints;
       EXPECT_EQ(total, std::min<std::uint64_t>(slices, 8) +
                            std::min<std::uint64_t>(slices, 6));
+    }
+  }
+}
+
+// The sta acceptance leg: a timing report dispatched over a 2-daemon
+// fleet is byte-identical to local execution, with no fallbacks and no
+// starved endpoint. Component-shaped and graph-shaped requests both
+// cross the wire.
+TEST_F(RemoteTest, StaIsByteIdenticalOverATwoDaemonFleet) {
+  JobsGuard guard;
+  parallel::set_global_jobs(1);
+  api::LocalExecutor local;
+  api::Executor& local_base = local;
+  const std::string graph_ref =
+      api::wire::encode(local_base.run(sta_request()));
+  api::StaRequest comp;
+  comp.component = "kogge_stone_adder";
+  comp.width = 4;
+  comp.trials = 64;
+  comp.seed = 3;
+  comp.top = 5;
+  const std::string comp_ref =
+      api::wire::encode(local_base.run(api::Request(comp)));
+
+  for (std::size_t jobs : {1u, 8u}) {
+    parallel::set_global_jobs(jobs);
+    auto daemons = start_daemons(2);
+    RemoteOptions ro;
+    ro.fleet = fleet_options(2);
+    RemoteExecutor remote(ro);
+    api::Executor& ex = remote;
+
+    EXPECT_EQ(api::wire::encode(ex.run(sta_request())), graph_ref)
+        << "graph-shaped sta jobs=" << jobs;
+    EXPECT_EQ(api::wire::encode(ex.run(api::Request(comp))), comp_ref)
+        << "component-shaped sta jobs=" << jobs;
+    EXPECT_EQ(remote.local_fallbacks(), 0u);
+    for (const EndpointStats& s : remote.fleet().stats()) {
+      EXPECT_EQ(s.failed, 0u) << s.spec;
+      EXPECT_FALSE(s.quarantined) << s.spec;
     }
   }
 }

@@ -99,6 +99,33 @@ TEST(ScenarioParse, InlineGraphAndLibrary) {
   EXPECT_EQ(s.library.size(), 2u);
 }
 
+TEST(ScenarioParse, InlineTimingLinesCharacterizeInlineResources) {
+  Scenario s = parse_string(
+      "dfg tiny\n"
+      "node a add\n"
+      "resource aa adder 1 1 0.99\n"
+      "timing aa a 2 3 0.25\n"
+      "timing aa b 1 1 0\n"
+      "find_design latency=4 area=8\n");
+  const auto& v = s.library.version(s.library.find("aa"));
+  ASSERT_EQ(v.timing.size(), 2u);
+  EXPECT_EQ(v.timing[0].pin, "a");
+  EXPECT_EQ(v.timing[0].rise, 2.0);
+  EXPECT_EQ(v.timing[0].fall, 3.0);
+  EXPECT_EQ(v.timing[0].slope, 0.25);
+
+  // Ordering and reference rules carry over from library/io.
+  EXPECT_THROW(parse_string("timing aa a 1 1 0\n"), ParseError);
+  EXPECT_THROW(parse_string("library paper\ntiming adder_1 a 1 1 0\n"),
+               ParseError);
+  EXPECT_THROW(
+      parse_string("resource aa adder 1 1 0.99\ntiming nope a 1 1 0\n"),
+      ParseError);
+  EXPECT_THROW(
+      parse_string("resource aa adder 1 1 0.99\ntiming aa c 1 1 0\n"),
+      ParseError);
+}
+
 TEST(ScenarioParse, DefaultsToPaperLibrary) {
   Scenario s = parse_string("graph diffeq\nfind_design latency=7 area=13\n");
   EXPECT_EQ(s.library.size(), 5u);
@@ -110,6 +137,52 @@ TEST(ScenarioParse, ScenarioWithoutGraphAllowsOnlyCampaigns) {
       parse_string("inject ripple_carry_adder width=4 trials=64\n");
   EXPECT_FALSE(s.graph.has_value());
   EXPECT_EQ(s.actions.size(), 1u);
+}
+
+TEST(ScenarioParse, StaActions) {
+  Scenario s = parse_string(
+      "graph fir16\n"
+      "sta kogge_stone_adder width=4 clock=9.5 top_paths=2 top=5 trials=64 "
+      "seed=9\n"
+      "sta versions=most_reliable width=8\n");
+  ASSERT_EQ(s.actions.size(), 2u);
+
+  const auto& comp = std::get<StaAction>(s.actions[0].op);
+  EXPECT_EQ(comp.component, "kogge_stone_adder");
+  EXPECT_EQ(comp.width, 4);
+  EXPECT_DOUBLE_EQ(comp.clock, 9.5);
+  EXPECT_EQ(comp.top_paths, 2);
+  EXPECT_EQ(comp.top, 5);
+  EXPECT_EQ(comp.trials, 64u);
+  EXPECT_EQ(comp.seed, 9u);
+  EXPECT_EQ(s.actions[0].label, "sta#1");
+
+  const auto& graphy = std::get<StaAction>(s.actions[1].op);
+  EXPECT_TRUE(graphy.component.empty());
+  EXPECT_EQ(graphy.versions, "most_reliable");
+  EXPECT_EQ(graphy.width, 8);
+}
+
+TEST(ScenarioParse, ComponentShapedStaNeedsNoGraph) {
+  Scenario s = parse_string("sta ripple_carry_adder width=4 trials=64\n");
+  EXPECT_FALSE(s.graph.has_value());
+  EXPECT_EQ(s.actions.size(), 1u);
+}
+
+TEST(ScenarioParse, RejectsMalformedStaActions) {
+  // unknown component
+  EXPECT_THROW(parse_string("sta warp_core\n"), ParseError);
+  // graph-shaped action with no graph in the scenario
+  EXPECT_THROW(parse_string("sta width=4\n"), ParseError);
+  // versions= is graph-shaped only
+  EXPECT_THROW(
+      parse_string("sta ripple_carry_adder versions=fastest\n"), ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsta versions=slowest\n"),
+               ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsta clock=-1\n"), ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsta top_paths=-1\n"), ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsta width=0\n"), ParseError);
+  EXPECT_THROW(parse_string("graph fir16\nsta bogus=1\n"), ParseError);
 }
 
 // --- error paths (each must throw ParseError with the offending line) ---

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/executor.hpp"
 #include "benchmarks/suite.hpp"
 #include "hls/explore.hpp"
 #include "hls/find_design.hpp"
@@ -127,6 +128,59 @@ TEST(ScenarioRunner, SweepMatchesDirectSweep) {
     EXPECT_EQ(sr.points[i].reliability, direct[i].reliability);
     EXPECT_EQ(sr.points[i].area, direct[i].area);
   }
+}
+
+TEST(ScenarioRunner, StaActionMatchesDirectExecutorCall) {
+  Scenario scn = parse_string(
+      "graph fig4_example\n"
+      "sta versions=fastest width=4 trials=128 seed=5 top=4 label=t\n"
+      "sta ripple_carry_adder width=4 trials=64 label=c\n");
+  RunReport report = run(scn);
+  const auto& graph_res = std::get<StaResult>(report.actions[0].data);
+  const auto& comp_res = std::get<StaResult>(report.actions[1].data);
+
+  api::StaRequest req;
+  req.graph = benchmarks::by_name("fig4_example");
+  req.library = library::paper_library();
+  req.width = 4;
+  req.trials = 128;
+  req.seed = 5;
+  req.top = 4;
+  api::LocalExecutor local;
+  api::StaResult direct = local.run(req);
+
+  EXPECT_EQ(graph_res.target, direct.target);
+  EXPECT_EQ(graph_res.clock, direct.clock);
+  EXPECT_EQ(graph_res.wns, direct.wns);
+  ASSERT_EQ(graph_res.rows.size(), direct.rows.size());
+  for (std::size_t i = 0; i < direct.rows.size(); ++i) {
+    EXPECT_EQ(graph_res.rows[i].gate, direct.rows[i].gate);
+    EXPECT_EQ(graph_res.rows[i].sensitivity, direct.rows[i].sensitivity);
+    EXPECT_EQ(graph_res.rows[i].slack, direct.rows[i].slack);
+  }
+
+  EXPECT_EQ(comp_res.target, "ripple_carry_adder");
+  EXPECT_GT(comp_res.gate_count, 0u);
+}
+
+TEST(ScenarioRunner, StaRendersInAllThreeFormats) {
+  Scenario scn = parse_string(
+      "sta ripple_carry_adder width=4 trials=64 top=3 top_paths=1 label=t\n");
+  RunReport report = run(scn);
+
+  std::string json = report::to_json(report);
+  EXPECT_NE(json.find("\"kind\": \"sta\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wns\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"paths\""), std::string::npos);
+
+  std::string csv = report::to_csv(report);
+  EXPECT_NE(csv.find("target,width,gate_count"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gate,kind,sensitivity,slack"), std::string::npos);
+
+  std::string table = report::to_table(report);
+  EXPECT_NE(table.find("critical paths"), std::string::npos) << table;
+  EXPECT_NE(table.find("wns:"), std::string::npos);
 }
 
 TEST(ScenarioRunner, RunsEveryShippedExample) {

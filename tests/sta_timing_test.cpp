@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/components.hpp"
+#include "dfg/graph.hpp"
+#include "library/io.hpp"
+#include "library/resource.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/topology.hpp"
+#include "parallel/config.hpp"
+#include "rtl/elaborate.hpp"
+#include "ser/fault_injection.hpp"
+#include "sta/delay_model.hpp"
+#include "sta/design.hpp"
+#include "sta/sensitivity.hpp"
+#include "sta/timing.hpp"
+#include "util/error.hpp"
+
+namespace rchls::sta {
+namespace {
+
+using netlist::GateId;
+
+TimingReport analyze_unit(const netlist::Netlist& nl,
+                          const TimingOptions& options = {}) {
+  netlist::Topology topo(nl);
+  return analyze(nl, topo, DelayModel::unit(nl), options);
+}
+
+// a AND b -> out; a XOR b dangling (no fanout, not an output).
+netlist::Netlist netlist_with_dangling_gate() {
+  netlist::Netlist nl("dangling");
+  netlist::Bus a = nl.add_input_bus("a", 1);
+  netlist::Bus b = nl.add_input_bus("b", 1);
+  GateId g = nl.band(a.bits[0], b.bits[0]);
+  nl.bxor(a.bits[0], b.bits[0]);  // dangling
+  nl.add_output_bus("out", {g});
+  return nl;
+}
+
+TEST(StaTiming, UnitDelayArrivalEqualsTopologicalDepth) {
+  netlist::Netlist nl =
+      circuits::component_by_name("kogge_stone_adder", 8);
+  netlist::Topology topo(nl);
+  TimingReport report = analyze(nl, topo, DelayModel::unit(nl));
+  ASSERT_EQ(report.arrival.size(), nl.gate_count());
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_DOUBLE_EQ(report.arrival[g],
+                     static_cast<double>(topo.level(g)))
+        << "gate " << g;
+  }
+  EXPECT_EQ(report.levels, topo.max_level());
+  EXPECT_EQ(report.endpoints, nl.output_bits().size());
+}
+
+TEST(StaTiming, DerivedClockPutsCriticalEndpointAtZeroSlack) {
+  netlist::Netlist nl =
+      circuits::component_by_name("ripple_carry_adder", 6);
+  TimingReport report = analyze_unit(nl);
+  // clock == 0 derives the clock from the worst arrival, so the
+  // critical endpoint sits exactly at slack 0 and nothing is negative.
+  EXPECT_DOUBLE_EQ(report.clock, report.arrival_max);
+  EXPECT_DOUBLE_EQ(report.wns, 0.0);
+  EXPECT_DOUBLE_EQ(report.tns, 0.0);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_GE(report.slack[g], 0.0) << "gate " << g;
+  }
+}
+
+TEST(StaTiming, ExplicitClockShiftsEndpointSlack) {
+  netlist::Netlist nl("chain");
+  netlist::Bus in = nl.add_input_bus("in", 1);
+  GateId g1 = nl.bnot(in.bits[0]);
+  GateId g2 = nl.bnot(g1);  // depth 2
+  nl.add_output_bus("out", {g2});
+
+  TimingOptions loose;
+  loose.clock = 10.0;
+  TimingReport r1 = analyze_unit(nl, loose);
+  EXPECT_DOUBLE_EQ(r1.arrival[g2], 2.0);
+  EXPECT_DOUBLE_EQ(r1.slack[g2], 8.0);
+  EXPECT_DOUBLE_EQ(r1.wns, 8.0);
+  EXPECT_DOUBLE_EQ(r1.tns, 0.0);  // nothing negative
+
+  TimingOptions tight;
+  tight.clock = 1.0;
+  TimingReport r2 = analyze_unit(nl, tight);
+  EXPECT_DOUBLE_EQ(r2.wns, -1.0);
+  EXPECT_DOUBLE_EQ(r2.tns, -1.0);  // one endpoint, one violation
+}
+
+TEST(StaTiming, NegativeUnateGatesSwapRiseAndFall) {
+  // One version with asymmetric arcs: rise 3, fall 1 through pin a.
+  library::ResourceLibrary lib = library::parse_string(
+      "resource inv adder 1 1 0.9\ntiming inv a 3 1 0\n");
+
+  // Through a NOT chain the edges alternate: each stage's output rise
+  // launches from the previous FALL, so the slow rise arc is never paid
+  // twice in a row. A BUF chain pays it every stage.
+  netlist::Netlist not_chain("not_chain");
+  {
+    netlist::Bus in = not_chain.add_input_bus("in", 1);
+    GateId n1 = not_chain.bnot(in.bits[0]);
+    GateId n2 = not_chain.bnot(n1);
+    not_chain.add_output_bus("out", {n2});
+  }
+  netlist::Netlist buf_chain("buf_chain");
+  {
+    netlist::Bus in = buf_chain.add_input_bus("in", 1);
+    GateId b1 = buf_chain.add_unary(netlist::GateKind::kBuf, in.bits[0]);
+    GateId b2 = buf_chain.add_unary(netlist::GateKind::kBuf, b1);
+    buf_chain.add_output_bus("out", {b2});
+  }
+  std::vector<library::VersionId> versions{rtl::kNoVersion, 0, 0};
+
+  netlist::Topology not_topo(not_chain);
+  TimingReport not_report =
+      analyze(not_chain, not_topo,
+              DelayModel::from_library(not_chain, versions, lib));
+  // n1: rise = fall(in) + 3 = 3, fall = rise(in) + 1 = 1.
+  // n2: rise = fall(n1) + 3 = 4, fall = rise(n1) + 1 = 4.
+  EXPECT_DOUBLE_EQ(not_report.arrival.back(), 4.0);
+
+  netlist::Topology buf_topo(buf_chain);
+  TimingReport buf_report =
+      analyze(buf_chain, buf_topo,
+              DelayModel::from_library(buf_chain, versions, lib));
+  // b2: rise = rise(b1) + 3 = 6 -- the slow edge compounds.
+  EXPECT_DOUBLE_EQ(buf_report.arrival.back(), 6.0);
+}
+
+TEST(StaTiming, SlopeAddsLoadDependentDelay) {
+  library::ResourceLibrary lib = library::parse_string(
+      "resource loaded adder 1 1 0.9\ntiming loaded a 1 1 0.5\n");
+
+  // g drives two consumers: delay through g = 1 + 0.5 * fanout(g) = 2.
+  netlist::Netlist nl("loaded");
+  netlist::Bus in = nl.add_input_bus("in", 1);
+  GateId g = nl.add_unary(netlist::GateKind::kBuf, in.bits[0]);
+  GateId c0 = nl.add_unary(netlist::GateKind::kBuf, g);
+  GateId c1 = nl.add_unary(netlist::GateKind::kBuf, g);
+  nl.add_output_bus("out", {c0, c1});
+  std::vector<library::VersionId> versions{rtl::kNoVersion, 0, 0, 0};
+
+  netlist::Topology topo(nl);
+  TimingReport report =
+      analyze(nl, topo, DelayModel::from_library(nl, versions, lib));
+  EXPECT_DOUBLE_EQ(report.arrival[g], 2.0);
+  // The consumers are output bits themselves (fanout 0): no load term.
+  EXPECT_DOUBLE_EQ(report.arrival[c0], 3.0);
+  EXPECT_DOUBLE_EQ(report.arrival[c1], 3.0);
+}
+
+TEST(StaTiming, FanoutFreeGatesAreConstrainedEndpoints) {
+  netlist::Netlist nl = netlist_with_dangling_gate();
+  TimingOptions options;
+  options.clock = 5.0;
+  TimingReport report = analyze_unit(nl, options);
+  // The dangling XOR (gate 3: inputs 0, 1, AND 2, XOR 3) is constrained
+  // like an endpoint: finite slack of clock - arrival = 4.
+  EXPECT_DOUBLE_EQ(report.arrival[3], 1.0);
+  EXPECT_DOUBLE_EQ(report.slack[3], 4.0);
+  // ... but endpoint aggregates count primary-output bits only.
+  EXPECT_EQ(report.endpoints, 1u);
+}
+
+TEST(StaTiming, HistogramCoversEveryEndpointOnce) {
+  netlist::Netlist nl =
+      circuits::component_by_name("carry_save_multiplier", 6);
+  TimingOptions options;
+  options.histogram_bins = 4;
+  TimingReport report = analyze_unit(nl, options);
+  ASSERT_EQ(report.histogram.size(), 4u);
+  std::uint64_t total = 0;
+  for (const HistogramBin& bin : report.histogram) {
+    EXPECT_LE(bin.lo, bin.hi);
+    total += bin.count;
+  }
+  EXPECT_EQ(total, report.endpoints);
+  EXPECT_DOUBLE_EQ(report.histogram.front().lo, report.wns);
+}
+
+TEST(StaTiming, HistogramCollapsesToOneBinWhenSlacksAreEqual) {
+  // A single endpoint: hi == lo, so the histogram collapses to one bin.
+  netlist::Netlist nl("single");
+  netlist::Bus in = nl.add_input_bus("in", 2);
+  GateId g = nl.band(in.bits[0], in.bits[1]);
+  nl.add_output_bus("out", {g});
+  TimingReport report = analyze_unit(nl);
+  ASSERT_EQ(report.histogram.size(), 1u);
+  EXPECT_EQ(report.histogram[0].count, 1u);
+}
+
+TEST(StaTiming, TracebackPrefersPinZeroThenRise) {
+  // Both fanins of the AND arrive at the same time; the documented
+  // tie-break walks through pin 0 ("a") on a rising input edge.
+  netlist::Netlist nl("tie");
+  netlist::Bus a = nl.add_input_bus("a", 1);
+  netlist::Bus b = nl.add_input_bus("b", 1);
+  GateId g = nl.band(a.bits[0], b.bits[0]);
+  nl.add_output_bus("out", {g});
+  TimingOptions options;
+  options.top_paths = 1;
+  TimingReport report = analyze_unit(nl, options);
+  ASSERT_EQ(report.paths.size(), 1u);
+  const TimingPath& path = report.paths[0];
+  EXPECT_EQ(path.endpoint, g);
+  ASSERT_EQ(path.steps.size(), 2u);
+  EXPECT_EQ(path.steps.front().gate, a.bits[0]);  // fanin0, not fanin1
+  EXPECT_EQ(path.steps.back().gate, g);
+  EXPECT_DOUBLE_EQ(path.steps.front().arrival, 0.0);
+  EXPECT_DOUBLE_EQ(path.steps.back().arrival, 1.0);
+}
+
+TEST(StaTiming, PathsRankBySlackThenEndpointId) {
+  // A shallow standalone output (depth 1) and two deep ones (depth 2)
+  // in a separate cone: the deep endpoints are critical; among the
+  // equally-slack pair the smaller gate id ranks first.
+  netlist::Netlist nl("ranked");
+  netlist::Bus in = nl.add_input_bus("in", 2);
+  GateId shallow = nl.band(in.bits[0], in.bits[1]);
+  GateId d1 = nl.bnot(in.bits[0]);
+  GateId deep_a = nl.bnot(d1);
+  GateId deep_b = nl.bor(d1, in.bits[1]);
+  nl.add_output_bus("out", {shallow, deep_a, deep_b});
+
+  TimingOptions options;
+  options.top_paths = 2;
+  TimingReport report = analyze_unit(nl, options);
+  ASSERT_EQ(report.paths.size(), 2u);
+  EXPECT_EQ(report.paths[0].endpoint, deep_a);  // slack ties, id wins
+  EXPECT_EQ(report.paths[1].endpoint, deep_b);
+  EXPECT_LE(report.paths[0].slack, report.paths[1].slack);
+  // Every step's arrival is non-decreasing source -> endpoint.
+  for (const TimingPath& path : report.paths) {
+    for (std::size_t i = 1; i < path.steps.size(); ++i) {
+      EXPECT_LE(path.steps[i - 1].arrival, path.steps[i].arrival);
+    }
+    EXPECT_DOUBLE_EQ(path.steps.back().arrival, path.arrival);
+  }
+}
+
+TEST(StaTiming, ReportIsByteIdenticalAcrossJobs) {
+  netlist::Netlist nl =
+      circuits::component_by_name("kogge_stone_adder", 16);
+  netlist::Topology topo(nl);
+  DelayModel dm = DelayModel::unit(nl);
+  TimingOptions options;
+  options.top_paths = 5;
+
+  parallel::set_global_jobs(1);
+  TimingReport one = analyze(nl, topo, dm, options);
+  parallel::set_global_jobs(8);
+  TimingReport eight = analyze(nl, topo, dm, options);
+  parallel::set_global_jobs(0);  // restore auto
+
+  ASSERT_EQ(one.arrival.size(), eight.arrival.size());
+  for (std::size_t g = 0; g < one.arrival.size(); ++g) {
+    EXPECT_EQ(one.arrival[g], eight.arrival[g]);  // exact, not approximate
+    EXPECT_EQ(one.slack[g], eight.slack[g]);
+  }
+  EXPECT_EQ(one.clock, eight.clock);
+  EXPECT_EQ(one.wns, eight.wns);
+  EXPECT_EQ(one.tns, eight.tns);
+  ASSERT_EQ(one.paths.size(), eight.paths.size());
+  for (std::size_t p = 0; p < one.paths.size(); ++p) {
+    EXPECT_EQ(one.paths[p].endpoint, eight.paths[p].endpoint);
+    ASSERT_EQ(one.paths[p].steps.size(), eight.paths[p].steps.size());
+    for (std::size_t s = 0; s < one.paths[p].steps.size(); ++s) {
+      EXPECT_EQ(one.paths[p].steps[s].gate, eight.paths[p].steps[s].gate);
+      EXPECT_EQ(one.paths[p].steps[s].arrival,
+                eight.paths[p].steps[s].arrival);
+    }
+  }
+}
+
+TEST(StaTiming, RejectsMismatchedDelayModel) {
+  netlist::Netlist nl = circuits::component_by_name("ripple_carry_adder", 4);
+  netlist::Netlist other = circuits::component_by_name("ripple_carry_adder", 8);
+  netlist::Topology topo(nl);
+  EXPECT_THROW(analyze(nl, topo, DelayModel::unit(other)), Error);
+}
+
+TEST(StaDelayModel, UnitModelGivesUnitArcsEverywhere) {
+  netlist::Netlist nl = circuits::component_by_name("brent_kung_adder", 4);
+  DelayModel dm = DelayModel::unit(nl);
+  ASSERT_EQ(dm.gate_count(), nl.gate_count());
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    for (int pin = 0; pin < 2; ++pin) {
+      const PinArc& arc = dm.arc(g, pin);
+      EXPECT_DOUBLE_EQ(arc.rise, 1.0);
+      EXPECT_DOUBLE_EQ(arc.fall, 1.0);
+      EXPECT_DOUBLE_EQ(arc.slope, 0.0);
+    }
+  }
+}
+
+TEST(StaDelayModel, FromLibraryFallsBackToUnitArc) {
+  library::ResourceLibrary lib = library::parse_string(
+      "resource timed adder 1 1 0.9\ntiming timed a 2 3 0.25\n"
+      "resource untimed adder 1 1 0.9\n");
+  netlist::Netlist nl("two");
+  netlist::Bus in = nl.add_input_bus("in", 1);
+  GateId g0 = nl.bnot(in.bits[0]);  // version 0: timed pin a
+  GateId g1 = nl.bnot(g0);          // version 1: no arcs at all
+  GateId g2 = nl.bnot(g1);          // kNoVersion sentinel
+  nl.add_output_bus("out", {g2});
+  std::vector<library::VersionId> versions{rtl::kNoVersion, 0, 1,
+                                           rtl::kNoVersion};
+
+  DelayModel dm = DelayModel::from_library(nl, versions, lib);
+  EXPECT_DOUBLE_EQ(dm.arc(g0, 0).rise, 2.0);
+  EXPECT_DOUBLE_EQ(dm.arc(g0, 0).fall, 3.0);
+  EXPECT_DOUBLE_EQ(dm.arc(g0, 0).slope, 0.25);
+  // Pin b of the timed version is uncharacterized: unit arc.
+  EXPECT_DOUBLE_EQ(dm.arc(g0, 1).rise, 1.0);
+  EXPECT_DOUBLE_EQ(dm.arc(g1, 0).rise, 1.0);  // untimed version
+  EXPECT_DOUBLE_EQ(dm.arc(g2, 0).rise, 1.0);  // kNoVersion
+
+  std::vector<library::VersionId> wrong_size{0};
+  EXPECT_THROW(DelayModel::from_library(nl, wrong_size, lib), Error);
+}
+
+TEST(StaSensitivity, JoinRanksBySensitivityThenSlackThenGate) {
+  TimingReport report;
+  report.slack = {5.0, 1.0, 2.0, 1.0};
+
+  auto make = [](GateId gate, double sensitivity) {
+    ser::GateSensitivity gs;
+    gs.gate = gate;
+    gs.result.logical_sensitivity = sensitivity;
+    return gs;
+  };
+  // Gates 1 and 3 tie on sensitivity AND slack: gate id breaks the tie.
+  std::vector<ser::GateSensitivity> ranking = {
+      make(0, 0.2), make(1, 0.8), make(2, 0.8), make(3, 0.8)};
+
+  std::vector<SensitivityRow> rows = join_sensitivity(ranking, report);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].gate, 1u);  // sens 0.8, slack 1
+  EXPECT_EQ(rows[1].gate, 3u);  // sens 0.8, slack 1, larger id
+  EXPECT_EQ(rows[2].gate, 2u);  // sens 0.8, slack 2
+  EXPECT_EQ(rows[3].gate, 0u);  // sens 0.2
+  EXPECT_DOUBLE_EQ(rows[0].slack, 1.0);
+  EXPECT_DOUBLE_EQ(rows[3].sensitivity, 0.2);
+}
+
+TEST(StaSensitivity, JoinRejectsOutOfRangeGate) {
+  TimingReport report;
+  report.slack = {1.0};
+  ser::GateSensitivity gs;
+  gs.gate = 7;
+  EXPECT_THROW(join_sensitivity({gs}, report), Error);
+}
+
+dfg::Graph add_mul_graph() {
+  dfg::Graph g("toy");
+  dfg::NodeId a = g.add_node("a", dfg::OpType::kAdd);
+  dfg::NodeId m = g.add_node("m", dfg::OpType::kMul);
+  g.add_edge(a, m);
+  return g;
+}
+
+TEST(StaDesign, VersionsForFollowsPolicy) {
+  dfg::Graph g = add_mul_graph();
+  library::ResourceLibrary lib = library::paper_library();
+
+  std::vector<library::VersionId> fast = versions_for(g, lib, "fastest");
+  ASSERT_EQ(fast.size(), 2u);
+  EXPECT_EQ(fast[0], lib.fastest(library::ResourceClass::kAdder));
+  EXPECT_EQ(fast[1], lib.fastest(library::ResourceClass::kMultiplier));
+
+  std::vector<library::VersionId> reliable =
+      versions_for(g, lib, "most_reliable");
+  EXPECT_EQ(reliable[0], lib.most_reliable(library::ResourceClass::kAdder));
+  EXPECT_EQ(reliable[1],
+            lib.most_reliable(library::ResourceClass::kMultiplier));
+
+  EXPECT_THROW(versions_for(g, lib, "slowest"), Error);
+}
+
+TEST(StaDesign, ElaborateDesignTagsEveryGateWithItsVersion) {
+  dfg::Graph g = add_mul_graph();
+  library::ResourceLibrary lib = library::paper_library();
+  rtl::Elaboration e = elaborate_design(g, lib, "most_reliable", 4);
+  ASSERT_EQ(e.gate_version.size(), e.netlist.gate_count());
+  // Every gate carries a valid provenance tag, and both picked versions
+  // actually appear (the adder's gates and the multiplier's gates).
+  bool saw_adder = false;
+  bool saw_mult = false;
+  for (library::VersionId v : e.gate_version) {
+    ASSERT_LT(v, lib.size());
+    saw_adder |= v == lib.most_reliable(library::ResourceClass::kAdder);
+    saw_mult |= v == lib.most_reliable(library::ResourceClass::kMultiplier);
+  }
+  EXPECT_TRUE(saw_adder);
+  EXPECT_TRUE(saw_mult);
+
+  // The timed analysis end-to-end: elaborated design + library model.
+  netlist::Topology topo(e.netlist);
+  TimingReport report =
+      analyze(e.netlist, topo,
+              DelayModel::from_library(e.netlist, e.gate_version, lib));
+  EXPECT_GT(report.arrival_max, 0.0);
+  // Derived clock covers the worst arrival anywhere (including dangling
+  // glue deeper than the outputs), so no endpoint can be negative.
+  EXPECT_GE(report.wns, 0.0);
+}
+
+}  // namespace
+}  // namespace rchls::sta

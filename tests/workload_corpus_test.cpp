@@ -70,12 +70,24 @@ TEST(WorkloadCorpus, GoldenCaseCapture) {
             "find_design latency=34 area=8 engine=combined "
             "label=find_design\n");
   EXPECT_EQ(cases[0].case_seed, 12923355070828475994ULL);
+  // The sta slot of the first rotation, pinned the same way.
+  EXPECT_EQ(cases[5].scn_text,
+            "# generated workload corpus case -- do not edit; regenerate:\n"
+            "#   rchls gen <dir> --seed 7 --count 25\n"
+            "# case=case_005 action=sta shape=layered nodes=27 "
+            "case_seed=16099837482234907721\n"
+            "scenario case_005_sta_layered\n"
+            "graph @case_005.dfg\n"
+            "library paper\n"
+            "\n"
+            "sta width=6 versions=fastest top_paths=1 top=10 trials=192 "
+            "seed=18424334975986704008 label=sta\n");
 }
 
 TEST(WorkloadCorpus, CoversEveryActionAndShape) {
   CorpusConfig cfg;
   cfg.seed = 3;
-  cfg.count = 50;  // 10 per action, 2 full shape rotations
+  cfg.count = 60;  // 10 per action, 2 full shape rotations
   auto cases = generate_corpus(cfg);
   std::set<std::string> actions, shapes;
   for (const auto& c : cases) {
@@ -83,7 +95,7 @@ TEST(WorkloadCorpus, CoversEveryActionAndShape) {
     if (!c.shape.empty()) shapes.insert(c.shape);
   }
   EXPECT_EQ(actions, (std::set<std::string>{"find_design", "sweep", "grid",
-                                            "inject", "rank_gates"}));
+                                            "inject", "rank_gates", "sta"}));
   EXPECT_EQ(shapes, (std::set<std::string>{"layered", "chain", "fanout_tree",
                                            "butterfly", "filter"}));
 }
@@ -94,7 +106,7 @@ TEST(WorkloadCorpus, ManifestParsesAndListsEveryCase) {
   cfg.count = 12;
   auto cases = generate_corpus(cfg);
   json::Value doc = json::parse(manifest_json(cfg, cases));
-  EXPECT_EQ(doc.at("format_version").as_string(), "rchls.corpus.v1");
+  EXPECT_EQ(doc.at("format_version").as_string(), "rchls.corpus.v2");
   EXPECT_EQ(doc.at("seed").as_string(), "11");
   EXPECT_EQ(doc.at("count").as_int(), 12);
   ASSERT_EQ(doc.at("cases").items().size(), cases.size());
@@ -123,7 +135,7 @@ TEST(WorkloadCorpus, SampledRunsByteIdenticalAcrossJobsAndWarm) {
   auto dir = testing::unique_test_dir("workload_corpus");
   CorpusConfig cfg;
   cfg.seed = 5;
-  cfg.count = 25;  // 5 cases of every action kind, one full shape rotation
+  cfg.count = 24;  // 4 cases of every action kind, incl. graphful sta
   write_corpus(cfg, dir);
 
   JobsGuard guard;
